@@ -1,0 +1,144 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                 # everything (slow: includes Voyager/Delta-LSTM training)
+//	experiments -run fig4 -skip-offline  # the headline comparison, online prefetchers only
+//	experiments -run fig5,fig7,table9 -loads 100000
+//	experiments -run fig4 -loads 1000000 -fullsim   # paper-scale machine + trace length
+//
+// Experiments: config, table1, table2, table7, table8, table9, fig4 (incl.
+// table 6), fig5, fig6, fig7, fig8, fig9.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pathfinder"
+	"pathfinder/internal/experiments"
+)
+
+// writeJSON stores an experiment's structured result for external plotting.
+func writeJSON(dir, name string, v any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644)
+}
+
+func main() {
+	var (
+		run         = flag.String("run", "all", "comma-separated experiments to run (all, config, table1, table2, table7, table8, table9, fig4..fig9, extended, noise, interference, degree, seeds, snnsweep, inputs)")
+		loads       = flag.Int("loads", 50_000, "loads per benchmark trace (the paper uses 1000000)")
+		seed        = flag.Int64("seed", 1, "random seed for traces and learners")
+		traces      = flag.String("traces", "", "comma-separated benchmark subset (default: all 11)")
+		skipOffline = flag.Bool("skip-offline", false, "skip Delta-LSTM and Voyager (much faster)")
+		fullSim     = flag.Bool("fullsim", false, "use the full Table 3 hierarchy instead of the trace-scaled one")
+		seeds       = flag.Int("seeds", 3, "seeds for the seed-variance study (-run seeds)")
+		jsonDir     = flag.String("json", "", "also write each experiment's structured result as <dir>/<name>.json")
+		list        = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range [][2]string{
+			{"config", "Tables 3/4/5: machine, SNN and workload configuration"},
+			{"table1", "1-tick winner vs 32-tick firing neuron match rate"},
+			{"table2", "§3.6 SNN learning walkthrough (with Figure 3)"},
+			{"table7", "deltas within (−31,31) and (−15,15) per trace"},
+			{"table8", "per-1K-access delta vocabulary statistics"},
+			{"table9", "SNN area/power across PEs × delta range (+§3.5 tables)"},
+			{"fig4", "headline IPC/accuracy/coverage comparison (+Table 6)"},
+			{"fig5", "delta-range sensitivity"},
+			{"fig6", "neuron count × labels-per-neuron sweep"},
+			{"fig7", "1-tick vs 32-tick IPC"},
+			{"fig8", "STDP duty-cycling"},
+			{"fig9", "variant ladder"},
+			{"extended", "[extension] Stride/VLDP/SMS + fixed vs dynamic ensemble"},
+			{"noise", "[extension] §2.3 noise tolerance"},
+			{"interference", "[extension] §2.3 shared-LLC co-runner (multi-core)"},
+			{"degree", "[extension] §3.4 multi-degree mechanisms"},
+			{"seeds", "[extension] seed-variance study"},
+			{"snnsweep", "[extension] SNN hyper-parameter sensitivity"},
+			{"inputs", "[extension] §3.2 input-encoding design space"},
+		} {
+			fmt.Printf("%-13s %s\n", e[0], e[1])
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Loads:       *loads,
+		Seed:        *seed,
+		SkipOffline: *skipOffline,
+	}
+	if *traces != "" {
+		opts.Traces = strings.Split(*traces, ",")
+	}
+	if *fullSim {
+		opts.Sim = pathfinder.DefaultSimConfig()
+	}
+
+	want := make(map[string]bool)
+	for _, e := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	ran := 0
+	do := func(name string, f func() (any, error)) {
+		if !all && !want[name] {
+			return
+		}
+		ran++
+		start := time.Now()
+		fmt.Printf("\n===== %s =====\n", name)
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %.1fs)\n", name, time.Since(start).Seconds())
+		if *jsonDir != "" && res != nil {
+			if err := writeJSON(*jsonDir, name, res); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing json: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	out := os.Stdout
+	do("config", func() (any, error) { experiments.PrintConfig(out, opts); return nil, nil })
+	do("table1", func() (any, error) { return experiments.Table1(out, opts) })
+	do("table2", func() (any, error) { return experiments.Table2(out, opts.Seed) })
+	do("table7", func() (any, error) { return experiments.Table7(out, opts) })
+	do("table8", func() (any, error) { return experiments.Table8(out, opts) })
+	do("table9", func() (any, error) { return experiments.Table9(out), nil })
+	do("fig4", func() (any, error) { return experiments.Fig4(out, opts) })
+	do("fig5", func() (any, error) { return experiments.Fig5(out, opts) })
+	do("fig6", func() (any, error) { return experiments.Fig6(out, opts) })
+	do("fig7", func() (any, error) { return experiments.Fig7(out, opts) })
+	do("fig8", func() (any, error) { return experiments.Fig8(out, opts) })
+	do("fig9", func() (any, error) { return experiments.Fig9(out, opts) })
+	do("extended", func() (any, error) { return experiments.Extended(out, opts) })
+	do("noise", func() (any, error) { return experiments.NoiseTolerance(out, opts) })
+	do("interference", func() (any, error) { return experiments.Interference(out, opts) })
+	do("degree", func() (any, error) { return experiments.Degree(out, opts) })
+	do("seeds", func() (any, error) { return experiments.SeedStudy(out, opts, *seeds) })
+	do("snnsweep", func() (any, error) { return experiments.SNNSensitivity(out, opts) })
+	do("inputs", func() (any, error) { return experiments.InputEncodings(out, opts) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; see -h\n", *run)
+		os.Exit(2)
+	}
+}

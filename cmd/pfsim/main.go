@@ -1,0 +1,224 @@
+// Command pfsim runs one benchmark through the two-phase evaluation with a
+// chosen prefetcher and prints its metrics.
+//
+// Usage:
+//
+//	pfsim -trace cc-5 -prefetcher pathfinder
+//	pfsim -trace 605-mcf-s1 -prefetcher pythia -loads 200000
+//	pfsim -trace-file my.pft -prefetcher bo
+//
+// Prefetchers: none, nextline, bo, bo-throttled, stride, vldp, sms, spp,
+// sisb, isb, nextpage, pythia, pathfinder, pathfinder-1tick, ensemble
+// (pathfinder+sisb+nextline), dynamic-ensemble, deltalstm, voyager.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathfinder"
+	"pathfinder/internal/trace"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "cc-5", "benchmark name (see -list)")
+		traceFile = flag.String("trace-file", "", "read a PFT2 trace file instead of generating one")
+		pfName    = flag.String("prefetcher", "pathfinder", "prefetcher to evaluate")
+		loads     = flag.Int("loads", 100_000, "loads to generate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		fullSim   = flag.Bool("fullsim", false, "use the full Table 3 hierarchy instead of the trace-scaled one")
+		pfOut     = flag.String("prefetch-out", "", "also write the generated prefetch file here (PFP1 format)")
+		pfIn      = flag.String("prefetch-in", "", "replay this prefetch file instead of generating one (the artifact's two-step flow)")
+		coRunner  = flag.String("corunner", "", "also run this benchmark on a second core sharing the LLC (multi-core mode)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range pathfinder.Workloads() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	accs, err := loadTrace(*traceFile, *traceName, *loads, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pathfinder.ScaledSimConfig()
+	if *fullSim {
+		cfg = pathfinder.DefaultSimConfig()
+	}
+	cfg.Warmup = len(accs) / 10
+
+	base, err := pathfinder.Simulate(cfg, accs, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	var pfs []pathfinder.PrefetchEntry
+	label := *pfName
+	if *pfIn != "" {
+		f, err := os.Open(*pfIn)
+		if err != nil {
+			fatal(err)
+		}
+		pfs, err = trace.ReadPrefetches(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		label = "file:" + *pfIn
+	} else {
+		var err error
+		pfs, label, err = generate(*pfName, accs, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *pfOut != "" {
+		f, err := os.Create(*pfOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WritePrefetches(f, pfs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *coRunner != "" {
+		co, err := pathfinder.GenerateTrace(*coRunner, len(accs), *seed+7)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range co {
+			co[i].Addr += 1 << 42 // disjoint address space
+		}
+		res, err := pathfinder.SimulateMulti(cfg, [][]pathfinder.Access{accs, co},
+			[][]pathfinder.PrefetchEntry{pfs, nil})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace            %s (%d loads), co-runner %s\n", *traceName, len(accs), *coRunner)
+		fmt.Printf("prefetcher       %s\n", label)
+		fmt.Printf("solo   baseline  IPC %.3f\n", base.IPC)
+		fmt.Printf("shared IPC       %.3f (accuracy %.3f, coverage vs solo misses %.3f)\n",
+			res[0].IPC, res[0].Accuracy(), res[0].Coverage(base.LLCLoadMisses))
+		fmt.Printf("co-runner IPC    %.3f\n", res[1].IPC)
+		return
+	}
+
+	m, err := pathfinder.EvaluateFile(label, accs, pfs, cfg, base.LLCLoadMisses)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace            %s (%d loads)\n", *traceName, len(accs))
+	fmt.Printf("prefetcher       %s\n", label)
+	fmt.Printf("baseline IPC     %.3f (LLC misses %d)\n", base.IPC, base.LLCLoadMisses)
+	fmt.Printf("IPC              %.3f (%+.1f%%)\n", m.IPC, 100*(m.IPC/base.IPC-1))
+	fmt.Printf("accuracy         %.3f\n", m.Accuracy)
+	fmt.Printf("coverage         %.3f\n", m.Coverage)
+	fmt.Printf("issued / useful  %d / %d\n", m.Issued, m.Useful)
+}
+
+func loadTrace(file, name string, loads int, seed int64) ([]pathfinder.Access, error) {
+	if file == "" {
+		return pathfinder.GenerateTrace(name, loads, seed)
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// generate builds the named prefetcher's prefetch file for the trace.
+func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.PrefetchEntry, string, error) {
+	online := func(p pathfinder.OnlinePrefetcher) ([]pathfinder.PrefetchEntry, string, error) {
+		return pathfinder.GeneratePrefetches(p, accs, pathfinder.Budget), p.Name(), nil
+	}
+	switch strings.ToLower(name) {
+	case "none":
+		return online(pathfinder.NewNoPrefetch())
+	case "nextline", "nl":
+		return online(pathfinder.NewNextLine(0))
+	case "bo":
+		return online(pathfinder.NewBestOffset())
+	case "spp":
+		return online(pathfinder.NewSPP())
+	case "sisb":
+		return online(pathfinder.NewSISB())
+	case "pythia":
+		return online(pathfinder.NewPythia(seed))
+	case "stride":
+		return online(pathfinder.NewStride())
+	case "vldp":
+		return online(pathfinder.NewVLDP())
+	case "sms":
+		return online(pathfinder.NewSMS())
+	case "isb":
+		return online(pathfinder.NewISB())
+	case "nextpage":
+		return online(pathfinder.NewNextPage())
+	case "bo-throttled":
+		return online(pathfinder.NewThrottle(pathfinder.NewBestOffset()))
+	case "dynamic-ensemble":
+		cfg := pathfinder.DefaultConfig()
+		cfg.Seed = seed
+		pf, err := pathfinder.New(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return online(pathfinder.NewDynamicEnsemble("DynPF+SISB+NL", pf, pathfinder.NewSISB(), pathfinder.NewNextLine(0)))
+	case "pathfinder":
+		cfg := pathfinder.DefaultConfig()
+		cfg.Seed = seed
+		pf, err := pathfinder.New(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return online(pf)
+	case "pathfinder-1tick":
+		cfg := pathfinder.DefaultConfig()
+		cfg.Seed = seed
+		cfg.OneTick = true
+		pf, err := pathfinder.New(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		pfs := pathfinder.GeneratePrefetches(pf, accs, pathfinder.Budget)
+		return pfs, "Pathfinder-1tick", nil
+	case "ensemble":
+		cfg := pathfinder.DefaultConfig()
+		cfg.Seed = seed
+		pf, err := pathfinder.New(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return online(pathfinder.NewEnsemble("PF+NL+SISB", pf, pathfinder.NewSISB(), pathfinder.NewNextLine(0)))
+	case "deltalstm":
+		cfg := pathfinder.DefaultDeltaLSTMConfig()
+		cfg.Seed = seed
+		pfs, err := pathfinder.GenerateDeltaLSTM(cfg, accs, pathfinder.Budget)
+		return pfs, "DeltaLSTM", err
+	case "voyager":
+		cfg := pathfinder.DefaultVoyagerConfig()
+		cfg.Seed = seed
+		pfs, err := pathfinder.GenerateVoyager(cfg, accs, pathfinder.Budget)
+		return pfs, "Voyager", err
+	}
+	return nil, "", fmt.Errorf("unknown prefetcher %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pfsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command pfviz inspects a PATHFINDER's learned state: the Inference
+// Table's labels and confidences, the adaptive-threshold (theta)
+// distribution, and an ASCII heatmap of each labelled neuron's input
+// weights across the delta axis — the software view of the weight buffers
+// and label CAM of §3.5.
+//
+// Usage:
+//
+//	pfviz -trace cc-5 -loads 40000          # train on a benchmark, then dump
+//	pfviz -state trained.pfs                # dump a saved prefetcher
+//	pfviz -trace cc-5 -save trained.pfs     # train and persist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pathfinder"
+)
+
+func main() {
+	var (
+		traceName = flag.String("trace", "cc-5", "benchmark to train on (ignored with -state)")
+		loads     = flag.Int("loads", 40_000, "loads to train on")
+		seed      = flag.Int64("seed", 1, "random seed")
+		state     = flag.String("state", "", "load a saved prefetcher instead of training")
+		save      = flag.String("save", "", "save the trained prefetcher here")
+		top       = flag.Int("top", 8, "how many labelled neurons to heatmap")
+	)
+	flag.Parse()
+
+	pf, err := obtain(*state, *traceName, *loads, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfviz:", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfviz:", err)
+			os.Exit(1)
+		}
+		if err := pf.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "pfviz:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "pfviz:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved prefetcher state to %s\n", *save)
+	}
+
+	dump(pf, *top)
+}
+
+func obtain(state, traceName string, loads int, seed int64) (*pathfinder.Prefetcher, error) {
+	if state != "" {
+		f, err := os.Open(state)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pathfinder.LoadPrefetcher(f)
+	}
+	accs, err := pathfinder.GenerateTrace(traceName, loads, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pathfinder.DefaultConfig()
+	cfg.Seed = seed
+	pf, err := pathfinder.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range accs {
+		pf.Advise(a, pathfinder.Budget)
+	}
+	fmt.Printf("trained on %s (%d loads): %d SNN queries, %d prefetches issued\n\n",
+		traceName, loads, pf.Stats().Queries, pf.Stats().Issued)
+	return pf, nil
+}
+
+func dump(pf *pathfinder.Prefetcher, top int) {
+	cfg := pf.Config()
+	net := pf.Network()
+	labels := pf.Labels()
+
+	// 1. Inference table.
+	fmt.Println("Inference Table (neuron -> labels):")
+	labelled := 0
+	for n, ls := range labels {
+		if len(ls) == 0 {
+			continue
+		}
+		labelled++
+		parts := make([]string, len(ls))
+		for i, l := range ls {
+			parts[i] = fmt.Sprintf("delta %+d (conf %d/7)", l.Delta, l.Conf)
+		}
+		fmt.Printf("  neuron %2d: %s\n", n, strings.Join(parts, ", "))
+	}
+	fmt.Printf("%d of %d neurons labelled\n\n", labelled, cfg.Neurons)
+
+	// 2. Theta distribution.
+	thetas := make([]float64, cfg.Neurons)
+	maxTheta := 0.0
+	for j := range thetas {
+		thetas[j] = net.Theta(j)
+		if thetas[j] > maxTheta {
+			maxTheta = thetas[j]
+		}
+	}
+	fmt.Println("Adaptive thresholds (theta; taller bar = fires more):")
+	for j, th := range thetas {
+		if th == 0 {
+			continue
+		}
+		bar := int(th / (maxTheta + 1e-9) * 40)
+		fmt.Printf("  neuron %2d %-40s %.2f\n", j, strings.Repeat("#", bar), th)
+	}
+	fmt.Println()
+
+	// 3. Weight heatmaps of the hottest labelled neurons.
+	type hot struct {
+		n     int
+		theta float64
+	}
+	var hots []hot
+	for n, ls := range labels {
+		if len(ls) > 0 {
+			hots = append(hots, hot{n, thetas[n]})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].theta > hots[j].theta })
+	if top > len(hots) {
+		top = len(hots)
+	}
+	shades := []byte(" .:-=+*#%@")
+	fmt.Printf("Weight heatmaps (rows = history positions, columns = delta %+d..%+d):\n",
+		-(cfg.DeltaRange-1)/2, (cfg.DeltaRange-1)/2)
+	for _, h := range hots[:top] {
+		// Find the neuron's max weight for scaling.
+		maxW := 1e-12
+		for i := 0; i < cfg.DeltaRange*cfg.History; i++ {
+			if w := net.Weight(i, h.n); w > maxW {
+				maxW = w
+			}
+		}
+		fmt.Printf("  neuron %d (labels %v):\n", h.n, labels[h.n])
+		for row := 0; row < cfg.History; row++ {
+			line := make([]byte, cfg.DeltaRange)
+			for col := 0; col < cfg.DeltaRange; col++ {
+				w := net.Weight(row*cfg.DeltaRange+col, h.n)
+				line[col] = shades[int(w/maxW*float64(len(shades)-1))]
+			}
+			fmt.Printf("    |%s|\n", line)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command tracegen writes synthetic benchmark traces to disk in the PFT2
+// binary format, for use with pfsim -trace-file or external tooling.
+//
+// Usage:
+//
+//	tracegen -trace cc-5 -loads 1000000 -o cc5.pft
+//	tracegen -all -loads 100000 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pathfinder"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+func main() {
+	var (
+		name  = flag.String("trace", "", "benchmark name to generate")
+		all   = flag.Bool("all", false, "generate every benchmark of the suite")
+		loads = flag.Int("loads", 100_000, "loads per trace")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("o", "", "output file (single trace)")
+		dir   = flag.String("dir", ".", "output directory (with -all)")
+		stats = flag.Bool("stats", false, "also print Table 7/8-style delta statistics")
+	)
+	flag.Parse()
+
+	var names []string
+	switch {
+	case *all:
+		names = pathfinder.Workloads()
+	case *name != "":
+		names = []string{*name}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: need -trace <name> or -all")
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		accs, err := pathfinder.GenerateTrace(n, *loads, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		path := *out
+		if path == "" || *all {
+			path = filepath.Join(*dir, n+".pft")
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, accs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d loads -> %s\n", n, len(accs), path)
+		if *stats {
+			st := workload.ComputeDeltaStats(accs, 31, 15)
+			fmt.Printf("  deltas %d, in(-31,31) %d, in(-15,15) %d; per-1K: %.0f deltas, %.0f distinct, top5 %.0f\n",
+				st.Deltas, st.InRange[31], st.InRange[15],
+				st.PerWindow.AvgDeltas, st.PerWindow.AvgDistinct, st.PerWindow.AvgTop5)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// graphtraversal runs a GAP-style breadth-first-search workload (the
+// paper's bfs-10 stand-in) through the full two-phase evaluation, comparing
+// PATHFINDER against the rule-based Best-Offset prefetcher — the scenario
+// the paper's introduction motivates: graph traversals whose delta patterns
+// are too noisy for simple rule tables.
+//
+//	go run ./examples/graphtraversal
+package main
+
+import (
+	"fmt"
+
+	"pathfinder"
+)
+
+func main() {
+	const loads = 60_000
+	accs, err := pathfinder.GenerateTrace("bfs-10", loads, 1)
+	if err != nil {
+		panic(err)
+	}
+	cfg := pathfinder.ScaledSimConfig()
+	cfg.Warmup = loads / 10
+
+	base, err := pathfinder.Simulate(cfg, accs, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bfs-10, %d loads — no prefetching: IPC %.3f, %d LLC misses\n\n",
+		loads, base.IPC, base.LLCLoadMisses)
+
+	fmt.Println("prefetcher   IPC     speedup  accuracy  coverage")
+	show := func(p pathfinder.OnlinePrefetcher) {
+		m, err := pathfinder.EvaluateAgainstBaseline(p, accs, cfg, base.LLCLoadMisses)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s %.3f  %+6.1f%%  %8.3f  %8.3f\n",
+			m.Prefetcher, m.IPC, 100*(m.IPC/base.IPC-1), m.Accuracy, m.Coverage)
+	}
+
+	show(pathfinder.NewBestOffset())
+
+	pf, err := pathfinder.New(pathfinder.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	show(pf)
+
+	st := pf.Stats()
+	fmt.Printf("\nPATHFINDER internals: %d accesses observed, %d SNN queries, %d prefetches suggested\n",
+		st.Accesses, st.Queries, st.Issued)
+	fmt.Println("\nBoth cover the regular frontier scans; PATHFINDER's labels also capture")
+	fmt.Println("the irregular multi-delta patterns of the edge lists, at higher accuracy.")
+}

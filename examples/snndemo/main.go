@@ -1,0 +1,104 @@
+// snndemo reproduces §3.6 of the paper ("SNN in Action", Table 2 and
+// Figure 3): a fresh spiking network is fed the delta pattern {1,2,4} over
+// 100-tick input intervals. One neuron predisposes itself to the pattern,
+// STDP strengthens it, and it keeps firing — earlier and earlier — while
+// noisy variants sometimes excite it too and sometimes recruit other
+// neurons. An ASCII plot of the winner's membrane potential stands in for
+// Figure 3.
+//
+//	go run ./examples/snndemo
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"pathfinder"
+)
+
+func main() {
+	const d, h = 127, 3
+	cfg := pathfinder.DefaultSNNConfig(d * h)
+	cfg.Ticks = 100 // §3.6 uses 100-tick intervals
+	cfg.Seed = 7
+	net, err := pathfinder.NewSNN(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	encode := func(deltas []int) []float64 {
+		p := make([]float64, d*h)
+		for row, dv := range deltas {
+			p[row*d+dv+(d-1)/2] = 1
+		}
+		return p
+	}
+
+	patterns := [][]int{
+		{1, 2, 4}, {1, 2, 4}, {1, 2, 4}, {1, 2, 4}, {1, 2, 4}, {1, 2, 4},
+		{1, 3, 4}, {1, 2, 5}, {1, 4, 2}, {1, 3, 6},
+		{1, 2, 4},
+	}
+
+	fmt.Println("Table 2 reproduction (100-tick intervals):")
+	fmt.Println("input pattern   firing neuron   firing tick")
+	var monitor pathfinder.SNNMonitor
+	for i, pat := range patterns {
+		if i < 3 {
+			net.SetMonitor(&monitor) // record the first three intervals for the plot
+		} else {
+			net.SetMonitor(nil)
+		}
+		res, err := net.Present(encode(pat), true)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-15s %-15d %d\n", fmt.Sprintf("%v", pat), res.Winner, res.FirstFireTick)
+	}
+
+	// Figure 3: the winner's potential across the first three intervals.
+	winner := -1
+	for _, tick := range monitor.Ticks {
+		for j, fired := range tick.Fired {
+			if fired {
+				winner = j
+			}
+		}
+		if winner >= 0 {
+			break
+		}
+	}
+	if winner < 0 {
+		fmt.Println("\nno neuron fired in the recorded intervals")
+		return
+	}
+	fmt.Printf("\nFigure 3 reproduction: membrane potential of winning neuron %d\n", winner)
+	fmt.Println("(each row is one tick; # marks the potential, | the firing threshold; three 100-tick intervals)")
+	const width = 60
+	rest, thresh := cfg.RestE, cfg.ThreshE
+	for i, tick := range monitor.Ticks {
+		if i%5 != 0 { // subsample for readability
+			continue
+		}
+		v := tick.Potentials[winner]
+		pos := int((v - rest) / (thresh + 3 - rest) * width)
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= width {
+			pos = width - 1
+		}
+		bar := strings.Repeat(" ", pos) + "#"
+		mark := int((thresh - rest) / (thresh + 3 - rest) * width)
+		if mark < len(bar) {
+			bar = bar[:mark] + "|" + bar[mark:]
+		} else {
+			bar += strings.Repeat(" ", mark-len(bar)) + "|"
+		}
+		fired := ""
+		if tick.Fired[winner] {
+			fired = "  << fires"
+		}
+		fmt.Printf("interval %d tick %3d %s%s\n", i/100+1, tick.Tick, bar, fired)
+	}
+}

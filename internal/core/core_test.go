@@ -1,0 +1,832 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pathfinder/internal/snn"
+	"pathfinder/internal/trace"
+)
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(126, 3); err == nil {
+		t.Error("accepted even delta range")
+	}
+	if _, err := NewEncoder(1, 3); err == nil {
+		t.Error("accepted delta range < 3")
+	}
+	if _, err := NewEncoder(127, 0); err == nil {
+		t.Error("accepted zero history")
+	}
+}
+
+func TestEncoderGeometry(t *testing.T) {
+	e, err := NewEncoder(127, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Center() != 63 || e.MaxDelta() != 63 || e.InputSize() != 381 {
+		t.Errorf("geometry: center=%d max=%d size=%d", e.Center(), e.MaxDelta(), e.InputSize())
+	}
+	if !e.InRange(63) || !e.InRange(-63) || e.InRange(64) || e.InRange(-64) {
+		t.Error("InRange bounds wrong")
+	}
+}
+
+func TestEncodePlain(t *testing.T) {
+	e, _ := NewEncoder(127, 3)
+	out := make([]float64, e.InputSize())
+	if err := e.Encode([]int{1, 2, 3}, out); err != nil {
+		t.Fatal(err)
+	}
+	lit := 0
+	for i, v := range out {
+		if v > 0 {
+			lit++
+			row, col := i/127, i%127
+			wantCol := []int{1, 2, 3}[row] + 63
+			if col != wantCol {
+				t.Errorf("row %d lit col %d, want %d", row, col, wantCol)
+			}
+		}
+	}
+	if lit != 3 {
+		t.Errorf("lit %d pixels, want 3", lit)
+	}
+}
+
+func TestEncodeEnlarged(t *testing.T) {
+	e, _ := NewEncoder(127, 3)
+	e.Enlarged = true
+	out := make([]float64, e.InputSize())
+	if err := e.Encode([]int{0, 0, 0}, out); err != nil {
+		t.Fatal(err)
+	}
+	lit := 0
+	for _, v := range out {
+		if v > 0 {
+			lit++
+		}
+	}
+	// Three center pixels plus neighbours; vertical neighbours overlap, so
+	// expect more than 3 and at most 15.
+	if lit <= 3 || lit > 15 {
+		t.Errorf("enlarged encoding lit %d pixels", lit)
+	}
+}
+
+func TestEncodeEnlargedEdges(t *testing.T) {
+	e, _ := NewEncoder(127, 3)
+	e.Enlarged = true
+	out := make([]float64, e.InputSize())
+	// Extreme deltas must not index out of bounds.
+	if err := e.Encode([]int{-63, 63, -63}, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeMiddleShift(t *testing.T) {
+	e, _ := NewEncoder(127, 3)
+	plain := make([]float64, e.InputSize())
+	if err := e.Encode([]int{5, 5, 5}, plain); err != nil {
+		t.Fatal(err)
+	}
+	e.MiddleShift = 11
+	shifted := make([]float64, e.InputSize())
+	if err := e.Encode([]int{5, 5, 5}, shifted); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0 and 2 unchanged, row 1 moved by 11.
+	for col := 0; col < 127; col++ {
+		if plain[col] != shifted[col] || plain[2*127+col] != shifted[2*127+col] {
+			t.Fatalf("outer rows changed by middle shift at col %d", col)
+		}
+	}
+	if shifted[127+5+63] != 0 || shifted[127+5+63+11] == 0 {
+		t.Error("middle row not shifted by 11")
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	e, _ := NewEncoder(31, 3)
+	out := make([]float64, e.InputSize())
+	if err := e.Encode([]int{20, 1, 1}, out); err == nil {
+		t.Error("accepted out-of-range delta")
+	}
+}
+
+func TestTrainingTableLRU(t *testing.T) {
+	tt := NewTrainingTable(2, 3)
+	tt.Insert(1, 100, 0)
+	tt.Insert(2, 200, 0)
+	tt.Lookup(1, 100) // refresh (1,100); (2,200) becomes LRU
+	tt.Insert(3, 300, 0)
+	if _, ok := tt.Lookup(2, 200); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := tt.Lookup(1, 100); !ok {
+		t.Error("refreshed entry evicted")
+	}
+	if tt.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tt.Len())
+	}
+}
+
+func TestTrainingEntryHistory(t *testing.T) {
+	tt := NewTrainingTable(8, 3)
+	e := tt.Insert(1, 1, 10)
+	if e.Ready(3) {
+		t.Error("new entry reported ready")
+	}
+	e.PushDelta(1, 11, 3)
+	e.PushDelta(2, 13, 3)
+	e.PushDelta(3, 16, 3)
+	if !e.Ready(3) {
+		t.Error("entry with 3 deltas not ready")
+	}
+	d := e.Deltas()
+	if d[0] != 1 || d[1] != 2 || d[2] != 3 {
+		t.Errorf("history = %v", d)
+	}
+	e.PushDelta(4, 20, 3)
+	d = e.Deltas()
+	if d[0] != 2 || d[1] != 3 || d[2] != 4 {
+		t.Errorf("history after 4th push = %v", d)
+	}
+	if e.LastOffset() != 20 {
+		t.Errorf("LastOffset = %d", e.LastOffset())
+	}
+}
+
+func TestTrainingEntryResetHistory(t *testing.T) {
+	tt := NewTrainingTable(8, 3)
+	e := tt.Insert(1, 1, 10)
+	e.PushDelta(1, 11, 3)
+	e.SetLastNeuron(5)
+	e.ResetHistory(40)
+	if len(e.Deltas()) != 0 || e.LastNeuron() != -1 || e.LastOffset() != 40 {
+		t.Error("ResetHistory did not clear state")
+	}
+}
+
+func TestInferenceTableLifecycle(t *testing.T) {
+	it := NewInferenceTable(4, 2)
+	// First observation assigns a label with confidence 1.
+	it.Observe(0, 6)
+	labels := it.Labels(0)
+	if len(labels) != 1 || labels[0].Delta != 6 || labels[0].Conf != 1 {
+		t.Fatalf("labels after first observe = %v", labels)
+	}
+	// Matching observation increments.
+	it.Observe(0, 6)
+	if got := it.Labels(0)[0].Conf; got != 2 {
+		t.Errorf("conf = %d, want 2", got)
+	}
+	// Different delta claims the free second slot (2-label behaviour).
+	it.Observe(0, 12)
+	labels = it.Labels(0)
+	if len(labels) != 2 {
+		t.Fatalf("labels = %v, want 2 entries", labels)
+	}
+	// With both slots full, a third delta decrements the weakest.
+	it.Observe(0, 99)
+	labels = it.Labels(0)
+	if len(labels) != 1 || labels[0].Delta != 6 {
+		t.Errorf("after weakest erased: %v", labels)
+	}
+}
+
+func TestInferenceTableConfidenceSaturates(t *testing.T) {
+	it := NewInferenceTable(1, 1)
+	for i := 0; i < 20; i++ {
+		it.Observe(0, 4)
+	}
+	if got := it.Labels(0)[0].Conf; got != ConfMax {
+		t.Errorf("conf = %d, want %d", got, ConfMax)
+	}
+}
+
+func TestInferenceTableEraseRestartsDiscovery(t *testing.T) {
+	it := NewInferenceTable(1, 1)
+	it.Observe(0, 4) // conf 1
+	it.Observe(0, 9) // miss: conf 0, erased
+	if len(it.Labels(0)) != 0 {
+		t.Fatal("label not erased at confidence 0")
+	}
+	it.Observe(0, 9) // new label
+	labels := it.Labels(0)
+	if len(labels) != 1 || labels[0].Delta != 9 {
+		t.Errorf("rediscovered labels = %v", labels)
+	}
+}
+
+func TestInferenceTableLabelsSorted(t *testing.T) {
+	it := NewInferenceTable(1, 2)
+	it.Observe(0, 3)
+	it.Observe(0, 8)
+	it.Observe(0, 8) // 8 now has conf 2, 3 has conf 1
+	labels := it.Labels(0)
+	if len(labels) != 2 || labels[0].Delta != 8 {
+		t.Errorf("labels not confidence-sorted: %v", labels)
+	}
+}
+
+func TestNewPathfinderValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LabelsPerNeuron = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted 0 labels")
+	}
+	cfg = DefaultConfig()
+	cfg.Degree = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted 0 degree")
+	}
+	cfg = DefaultConfig()
+	cfg.DeltaRange = 10
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted even delta range")
+	}
+	cfg = DefaultConfig()
+	cfg.STDPPeriod = 100
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted duty cycle with STDPOn=0")
+	}
+}
+
+// feed drives the prefetcher down a repeating delta pattern on one page
+// stream and reports how many of its suggestions matched the next access.
+func feed(t *testing.T, p *Pathfinder, pattern []int, steps int) (matched, issued int) {
+	t.Helper()
+	page := uint64(1000)
+	off := 0
+	pos := 0
+	pending := make(map[uint64]bool)
+	for i := 0; i < steps; i++ {
+		d := pattern[pos%len(pattern)]
+		pos++
+		if off+d < 0 || off+d >= trace.BlocksPerPage {
+			page++
+			off = 0
+			pos = 1
+		} else {
+			off += d
+		}
+		addr := page*trace.PageBytes + uint64(off)*trace.BlockBytes
+		if pending[addr/trace.BlockBytes] {
+			matched++
+		}
+		got := p.Advise(trace.Access{ID: uint64(i + 1), PC: 0x400, Addr: addr}, 2)
+		issued += len(got)
+		pending = make(map[uint64]bool)
+		for _, g := range got {
+			pending[g/trace.BlockBytes] = true
+		}
+	}
+	return matched, issued
+}
+
+func TestPathfinderLearnsRepeatingPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 16 // keep the test quick
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, issued := feed(t, p, []int{1, 2, 3}, 400)
+	if issued == 0 {
+		t.Fatal("PATHFINDER never issued a prefetch")
+	}
+	if matched < 100 {
+		t.Errorf("only %d/400 next accesses were prefetched (issued %d)", matched, issued)
+	}
+}
+
+func TestPathfinderOneTickLearnsToo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OneTick = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, issued := feed(t, p, []int{2, 2, 4}, 400)
+	if issued == 0 {
+		t.Fatal("1-tick PATHFINDER never issued a prefetch")
+	}
+	if matched < 100 {
+		t.Errorf("1-tick: only %d/400 next accesses prefetched", matched)
+	}
+}
+
+func TestPathfinderSelectiveOnNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniformly random offsets: no consistent labels should form, so
+	// PATHFINDER stays quiet relative to its access count (§5: it is a
+	// selective prefetcher).
+	issued := 0
+	state := uint64(12345)
+	for i := 0; i < 2000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		off := (state >> 33) % trace.BlocksPerPage
+		addr := uint64(7)*trace.PageBytes + off*trace.BlockBytes
+		issued += len(p.Advise(trace.Access{ID: uint64(i + 1), PC: 0x400, Addr: addr}, 2))
+	}
+	if issued > 1200 {
+		t.Errorf("PATHFINDER issued %d prefetches on 2000 noise accesses", issued)
+	}
+}
+
+func TestPathfinderRespectsBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := uint64(5)
+	for i := 0; i < 300; i++ {
+		off := (i * 2) % trace.BlocksPerPage
+		got := p.Advise(trace.Access{ID: uint64(i + 1), PC: 1, Addr: page*trace.PageBytes + uint64(off)*trace.BlockBytes}, 1)
+		if len(got) > 1 {
+			t.Fatalf("budget 1 but got %d suggestions", len(got))
+		}
+	}
+}
+
+func TestPathfinderPrefetchesStayInPage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := uint64(42)
+	for i := 0; i < 500; i++ {
+		off := (i * 3) % trace.BlocksPerPage
+		got := p.Advise(trace.Access{ID: uint64(i + 1), PC: 1, Addr: page*trace.PageBytes + uint64(off)*trace.BlockBytes}, 2)
+		for _, g := range got {
+			if g/trace.PageBytes != page {
+				t.Fatalf("prefetch %#x left page %d", g, page)
+			}
+		}
+	}
+}
+
+func TestPathfinderZeroDeltaIgnored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Access{ID: 1, PC: 1, Addr: 4096}
+	p.Advise(a, 2)
+	q0 := p.Stats().Queries
+	for i := 2; i < 10; i++ {
+		a.ID = uint64(i)
+		p.Advise(a, 2) // same block repeatedly
+	}
+	if p.Stats().Queries != q0 {
+		t.Error("zero deltas triggered SNN queries")
+	}
+}
+
+func TestPathfinderColdPageQueriesImmediately(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Advise(trace.Access{ID: 1, PC: 1, Addr: 8192 + 10*trace.BlockBytes}, 2)
+	if p.Stats().Queries != 1 {
+		t.Errorf("cold-page first touch made %d queries, want 1", p.Stats().Queries)
+	}
+
+	cfg.ColdPage = false
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Advise(trace.Access{ID: 1, PC: 1, Addr: 8192 + 10*trace.BlockBytes}, 2)
+	if p2.Stats().Queries != 0 {
+		t.Errorf("without ColdPage, first touch made %d queries, want 0", p2.Stats().Queries)
+	}
+}
+
+func TestPathfinderSTDPDutyCycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	cfg.STDPOn = 50
+	cfg.STDPPeriod = 5000
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learning should still work: the pattern is learned during the
+	// on-window.
+	matched, issued := feed(t, p, []int{1, 2, 3}, 400)
+	if issued == 0 || matched == 0 {
+		t.Errorf("duty-cycled PATHFINDER: matched=%d issued=%d", matched, issued)
+	}
+}
+
+func TestPathfinderCompareOneTickStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 16
+	cfg.CompareOneTick = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, []int{1, 2, 3}, 300)
+	st := p.Stats()
+	if st.OneTickQueries == 0 {
+		t.Fatal("no one-tick comparisons recorded")
+	}
+	rate := float64(st.OneTickMatches) / float64(st.OneTickQueries)
+	if rate < 0.5 {
+		t.Errorf("one-tick match rate %.2f; Table 1 reports ~0.83-0.94", rate)
+	}
+}
+
+func TestPathfinderOutOfRangeDeltaBreaksHistory(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeltaRange = 31 // max |delta| = 15
+	cfg.Ticks = 8
+	cfg.ColdPage = false
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := uint64(9)
+	offs := []int{0, 1, 2, 3, 40, 41, 42, 43} // the +37 jump is unencodable
+	for i, off := range offs {
+		p.Advise(trace.Access{ID: uint64(i + 1), PC: 1, Addr: page*trace.PageBytes + uint64(off)*trace.BlockBytes}, 2)
+	}
+	// Queries: offs[3] completes a history (1 query); the jump breaks it;
+	// 41,42,43 rebuild (query at 43).
+	if got := p.Stats().Queries; got != 2 {
+		t.Errorf("queries = %d, want 2", got)
+	}
+}
+
+func TestPathfinderDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		cfg := DefaultConfig()
+		cfg.Ticks = 8
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return feed(t, p, []int{1, 2, 3}, 200)
+	}
+	m1, i1 := run()
+	m2, i2 := run()
+	if m1 != m2 || i1 != i2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", m1, i1, m2, i2)
+	}
+}
+
+func BenchmarkPathfinderAdvise(b *testing.B) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	off, page := 0, uint64(0)
+	pat := []int{1, 2, 3}
+	for i := 0; i < b.N; i++ {
+		d := pat[i%3]
+		if off+d >= trace.BlocksPerPage {
+			page++
+			off = 0
+		} else {
+			off += d
+		}
+		p.Advise(trace.Access{ID: uint64(i + 1), PC: 1, Addr: page*trace.PageBytes + uint64(off)*trace.BlockBytes}, 2)
+	}
+}
+
+func BenchmarkPathfinderAdviseOneTick(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.OneTick = true
+	p, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	off, page := 0, uint64(0)
+	pat := []int{1, 2, 3}
+	for i := 0; i < b.N; i++ {
+		d := pat[i%3]
+		if off+d >= trace.BlocksPerPage {
+			page++
+			off = 0
+		} else {
+			off += d
+		}
+		p.Advise(trace.Access{ID: uint64(i + 1), PC: 1, Addr: page*trace.PageBytes + uint64(off)*trace.BlockBytes}, 2)
+	}
+}
+
+func TestPathfinderMultiFireIssuesMore(t *testing.T) {
+	run := func(multiFire bool) int {
+		cfg := DefaultConfig()
+		cfg.Ticks = 16
+		cfg.MultiFire = multiFire
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, issued := feed(t, p, []int{1, 2, 3}, 300)
+		return issued
+	}
+	single := run(false)
+	multi := run(true)
+	if single == 0 || multi == 0 {
+		t.Fatalf("no issues: single=%d multi=%d", single, multi)
+	}
+	// Lower inhibition lets several neurons fire, which can only add
+	// label opportunities.
+	if multi < single/2 {
+		t.Errorf("multi-fire issued %d, far below single-fire %d", multi, single)
+	}
+}
+
+func TestPathfinderReorderVariantLearns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 16
+	cfg.Enlarged = true
+	cfg.Reorder = true
+	cfg.MiddleShift = 11
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, issued := feed(t, p, []int{1, 2, 3}, 400)
+	if issued == 0 || matched == 0 {
+		t.Errorf("reorder variant: matched=%d issued=%d", matched, issued)
+	}
+}
+
+func TestEncoderReorderIsPermutation(t *testing.T) {
+	for _, d := range []int{31, 63, 127} {
+		e, err := NewEncoder(d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Reorder = true
+		perm := e.permutation()
+		seen := make([]bool, d)
+		for _, c := range perm {
+			if c < 0 || c >= d || seen[c] {
+				t.Fatalf("D=%d: not a permutation: %v", d, perm)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestPathfinderSuggestionsBlockAlignedProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := uint64(99)
+	for i := 0; i < 3000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		page := (state >> 40) % 64
+		off := (state >> 33) % trace.BlocksPerPage
+		addr := page*trace.PageBytes + off*trace.BlockBytes
+		for _, g := range p.Advise(trace.Access{ID: uint64(i + 1), PC: state % 8, Addr: addr}, 2) {
+			if g%trace.BlockBytes != 0 {
+				t.Fatalf("suggestion %#x not block aligned", g)
+			}
+			if g/trace.PageBytes != page {
+				t.Fatalf("suggestion %#x left page %d", g, page)
+			}
+		}
+	}
+}
+
+func TestPathfinderHookObservesQueries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	p.Hook = func(hist []int, winner int, prefetches []uint64) {
+		calls++
+		if len(hist) != cfg.History {
+			t.Fatalf("hook hist length %d", len(hist))
+		}
+	}
+	feed(t, p, []int{2, 3}, 100)
+	if calls == 0 {
+		t.Error("hook never invoked")
+	}
+	if uint64(calls) != p.Stats().Queries {
+		t.Errorf("hook calls %d != queries %d", calls, p.Stats().Queries)
+	}
+}
+
+func TestPathfinderSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on a pattern, save, reload, and check the restored prefetcher
+	// predicts the same pattern immediately.
+	feed(t, p, []int{1, 2, 3}, 300)
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if q.Config() != p.Config() {
+		t.Errorf("config mismatch: %+v vs %+v", q.Config(), p.Config())
+	}
+	// The SNN weights must match exactly.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < cfg.Neurons; j++ {
+			if p.Network().Weight(i, j) != q.Network().Weight(i, j) {
+				t.Fatalf("weight[%d][%d] differs after reload", i, j)
+			}
+		}
+	}
+	// The restored prefetcher should match the trained pattern quickly
+	// (training table is transient, so allow a short re-warm).
+	matched, issued := feed(t, q, []int{1, 2, 3}, 200)
+	if issued == 0 || matched < 50 {
+		t.Errorf("restored prefetcher: matched=%d issued=%d", matched, issued)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("XXXXjunk"))); err == nil {
+		t.Error("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("Load accepted empty input")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Load(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("Load accepted truncated input")
+	}
+}
+
+func TestPathfinderLabelsSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, []int{1, 2, 3}, 200)
+	labels := p.Labels()
+	if len(labels) != cfg.Neurons {
+		t.Fatalf("snapshot covers %d neurons, want %d", len(labels), cfg.Neurons)
+	}
+	live := 0
+	for _, ls := range labels {
+		live += len(ls)
+	}
+	if live == 0 {
+		t.Error("no labels assigned after training")
+	}
+}
+
+func TestReplaceNetwork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, []int{1, 2, 3}, 100)
+	scfg := p.Network().Config()
+	scfg.Seed = 99
+	net, err := snn.New(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ReplaceNetwork(net)
+	if p.Network() != net {
+		t.Error("network not replaced")
+	}
+	// Labels must have been cleared.
+	for _, ls := range p.Labels() {
+		if len(ls) != 0 {
+			t.Fatal("labels survived network replacement")
+		}
+	}
+	// Shape mismatch must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched ReplaceNetwork did not panic")
+		}
+	}()
+	bad, err := snn.New(snn.DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ReplaceNetwork(bad)
+}
+
+func TestPathfinderInputModes(t *testing.T) {
+	for _, mode := range []InputMode{InputDeltaHistory, InputPCDelta, InputFootprint} {
+		cfg := DefaultConfig()
+		cfg.Ticks = 8
+		cfg.Inputs = mode
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		matched, issued := feed(t, p, []int{1, 2, 3}, 300)
+		if issued == 0 {
+			t.Errorf("mode %d: never issued", mode)
+		}
+		if matched == 0 {
+			t.Errorf("mode %d: never matched", mode)
+		}
+	}
+}
+
+func TestPathfinderInputModeSaveLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	cfg.Inputs = InputFootprint
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, []int{2, 3}, 100)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Config().Inputs != InputFootprint {
+		t.Errorf("input mode not persisted: %d", q.Config().Inputs)
+	}
+	// The restored prefetcher must be operable.
+	if _, issued := feed(t, q, []int{2, 3}, 100); issued == 0 {
+		t.Error("restored footprint-mode prefetcher never issued")
+	}
+}
+
+func TestEncoderReorderWithMiddleShift(t *testing.T) {
+	// Reorder and middle shift compose without out-of-range columns.
+	e, err := NewEncoder(63, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Enlarged = true
+	e.Reorder = true
+	e.MiddleShift = 11
+	out := make([]float64, e.InputSize())
+	for _, hist := range [][]int{{-31, 0, 31}, {1, 2, 3}, {-1, -2, -3}} {
+		if err := e.Encode(hist, out); err != nil {
+			t.Fatalf("hist %v: %v", hist, err)
+		}
+		lit := 0
+		for _, v := range out {
+			if v > 0 {
+				lit++
+			}
+		}
+		if lit < 3 {
+			t.Fatalf("hist %v: only %d pixels lit", hist, lit)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pathfinder/internal/snn"
+)
+
+// Serialization persists a trained PATHFINDER: the SNN's learned weights
+// and thresholds plus the Inference Table's labels and confidences. The
+// Training Table is deliberately not persisted — it tracks transient
+// per-(PC, page) delta histories that are meaningless across runs; a
+// restored prefetcher simply re-warms it within a few accesses per page,
+// the same way the hardware behaves after a context switch.
+
+var pfMagic = [4]byte{'P', 'F', 'S', '1'}
+
+// Save writes the prefetcher's learned state to w.
+func (p *Pathfinder) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(pfMagic[:]); err != nil {
+		return err
+	}
+	// The configuration, fixed-order (see load).
+	ints := []int64{
+		int64(p.cfg.DeltaRange), int64(p.cfg.History), int64(p.cfg.Neurons),
+		int64(p.cfg.LabelsPerNeuron), int64(p.cfg.Degree), int64(p.cfg.Ticks),
+		int64(p.cfg.MiddleShift), int64(p.cfg.ConfThreshold),
+		int64(p.cfg.TrainingTableSize), int64(p.cfg.STDPOn), int64(p.cfg.STDPPeriod),
+		p.cfg.Seed,
+		boolInt(p.cfg.OneTick), boolInt(p.cfg.Enlarged), boolInt(p.cfg.Reorder),
+		boolInt(p.cfg.ColdPage), boolInt(p.cfg.MultiFire), boolInt(p.cfg.CompareOneTick),
+		boolInt(p.cfg.WeightDependentSTDP),
+		int64(p.cfg.Inputs),
+		boolInt(p.cfg.TemporalCoding),
+	}
+	for _, v := range ints {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range []float64{p.cfg.EnlargeIntensity, p.cfg.InhibitionScale} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// Inference table labels.
+	for n := 0; n < p.cfg.Neurons; n++ {
+		for _, l := range p.it.labels[n] {
+			if err := binary.Write(bw, binary.LittleEndian, int32(l.Delta)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, l.Conf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The SNN appends its own container.
+	return p.net.Save(w)
+}
+
+// Load restores a prefetcher previously written by Save.
+func Load(r io.Reader) (*Pathfinder, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if m != pfMagic {
+		return nil, errors.New("core: bad magic; not a PFS1 file")
+	}
+	var ints [21]int64
+	for i := range ints {
+		if err := binary.Read(br, binary.LittleEndian, &ints[i]); err != nil {
+			return nil, fmt.Errorf("core: reading config: %w", err)
+		}
+	}
+	var floats [2]float64
+	for i := range floats {
+		if err := binary.Read(br, binary.LittleEndian, &floats[i]); err != nil {
+			return nil, fmt.Errorf("core: reading config: %w", err)
+		}
+	}
+	cfg := Config{
+		DeltaRange: int(ints[0]), History: int(ints[1]), Neurons: int(ints[2]),
+		LabelsPerNeuron: int(ints[3]), Degree: int(ints[4]), Ticks: int(ints[5]),
+		MiddleShift: int(ints[6]), ConfThreshold: uint8(ints[7]),
+		TrainingTableSize: int(ints[8]), STDPOn: int(ints[9]), STDPPeriod: int(ints[10]),
+		Seed:    ints[11],
+		OneTick: ints[12] != 0, Enlarged: ints[13] != 0, Reorder: ints[14] != 0,
+		ColdPage: ints[15] != 0, MultiFire: ints[16] != 0, CompareOneTick: ints[17] != 0,
+		WeightDependentSTDP: ints[18] != 0,
+		Inputs:              InputMode(ints[19]),
+		TemporalCoding:      ints[20] != 0,
+		EnlargeIntensity:    floats[0], InhibitionScale: floats[1],
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: restoring: %w", err)
+	}
+	for n := 0; n < cfg.Neurons; n++ {
+		for s := 0; s < cfg.LabelsPerNeuron; s++ {
+			var delta int32
+			var conf uint8
+			if err := binary.Read(br, binary.LittleEndian, &delta); err != nil {
+				return nil, fmt.Errorf("core: reading labels: %w", err)
+			}
+			if err := binary.Read(br, binary.LittleEndian, &conf); err != nil {
+				return nil, fmt.Errorf("core: reading labels: %w", err)
+			}
+			p.it.labels[n][s] = Label{Delta: int(delta), Conf: conf}
+		}
+	}
+	net, err := snn.LoadNetwork(br)
+	if err != nil {
+		return nil, err
+	}
+	p.net = net
+	return p, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,249 @@
+package core
+
+// This file implements PATHFINDER's two supporting tables (§3.3, §3.4).
+//
+// The Training Table is a small CAM indexed by (PC, page). It tracks the
+// recent within-page delta history for each active (PC, page) stream, plus
+// the neuron that fired for the stream's previous SNN query — the link that
+// lets the next observed delta become that neuron's label.
+//
+// The Inference Table maps each excitatory neuron to one or two
+// (label, confidence) pairs. Confidences are 3-bit saturating counters; a
+// label whose confidence reaches zero is erased, restarting label discovery
+// for that neuron (§3.4 "Confidence Estimations").
+
+// TrainingEntry is one (PC, page) stream tracked by the Training Table.
+type TrainingEntry struct {
+	pc, page uint64
+	// lastOffset is the most recent block offset touched in the page.
+	lastOffset int
+	// deltas is the most recent delta history, oldest first; len grows
+	// up to the configured H.
+	deltas []int
+	// broken is set when an unencodable (out-of-range) delta interrupted
+	// the history; the history must refill before the SNN is queried.
+	broken int
+	// lastNeuron is the excitatory neuron that fired for this stream's
+	// previous SNN query, or -1.
+	lastNeuron int
+	// footprint is the touched-offset bitmap of the page (for the
+	// InputFootprint encoding).
+	footprint uint64
+	// lastUse orders entries for LRU replacement.
+	lastUse uint64
+}
+
+// TrainingTable is the (PC, page)-indexed CAM of §3.3, with LRU
+// replacement. The paper sizes it at 1K 120-bit rows.
+type TrainingTable struct {
+	entries map[trainingKey]*TrainingEntry
+	cap     int
+	h       int
+	clock   uint64
+}
+
+type trainingKey struct {
+	pc, page uint64
+}
+
+// NewTrainingTable returns a table with the given capacity (entries) and
+// history length H.
+func NewTrainingTable(capacity, h int) *TrainingTable {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &TrainingTable{
+		entries: make(map[trainingKey]*TrainingEntry, capacity),
+		cap:     capacity,
+		h:       h,
+	}
+}
+
+// Len returns the number of live entries.
+func (t *TrainingTable) Len() int { return len(t.entries) }
+
+// Lookup finds the entry for (pc, page), if present, refreshing its LRU
+// position.
+func (t *TrainingTable) Lookup(pc, page uint64) (*TrainingEntry, bool) {
+	t.clock++
+	e, ok := t.entries[trainingKey{pc, page}]
+	if ok {
+		e.lastUse = t.clock
+	}
+	return e, ok
+}
+
+// Insert allocates an entry for (pc, page) with the given first offset,
+// evicting the LRU entry if the table is full.
+func (t *TrainingTable) Insert(pc, page uint64, offset int) *TrainingEntry {
+	t.clock++
+	if len(t.entries) >= t.cap {
+		t.evictLRU()
+	}
+	e := &TrainingEntry{
+		pc:         pc,
+		page:       page,
+		lastOffset: offset,
+		footprint:  1 << uint(offset),
+		deltas:     make([]int, 0, t.h),
+		lastNeuron: -1,
+		lastUse:    t.clock,
+	}
+	t.entries[trainingKey{pc, page}] = e
+	return e
+}
+
+func (t *TrainingTable) evictLRU() {
+	var victim trainingKey
+	var oldest uint64 = ^uint64(0)
+	for k, e := range t.entries {
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = k
+		}
+	}
+	delete(t.entries, victim)
+}
+
+// PushDelta appends a delta to the entry's history, dropping the oldest
+// once H deltas are held, and updates lastOffset and the page footprint.
+func (e *TrainingEntry) PushDelta(delta, newOffset, h int) {
+	e.footprint |= 1 << uint(newOffset)
+	if len(e.deltas) == h {
+		copy(e.deltas, e.deltas[1:])
+		e.deltas = e.deltas[:h-1]
+	}
+	e.deltas = append(e.deltas, delta)
+	e.lastOffset = newOffset
+	if e.broken > 0 {
+		e.broken--
+	}
+}
+
+// Break marks the history as interrupted by an unencodable delta: the next
+// H pushes must complete before the stream is queryable again.
+func (e *TrainingEntry) Break(h int) {
+	e.broken = h
+	e.lastNeuron = -1
+}
+
+// ResetHistory discards the accumulated delta history after an unencodable
+// delta and restarts tracking from the given offset.
+func (e *TrainingEntry) ResetHistory(offset int) {
+	e.deltas = e.deltas[:0]
+	e.broken = 0
+	e.lastNeuron = -1
+	e.lastOffset = offset
+}
+
+// Ready reports whether the entry holds a full, unbroken H-delta history.
+func (e *TrainingEntry) Ready(h int) bool {
+	return len(e.deltas) == h && e.broken == 0
+}
+
+// Deltas exposes the current history (oldest first). The returned slice is
+// owned by the entry; callers must not modify it.
+func (e *TrainingEntry) Deltas() []int { return e.deltas }
+
+// LastOffset returns the last block offset touched in the page.
+func (e *TrainingEntry) LastOffset() int { return e.lastOffset }
+
+// LastNeuron returns the neuron that fired for the previous query, or -1.
+func (e *TrainingEntry) LastNeuron() int { return e.lastNeuron }
+
+// SetLastNeuron records the neuron that fired for the current query.
+func (e *TrainingEntry) SetLastNeuron(n int) { e.lastNeuron = n }
+
+// Label is one (delta, confidence) pair attached to a neuron.
+type Label struct {
+	// Delta is the predicted next within-page block delta.
+	Delta int
+	// Conf is a 3-bit saturating confidence counter (0..7). Zero means
+	// the slot is free.
+	Conf uint8
+}
+
+// ConfMax is the saturation value of the 3-bit confidence counters.
+const ConfMax = 7
+
+// InferenceTable maps each excitatory neuron to its label slots (§3.3,
+// §3.4 "Multi-Degree Prefetching": one or two slots per neuron).
+type InferenceTable struct {
+	labels [][]Label // [neuron][slot]
+}
+
+// NewInferenceTable returns a table for the given neuron count with
+// slotsPerNeuron label slots each (the paper evaluates 1 and 2).
+func NewInferenceTable(neurons, slotsPerNeuron int) *InferenceTable {
+	t := &InferenceTable{labels: make([][]Label, neurons)}
+	for i := range t.labels {
+		t.labels[i] = make([]Label, slotsPerNeuron)
+	}
+	return t
+}
+
+// Neurons returns the number of neurons the table covers.
+func (t *InferenceTable) Neurons() int { return len(t.labels) }
+
+// Labels returns the live labels (Conf > 0) of a neuron, highest
+// confidence first.
+func (t *InferenceTable) Labels(neuron int) []Label {
+	var out []Label
+	for _, l := range t.labels[neuron] {
+		if l.Conf > 0 {
+			out = append(out, l)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Conf > out[k-1].Conf; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Observe reconciles a neuron's labels with the actually observed next
+// delta (§3.3, §3.4):
+//
+//   - a label matching the observation gains confidence;
+//   - otherwise the observation claims a free slot with confidence 1
+//     (this is how a neuron acquires its second label in the 2-label
+//     configuration);
+//   - otherwise the weakest label loses confidence and is erased when it
+//     reaches zero, restarting label discovery.
+func (t *InferenceTable) Observe(neuron, delta int) {
+	slots := t.labels[neuron]
+	for i := range slots {
+		if slots[i].Conf > 0 && slots[i].Delta == delta {
+			if slots[i].Conf < ConfMax {
+				slots[i].Conf++
+			}
+			return
+		}
+	}
+	for i := range slots {
+		if slots[i].Conf == 0 {
+			slots[i] = Label{Delta: delta, Conf: 1}
+			return
+		}
+	}
+	weakest := 0
+	for i := range slots {
+		if slots[i].Conf < slots[weakest].Conf {
+			weakest = i
+		}
+	}
+	slots[weakest].Conf--
+	if slots[weakest].Conf == 0 {
+		slots[weakest].Delta = 0
+	}
+}
+
+// Reset clears all labels.
+func (t *InferenceTable) Reset() {
+	for i := range t.labels {
+		for j := range t.labels[i] {
+			t.labels[i][j] = Label{}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a function that runs the relevant
+// sweep, prints the same rows/series the paper reports as a text table, and
+// returns the results in structured form for tests and EXPERIMENTS.md.
+//
+// The harness defaults to 50 K-load traces against the 8×-scaled hierarchy
+// (see sim.ScaledConfig); pass Options{Loads: 1_000_000, Sim:
+// pathfinder.DefaultSimConfig()} for paper-scale runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Loads is the trace length per benchmark (default 50_000; the paper
+	// uses 1_000_000).
+	Loads int
+	// Seed drives trace generation and every learner.
+	Seed int64
+	// Traces restricts the benchmark set (default: the full Table 5
+	// suite).
+	Traces []string
+	// Sim is the machine configuration (default: the scaled hierarchy).
+	Sim sim.Config
+	// SkipOffline omits the offline neural baselines (Delta-LSTM,
+	// Voyager), which dominate runtime.
+	SkipOffline bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Loads == 0 {
+		o.Loads = 50_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Traces) == 0 {
+		o.Traces = workload.Names()
+	}
+	if o.Sim.Width == 0 {
+		o.Sim = sim.ScaledConfig()
+	}
+	return o
+}
+
+// Metrics is one (trace, prefetcher) measurement (§4.5).
+type Metrics struct {
+	// Prefetcher and Trace identify the run.
+	Prefetcher, Trace string
+	// IPC is instructions per cycle after warmup.
+	IPC float64
+	// Accuracy is useful/issued prefetches; Coverage is useful prefetches
+	// over baseline LLC misses.
+	Accuracy, Coverage float64
+	// Issued and Useful are the raw prefetch counts; BaselineMisses is
+	// the no-prefetch LLC miss count coverage is relative to.
+	Issued, Useful, BaselineMisses uint64
+}
+
+// benchEnv caches a benchmark's trace and no-prefetch baseline.
+type benchEnv struct {
+	name           string
+	accs           []trace.Access
+	cfg            sim.Config
+	baselineIPC    float64
+	baselineMisses uint64
+}
+
+// loadEnv generates the trace and runs the no-prefetch baseline once.
+func loadEnv(name string, opts Options) (*benchEnv, error) {
+	accs, err := workload.Generate(name, opts.Loads, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.Sim
+	cfg.Warmup = len(accs) / 10
+	base, err := sim.Run(cfg, accs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s baseline: %w", name, err)
+	}
+	return &benchEnv{
+		name:           name,
+		accs:           accs,
+		cfg:            cfg,
+		baselineIPC:    base.IPC,
+		baselineMisses: base.LLCLoadMisses,
+	}, nil
+}
+
+// evalOnline scores an online prefetcher against the cached baseline.
+func (e *benchEnv) evalOnline(p prefetch.Prefetcher) (Metrics, error) {
+	pfs := prefetch.GenerateFile(p, e.accs, prefetch.Budget)
+	return e.evalFile(p.Name(), pfs)
+}
+
+// evalFile scores a prefetch file against the cached baseline.
+func (e *benchEnv) evalFile(name string, pfs []trace.Prefetch) (Metrics, error) {
+	res, err := sim.Run(e.cfg, e.accs, pfs)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("experiments: %s / %s: %w", e.name, name, err)
+	}
+	return Metrics{
+		Prefetcher:     name,
+		Trace:          e.name,
+		IPC:            res.IPC,
+		Accuracy:       res.Accuracy(),
+		Coverage:       res.Coverage(e.baselineMisses),
+		Issued:         res.PrefIssued,
+		Useful:         res.PrefUseful,
+		BaselineMisses: e.baselineMisses,
+	}, nil
+}
+
+// newPathfinder builds a fresh PATHFINDER with the experiment seed.
+func newPathfinder(cfg core.Config, seed int64) (*core.Pathfinder, error) {
+	cfg.Seed = seed
+	return core.New(cfg)
+}
+
+// geomean returns the geometric mean of positive values (the conventional
+// aggregate for IPC ratios); zero values are skipped.
+func geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// mean returns the arithmetic mean of the values.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// newTable returns a tab-aligned writer for experiment output.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

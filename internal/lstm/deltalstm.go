@@ -1,0 +1,203 @@
+package lstm
+
+import (
+	"sort"
+
+	"pathfinder/internal/trace"
+)
+
+// DeltaLSTMConfig configures the Delta-LSTM baseline (Hashemi et al.,
+// "Learning Memory Access Patterns"), as the paper deploys it (§4.3): the
+// trace is k-means-clustered into 6 address-locality clusters; per cluster
+// an LSTM is trained on the first 10% of accesses to predict the next
+// block delta out of a bounded vocabulary, then run over the full trace.
+type DeltaLSTMConfig struct {
+	// Clusters is the number of address-locality clusters (paper: 6).
+	Clusters int
+	// Vocab bounds the delta vocabulary: the Vocab-1 most frequent
+	// training deltas get tokens; everything else is OOV.
+	Vocab int
+	// Embed, Hidden, Layers shape the per-cluster model. The paper's
+	// Delta-LSTM uses two 128-wide layers; we default to two 32-wide
+	// layers (see DESIGN.md's substitution table).
+	Embed, Hidden, Layers int
+	// TrainFrac is the leading fraction of each cluster used for
+	// training (paper: 0.10).
+	TrainFrac float64
+	// Epochs is the number of passes over the training prefix.
+	Epochs int
+	// Window is the truncated-BPTT window length.
+	Window int
+	// LR is the Adam learning rate.
+	LR float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultDeltaLSTMConfig returns the evaluation configuration.
+func DefaultDeltaLSTMConfig() DeltaLSTMConfig {
+	return DeltaLSTMConfig{
+		Clusters:  6,
+		Vocab:     128,
+		Embed:     24,
+		Hidden:    32,
+		Layers:    2,
+		TrainFrac: 0.10,
+		Epochs:    2,
+		Window:    16,
+		LR:        3e-3,
+		Seed:      1,
+	}
+}
+
+// GenerateDeltaLSTM runs the full Delta-LSTM pipeline over a trace and
+// returns its prefetch file (at most `budget` prefetches per access).
+// Training happens strictly on each cluster's leading TrainFrac of
+// accesses; inference then covers the whole trace, which is why unseen
+// deltas in the tail hurt it (§5).
+func GenerateDeltaLSTM(cfg DeltaLSTMConfig, accs []trace.Access, budget int) ([]trace.Prefetch, error) {
+	if len(accs) == 0 {
+		return nil, nil
+	}
+	if budget <= 0 {
+		budget = 2
+	}
+
+	// 1. Cluster accesses by address locality.
+	vals := make([]float64, len(accs))
+	for i, a := range accs {
+		vals[i] = float64(a.Block())
+	}
+	assign := KMeans1D(vals, cfg.Clusters, 25, cfg.Seed)
+
+	clusters := make([][]int, cfg.Clusters) // access indexes per cluster
+	for i, c := range assign {
+		clusters[c] = append(clusters[c], i)
+	}
+
+	var out []trace.Prefetch
+	for ci, idxs := range clusters {
+		pfs, err := deltaLSTMCluster(cfg, accs, idxs, budget, cfg.Seed+int64(ci))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pfs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// deltaLSTMCluster trains and runs one cluster's model.
+func deltaLSTMCluster(cfg DeltaLSTMConfig, accs []trace.Access, idxs []int, budget int, seed int64) ([]trace.Prefetch, error) {
+	if len(idxs) < 3 {
+		return nil, nil
+	}
+	// Block deltas between consecutive cluster accesses.
+	deltas := make([]int64, len(idxs)-1)
+	for i := 1; i < len(idxs); i++ {
+		deltas[i-1] = int64(accs[idxs[i]].Block()) - int64(accs[idxs[i-1]].Block())
+	}
+
+	nTrain := int(cfg.TrainFrac * float64(len(deltas)))
+	if nTrain < cfg.Window+1 {
+		nTrain = min(cfg.Window+1, len(deltas))
+	}
+
+	// Vocabulary from the training prefix: token 0 is OOV.
+	freq := make(map[int64]int)
+	for _, d := range deltas[:nTrain] {
+		freq[d]++
+	}
+	type df struct {
+		d int64
+		n int
+	}
+	var dfs []df
+	for d, n := range freq {
+		dfs = append(dfs, df{d, n})
+	}
+	sort.Slice(dfs, func(i, j int) bool {
+		if dfs[i].n != dfs[j].n {
+			return dfs[i].n > dfs[j].n
+		}
+		return dfs[i].d < dfs[j].d
+	})
+	tokenOf := map[int64]int{}
+	deltaOf := []int64{0} // token 0: OOV
+	for _, e := range dfs {
+		if len(deltaOf) >= cfg.Vocab {
+			break
+		}
+		tokenOf[e.d] = len(deltaOf)
+		deltaOf = append(deltaOf, e.d)
+	}
+	vocab := len(deltaOf)
+	if vocab < 2 {
+		return nil, nil
+	}
+
+	model, err := NewModel(vocab, cfg.Embed, cfg.Hidden, cfg.Layers, seed)
+	if err != nil {
+		return nil, err
+	}
+	tok := func(d int64) int { return tokenOf[d] } // missing -> 0 (OOV)
+
+	// 2. Train on the prefix.
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		model.ResetState()
+		for s := 0; s+1 < nTrain; s += cfg.Window {
+			end := s + cfg.Window
+			if end+1 > nTrain {
+				end = nTrain - 1
+			}
+			if end <= s {
+				break
+			}
+			in := make([]int, 0, end-s)
+			tg := make([]int, 0, end-s)
+			for t := s; t < end; t++ {
+				in = append(in, tok(deltas[t]))
+				tg = append(tg, tok(deltas[t+1]))
+			}
+			if _, err := model.TrainWindow(in, tg, cfg.LR); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 3. Inference over the full cluster sequence.
+	model.ResetState()
+	var out []trace.Prefetch
+	for t := 0; t < len(deltas); t++ {
+		preds, _, err := model.Predict(tok(deltas[t]), budget+1)
+		if err != nil {
+			return nil, err
+		}
+		// The access that triggers prefetches for position t+1 is
+		// idxs[t+1]'s predecessor: the current head of the stream.
+		cur := accs[idxs[t+1]]
+		issued := 0
+		for _, p := range preds {
+			if p == 0 {
+				continue // never prefetch on OOV
+			}
+			target := int64(cur.Block()) + deltaOf[p]
+			if target <= 0 {
+				continue
+			}
+			out = append(out, trace.Prefetch{ID: cur.ID, Addr: trace.BlockAddr(uint64(target))})
+			issued++
+			if issued == budget {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

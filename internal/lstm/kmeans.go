@@ -1,0 +1,63 @@
+package lstm
+
+import "math/rand"
+
+// KMeans1D clusters scalar values into k clusters with Lloyd's algorithm,
+// returning each value's cluster assignment. Delta-LSTM uses this to split
+// a trace into address-locality clusters before training (§4.3: "cluster
+// each trace file into 6 clusters based on the locality of memory
+// addresses").
+func KMeans1D(values []float64, k int, iterations int, seed int64) []int {
+	if k <= 0 || len(values) == 0 {
+		return make([]int, len(values))
+	}
+	if k > len(values) {
+		k = len(values)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float64, k)
+	for i := range centers {
+		centers[i] = values[rng.Intn(len(values))]
+	}
+	assign := make([]int, len(values))
+	for it := 0; it < iterations; it++ {
+		changed := false
+		for i, v := range values {
+			best := 0
+			bestD := abs64(v - centers[0])
+			for c := 1; c < k; c++ {
+				if d := abs64(v - centers[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] > 0 {
+				centers[c] = sums[c] / float64(counts[c])
+			} else {
+				centers[c] = values[rng.Intn(len(values))]
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return assign
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,408 @@
+// Package lstm is a small, dependency-free LSTM stack used to reproduce the
+// paper's offline neural baselines: Delta-LSTM (Hashemi et al., §4.3) and
+// Voyager (Shi et al., §4.3). It provides parameter tensors with Adam
+// updates, an LSTM cell with full backpropagation-through-time, and a
+// token-sequence model with an embedding input and a softmax output head.
+//
+// The paper's baselines train for hours on GPUs with hidden sizes of 128;
+// this implementation keeps the same architecture class at a smaller hidden
+// size so the epoch-trained-versus-online comparison (§5) runs on a laptop.
+// The substitution is recorded in DESIGN.md.
+package lstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable tensor with Adam optimizer state.
+type Param struct {
+	W []float64 // values
+	G []float64 // gradient accumulator
+	m []float64 // Adam first moment
+	v []float64 // Adam second moment
+}
+
+// NewParam allocates a parameter of n values initialised uniformly in
+// [-scale, scale].
+func NewParam(n int, scale float64, rng *rand.Rand) *Param {
+	p := &Param{
+		W: make([]float64, n),
+		G: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+	for i := range p.W {
+		p.W[i] = (2*rng.Float64() - 1) * scale
+	}
+	return p
+}
+
+// Adam hyper-parameters (standard defaults).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// Step applies one Adam update with the given learning rate and bias
+// correction step t (1-based), then clears the gradient.
+func (p *Param) Step(lr float64, t int) {
+	c1 := 1 - math.Pow(adamBeta1, float64(t))
+	c2 := 1 - math.Pow(adamBeta2, float64(t))
+	for i, g := range p.G {
+		// Clip exploding gradients elementwise.
+		if g > 5 {
+			g = 5
+		} else if g < -5 {
+			g = -5
+		}
+		p.m[i] = adamBeta1*p.m[i] + (1-adamBeta1)*g
+		p.v[i] = adamBeta2*p.v[i] + (1-adamBeta2)*g*g
+		p.W[i] -= lr * (p.m[i] / c1) / (math.Sqrt(p.v[i]/c2) + adamEps)
+		p.G[i] = 0
+	}
+}
+
+// Cell is one LSTM layer. Gates are packed in i, f, g, o order: the input
+// weight matrix Wx is [4*hidden][in] row-major, the recurrent matrix Wh is
+// [4*hidden][hidden], and B is the packed bias (forget-gate bias
+// initialised to 1, the standard trick for gradient flow).
+type Cell struct {
+	In, Hidden int
+	Wx, Wh, B  *Param
+}
+
+// NewCell builds an LSTM cell for the given input and hidden sizes.
+func NewCell(in, hidden int, rng *rand.Rand) *Cell {
+	scale := 1.0 / math.Sqrt(float64(in+hidden))
+	c := &Cell{
+		In:     in,
+		Hidden: hidden,
+		Wx:     NewParam(4*hidden*in, scale, rng),
+		Wh:     NewParam(4*hidden*hidden, scale, rng),
+		B:      NewParam(4*hidden, 0, rng),
+	}
+	for j := 0; j < hidden; j++ {
+		c.B.W[hidden+j] = 1 // forget gate bias
+	}
+	return c
+}
+
+// cellCache holds the forward activations needed by Backward.
+type cellCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64
+	c, tanhC        []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward computes one step: given input x and previous (h, c), it returns
+// the new (h, c) and a cache for backpropagation.
+func (c *Cell) Forward(x, hPrev, cPrev []float64) (h, cNew []float64, cache *cellCache) {
+	H := c.Hidden
+	pre := make([]float64, 4*H)
+	for r := 0; r < 4*H; r++ {
+		s := c.B.W[r]
+		wx := c.Wx.W[r*c.In : (r+1)*c.In]
+		for k, xv := range x {
+			s += wx[k] * xv
+		}
+		wh := c.Wh.W[r*H : (r+1)*H]
+		for k, hv := range hPrev {
+			s += wh[k] * hv
+		}
+		pre[r] = s
+	}
+	cache = &cellCache{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), tanhC: make([]float64, H),
+	}
+	h = make([]float64, H)
+	cNew = cache.c
+	for j := 0; j < H; j++ {
+		cache.i[j] = sigmoid(pre[j])
+		cache.f[j] = sigmoid(pre[H+j])
+		cache.g[j] = math.Tanh(pre[2*H+j])
+		cache.o[j] = sigmoid(pre[3*H+j])
+		cNew[j] = cache.f[j]*cPrev[j] + cache.i[j]*cache.g[j]
+		cache.tanhC[j] = math.Tanh(cNew[j])
+		h[j] = cache.o[j] * cache.tanhC[j]
+	}
+	return h, cNew, cache
+}
+
+// Backward accumulates parameter gradients for one step given the
+// upstream gradients dh and dc, returning the gradients w.r.t. the step's
+// input and previous state.
+func (c *Cell) Backward(cache *cellCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := c.Hidden
+	dPre := make([]float64, 4*H)
+	dcPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		dcT := dc[j] + dh[j]*cache.o[j]*(1-cache.tanhC[j]*cache.tanhC[j])
+		do := dh[j] * cache.tanhC[j]
+		di := dcT * cache.g[j]
+		dg := dcT * cache.i[j]
+		df := dcT * cache.cPrev[j]
+		dcPrev[j] = dcT * cache.f[j]
+		dPre[j] = di * cache.i[j] * (1 - cache.i[j])
+		dPre[H+j] = df * cache.f[j] * (1 - cache.f[j])
+		dPre[2*H+j] = dg * (1 - cache.g[j]*cache.g[j])
+		dPre[3*H+j] = do * cache.o[j] * (1 - cache.o[j])
+	}
+	dx = make([]float64, c.In)
+	dhPrev = make([]float64, H)
+	for r := 0; r < 4*H; r++ {
+		d := dPre[r]
+		if d == 0 {
+			continue
+		}
+		c.B.G[r] += d
+		wx := c.Wx.W[r*c.In : (r+1)*c.In]
+		gx := c.Wx.G[r*c.In : (r+1)*c.In]
+		for k, xv := range cache.x {
+			gx[k] += d * xv
+			dx[k] += d * wx[k]
+		}
+		wh := c.Wh.W[r*H : (r+1)*H]
+		gh := c.Wh.G[r*H : (r+1)*H]
+		for k, hv := range cache.hPrev {
+			gh[k] += d * hv
+			dhPrev[k] += d * wh[k]
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+// Params returns the cell's learnable parameters.
+func (c *Cell) Params() []*Param { return []*Param{c.Wx, c.Wh, c.B} }
+
+// Model is a next-token sequence model: embedding → stacked LSTM layers →
+// softmax over the vocabulary. This is the architecture class of both
+// Delta-LSTM (tokens are address deltas) and each Voyager head (tokens are
+// pages or offsets).
+type Model struct {
+	Vocab, Embed, Hidden int
+	Cells                []*Cell
+	Emb                  *Param // [vocab][embed]
+	WOut, BOut           *Param // [vocab][hidden], [vocab]
+
+	// Streaming state (persisted across Step calls, detached from BPTT).
+	h, c [][]float64
+
+	adamStep int
+	rng      *rand.Rand
+}
+
+// NewModel builds a model with the given vocabulary, embedding size, hidden
+// size and number of stacked LSTM layers.
+func NewModel(vocab, embed, hidden, layers int, seed int64) (*Model, error) {
+	if vocab < 2 || embed < 1 || hidden < 1 || layers < 1 {
+		return nil, fmt.Errorf("lstm: bad model shape vocab=%d embed=%d hidden=%d layers=%d", vocab, embed, hidden, layers)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{
+		Vocab:  vocab,
+		Embed:  embed,
+		Hidden: hidden,
+		Emb:    NewParam(vocab*embed, 0.1, rng),
+		WOut:   NewParam(vocab*hidden, 1/math.Sqrt(float64(hidden)), rng),
+		BOut:   NewParam(vocab, 0, rng),
+		rng:    rng,
+	}
+	in := embed
+	for l := 0; l < layers; l++ {
+		m.Cells = append(m.Cells, NewCell(in, hidden, rng))
+		in = hidden
+	}
+	m.ResetState()
+	return m, nil
+}
+
+// ResetState zeroes the streaming hidden state.
+func (m *Model) ResetState() {
+	m.h = make([][]float64, len(m.Cells))
+	m.c = make([][]float64, len(m.Cells))
+	for l := range m.Cells {
+		m.h[l] = make([]float64, m.Hidden)
+		m.c[l] = make([]float64, m.Hidden)
+	}
+}
+
+// params returns every learnable parameter of the model.
+func (m *Model) params() []*Param {
+	ps := []*Param{m.Emb, m.WOut, m.BOut}
+	for _, c := range m.Cells {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// forwardStep advances the streaming state by one token and returns the
+// top layer's hidden vector plus the per-layer caches.
+func (m *Model) forwardStep(token int) ([]float64, []*cellCache) {
+	x := make([]float64, m.Embed)
+	copy(x, m.Emb.W[token*m.Embed:(token+1)*m.Embed])
+	caches := make([]*cellCache, len(m.Cells))
+	var h []float64
+	for l, cell := range m.Cells {
+		var cNew []float64
+		h, cNew, caches[l] = cell.Forward(x, m.h[l], m.c[l])
+		m.h[l], m.c[l] = h, cNew
+		x = h
+	}
+	return h, caches
+}
+
+// logits computes the output scores for a hidden vector.
+func (m *Model) logits(h []float64) []float64 {
+	out := make([]float64, m.Vocab)
+	for v := 0; v < m.Vocab; v++ {
+		s := m.BOut.W[v]
+		w := m.WOut.W[v*m.Hidden : (v+1)*m.Hidden]
+		for k, hv := range h {
+			s += w[k] * hv
+		}
+		out[v] = s
+	}
+	return out
+}
+
+// softmax converts logits to probabilities in place and returns them.
+func softmax(logits []float64) []float64 {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		logits[i] = e
+		sum += e
+	}
+	for i := range logits {
+		logits[i] /= sum
+	}
+	return logits
+}
+
+// TrainWindow performs truncated BPTT over a window of (input, target)
+// token pairs, applies one Adam step, and returns the mean cross-entropy
+// loss. The streaming state carries across windows (detached).
+func (m *Model) TrainWindow(inputs, targets []int, lr float64) (float64, error) {
+	if len(inputs) != len(targets) || len(inputs) == 0 {
+		return 0, fmt.Errorf("lstm: window inputs %d, targets %d", len(inputs), len(targets))
+	}
+	type stepRec struct {
+		caches []*cellCache
+		probs  []float64
+		hTop   []float64
+		token  int
+	}
+	recs := make([]stepRec, len(inputs))
+	loss := 0.0
+	for t, tok := range inputs {
+		if tok < 0 || tok >= m.Vocab || targets[t] < 0 || targets[t] >= m.Vocab {
+			return 0, fmt.Errorf("lstm: token out of vocab at step %d", t)
+		}
+		h, caches := m.forwardStep(tok)
+		probs := softmax(m.logits(h))
+		recs[t] = stepRec{caches: caches, probs: probs, hTop: h, token: tok}
+		loss += -math.Log(probs[targets[t]] + 1e-12)
+	}
+
+	L := len(m.Cells)
+	dh := make([][]float64, L)
+	dc := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		dh[l] = make([]float64, m.Hidden)
+		dc[l] = make([]float64, m.Hidden)
+	}
+	for t := len(inputs) - 1; t >= 0; t-- {
+		rec := recs[t]
+		// Output layer gradient: dlogits = probs - onehot(target).
+		dhTop := make([]float64, m.Hidden)
+		for v := 0; v < m.Vocab; v++ {
+			d := rec.probs[v]
+			if v == targets[t] {
+				d -= 1
+			}
+			if d == 0 {
+				continue
+			}
+			m.BOut.G[v] += d
+			w := m.WOut.W[v*m.Hidden : (v+1)*m.Hidden]
+			g := m.WOut.G[v*m.Hidden : (v+1)*m.Hidden]
+			for k, hv := range rec.hTop {
+				g[k] += d * hv
+				dhTop[k] += d * w[k]
+			}
+		}
+		for k := range dhTop {
+			dh[L-1][k] += dhTop[k]
+		}
+		var dx []float64
+		for l := L - 1; l >= 0; l-- {
+			dx, dh[l], dc[l] = m.Cells[l].Backward(rec.caches[l], dh[l], dc[l])
+			if l > 0 {
+				for k := range dx {
+					dh[l-1][k] += dx[k]
+				}
+			}
+		}
+		// Embedding gradient.
+		eg := m.Emb.G[rec.token*m.Embed : (rec.token+1)*m.Embed]
+		for k := range dx {
+			eg[k] += dx[k]
+		}
+	}
+
+	m.adamStep++
+	for _, p := range m.params() {
+		p.Step(lr, m.adamStep)
+	}
+	return loss / float64(len(inputs)), nil
+}
+
+// Predict advances the streaming state by one token and returns the top-k
+// most probable next tokens (most probable first) and their probabilities.
+func (m *Model) Predict(token, k int) ([]int, []float64, error) {
+	if token < 0 || token >= m.Vocab {
+		return nil, nil, fmt.Errorf("lstm: token %d out of vocab %d", token, m.Vocab)
+	}
+	h, _ := m.forwardStep(token)
+	probs := softmax(m.logits(h))
+	if k > m.Vocab {
+		k = m.Vocab
+	}
+	idx := make([]int, 0, k)
+	ps := make([]float64, 0, k)
+	for n := 0; n < k; n++ {
+		best := -1
+		for v := 0; v < m.Vocab; v++ {
+			taken := false
+			for _, u := range idx {
+				if u == v {
+					taken = true
+					break
+				}
+			}
+			if taken {
+				continue
+			}
+			if best < 0 || probs[v] > probs[best] {
+				best = v
+			}
+		}
+		idx = append(idx, best)
+		ps = append(ps, probs[best])
+	}
+	return idx, ps, nil
+}

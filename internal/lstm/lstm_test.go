@@ -1,0 +1,359 @@
+package lstm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+func TestSigmoid(t *testing.T) {
+	if got := sigmoid(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", got)
+	}
+	if got := sigmoid(100); got < 0.999 {
+		t.Errorf("sigmoid(100) = %v", got)
+	}
+}
+
+func TestCellForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCell(3, 5, rng)
+	h, cn, cache := c.Forward([]float64{1, -1, 0.5}, make([]float64, 5), make([]float64, 5))
+	if len(h) != 5 || len(cn) != 5 || cache == nil {
+		t.Fatalf("forward shapes wrong: h=%d c=%d", len(h), len(cn))
+	}
+	for _, v := range h {
+		if v < -1 || v > 1 {
+			t.Errorf("h value %v outside tanh*sigmoid range", v)
+		}
+	}
+}
+
+func TestCellForgetBiasInitialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCell(2, 4, rng)
+	for j := 0; j < 4; j++ {
+		if c.B.W[4+j] != 1 {
+			t.Errorf("forget bias [%d] = %v, want 1", j, c.B.W[4+j])
+		}
+	}
+}
+
+// TestCellGradientNumerically validates Backward against central finite
+// differences on every parameter of a tiny cell.
+func TestCellGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCell(2, 3, rng)
+	x := []float64{0.5, -0.3}
+	h0 := []float64{0.1, -0.2, 0.05}
+	c0 := []float64{0.2, 0.0, -0.1}
+
+	// Scalar loss: sum of h (dh = ones, dc = zeros).
+	loss := func() float64 {
+		h, _, _ := c.Forward(x, h0, c0)
+		s := 0.0
+		for _, v := range h {
+			s += v
+		}
+		return s
+	}
+
+	_, _, cache := c.Forward(x, h0, c0)
+	dh := []float64{1, 1, 1}
+	dc := []float64{0, 0, 0}
+	c.Backward(cache, dh, dc)
+
+	const eps = 1e-6
+	check := func(name string, p *Param) {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			up := loss()
+			p.W[i] = orig - eps
+			down := loss()
+			p.W[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-p.G[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, p.G[i], numeric)
+			}
+		}
+	}
+	check("Wx", c.Wx)
+	check("Wh", c.Wh)
+	check("B", c.B)
+}
+
+func TestCellBackwardInputGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCell(2, 3, rng)
+	x := []float64{0.4, -0.7}
+	h0 := []float64{0.1, 0.3, -0.2}
+	c0 := []float64{0.0, 0.1, 0.2}
+	loss := func(xv []float64) float64 {
+		h, _, _ := c.Forward(xv, h0, c0)
+		s := 0.0
+		for _, v := range h {
+			s += v
+		}
+		return s
+	}
+	_, _, cache := c.Forward(x, h0, c0)
+	dx, _, _ := c.Backward(cache, []float64{1, 1, 1}, []float64{0, 0, 0})
+	const eps = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xp[i] += eps
+		up := loss(xp)
+		xp[i] -= 2 * eps
+		down := loss(xp)
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-dx[i]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("dx[%d]: analytic %v vs numeric %v", i, dx[i], numeric)
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(1, 4, 4, 1, 1); err == nil {
+		t.Error("accepted vocab < 2")
+	}
+	if _, err := NewModel(4, 0, 4, 1, 1); err == nil {
+		t.Error("accepted embed < 1")
+	}
+}
+
+func TestModelLearnsRepeatingSequence(t *testing.T) {
+	// Sequence 0 1 2 0 1 2 ... must become predictable.
+	m, err := NewModel(4, 8, 16, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		m.ResetState()
+		in := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1}
+		tg := []int{1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+		lastLoss, err = m.TrainWindow(in, tg, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastLoss > 0.3 {
+		t.Errorf("loss after training = %v, want < 0.3", lastLoss)
+	}
+	m.ResetState()
+	m.Predict(0, 1)
+	preds, _, err := m.Predict(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0] != 2 {
+		t.Errorf("after 0,1 predicted %d, want 2", preds[0])
+	}
+}
+
+func TestModelPredictRejectsBadToken(t *testing.T) {
+	m, err := NewModel(4, 4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Predict(4, 1); err == nil {
+		t.Error("accepted out-of-vocab token")
+	}
+}
+
+func TestTrainWindowValidation(t *testing.T) {
+	m, err := NewModel(4, 4, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainWindow([]int{0, 1}, []int{1}, 0.01); err == nil {
+		t.Error("accepted mismatched window lengths")
+	}
+	if _, err := m.TrainWindow([]int{9}, []int{0}, 0.01); err == nil {
+		t.Error("accepted out-of-vocab input")
+	}
+}
+
+func TestKMeans1DSeparatesClusters(t *testing.T) {
+	var vals []float64
+	for i := 0; i < 50; i++ {
+		vals = append(vals, float64(i))
+	}
+	for i := 0; i < 50; i++ {
+		vals = append(vals, 1e6+float64(i))
+	}
+	assign := KMeans1D(vals, 2, 20, 1)
+	if assign[0] == assign[50] {
+		t.Error("far-apart groups assigned to the same cluster")
+	}
+	for i := 1; i < 50; i++ {
+		if assign[i] != assign[0] || assign[50+i] != assign[50] {
+			t.Fatal("cluster assignments not coherent within groups")
+		}
+	}
+}
+
+func TestKMeans1DDegenerate(t *testing.T) {
+	if got := KMeans1D(nil, 3, 5, 1); len(got) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	got := KMeans1D([]float64{1, 1, 1}, 5, 5, 1)
+	if len(got) != 3 {
+		t.Error("k > n input mishandled")
+	}
+}
+
+// strideTrace builds a simple repeating-delta trace for the end-to-end
+// baseline tests.
+func strideTrace(n int) []trace.Access {
+	accs := make([]trace.Access, n)
+	block := uint64(1000)
+	for i := range accs {
+		block += 2
+		accs[i] = trace.Access{ID: uint64(i+1) * 10, PC: 0x40, Addr: trace.BlockAddr(block)}
+	}
+	return accs
+}
+
+func TestGenerateDeltaLSTMPredictsStride(t *testing.T) {
+	cfg := DefaultDeltaLSTMConfig()
+	cfg.Clusters = 1
+	cfg.Epochs = 3
+	cfg.TrainFrac = 0.2
+	accs := strideTrace(800)
+	pfs, err := GenerateDeltaLSTM(cfg, accs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfs) == 0 {
+		t.Fatal("Delta-LSTM issued nothing")
+	}
+	// Count how many prefetches target the block after their trigger +2.
+	byID := make(map[uint64]uint64)
+	for _, a := range accs {
+		byID[a.ID] = a.Block()
+	}
+	correct := 0
+	for _, pf := range pfs {
+		if pf.Block() == byID[pf.ID]+2 {
+			correct++
+		}
+	}
+	if float64(correct) < 0.5*float64(len(accs)) {
+		t.Errorf("Delta-LSTM matched +2 on %d prefetches of %d accesses", correct, len(accs))
+	}
+}
+
+func TestGenerateDeltaLSTMEmptyTrace(t *testing.T) {
+	pfs, err := GenerateDeltaLSTM(DefaultDeltaLSTMConfig(), nil, 2)
+	if err != nil || pfs != nil {
+		t.Errorf("empty trace: pfs=%v err=%v", pfs, err)
+	}
+}
+
+func TestGenerateDeltaLSTMSortedByID(t *testing.T) {
+	cfg := DefaultDeltaLSTMConfig()
+	cfg.Clusters = 2
+	cfg.Epochs = 1
+	accs := strideTrace(300)
+	pfs, err := GenerateDeltaLSTM(cfg, accs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pfs); i++ {
+		if pfs[i].ID < pfs[i-1].ID {
+			t.Fatal("prefetch file not sorted by ID")
+		}
+	}
+}
+
+func TestGenerateVoyagerLearnsLoop(t *testing.T) {
+	// A repeating loop over irregular addresses: Voyager's address
+	// correlation should predict many next accesses.
+	loop := []uint64{100, 9000, 250, 77, 31234, 555, 12, 40000}
+	var accs []trace.Access
+	for rep := 0; rep < 60; rep++ {
+		for i, b := range loop {
+			accs = append(accs, trace.Access{ID: uint64(rep*len(loop)+i+1) * 10, PC: 5, Addr: trace.BlockAddr(b)})
+		}
+	}
+	cfg := DefaultVoyagerConfig()
+	cfg.Epochs = 3
+	pfs, err := GenerateVoyager(cfg, accs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pfs) == 0 {
+		t.Fatal("Voyager issued nothing")
+	}
+	// Index trace accesses by ID to find each trigger's successor.
+	next := make(map[uint64]uint64) // trigger ID -> next block
+	for i := 0; i+1 < len(accs); i++ {
+		next[accs[i].ID] = accs[i+1].Block()
+	}
+	correct := 0
+	for _, pf := range pfs {
+		if pf.Block() == next[pf.ID] {
+			correct++
+		}
+	}
+	if float64(correct) < 0.3*float64(len(accs)) {
+		t.Errorf("Voyager matched the successor on %d prefetches over %d accesses", correct, len(accs))
+	}
+}
+
+func TestGenerateVoyagerTinyTrace(t *testing.T) {
+	pfs, err := GenerateVoyager(DefaultVoyagerConfig(), strideTrace(2), 2)
+	if err != nil || pfs != nil {
+		t.Errorf("tiny trace: pfs=%v err=%v", pfs, err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	got := topK([]float64{0.1, 0.5, 0.2, 0.9}, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("topK = %v, want [3 1]", got)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := argmax([]float64{1, 5, 3}); got != 1 {
+		t.Errorf("argmax = %d", got)
+	}
+}
+
+func TestParamStepClearsGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewParam(3, 0.1, rng)
+	p.G[0] = 1
+	w0 := p.W[0]
+	p.Step(0.01, 1)
+	if p.G[0] != 0 {
+		t.Error("gradient not cleared")
+	}
+	if p.W[0] >= w0 {
+		t.Error("positive gradient did not decrease weight")
+	}
+}
+
+func BenchmarkModelTrainWindow(b *testing.B) {
+	m, err := NewModel(128, 24, 32, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]int, 16)
+	tg := make([]int, 16)
+	for i := range in {
+		in[i] = i % 128
+		tg[i] = (i + 1) % 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TrainWindow(in, tg, 0.003); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package lstm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pathfinder/internal/trace"
+)
+
+// VoyagerConfig configures the Voyager baseline (Shi et al., ASPLOS 2021),
+// a hierarchical neural model of data prefetching: rather than predicting
+// raw addresses, one output head predicts the next *page* out of a learned
+// page vocabulary and a second head predicts the 6-bit *offset* within it,
+// with both heads sharing a recurrent context over (page, offset)
+// embeddings. Following Voyager's ISB lineage, the model is PC-localized:
+// each load PC's access subsequence forms its own stream, with its own
+// recurrent state, and the prediction target is that PC's next access. As
+// in the paper's methodology (§4.3), the model is trained offline on the
+// same trace it is then evaluated on — the "long and precise training
+// process on the entire trace" that lets Voyager beat online learners on
+// irregular benchmarks (§5).
+type VoyagerConfig struct {
+	// PageVocab bounds the page vocabulary (most frequent pages get
+	// tokens; the rest are OOV and never predicted).
+	PageVocab int
+	// EmbedPage, EmbedOffset and Hidden shape the shared LSTM.
+	EmbedPage, EmbedOffset, Hidden int
+	// Layers is the LSTM stack depth.
+	Layers int
+	// Epochs over the training portion.
+	Epochs int
+	// TrainFrac is the leading fraction of each PC stream used for
+	// training (Voyager trains on the full trace in the paper's setup).
+	TrainFrac float64
+	// Window is the truncated-BPTT window.
+	Window int
+	// LR is the Adam learning rate.
+	LR float64
+	// MinStream skips PCs with fewer accesses than this (nothing to
+	// learn, and cold streams would only add noise).
+	MinStream int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultVoyagerConfig returns the evaluation configuration.
+func DefaultVoyagerConfig() VoyagerConfig {
+	return VoyagerConfig{
+		PageVocab:   1024,
+		EmbedPage:   48,
+		EmbedOffset: 16,
+		Hidden:      96,
+		Layers:      1,
+		Epochs:      4,
+		TrainFrac:   1.0,
+		Window:      16,
+		LR:          8e-3,
+		MinStream:   32,
+		Seed:        1,
+	}
+}
+
+// voyager is the two-headed hierarchical model.
+type voyager struct {
+	cfg   VoyagerConfig
+	cells []*Cell
+	embP  *Param // [pageVocab][embedPage]
+	embO  *Param // [64][embedOffset]
+	wPage *Param // [pageVocab][hidden]
+	bPage *Param
+	wOff  *Param // [64][hidden]
+	bOff  *Param
+
+	adamStep int
+}
+
+// vstate is one stream's recurrent state.
+type vstate struct {
+	h, c [][]float64
+}
+
+func (v *voyager) newState() *vstate {
+	s := &vstate{
+		h: make([][]float64, len(v.cells)),
+		c: make([][]float64, len(v.cells)),
+	}
+	for l := range v.cells {
+		s.h[l] = make([]float64, v.cfg.Hidden)
+		s.c[l] = make([]float64, v.cfg.Hidden)
+	}
+	return s
+}
+
+func newVoyager(cfg VoyagerConfig, pageVocab int) *voyager {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := &voyager{
+		cfg:   cfg,
+		embP:  NewParam(pageVocab*cfg.EmbedPage, 0.1, rng),
+		embO:  NewParam(trace.BlocksPerPage*cfg.EmbedOffset, 0.1, rng),
+		wPage: NewParam(pageVocab*cfg.Hidden, 0.15, rng),
+		bPage: NewParam(pageVocab, 0, rng),
+		wOff:  NewParam(trace.BlocksPerPage*cfg.Hidden, 0.15, rng),
+		bOff:  NewParam(trace.BlocksPerPage, 0, rng),
+	}
+	in := cfg.EmbedPage + cfg.EmbedOffset
+	for l := 0; l < cfg.Layers; l++ {
+		v.cells = append(v.cells, NewCell(in, cfg.Hidden, rng))
+		in = cfg.Hidden
+	}
+	return v
+}
+
+func (v *voyager) params() []*Param {
+	ps := []*Param{v.embP, v.embO, v.wPage, v.bPage, v.wOff, v.bOff}
+	for _, c := range v.cells {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// forwardStep advances a stream state by one (page-token, offset) input.
+func (v *voyager) forwardStep(st *vstate, pageTok, offset int) ([]float64, []*cellCache) {
+	x := make([]float64, v.cfg.EmbedPage+v.cfg.EmbedOffset)
+	copy(x, v.embP.W[pageTok*v.cfg.EmbedPage:(pageTok+1)*v.cfg.EmbedPage])
+	copy(x[v.cfg.EmbedPage:], v.embO.W[offset*v.cfg.EmbedOffset:(offset+1)*v.cfg.EmbedOffset])
+	caches := make([]*cellCache, len(v.cells))
+	var h []float64
+	for l, cell := range v.cells {
+		var cNew []float64
+		h, cNew, caches[l] = cell.Forward(x, st.h[l], st.c[l])
+		st.h[l], st.c[l] = h, cNew
+		x = h
+	}
+	return h, caches
+}
+
+// headForward computes softmax probabilities of one output head.
+func headForward(w, b *Param, hidden int, h []float64) []float64 {
+	n := len(b.W)
+	logits := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b.W[i]
+		row := w.W[i*hidden : (i+1)*hidden]
+		for k, hv := range h {
+			s += row[k] * hv
+		}
+		logits[i] = s
+	}
+	return softmax(logits)
+}
+
+// headBackward accumulates head gradients and adds the hidden-state
+// gradient into dh.
+func headBackward(w, b *Param, hidden int, h, probs []float64, target int, dh []float64) {
+	for i := range probs {
+		d := probs[i]
+		if i == target {
+			d -= 1
+		}
+		if d == 0 {
+			continue
+		}
+		b.G[i] += d
+		row := w.W[i*hidden : (i+1)*hidden]
+		grow := w.G[i*hidden : (i+1)*hidden]
+		for k, hv := range h {
+			grow[k] += d * hv
+			dh[k] += d * row[k]
+		}
+	}
+}
+
+// GenerateVoyager runs the Voyager pipeline over a trace and returns its
+// prefetch file (at most `budget` prefetches per access: the top predicted
+// page with its top offsets).
+func GenerateVoyager(cfg VoyagerConfig, accs []trace.Access, budget int) ([]trace.Prefetch, error) {
+	if len(accs) < 3 {
+		return nil, nil
+	}
+	if budget <= 0 {
+		budget = 2
+	}
+	if cfg.PageVocab < 2 || cfg.Hidden < 1 || cfg.Layers < 1 {
+		return nil, fmt.Errorf("lstm: bad voyager config %+v", cfg)
+	}
+
+	// Page vocabulary: most frequent pages; token 0 is OOV.
+	freq := make(map[uint64]int)
+	for _, a := range accs {
+		freq[a.Page()]++
+	}
+	type pf struct {
+		p uint64
+		n int
+	}
+	var pfs []pf
+	for p, n := range freq {
+		pfs = append(pfs, pf{p, n})
+	}
+	sort.Slice(pfs, func(i, j int) bool {
+		if pfs[i].n != pfs[j].n {
+			return pfs[i].n > pfs[j].n
+		}
+		return pfs[i].p < pfs[j].p
+	})
+	tokenOf := map[uint64]int{}
+	pageOf := []uint64{0} // token 0: OOV
+	for _, e := range pfs {
+		if len(pageOf) >= cfg.PageVocab {
+			break
+		}
+		tokenOf[e.p] = len(pageOf)
+		pageOf = append(pageOf, e.p)
+	}
+	vocab := len(pageOf)
+
+	v := newVoyager(cfg, vocab)
+	tok := func(p uint64) int { return tokenOf[p] }
+
+	// PC localization: group the trace into per-PC streams.
+	streams := make(map[uint64][]int)
+	var pcs []uint64
+	for i, a := range accs {
+		if _, ok := streams[a.PC]; !ok {
+			pcs = append(pcs, a.PC)
+		}
+		streams[a.PC] = append(streams[a.PC], i)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+
+	// Train: for each PC stream, predict its next (page, offset).
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for _, pc := range pcs {
+			idxs := streams[pc]
+			if len(idxs) < cfg.MinStream {
+				continue
+			}
+			nTrain := int(cfg.TrainFrac * float64(len(idxs)-1))
+			if nTrain > len(idxs)-1 {
+				nTrain = len(idxs) - 1
+			}
+			st := v.newState()
+			for s := 0; s < nTrain; s += cfg.Window {
+				end := s + cfg.Window
+				if end > nTrain {
+					end = nTrain
+				}
+				if end <= s {
+					break
+				}
+				v.trainWindow(st, accs, idxs, s, end, tok)
+			}
+		}
+	}
+
+	// Inference: stream the trace in order with one live state per PC;
+	// each access predicts its PC's next access.
+	states := make(map[uint64]*vstate, len(pcs))
+	var out []trace.Prefetch
+	for _, a := range accs {
+		st := states[a.PC]
+		if st == nil {
+			st = v.newState()
+			states[a.PC] = st
+		}
+		h, _ := v.forwardStep(st, tok(a.Page()), a.Offset())
+		pProbs := headForward(v.wPage, v.bPage, v.cfg.Hidden, h)
+		oProbs := headForward(v.wOff, v.bOff, v.cfg.Hidden, h)
+		// Predict the most probable in-vocabulary page. Token 0 (OOV)
+		// aggregates every rare page, so it can dominate even when a
+		// specific page is clearly indicated; exclude it and require a
+		// modest confidence floor.
+		bestPage := 1 + argmax(pProbs[1:])
+		if pProbs[bestPage] < 0.02 {
+			continue
+		}
+		for _, off := range topK(oProbs, budget) {
+			block := pageOf[bestPage]*trace.BlocksPerPage + uint64(off)
+			out = append(out, trace.Prefetch{ID: a.ID, Addr: trace.BlockAddr(block)})
+		}
+	}
+	return out, nil
+}
+
+// trainWindow runs truncated BPTT over positions [s, end) of one PC
+// stream's index list.
+func (v *voyager) trainWindow(st *vstate, accs []trace.Access, idxs []int, s, end int, tok func(uint64) int) {
+	type stepRec struct {
+		caches         []*cellCache
+		h              []float64
+		pProbs, oProbs []float64
+		pTok, off      int
+	}
+	cfg := v.cfg
+	recs := make([]stepRec, 0, end-s)
+	for t := s; t < end; t++ {
+		a := accs[idxs[t]]
+		pTok, off := tok(a.Page()), a.Offset()
+		h, caches := v.forwardStep(st, pTok, off)
+		recs = append(recs, stepRec{
+			caches: caches,
+			h:      h,
+			pProbs: headForward(v.wPage, v.bPage, cfg.Hidden, h),
+			oProbs: headForward(v.wOff, v.bOff, cfg.Hidden, h),
+			pTok:   pTok,
+			off:    off,
+		})
+	}
+	L := len(v.cells)
+	dh := make([][]float64, L)
+	dc := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		dh[l] = make([]float64, cfg.Hidden)
+		dc[l] = make([]float64, cfg.Hidden)
+	}
+	for t := len(recs) - 1; t >= 0; t-- {
+		rec := recs[t]
+		tgt := accs[idxs[s+t+1]] // the stream's next access
+		dhTop := make([]float64, cfg.Hidden)
+		headBackward(v.wPage, v.bPage, cfg.Hidden, rec.h, rec.pProbs, tok(tgt.Page()), dhTop)
+		headBackward(v.wOff, v.bOff, cfg.Hidden, rec.h, rec.oProbs, tgt.Offset(), dhTop)
+		for k := range dhTop {
+			dh[L-1][k] += dhTop[k]
+		}
+		var dx []float64
+		for l := L - 1; l >= 0; l-- {
+			dx, dh[l], dc[l] = v.cells[l].Backward(rec.caches[l], dh[l], dc[l])
+			if l > 0 {
+				for k := range dx {
+					dh[l-1][k] += dx[k]
+				}
+			}
+		}
+		egP := v.embP.G[rec.pTok*cfg.EmbedPage : (rec.pTok+1)*cfg.EmbedPage]
+		for k := 0; k < cfg.EmbedPage; k++ {
+			egP[k] += dx[k]
+		}
+		egO := v.embO.G[rec.off*cfg.EmbedOffset : (rec.off+1)*cfg.EmbedOffset]
+		for k := 0; k < cfg.EmbedOffset; k++ {
+			egO[k] += dx[cfg.EmbedPage+k]
+		}
+	}
+	v.adamStep++
+	for _, p := range v.params() {
+		p.Step(cfg.LR, v.adamStep)
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func topK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	out := make([]int, 0, k)
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, v := range xs {
+			taken := false
+			for _, u := range out {
+				if u == i {
+					taken = true
+					break
+				}
+			}
+			if !taken && (best < 0 || v > xs[best]) {
+				best = i
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}

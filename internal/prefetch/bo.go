@@ -1,0 +1,127 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// BestOffset is Michaud's Best-Offset prefetcher (HPCA 2016), the
+// rule-based delta baseline of the evaluation. It learns, via a scoring
+// tournament over a fixed offset list, the single block offset d such that
+// a line at X-d was recently demanded whenever X is demanded — i.e. the
+// offset that would have produced timely prefetches — and then prefetches
+// X+d on every access. The competition-provided version the paper uses has
+// prefetch throttling disabled (§4.3), which this implementation mirrors:
+// once an offset is selected, prefetching is always on.
+type BestOffset struct {
+	offsets []int
+	scores  []int
+	rr      []uint64 // recent-requests table of base block addresses
+	rrMask  uint64
+
+	best      int // currently selected offset
+	testIdx   int // offset currently being scored
+	round     int
+	maxRounds int
+	maxScore  int
+	badScore  int
+}
+
+// boOffsetList is the classic Best-Offset candidate list: integers up to 64
+// whose prime factorisation uses only 2, 3 and 5.
+func boOffsetList() []int {
+	var out []int
+	for d := 1; d <= 64; d++ {
+		n := d
+		for _, p := range []int{2, 3, 5} {
+			for n%p == 0 {
+				n /= p
+			}
+		}
+		if n == 1 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NewBestOffset returns a Best-Offset prefetcher with the standard
+// parameters (256-entry recent-requests table, 100-round / 31-score
+// learning phases).
+func NewBestOffset() *BestOffset {
+	offs := boOffsetList()
+	return &BestOffset{
+		offsets:   offs,
+		scores:    make([]int, len(offs)),
+		rr:        make([]uint64, 256),
+		rrMask:    255,
+		best:      1,
+		maxRounds: 100,
+		maxScore:  31,
+		badScore:  1,
+	}
+}
+
+// Name implements Prefetcher.
+func (b *BestOffset) Name() string { return "BO" }
+
+func (b *BestOffset) rrInsert(block uint64) {
+	b.rr[block&b.rrMask] = block
+}
+
+func (b *BestOffset) rrHit(block uint64) bool {
+	return b.rr[block&b.rrMask] == block
+}
+
+// Advise implements Prefetcher.
+func (b *BestOffset) Advise(a trace.Access, budget int) []uint64 {
+	block := a.Block()
+
+	// Learning: test the current candidate offset against the
+	// recent-requests table.
+	d := b.offsets[b.testIdx]
+	if block >= uint64(d) && b.rrHit(block-uint64(d)) {
+		b.scores[b.testIdx]++
+		if b.scores[b.testIdx] >= b.maxScore {
+			b.selectBest()
+		}
+	}
+	b.testIdx++
+	if b.testIdx == len(b.offsets) {
+		b.testIdx = 0
+		b.round++
+		if b.round >= b.maxRounds {
+			b.selectBest()
+		}
+	}
+
+	// The base address of a would-be prefetch is recorded so future
+	// accesses can score offsets ("X-d was recently seen").
+	b.rrInsert(block)
+
+	out := make([]uint64, 0, budget)
+	for i := 1; i <= budget; i++ {
+		out = append(out, trace.BlockAddr(block+uint64(i*b.best)))
+	}
+	return out
+}
+
+// selectBest ends a learning phase: adopt the highest-scoring offset and
+// restart scoring.
+func (b *BestOffset) selectBest() {
+	bestIdx, bestScore := 0, -1
+	for i, s := range b.scores {
+		if s > bestScore {
+			bestIdx, bestScore = i, s
+		}
+		b.scores[i] = 0
+	}
+	if bestScore > b.badScore {
+		b.best = b.offsets[bestIdx]
+	} else {
+		b.best = 1 // fall back to next-line when nothing scores
+	}
+	b.round = 0
+	b.testIdx = 0
+}
+
+// Best returns the currently selected offset (exported for tests and the
+// experiment harness).
+func (b *BestOffset) Best() int { return b.best }

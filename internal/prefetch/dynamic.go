@@ -1,0 +1,153 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// DynamicEnsemble implements the "dynamic ensemble priority policies" the
+// paper names as future work (§5): instead of a fixed member order, it
+// scores each member by the recent usefulness of its suggestions — a
+// suggestion is credited when its block is demanded within a sliding
+// window — and gives the current best scorer first claim on the prefetch
+// budget. This addresses the failure mode §5 observes for the fixed-priority
+// ensemble, which "can sometimes behave very similar to PATHFINDER, which
+// in some benchmarks is worse than SISB-only".
+type DynamicEnsemble struct {
+	// Members are the candidate prefetchers; all observe every access.
+	Members []Prefetcher
+	// Label overrides the derived name.
+	Label string
+	// Window is the sliding evaluation window in accesses (default 256).
+	Window int
+	// Epsilon is the fraction of accesses on which the priority order is
+	// rotated to keep gathering evidence for out-of-favour members
+	// (default 1/16).
+	Epsilon float64
+
+	// scores hold exponentially-decayed usefulness credit per member.
+	scores []float64
+	// pending maps a suggested block to the members that suggested it and
+	// the access count at suggestion time.
+	pending map[uint64][]pendingSuggestion
+	n       uint64
+	rotate  int
+}
+
+type pendingSuggestion struct {
+	member int
+	at     uint64
+}
+
+// NewDynamicEnsemble builds a usefulness-scored ensemble.
+func NewDynamicEnsemble(members ...Prefetcher) *DynamicEnsemble {
+	return &DynamicEnsemble{
+		Members: members,
+		Window:  256,
+		Epsilon: 1.0 / 16,
+		scores:  make([]float64, len(members)),
+		pending: make(map[uint64][]pendingSuggestion),
+	}
+}
+
+// Name implements Prefetcher.
+func (d *DynamicEnsemble) Name() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	name := "Dyn["
+	for i, m := range d.Members {
+		if i > 0 {
+			name += "+"
+		}
+		name += m.Name()
+	}
+	return name + "]"
+}
+
+// Scores returns a copy of the current member scores (for tests and
+// experiments).
+func (d *DynamicEnsemble) Scores() []float64 {
+	out := make([]float64, len(d.scores))
+	copy(out, d.scores)
+	return out
+}
+
+// Advise implements Prefetcher.
+func (d *DynamicEnsemble) Advise(a trace.Access, budget int) []uint64 {
+	d.n++
+
+	// Credit members whose outstanding suggestion covered this demand.
+	block := a.Block()
+	if ps, ok := d.pending[block]; ok {
+		for _, p := range ps {
+			if d.n-p.at <= uint64(d.Window) {
+				d.scores[p.member]++
+			}
+		}
+		delete(d.pending, block)
+	}
+	// Slow exponential decay keeps scores adaptive across phases.
+	if d.n%64 == 0 {
+		for i := range d.scores {
+			d.scores[i] *= 0.94
+		}
+		d.gc()
+	}
+
+	// Collect every member's suggestions (all keep learning).
+	sugg := make([][]uint64, len(d.Members))
+	for i, m := range d.Members {
+		sugg[i] = m.Advise(a, budget)
+	}
+
+	order := d.priorityOrder()
+	var out []uint64
+	seen := make(map[uint64]bool, budget)
+	for _, i := range order {
+		for _, addr := range sugg[i] {
+			b := addr / trace.BlockBytes
+			// Track usefulness for every member's suggestions, issued or
+			// not, so losing members can still earn their way up.
+			d.pending[b] = append(d.pending[b], pendingSuggestion{member: i, at: d.n})
+			if len(out) < budget && !seen[b] {
+				seen[b] = true
+				out = append(out, trace.BlockAddr(b))
+			}
+		}
+	}
+	return out
+}
+
+// priorityOrder returns member indexes sorted by descending score, with an
+// occasional rotation for exploration.
+func (d *DynamicEnsemble) priorityOrder() []int {
+	order := make([]int, len(d.Members))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && d.scores[order[k]] > d.scores[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	if d.Epsilon > 0 && float64(d.n%1024)/1024 < d.Epsilon && len(order) > 1 {
+		d.rotate = (d.rotate + 1) % len(order)
+		order[0], order[d.rotate] = order[d.rotate], order[0]
+	}
+	return order
+}
+
+// gc drops stale pending suggestions so the map stays bounded.
+func (d *DynamicEnsemble) gc() {
+	for b, ps := range d.pending {
+		live := ps[:0]
+		for _, p := range ps {
+			if d.n-p.at <= uint64(d.Window) {
+				live = append(live, p)
+			}
+		}
+		if len(live) == 0 {
+			delete(d.pending, b)
+		} else {
+			d.pending[b] = live
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package prefetch
+
+import (
+	"strings"
+
+	"pathfinder/internal/trace"
+)
+
+// Ensemble combines prefetchers with a fixed priority: the first member's
+// suggestions are taken first and later members fill whatever budget
+// remains (§3.4 "Ensemble of Prefetchers", §5). The paper's best design
+// point is Ensemble{PATHFINDER, NextLine, SISB}. Every member observes
+// every access (so each keeps learning) even when its suggestions are not
+// used.
+type Ensemble struct {
+	// Members are consulted in priority order.
+	Members []Prefetcher
+	// Label overrides the derived name when non-empty.
+	Label string
+}
+
+// NewEnsemble builds an ensemble over the given members.
+func NewEnsemble(members ...Prefetcher) *Ensemble {
+	return &Ensemble{Members: members}
+}
+
+// Name implements Prefetcher; it joins the member names unless a Label is
+// set.
+func (e *Ensemble) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	names := make([]string, len(e.Members))
+	for i, m := range e.Members {
+		names[i] = m.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Advise implements Prefetcher.
+func (e *Ensemble) Advise(a trace.Access, budget int) []uint64 {
+	var out []uint64
+	seen := make(map[uint64]bool, budget)
+	for _, m := range e.Members {
+		remaining := budget - len(out)
+		sugg := m.Advise(a, budget) // members always observe the access
+		if remaining <= 0 {
+			continue
+		}
+		for _, addr := range sugg {
+			blockAddr := addr &^ (trace.BlockBytes - 1)
+			if seen[blockAddr] {
+				continue
+			}
+			seen[blockAddr] = true
+			out = append(out, blockAddr)
+			if len(out) == budget {
+				break
+			}
+		}
+	}
+	return out
+}

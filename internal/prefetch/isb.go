@@ -1,0 +1,151 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// ISB is the realistic (bounded-metadata) Irregular Stream Buffer of Jain
+// & Lin (MICRO 2013), complementing the competition's idealized SISB
+// (§4.3). The ISB linearises each PC's irregular access stream into a
+// *structural* address space: temporally adjacent physical blocks receive
+// consecutive structural addresses, so irregular streams become sequential
+// streams that can be prefetched by walking forward in structural space.
+// Two bounded, LRU-managed mappings implement it: physical → structural
+// (PS) and structural → physical (SP). The idealized SISB corresponds to
+// unbounded mappings.
+type ISB struct {
+	ps    map[uint64]uint64 // physical block -> structural address
+	sp    map[uint64]uint64 // structural address -> physical block
+	psUse map[uint64]uint64 // physical block -> last-use tick for LRU
+	last  map[uint64]uint64 // pc -> previous physical block
+
+	// cursor is each PC stream's next free structural address; chunks
+	// counts allocated structural chunks.
+	cursor map[uint64]uint64
+	chunks uint64
+
+	// Cap bounds the PS/SP mappings (on-chip metadata).
+	Cap int
+	// StreamGranularity is the structural chunk size per stream (the ISB
+	// uses 256-entry structural pages).
+	StreamGranularity uint64
+
+	clock uint64
+}
+
+// NewISB returns an ISB with 8K mapping entries (a realistic on-chip
+// metadata budget).
+func NewISB() *ISB {
+	return &ISB{
+		ps:                make(map[uint64]uint64),
+		sp:                make(map[uint64]uint64),
+		psUse:             make(map[uint64]uint64),
+		last:              make(map[uint64]uint64),
+		cursor:            make(map[uint64]uint64),
+		Cap:               8192,
+		StreamGranularity: 256,
+	}
+}
+
+// Name implements Prefetcher.
+func (b *ISB) Name() string { return "ISB" }
+
+// Advise implements Prefetcher.
+func (b *ISB) Advise(a trace.Access, budget int) []uint64 {
+	b.clock++
+	block := a.Block()
+
+	// Training: give this block the structural address after its temporal
+	// predecessor in the same PC stream. Linearisation is sticky: blocks
+	// that already have a structural home keep it (re-linearising on
+	// every revisit would tear down the stream a loop just built); stale
+	// mappings leave through LRU eviction instead.
+	if prev, ok := b.last[a.PC]; ok && prev != block {
+		prevStr, hasPrev := b.ps[prev]
+		curStr, hasCur := b.ps[block]
+		switch {
+		case hasPrev && !hasCur && (prevStr+1)%b.StreamGranularity != 0:
+			if _, taken := b.sp[prevStr+1]; !taken {
+				b.assign(block, prevStr+1)
+			}
+		case !hasPrev && hasCur && curStr%b.StreamGranularity != 0:
+			// Splice prev in just before the already-placed block.
+			if _, taken := b.sp[curStr-1]; !taken {
+				b.assign(prev, curStr-1)
+			}
+		case !hasPrev && !hasCur:
+			// Fresh pair: lay both down at the stream's cursor.
+			s1 := b.alloc(a.PC)
+			s2 := b.alloc(a.PC)
+			b.assign(prev, s1)
+			b.assign(block, s2)
+		}
+	}
+	b.last[a.PC] = block
+	b.touch(block)
+
+	// Prediction: walk forward in structural space from this block.
+	str, ok := b.ps[block]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, 0, budget)
+	for i := uint64(1); len(out) < budget; i++ {
+		phys, ok := b.sp[str+i]
+		if !ok {
+			break
+		}
+		out = append(out, trace.BlockAddr(phys))
+	}
+	return out
+}
+
+// alloc hands out the PC stream's next structural address, reserving a
+// fresh chunk when the current one is exhausted (or absent).
+func (b *ISB) alloc(pc uint64) uint64 {
+	cur, ok := b.cursor[pc]
+	if !ok || cur%b.StreamGranularity == 0 {
+		cur = b.chunks * b.StreamGranularity
+		b.chunks++
+	}
+	b.cursor[pc] = cur + 1
+	return cur
+}
+
+// assign records the physical<->structural pair, displacing stale mappings.
+func (b *ISB) assign(phys, str uint64) {
+	if old, ok := b.ps[phys]; ok {
+		delete(b.sp, old)
+	}
+	if old, ok := b.sp[str]; ok {
+		delete(b.ps, old)
+		delete(b.psUse, old)
+	}
+	if len(b.ps) >= b.Cap {
+		b.evict()
+	}
+	b.ps[phys] = str
+	b.sp[str] = phys
+	b.psUse[phys] = b.clock
+}
+
+func (b *ISB) touch(phys uint64) {
+	if _, ok := b.ps[phys]; ok {
+		b.psUse[phys] = b.clock
+	}
+}
+
+// evict removes the least-recently-used mapping pair.
+func (b *ISB) evict() {
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for phys, use := range b.psUse {
+		if use < oldest {
+			oldest = use
+			victim = phys
+		}
+	}
+	if str, ok := b.ps[victim]; ok {
+		delete(b.sp, str)
+	}
+	delete(b.ps, victim)
+	delete(b.psUse, victim)
+}

@@ -1,0 +1,78 @@
+// Package prefetch defines the prefetcher interface shared by PATHFINDER
+// and the baselines, and implements the paper's non-neural comparison
+// points (§4.3): NextLine, Best-Offset, SPP, an idealized SISB, the
+// reinforcement-learning prefetcher Pythia, and the fixed-priority ensemble
+// of §3.4/§5.
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// Prefetcher observes a load stream one access at a time and suggests
+// blocks to prefetch. Implementations learn online; there is no separate
+// training phase (offline baselines such as Delta-LSTM live in
+// internal/lstm and produce prefetch files directly).
+type Prefetcher interface {
+	// Name identifies the prefetcher in results tables.
+	Name() string
+	// Advise observes one access and returns up to budget *byte*
+	// addresses (block-aligned) to prefetch. It is called once per trace
+	// access, in order.
+	Advise(a trace.Access, budget int) []uint64
+}
+
+// Budget is the per-access prefetch budget of the evaluation: "all
+// prefetchers submit at most 2 prefetches for each memory access" (§4.5).
+const Budget = 2
+
+// GenerateFile drives a Prefetcher over a trace and collects its
+// suggestions into a prefetch file for sim.Run, enforcing the per-access
+// budget. This is the first phase of the two-phase flow of §4.1.
+func GenerateFile(p Prefetcher, accs []trace.Access, budget int) []trace.Prefetch {
+	if budget <= 0 {
+		budget = Budget
+	}
+	var out []trace.Prefetch
+	for _, a := range accs {
+		addrs := p.Advise(a, budget)
+		if len(addrs) > budget {
+			addrs = addrs[:budget]
+		}
+		for _, addr := range addrs {
+			out = append(out, trace.Prefetch{ID: a.ID, Addr: addr &^ (trace.BlockBytes - 1)})
+		}
+	}
+	return out
+}
+
+// NoPrefetch is the no-prefetching baseline.
+type NoPrefetch struct{}
+
+// Name implements Prefetcher.
+func (NoPrefetch) Name() string { return "NoPF" }
+
+// Advise implements Prefetcher; it never suggests anything.
+func (NoPrefetch) Advise(trace.Access, int) []uint64 { return nil }
+
+// NextLine prefetches the next sequential block(s) after every access — the
+// simplest strided prefetcher (§2.1), used as ensemble filler in §5.
+type NextLine struct {
+	// Degree is how many sequential blocks to suggest (capped by the
+	// per-access budget). Zero means "use the full budget".
+	Degree int
+}
+
+// Name implements Prefetcher.
+func (n *NextLine) Name() string { return "NextLine" }
+
+// Advise implements Prefetcher.
+func (n *NextLine) Advise(a trace.Access, budget int) []uint64 {
+	deg := n.Degree
+	if deg <= 0 || deg > budget {
+		deg = budget
+	}
+	out := make([]uint64, 0, deg)
+	for i := 1; i <= deg; i++ {
+		out = append(out, trace.BlockAddr(a.Block()+uint64(i)))
+	}
+	return out
+}

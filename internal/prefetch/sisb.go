@@ -1,0 +1,55 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// SISB is the idealized version of the Irregular Stream Buffer (Jain & Lin,
+// MICRO 2013) provided by the ML Prefetching Competition and used as the
+// temporal baseline in §4.3. The ISB linearises irregular per-PC access
+// streams into a structural address space so that temporal successors can
+// be prefetched; the *idealized* variant assumes unbounded off-chip
+// metadata, which here is simply a map recording, per load PC, the last
+// block each block was followed by. On an access it replays the learned
+// successor chain.
+type SISB struct {
+	// succ maps (pc, block) -> next block observed in that PC's stream.
+	succ map[sisbKey]uint64
+	// last maps pc -> the previous block touched by that PC.
+	last map[uint64]uint64
+}
+
+type sisbKey struct {
+	pc    uint64
+	block uint64
+}
+
+// NewSISB returns an idealized ISB with unbounded metadata.
+func NewSISB() *SISB {
+	return &SISB{
+		succ: make(map[sisbKey]uint64),
+		last: make(map[uint64]uint64),
+	}
+}
+
+// Name implements Prefetcher.
+func (s *SISB) Name() string { return "SISB" }
+
+// Advise implements Prefetcher.
+func (s *SISB) Advise(a trace.Access, budget int) []uint64 {
+	block := a.Block()
+	if prev, ok := s.last[a.PC]; ok && prev != block {
+		s.succ[sisbKey{a.PC, prev}] = block
+	}
+	s.last[a.PC] = block
+
+	out := make([]uint64, 0, budget)
+	cur := block
+	for len(out) < budget {
+		next, ok := s.succ[sisbKey{a.PC, cur}]
+		if !ok || next == block {
+			break
+		}
+		out = append(out, trace.BlockAddr(next))
+		cur = next
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// SMS is Spatial Memory Streaming (Somogyi et al., ISCA 2006), the spatial
+// prefetcher family of §2.1: it learns which blocks of a spatial region are
+// touched together, keyed by the (PC, trigger-offset) of the region's first
+// access, and replays the whole footprint on the next trigger. Regions are
+// pages here, matching the rest of the reproduction.
+type SMS struct {
+	// active tracks regions currently accumulating footprints
+	// (accumulation generation table).
+	active map[uint64]*smsGeneration
+	// patterns is the pattern history table: trigger signature ->
+	// footprint bitmask.
+	patterns map[uint64]uint64
+	// ActiveCap and PatternCap bound the two tables.
+	ActiveCap, PatternCap int
+	clock                 uint64
+}
+
+type smsGeneration struct {
+	signature uint64
+	footprint uint64 // bit per block offset
+	lastUse   uint64
+}
+
+// NewSMS returns an SMS with 64 active generations and a 4K-entry pattern
+// table.
+func NewSMS() *SMS {
+	return &SMS{
+		active:     make(map[uint64]*smsGeneration),
+		patterns:   make(map[uint64]uint64),
+		ActiveCap:  64,
+		PatternCap: 4096,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *SMS) Name() string { return "SMS" }
+
+func smsSignature(pc uint64, offset int) uint64 {
+	return pc<<6 | uint64(offset)
+}
+
+// Advise implements Prefetcher.
+func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
+	s.clock++
+	page := a.Page()
+	off := a.Offset()
+
+	if gen, ok := s.active[page]; ok {
+		gen.footprint |= 1 << uint(off)
+		gen.lastUse = s.clock
+		return nil
+	}
+
+	// Trigger access: end the oldest generation if the table is full,
+	// then start a new one.
+	if len(s.active) >= s.ActiveCap {
+		s.endOldestGeneration()
+	}
+	sig := smsSignature(a.PC, off)
+	s.active[page] = &smsGeneration{
+		signature: sig,
+		footprint: 1 << uint(off),
+		lastUse:   s.clock,
+	}
+
+	// Replay the learned footprint for this trigger, nearest blocks
+	// first.
+	mask, ok := s.patterns[sig]
+	if !ok {
+		return nil
+	}
+	var out []uint64
+	for dist := 1; dist < trace.BlocksPerPage && len(out) < budget; dist++ {
+		for _, t := range [2]int{off + dist, off - dist} {
+			if t < 0 || t >= trace.BlocksPerPage || len(out) == budget {
+				continue
+			}
+			if mask&(1<<uint(t)) != 0 {
+				out = append(out, trace.BlockAddr(page*trace.BlocksPerPage+uint64(t)))
+			}
+		}
+	}
+	return out
+}
+
+// endOldestGeneration commits the LRU active generation's footprint to the
+// pattern table.
+func (s *SMS) endOldestGeneration() {
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for pg, g := range s.active {
+		if g.lastUse < oldest {
+			oldest = g.lastUse
+			victim = pg
+		}
+	}
+	g := s.active[victim]
+	delete(s.active, victim)
+	if len(s.patterns) >= s.PatternCap {
+		// Cheap bound: clear rather than track LRU across 4K entries.
+		s.patterns = make(map[uint64]uint64, s.PatternCap)
+	}
+	s.patterns[g.signature] = g.footprint
+}

@@ -1,0 +1,89 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// Stride is the classic per-PC (instruction-pointer) stride prefetcher of
+// Baer & Chen (§2.1's strided-prefetcher family): a reference-prediction
+// table tracks each load PC's last address and last stride, and prefetches
+// ahead once the same stride repeats. It complements NextLine (which is
+// PC-blind) and Best-Offset (which learns one global offset).
+type Stride struct {
+	table map[uint64]*strideEntry
+	cap   int
+	clock uint64
+
+	// MinConfidence is how many consecutive identical strides are needed
+	// before prefetching (classic value: 2).
+	MinConfidence int
+}
+
+type strideEntry struct {
+	lastBlock uint64
+	stride    int64
+	conf      int
+	lastUse   uint64
+}
+
+// NewStride returns a stride prefetcher with a 256-entry table.
+func NewStride() *Stride {
+	return &Stride{
+		table:         make(map[uint64]*strideEntry),
+		cap:           256,
+		MinConfidence: 2,
+	}
+}
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return "Stride" }
+
+// Advise implements Prefetcher.
+func (s *Stride) Advise(a trace.Access, budget int) []uint64 {
+	s.clock++
+	block := a.Block()
+	e, ok := s.table[a.PC]
+	if !ok {
+		if len(s.table) >= s.cap {
+			s.evictLRU()
+		}
+		s.table[a.PC] = &strideEntry{lastBlock: block, lastUse: s.clock}
+		return nil
+	}
+	e.lastUse = s.clock
+	stride := int64(block) - int64(e.lastBlock)
+	e.lastBlock = block
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 4 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 1
+	}
+	if e.conf < s.MinConfidence {
+		return nil
+	}
+	out := make([]uint64, 0, budget)
+	for i := 1; i <= budget; i++ {
+		t := int64(block) + int64(i)*stride
+		if t <= 0 {
+			break
+		}
+		out = append(out, trace.BlockAddr(uint64(t)))
+	}
+	return out
+}
+
+func (s *Stride) evictLRU() {
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for pc, e := range s.table {
+		if e.lastUse < oldest {
+			oldest = e.lastUse
+			victim = pc
+		}
+	}
+	delete(s.table, victim)
+}

@@ -1,0 +1,108 @@
+package prefetch
+
+import "pathfinder/internal/trace"
+
+// Throttle wraps any prefetcher with feedback-directed aggressiveness
+// control after Srinath et al. (HPCA 2007). The §4.3 Best-Offset baseline
+// ships with "prefetch throttling disabled by the provider"; this wrapper
+// is the mechanism that was disabled, made composable: it tracks the
+// wrapped prefetcher's recent accuracy over a sliding epoch and scales how
+// much of the per-access budget the prefetcher may use — full budget while
+// accurate, a single slot while mediocre, nothing while hopeless.
+type Throttle struct {
+	// Inner is the wrapped prefetcher (it observes every access even
+	// while fully throttled, so it keeps learning).
+	Inner Prefetcher
+	// Epoch is the evaluation window in accesses.
+	Epoch int
+	// HighWater and LowWater are the accuracy thresholds separating the
+	// full-budget, reduced-budget and silenced regimes.
+	HighWater, LowWater float64
+	// Window bounds how long an unconsumed suggestion stays eligible to
+	// count as accurate.
+	Window int
+
+	pending  map[uint64]uint64 // suggested block -> access count when suggested
+	n        uint64
+	hits     int
+	issued   int
+	level    int // 0 = full budget, 1 = one slot, 2 = silenced
+	levelLog [3]uint64
+}
+
+// NewThrottle wraps a prefetcher with default feedback parameters.
+func NewThrottle(inner Prefetcher) *Throttle {
+	return &Throttle{
+		Inner:     inner,
+		Epoch:     512,
+		HighWater: 0.40,
+		LowWater:  0.10,
+		Window:    256,
+		pending:   make(map[uint64]uint64),
+	}
+}
+
+// Name implements Prefetcher.
+func (t *Throttle) Name() string { return t.Inner.Name() + "+FDP" }
+
+// Level returns the current throttle level (0 full, 1 reduced, 2 silenced)
+// and how many accesses have been spent at each level.
+func (t *Throttle) Level() (int, [3]uint64) { return t.level, t.levelLog }
+
+// Advise implements Prefetcher.
+func (t *Throttle) Advise(a trace.Access, budget int) []uint64 {
+	t.n++
+	t.levelLog[t.level]++
+
+	// Score previous suggestions against this demand.
+	if at, ok := t.pending[a.Block()]; ok && t.n-at <= uint64(t.Window) {
+		t.hits++
+		delete(t.pending, a.Block())
+	}
+
+	// Re-evaluate the level each epoch.
+	if t.n%uint64(t.Epoch) == 0 {
+		if t.issued > 0 {
+			// No evidence means no level change; silenced prefetchers
+			// keep probing (below) so evidence keeps flowing.
+			acc := float64(t.hits) / float64(t.issued)
+			switch {
+			case acc >= t.HighWater:
+				t.level = 0
+			case acc >= t.LowWater:
+				t.level = 1
+			default:
+				t.level = 2
+			}
+		}
+		t.hits, t.issued = 0, 0
+		// Expire stale suggestions so the map stays bounded.
+		for b, at := range t.pending {
+			if t.n-at > uint64(t.Window) {
+				delete(t.pending, b)
+			}
+		}
+	}
+
+	sugg := t.Inner.Advise(a, budget) // always observe: learning continues
+	allowed := budget
+	switch t.level {
+	case 1:
+		allowed = 1
+	case 2:
+		// Silenced, but probe occasionally so a prefetcher that becomes
+		// accurate again can earn its budget back.
+		allowed = 0
+		if t.n%32 == 0 {
+			allowed = 1
+		}
+	}
+	if len(sugg) > allowed {
+		sugg = sugg[:allowed]
+	}
+	for _, s := range sugg {
+		t.pending[s/trace.BlockBytes] = t.n
+		t.issued++
+	}
+	return sugg
+}

@@ -1,0 +1,175 @@
+// Package sim is the trace-driven timing simulator used to evaluate
+// prefetchers. It stands in for the ML Prefetching Competition's ChampSim
+// fork (§4.1 of the paper): a trace of loads plus a prefetch file are
+// replayed against the Table 3 memory hierarchy, yielding IPC and the
+// prefetch bookkeeping (issued / useful) behind the accuracy and coverage
+// metrics of §4.5.
+package sim
+
+// Policy selects a cache replacement policy.
+type Policy int
+
+const (
+	// PolicyLRU is true least-recently-used replacement.
+	PolicyLRU Policy = iota
+	// PolicySRRIP is static re-reference interval prediction (Jaleel et
+	// al.): 2-bit re-reference counters, demand fills inserted "long",
+	// prefetch fills inserted "distant" so inaccurate prefetches are the
+	// first victims — a prefetch-aware insertion policy.
+	PolicySRRIP
+)
+
+// Cache is a set-associative cache operating on block addresses, with a
+// selectable replacement policy (LRU by default). Lines filled by prefetch
+// carry a prefetch bit that is cleared (and reported) on their first demand
+// hit, which is how useful prefetches are counted.
+type Cache struct {
+	sets   int
+	ways   int
+	policy Policy
+	lines  []cacheLine // sets × ways, row-major
+	tick   uint64
+
+	// Hits and Misses count demand lookups.
+	Hits   uint64
+	Misses uint64
+}
+
+type cacheLine struct {
+	tag        uint64
+	lru        uint64
+	rrpv       uint8
+	valid      bool
+	prefetched bool
+}
+
+// srripMax is the "distant" re-reference value of the 2-bit SRRIP counters.
+const srripMax = 3
+
+// NewCache returns an LRU cache with the given geometry. Both sets and ways
+// must be positive; sets need not be a power of two.
+func NewCache(sets, ways int) *Cache {
+	return NewCacheWithPolicy(sets, ways, PolicyLRU)
+}
+
+// NewCacheWithPolicy returns a cache with the given geometry and
+// replacement policy.
+func NewCacheWithPolicy(sets, ways int, policy Policy) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic("sim: cache sets and ways must be positive")
+	}
+	return &Cache{sets: sets, ways: ways, policy: policy, lines: make([]cacheLine, sets*ways)}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(block uint64) []cacheLine {
+	s := int(block % uint64(c.sets))
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup performs a demand access for block. It reports whether the access
+// hit, and if so whether this was the first demand touch of a prefetched
+// line. Hit lines are promoted to MRU.
+func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
+	c.tick++
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lru = c.tick
+			set[i].rrpv = 0
+			pf := set[i].prefetched
+			set[i].prefetched = false
+			c.Hits++
+			return true, pf
+		}
+	}
+	c.Misses++
+	return false, false
+}
+
+// Contains reports whether block is resident, without touching LRU state or
+// hit/miss counters.
+func (c *Cache) Contains(block uint64) bool {
+	for _, l := range c.set(block) {
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts block, evicting the LRU line of its set if needed. The
+// prefetched flag marks lines brought in by a prefetch rather than a demand
+// miss. Filling a block that is already resident refreshes its LRU position
+// (and leaves its prefetch bit untouched for demand fills). It returns the
+// evicted block and whether an eviction of a valid line occurred.
+func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction bool) {
+	c.tick++
+	set := c.set(block)
+	victim := -1
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].lru = c.tick
+			set[i].rrpv = 0
+			if prefetched {
+				set[i].prefetched = true
+			}
+			return 0, false
+		}
+		if victim < 0 && !set[i].valid {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = c.pickVictim(set)
+	}
+	evicted, hadEviction = set[victim].tag, set[victim].valid
+	rrpv := uint8(srripMax - 1)
+	if prefetched {
+		rrpv = srripMax // prefetch-aware insertion: distant re-reference
+	}
+	set[victim] = cacheLine{tag: block, lru: c.tick, rrpv: rrpv, valid: true, prefetched: prefetched}
+	return evicted, hadEviction
+}
+
+// pickVictim selects a replacement victim from a full set.
+func (c *Cache) pickVictim(set []cacheLine) int {
+	if c.policy == PolicyLRU {
+		victim := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		return victim
+	}
+	// SRRIP: evict the first line predicted "distant"; if none, age every
+	// line and retry (guaranteed to terminate within srripMax rounds).
+	for {
+		for i := range set {
+			if set[i].rrpv >= srripMax {
+				return i
+			}
+		}
+		for i := range set {
+			set[i].rrpv++
+		}
+	}
+}
+
+// Reset invalidates every line and clears the statistics counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.tick, c.Hits, c.Misses = 0, 0, 0
+}
+
+// ResetStats clears only the hit/miss counters, preserving cache contents.
+// The simulator uses this at the end of the warmup window.
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

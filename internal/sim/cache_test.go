@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(42, false)
+	hit, pf := c.Lookup(42)
+	if !hit {
+		t.Fatal("miss after fill")
+	}
+	if pf {
+		t.Error("demand fill reported as prefetched")
+	}
+}
+
+func TestCacheMissOnEmpty(t *testing.T) {
+	c := NewCache(16, 4)
+	if hit, _ := c.Lookup(1); hit {
+		t.Fatal("hit on empty cache")
+	}
+	if c.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", c.Misses)
+	}
+}
+
+func TestCachePrefetchFirstTouch(t *testing.T) {
+	c := NewCache(16, 4)
+	c.Fill(7, true)
+	hit, pf := c.Lookup(7)
+	if !hit || !pf {
+		t.Fatalf("first touch: hit=%v pf=%v, want true,true", hit, pf)
+	}
+	// Second touch must not report prefetched again.
+	hit, pf = c.Lookup(7)
+	if !hit || pf {
+		t.Fatalf("second touch: hit=%v pf=%v, want true,false", hit, pf)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 2) // single set, 2 ways
+	c.Fill(1, false)
+	c.Fill(2, false)
+	c.Lookup(1) // promote 1 to MRU; 2 is now LRU
+	evicted, had := c.Fill(3, false)
+	if !had || evicted != 2 {
+		t.Fatalf("evicted %d (had=%v), want 2", evicted, had)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Error("cache contents wrong after eviction")
+	}
+}
+
+func TestCacheFillExistingRefreshes(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Fill(1, false)
+	c.Fill(2, false)
+	c.Fill(1, false) // refresh 1; 2 becomes LRU
+	if evicted, had := c.Fill(3, false); !had || evicted != 2 {
+		t.Fatalf("evicted %d, want 2", evicted)
+	}
+}
+
+func TestCacheContainsNoSideEffects(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Fill(8, false)
+	before := c.Hits + c.Misses
+	c.Contains(8)
+	c.Contains(9)
+	if c.Hits+c.Misses != before {
+		t.Error("Contains changed hit/miss counters")
+	}
+}
+
+func TestCacheSetIsolation(t *testing.T) {
+	c := NewCache(4, 1)
+	// Blocks 0..3 map to distinct sets and must coexist.
+	for b := uint64(0); b < 4; b++ {
+		c.Fill(b, false)
+	}
+	for b := uint64(0); b < 4; b++ {
+		if !c.Contains(b) {
+			t.Errorf("block %d evicted despite distinct sets", b)
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Fill(1, false)
+	c.Lookup(1)
+	c.Reset()
+	if c.Contains(1) || c.Hits != 0 || c.Misses != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: after any fill sequence, each set holds at most `ways`
+	// distinct resident blocks and every fill leaves the block resident.
+	f := func(blocks []uint16) bool {
+		c := NewCache(8, 2)
+		for _, b := range blocks {
+			c.Fill(uint64(b), false)
+			if !c.Contains(uint64(b)) {
+				return false
+			}
+		}
+		resident := 0
+		for b := uint64(0); b < 1<<16; b++ {
+			if c.Contains(b) {
+				resident++
+			}
+		}
+		return resident <= 8*2
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCache(0, 4) did not panic")
+		}
+	}()
+	NewCache(0, 4)
+}
+
+func TestSRRIPHitResetsRRPV(t *testing.T) {
+	c := NewCacheWithPolicy(1, 2, PolicySRRIP)
+	c.Fill(1, false)
+	c.Fill(2, false)
+	c.Lookup(1) // rrpv(1) = 0
+	// Next eviction must pick 2, whose rrpv is higher.
+	if evicted, had := c.Fill(3, false); !had || evicted != 2 {
+		t.Fatalf("evicted %d, want 2", evicted)
+	}
+}
+
+func TestSRRIPPrefetchInsertedDistant(t *testing.T) {
+	c := NewCacheWithPolicy(1, 2, PolicySRRIP)
+	c.Fill(1, false) // demand: rrpv 2
+	c.Fill(2, true)  // prefetch: rrpv 3 (distant)
+	evicted, had := c.Fill(3, false)
+	if !had || evicted != 2 {
+		t.Fatalf("evicted %d, want the untouched prefetch (2)", evicted)
+	}
+}
+
+func TestSRRIPNeverLivelocks(t *testing.T) {
+	c := NewCacheWithPolicy(2, 4, PolicySRRIP)
+	for b := uint64(0); b < 1000; b++ {
+		c.Fill(b, b%3 == 0)
+		if !c.Contains(b) {
+			t.Fatalf("block %d not resident after fill", b)
+		}
+	}
+}
+
+func TestRunWithSRRIPLLC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LLCPolicy = PolicySRRIP
+	res, err := Run(cfg, seqTrace(2000, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Errorf("IPC %v", res.IPC)
+	}
+}

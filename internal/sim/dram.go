@@ -1,0 +1,156 @@
+package sim
+
+import "container/heap"
+
+// DRAMConfig describes the main-memory timing model (Table 3 of the paper:
+// one channel, 8 ranks × 8 banks, tRP = tRCD = tCAS = 12.5 ns, read queue
+// of 64 entries). Timings are expressed in core cycles; at the 4 GHz core
+// clock the simulator assumes, 12.5 ns is 50 cycles.
+type DRAMConfig struct {
+	// Channels, Ranks and Banks give the bank-level parallelism
+	// (Channels × Ranks × Banks independent banks).
+	Channels int
+	Ranks    int
+	Banks    int
+	// TRP, TRCD and TCAS are the row-precharge, row-activate and
+	// column-access latencies in core cycles.
+	TRP  int
+	TRCD int
+	TCAS int
+	// BusCycles is the data-burst occupancy of a bank per access.
+	BusCycles int
+	// ReadQueue is the controller read-queue capacity; requests beyond it
+	// stall until a slot frees.
+	ReadQueue int
+	// RowBlocks is the number of cache blocks per DRAM row (row-buffer
+	// locality granularity).
+	RowBlocks int
+}
+
+// DefaultDRAMConfig returns the Table 3 configuration at a 4 GHz core clock.
+func DefaultDRAMConfig() DRAMConfig {
+	return DRAMConfig{
+		Channels:  1,
+		Ranks:     8,
+		Banks:     8,
+		TRP:       50,
+		TRCD:      50,
+		TCAS:      50,
+		BusCycles: 8,
+		ReadQueue: 64,
+		RowBlocks: 32, // 2 KB rows of 64 B blocks
+	}
+}
+
+type dramBank struct {
+	readyAt uint64
+	openRow uint64
+	hasRow  bool
+}
+
+// completionHeap is a min-heap of outstanding-request completion times used
+// to model read-queue occupancy.
+type completionHeap []uint64
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DRAM models a bank-partitioned main memory with open-row policy and a
+// bounded read queue. It is deliberately simple — FCFS per bank — but
+// captures the two effects the evaluation depends on: row-buffer locality
+// (sequential prefetches are cheap) and queue contention (inaccurate
+// prefetch floods delay demand loads, §5's discussion of Pythia's
+// aggressiveness).
+type DRAM struct {
+	cfg         DRAMConfig
+	banks       []dramBank
+	outstanding completionHeap
+
+	// Reads counts all requests; RowHits counts those that hit an open row.
+	Reads   uint64
+	RowHits uint64
+}
+
+// NewDRAM returns a DRAM model for the given configuration.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	n := cfg.Channels * cfg.Ranks * cfg.Banks
+	if n <= 0 {
+		panic("sim: DRAM must have at least one bank")
+	}
+	if cfg.ReadQueue <= 0 {
+		panic("sim: DRAM read queue must be positive")
+	}
+	return &DRAM{cfg: cfg, banks: make([]dramBank, n)}
+}
+
+// Access issues a read for block at time now and returns its completion
+// cycle. Interleaving maps consecutive blocks across banks; each bank keeps
+// one open row.
+func (d *DRAM) Access(block uint64, now uint64) uint64 {
+	d.Reads++
+	// Drain completed requests from the queue-occupancy heap.
+	for len(d.outstanding) > 0 && d.outstanding[0] <= now {
+		heap.Pop(&d.outstanding)
+	}
+	start := now
+	if len(d.outstanding) >= d.cfg.ReadQueue {
+		// Queue full: wait for the earliest outstanding completion.
+		start = d.outstanding[0]
+		for len(d.outstanding) > 0 && d.outstanding[0] <= start {
+			heap.Pop(&d.outstanding)
+		}
+	}
+
+	row := block / uint64(d.cfg.RowBlocks)
+	bank := &d.banks[row%uint64(len(d.banks))]
+	if bank.readyAt > start {
+		start = bank.readyAt
+	}
+	var lat, busy int
+	if bank.hasRow && bank.openRow == row {
+		// Row hit: column accesses pipeline, so the bank is occupied only
+		// for the data burst even though the data takes tCAS to arrive.
+		lat = d.cfg.TCAS
+		busy = d.cfg.BusCycles
+		d.RowHits++
+	} else {
+		// Row miss: precharge + activate occupy the bank, then the burst.
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		busy = d.cfg.TRP + d.cfg.TRCD + d.cfg.BusCycles
+		bank.openRow = row
+		bank.hasRow = true
+	}
+	done := start + uint64(lat)
+	bank.readyAt = start + uint64(busy)
+	heap.Push(&d.outstanding, done)
+	return done
+}
+
+// QueueDepth returns the number of requests still outstanding at time now.
+func (d *DRAM) QueueDepth(now uint64) int {
+	n := 0
+	for _, c := range d.outstanding {
+		if c > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all bank state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.banks {
+		d.banks[i] = dramBank{}
+	}
+	d.outstanding = d.outstanding[:0]
+	d.Reads, d.RowHits = 0, 0
+}

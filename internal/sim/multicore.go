@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pathfinder/internal/trace"
+)
+
+// sharedMemory is the part of the machine that cores contend for: the
+// last-level cache, the memory controller, and the set of in-flight
+// prefetch fills (a prefetch issued for one core can satisfy another
+// core's demand, as in a real shared LLC).
+type sharedMemory struct {
+	llc      *Cache
+	dram     *DRAM
+	inflight map[uint64]uint64 // block -> fill-ready cycle
+	fills    inflightHeap
+}
+
+func (s *sharedMemory) drainFills(now uint64) {
+	for len(s.fills) > 0 && s.fills[0].ready <= now {
+		f := heap.Pop(&s.fills).(inflightFill)
+		// The map entry may have been superseded (a demand consumed the
+		// in-flight fill); only fill if it still matches.
+		if r, ok := s.inflight[f.block]; ok && r == f.ready {
+			s.llc.Fill(f.block, true)
+			delete(s.inflight, f.block)
+		}
+	}
+}
+
+// corePipeline is one core's private state: L1/L2, the retire/dispatch
+// model, its dependence chains, and its share of the prefetch file.
+type corePipeline struct {
+	cfg  Config
+	l1   *Cache
+	l2   *Cache
+	accs []trace.Access
+	pfs  []trace.Prefetch
+
+	idx     int
+	retire  float64
+	ring    [512]retirePoint
+	ringLen int
+	ringPos int
+	chains  map[uint32]float64
+	pfIdx   int
+	prevID  uint64
+	firstID uint64
+
+	measuring  bool
+	warmCycles float64
+	warmInstr  uint64
+	res        Result
+}
+
+func newCorePipeline(cfg Config, accs []trace.Access, pfs []trace.Prefetch) *corePipeline {
+	c := &corePipeline{
+		cfg:       cfg,
+		l1:        NewCache(cfg.L1Sets, cfg.L1Ways),
+		l2:        NewCache(cfg.L2Sets, cfg.L2Ways),
+		accs:      accs,
+		pfs:       pfs,
+		chains:    make(map[uint32]float64),
+		measuring: cfg.Warmup == 0,
+	}
+	if len(accs) > 0 {
+		c.prevID = accs[0].ID
+		if c.prevID > 0 {
+			c.prevID--
+		}
+	}
+	c.firstID = c.prevID
+	return c
+}
+
+// dispatchTime returns the retire time of instruction targetID using the
+// recorded retire points, interpolating between them at the retire width.
+func (c *corePipeline) dispatchTime(targetID uint64) float64 {
+	for i := 0; i < c.ringLen; i++ {
+		p := c.ring[(c.ringPos-1-i+len(c.ring)*2)%len(c.ring)]
+		if p.id <= targetID {
+			return p.retire + float64(targetID-p.id)/float64(c.cfg.Width)
+		}
+	}
+	if targetID <= c.firstID {
+		return 0
+	}
+	return float64(targetID-c.firstID) / float64(c.cfg.Width)
+}
+
+// done reports whether the core has consumed its whole trace.
+func (c *corePipeline) done() bool { return c.idx >= len(c.accs) }
+
+// step processes the core's next access against the shared memory system.
+func (c *corePipeline) step(mem *sharedMemory) error {
+	cfg := c.cfg
+	acc := c.accs[c.idx]
+	if acc.ID <= c.prevID {
+		return fmt.Errorf("sim: access %d has non-increasing ID %d (prev %d)", c.idx, acc.ID, c.prevID)
+	}
+	gap := acc.ID - c.prevID // instructions retired including this load
+	c.prevID = acc.ID
+
+	// Non-load instructions between the previous load and this one retire
+	// at full width.
+	c.retire += float64(gap-1) / float64(cfg.Width)
+
+	// The load dispatches once its ROB slot exists and, for a member of a
+	// serial dependence chain, once the chain's previous load completed.
+	var dispatch float64
+	if acc.ID > uint64(cfg.ROB) {
+		dispatch = c.dispatchTime(acc.ID - uint64(cfg.ROB))
+	}
+	if acc.Chain != 0 {
+		if ready, ok := c.chains[acc.Chain]; ok && ready > dispatch {
+			dispatch = ready
+		}
+	}
+	now := uint64(dispatch)
+	mem.drainFills(now)
+
+	block := acc.Block()
+	var lat uint64
+	switch {
+	case func() bool { h, _ := c.l1.Lookup(block); return h }():
+		lat = uint64(cfg.L1Lat)
+	case func() bool { h, _ := c.l2.Lookup(block); return h }():
+		lat = uint64(cfg.L1Lat + cfg.L2Lat)
+		c.l1.Fill(block, false)
+	default:
+		hit, pfTouch := mem.llc.Lookup(block)
+		if c.measuring {
+			c.res.LLCLoadAccesses++
+		}
+		if hit {
+			lat = uint64(cfg.L1Lat + cfg.L2Lat + cfg.LLCLat)
+			if c.measuring {
+				c.res.LLCLoadHits++
+				if pfTouch {
+					c.res.PrefUseful++
+				}
+			}
+		} else if ready, ok := mem.inflight[block]; ok {
+			// Late prefetch: the line is on its way; the demand waits for
+			// the fill instead of issuing its own DRAM read.
+			tagLat := uint64(cfg.L1Lat + cfg.L2Lat + cfg.LLCLat)
+			if ready > now+tagLat {
+				lat = ready - now
+			} else {
+				lat = tagLat
+			}
+			delete(mem.inflight, block)
+			mem.llc.Fill(block, false)
+			if c.measuring {
+				c.res.LLCLoadHits++
+				c.res.PrefUseful++
+				c.res.PrefLate++
+			}
+		} else {
+			done := mem.dram.Access(block, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
+			lat = done - now
+			mem.llc.Fill(block, false)
+			if c.measuring {
+				c.res.LLCLoadMisses++
+			}
+		}
+		c.l2.Fill(block, false)
+		c.l1.Fill(block, false)
+	}
+
+	complete := dispatch + float64(lat)
+	if acc.Chain != 0 {
+		c.chains[acc.Chain] = complete
+	}
+	c.retire += 1.0 / float64(cfg.Width)
+	if complete > c.retire {
+		c.retire = complete
+	}
+	c.ring[c.ringPos%len(c.ring)] = retirePoint{id: acc.ID, retire: c.retire}
+	c.ringPos++
+	if c.ringLen < len(c.ring) {
+		c.ringLen++
+	}
+
+	// Issue this access's prefetches after the demand is handled.
+	// Prefetches are dropped under memory pressure: demand requests have
+	// priority at the controller.
+	dropDepth := cfg.PrefetchDropDepth
+	if dropDepth <= 0 {
+		dropDepth = cfg.DRAM.ReadQueue / 2
+	}
+	for c.pfIdx < len(c.pfs) && c.pfs[c.pfIdx].ID <= acc.ID {
+		pf := c.pfs[c.pfIdx]
+		c.pfIdx++
+		if c.measuring {
+			c.res.PrefIssued++
+		}
+		pb := pf.Block()
+		if mem.llc.Contains(pb) {
+			continue
+		}
+		if _, ok := mem.inflight[pb]; ok {
+			continue
+		}
+		if mem.dram.QueueDepth(now) >= dropDepth {
+			if c.measuring {
+				c.res.PrefDropped++
+			}
+			continue
+		}
+		done := mem.dram.Access(pb, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
+		mem.inflight[pb] = done
+		heap.Push(&mem.fills, inflightFill{ready: done, block: pb})
+		if c.measuring {
+			c.res.PrefFetched++
+		}
+	}
+
+	c.idx++
+	if !c.measuring && c.idx == cfg.Warmup {
+		c.measuring = true
+		c.warmCycles = c.retire
+		c.warmInstr = acc.ID - c.firstID
+		c.l1.ResetStats()
+		c.l2.ResetStats()
+	}
+	return nil
+}
+
+// finish computes the core's final metrics.
+func (c *corePipeline) finish() Result {
+	totalInstr := uint64(0)
+	if len(c.accs) > 0 {
+		totalInstr = c.accs[len(c.accs)-1].ID - c.firstID
+	}
+	c.res.Instructions = totalInstr - c.warmInstr
+	cycles := c.retire - c.warmCycles
+	if cycles < 1 {
+		cycles = 1
+	}
+	c.res.Cycles = uint64(cycles)
+	c.res.IPC = float64(c.res.Instructions) / cycles
+	return c.res
+}
+
+// RunMulti simulates several cores with private L1/L2 hierarchies sharing
+// one LLC and one memory controller — the co-scheduled-thread interference
+// scenario §2.3 raises as a source of noise for prefetchers. cores[i] is
+// core i's load trace and pfs[i] its prefetch file (nil for no
+// prefetching). Cores advance in local-retire-time order, so a stalled
+// core naturally falls behind while others occupy the shared resources.
+// It returns one Result per core.
+func RunMulti(cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Result, error) {
+	if cfg.Width <= 0 || cfg.ROB <= 0 {
+		return nil, fmt.Errorf("sim: invalid core config (width %d, ROB %d)", cfg.Width, cfg.ROB)
+	}
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("sim: no cores")
+	}
+	if pfs != nil && len(pfs) != len(cores) {
+		return nil, fmt.Errorf("sim: %d prefetch files for %d cores", len(pfs), len(cores))
+	}
+	for i, accs := range cores {
+		if cfg.Warmup >= len(accs) && len(accs) > 0 {
+			return nil, fmt.Errorf("sim: warmup %d >= core %d trace length %d", cfg.Warmup, i, len(accs))
+		}
+	}
+
+	mem := &sharedMemory{
+		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
+		dram:     NewDRAM(cfg.DRAM),
+		inflight: make(map[uint64]uint64),
+	}
+	pipes := make([]*corePipeline, len(cores))
+	for i, accs := range cores {
+		var p []trace.Prefetch
+		if pfs != nil {
+			p = pfs[i]
+		}
+		pipes[i] = newCorePipeline(cfg, accs, p)
+	}
+
+	// Advance the core with the smallest local retire time; this keeps
+	// the shared-resource access order consistent with wall-clock time.
+	for {
+		best := -1
+		for i, p := range pipes {
+			if p.done() {
+				continue
+			}
+			if best < 0 || p.retire < pipes[best].retire {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := pipes[best].step(mem); err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", best, err)
+		}
+	}
+
+	out := make([]Result, len(pipes))
+	for i, p := range pipes {
+		out[i] = p.finish()
+		out[i].DRAMReads = mem.dram.Reads
+		out[i].DRAMRowHits = mem.dram.RowHits
+	}
+	return out, nil
+}

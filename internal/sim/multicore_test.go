@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+// offsetTrace is seqTrace displaced into a distinct address region.
+func offsetTrace(n int, gap, region uint64) []trace.Access {
+	accs := seqTrace(n, gap)
+	for i := range accs {
+		accs[i].Addr += region << 36
+	}
+	return accs
+}
+
+func TestRunMultiValidation(t *testing.T) {
+	if _, err := RunMulti(DefaultConfig(), nil, nil); err == nil {
+		t.Error("accepted zero cores")
+	}
+	cfg := DefaultConfig()
+	cfg.Width = 0
+	if _, err := RunMulti(cfg, [][]trace.Access{seqTrace(10, 10)}, nil); err == nil {
+		t.Error("accepted zero width")
+	}
+	if _, err := RunMulti(DefaultConfig(), [][]trace.Access{seqTrace(10, 10)}, make([][]trace.Prefetch, 2)); err == nil {
+		t.Error("accepted mismatched prefetch file count")
+	}
+}
+
+func TestRunMultiSingleCoreMatchesRun(t *testing.T) {
+	accs := seqTrace(3000, 20)
+	var pfsFile []trace.Prefetch
+	for i := 0; i+8 < len(accs); i++ {
+		pfsFile = append(pfsFile, trace.Prefetch{ID: accs[i].ID, Addr: accs[i+8].Addr})
+	}
+	single, err := Run(DefaultConfig(), accs, pfsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := RunMulti(DefaultConfig(), [][]trace.Access{accs}, [][]trace.Prefetch{pfsFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := multi[0]
+	if m.IPC != single.IPC {
+		t.Errorf("1-core RunMulti IPC %.4f != Run IPC %.4f", m.IPC, single.IPC)
+	}
+	if m.PrefUseful != single.PrefUseful || m.LLCLoadMisses != single.LLCLoadMisses {
+		t.Errorf("counter mismatch: multi %+v vs single %+v", m, single)
+	}
+}
+
+func TestRunMultiInterferenceSlowsCores(t *testing.T) {
+	// Two memory-hungry cores sharing the LLC and DRAM must each run
+	// slower than alone.
+	a := offsetTrace(4000, 10, 1)
+	b := offsetTrace(4000, 10, 2)
+	alone, err := Run(DefaultConfig(), a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := RunMulti(DefaultConfig(), [][]trace.Access{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both[0].IPC >= alone.IPC {
+		t.Errorf("core 0 with co-runner IPC %.3f >= alone %.3f", both[0].IPC, alone.IPC)
+	}
+}
+
+func TestRunMultiLLCContention(t *testing.T) {
+	// A cache-fitting working set alone stays resident; with a streaming
+	// co-runner thrashing the shared LLC it suffers more LLC misses.
+	hot := make([]trace.Access, 6000)
+	for i := range hot {
+		// Working set of 2048 blocks: fits the scaled LLC (4096) alone.
+		hot[i] = trace.Access{ID: uint64(i+1) * 10, PC: 1, Addr: uint64(i%2048) * trace.BlockBytes * 17}
+	}
+	stream := offsetTrace(6000, 10, 3)
+	cfg := ScaledConfig()
+
+	alone, err := Run(cfg, hot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunMulti(cfg, [][]trace.Access{hot, stream}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared[0].LLCLoadMisses <= alone.LLCLoadMisses {
+		t.Errorf("co-runner did not increase LLC misses: %d vs %d alone",
+			shared[0].LLCLoadMisses, alone.LLCLoadMisses)
+	}
+}
+
+func TestRunMultiPrefetchSharing(t *testing.T) {
+	// A prefetch issued by core 0 for a block core 1 demands can satisfy
+	// core 1 (shared LLC).
+	shared := uint64(5) << 36
+	a := make([]trace.Access, 200)
+	b := make([]trace.Access, 200)
+	for i := range a {
+		a[i] = trace.Access{ID: uint64(i+1) * 10, PC: 1, Addr: shared + uint64(i)*trace.BlockBytes}
+		b[i] = trace.Access{ID: uint64(i+1) * 10, PC: 2, Addr: shared + uint64(i)*trace.BlockBytes}
+	}
+	// Core 0 prefetches the stream well ahead; core 1 has no prefetcher.
+	var pfs []trace.Prefetch
+	for i := 0; i+4 < len(a); i++ {
+		pfs = append(pfs, trace.Prefetch{ID: a[i].ID, Addr: a[i+4].Addr})
+	}
+	res, err := RunMulti(DefaultConfig(), [][]trace.Access{a, b}, [][]trace.Prefetch{pfs, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].LLCLoadHits == 0 {
+		t.Error("core 1 never hit lines prefetched by core 0")
+	}
+}
+
+func TestRunMultiPerCoreResults(t *testing.T) {
+	fast := make([]trace.Access, 1000)
+	for i := range fast {
+		fast[i] = trace.Access{ID: uint64(i+1) * 10, PC: 1, Addr: uint64(i%4) * trace.BlockBytes}
+	}
+	slow := offsetTrace(1000, 10, 4)
+	res, err := RunMulti(DefaultConfig(), [][]trace.Access{fast, slow}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if res[0].IPC <= res[1].IPC {
+		t.Errorf("cache-resident core IPC %.3f <= streaming core %.3f", res[0].IPC, res[1].IPC)
+	}
+}

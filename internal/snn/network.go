@@ -1,0 +1,647 @@
+// Package snn implements the spiking neural network at the heart of
+// PATHFINDER: a Diehl & Cook-style three-layer network of leaky
+// integrate-and-fire (LIF) neurons — an input layer, an excitatory layer
+// and a one-to-one inhibitory layer — trained on-line by spike-timing-
+// dependent plasticity (STDP). It reproduces the behaviour of the BindsNet
+// "DiehlAndCook" model the paper builds on (§3.1, Table 4), including
+// Poisson rate encoding of inputs, adaptive firing thresholds, lateral
+// inhibition, per-sample weight normalisation, and the low-cost 1-tick
+// approximation of §3.4.
+package snn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the network hyper-parameters. Defaults follow Table 4 of the
+// paper with the remaining LIF constants taken from the Diehl & Cook model
+// the paper instantiates in BindsNet.
+type Config struct {
+	// InputSize is the number of input neurons (D × H for PATHFINDER).
+	InputSize int
+	// Neurons is the number of excitatory neurons (and, one-to-one,
+	// inhibitory neurons). Table 4: 50.
+	Neurons int
+	// Exc is the excitatory→inhibitory connection strength. Table 4: 20.5.
+	Exc float64
+	// Inh is the inhibitory→excitatory connection strength. Table 4: 17.5.
+	// Lowering it lets several excitatory neurons fire per interval,
+	// which PATHFINDER uses for multi-degree prefetching (§3.4).
+	Inh float64
+	// InhHold is how many ticks an inhibitory neuron keeps suppressing
+	// the other excitatory neurons after it fires. Sustained inhibition
+	// is what gives the network its winner-take-all behaviour between the
+	// winner's refractory gaps.
+	InhHold int
+	// Norm is the per-neuron input-weight sum enforced after every
+	// sample. Table 4: 38.4.
+	Norm float64
+	// ThetaPlus is the adaptive-threshold increment on each excitatory
+	// spike. Table 4: 0.05.
+	ThetaPlus float64
+	// TCTheta is the adaptive-threshold decay time constant in ticks.
+	// Without decay a frequently-winning neuron's threshold grows without
+	// bound and it eventually falls silent; decay lets thresholds relax
+	// as the workload moves between phases.
+	TCTheta float64
+	// Ticks is the input-interval length T. Table 4: 32.
+	Ticks int
+	// FireProb is the per-tick Poisson spike probability of a fully-lit
+	// input pixel (rate coding intensity).
+	FireProb float64
+	// Temporal switches the input from rate coding to temporal coding
+	// (§2.4: "temporal encoding generates a spike at a tick that is a
+	// function of the input value"): each lit pixel spikes exactly once,
+	// earlier for brighter pixels. Deterministic and far sparser than
+	// rate coding — one spike per pixel per interval.
+	Temporal bool
+	// InputGain scales the synaptic current delivered by each input
+	// spike. PATHFINDER's pixel matrices light only a handful of pixels
+	// (versus hundreds for the MNIST images the Diehl & Cook model was
+	// tuned for), so without gain the excitatory layer rarely reaches
+	// threshold within an interval — the sparsity problem §3.4 discusses.
+	InputGain float64
+	// NuPre and NuPost are the STDP learning rates for the pre- and
+	// post-synaptic updates.
+	NuPre, NuPost float64
+	// WeightDependent switches STDP to the multiplicative
+	// (weight-dependent) rule: potentiation scales with the headroom
+	// (WMax − w) and depression with the weight itself, a soft-bound
+	// variant common in the STDP literature. The default additive rule
+	// with hard clamping is what BindsNet's PostPre implements.
+	WeightDependent bool
+	// WMax clamps learned weights to [0, WMax].
+	WMax float64
+	// TraceTC is the STDP trace time constant in ticks.
+	TraceTC float64
+	// Excitatory LIF constants.
+	RestE, ResetE, ThreshE, TCDecayE float64
+	RefracE                          int
+	// Inhibitory LIF constants.
+	RestI, ResetI, ThreshI, TCDecayI float64
+	RefracI                          int
+	// Seed makes weight initialisation and Poisson encoding
+	// deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's Table 4 configuration for an input of
+// the given size.
+func DefaultConfig(inputSize int) Config {
+	return Config{
+		InputSize: inputSize,
+		Neurons:   50,
+		Exc:       20.5,
+		Inh:       17.5,
+		InhHold:   4,
+		Norm:      38.4,
+		ThetaPlus: 0.05,
+		TCTheta:   1e4,
+		Ticks:     32,
+		FireProb:  0.5,
+		InputGain: 8,
+		NuPre:     1e-3,
+		NuPost:    5e-2,
+		WMax:      1.0,
+		TraceTC:   20,
+		RestE:     -65, ResetE: -60, ThreshE: -52, TCDecayE: 100, RefracE: 5,
+		RestI: -60, ResetI: -45, ThreshI: -40, TCDecayI: 10, RefracI: 2,
+		Seed: 1,
+	}
+}
+
+// Network is a Diehl & Cook SNN. It is not safe for concurrent use.
+type Network struct {
+	cfg Config
+
+	// w is the learned input→excitatory weight matrix, row-major
+	// [input][neuron].
+	w []float64
+	// colSum caches per-neuron input-weight sums for normalisation.
+	theta []float64 // adaptive threshold offsets, one per excitatory neuron
+
+	vE      []float64 // excitatory membrane potentials
+	vI      []float64 // inhibitory membrane potentials
+	refracE []int
+	refracI []int
+
+	xPre     []float64 // pre-synaptic traces (lazy-decayed)
+	xPreTick []int     // tick of last xPre update
+	xPost    []float64 // post-synaptic traces
+
+	decayE, decayI, decayTrace, decayTheta float64
+
+	rand *rng
+
+	// spikeCounts accumulates excitatory spikes within the current
+	// interval.
+	spikeCounts []int
+
+	// monitor, when non-nil, records per-tick state.
+	monitor *Monitor
+
+	tick int
+}
+
+// New constructs a network with uniform-random initial weights in
+// [0, 0.3 × WMax], mirroring BindsNet's initialisation.
+func New(cfg Config) (*Network, error) {
+	if cfg.InputSize <= 0 || cfg.Neurons <= 0 {
+		return nil, fmt.Errorf("snn: input size %d and neurons %d must be positive", cfg.InputSize, cfg.Neurons)
+	}
+	if cfg.Ticks <= 0 {
+		return nil, fmt.Errorf("snn: ticks %d must be positive", cfg.Ticks)
+	}
+	if cfg.FireProb <= 0 || cfg.FireProb > 1 {
+		return nil, fmt.Errorf("snn: fire probability %v outside (0, 1]", cfg.FireProb)
+	}
+	if cfg.InputGain <= 0 {
+		return nil, fmt.Errorf("snn: input gain %v must be positive", cfg.InputGain)
+	}
+	n := &Network{
+		cfg:         cfg,
+		w:           make([]float64, cfg.InputSize*cfg.Neurons),
+		theta:       make([]float64, cfg.Neurons),
+		vE:          make([]float64, cfg.Neurons),
+		vI:          make([]float64, cfg.Neurons),
+		refracE:     make([]int, cfg.Neurons),
+		refracI:     make([]int, cfg.Neurons),
+		xPre:        make([]float64, cfg.InputSize),
+		xPreTick:    make([]int, cfg.InputSize),
+		xPost:       make([]float64, cfg.Neurons),
+		spikeCounts: make([]int, cfg.Neurons),
+		decayE:      math.Exp(-1 / cfg.TCDecayE),
+		decayI:      math.Exp(-1 / cfg.TCDecayI),
+		decayTrace:  math.Exp(-1 / cfg.TraceTC),
+		decayTheta:  1,
+		rand:        newRNG(cfg.Seed),
+	}
+	if cfg.TCTheta > 0 {
+		n.decayTheta = math.Exp(-float64(cfg.Ticks) / cfg.TCTheta)
+	}
+	for i := range n.w {
+		n.w[i] = 0.3 * cfg.WMax * n.rand.float64()
+	}
+	for j := range n.vE {
+		n.vE[j] = cfg.RestE
+		n.vI[j] = cfg.RestI
+	}
+	n.normalize()
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Weights returns the weight between input i and excitatory neuron j.
+func (n *Network) Weight(i, j int) float64 { return n.w[i*n.cfg.Neurons+j] }
+
+// Theta returns neuron j's adaptive threshold offset.
+func (n *Network) Theta(j int) float64 { return n.theta[j] }
+
+// SetMonitor attaches (or with nil, detaches) a per-tick state recorder.
+func (n *Network) SetMonitor(m *Monitor) { n.monitor = m }
+
+// Result summarises one presented input interval.
+type Result struct {
+	// Spikes is the per-excitatory-neuron spike count over the interval.
+	Spikes []int
+	// Winner is the index of the most-firing neuron, or -1 if no neuron
+	// fired.
+	Winner int
+	// FirstFireTick is the tick of the first excitatory spike (1-based),
+	// or 0 if none fired.
+	FirstFireTick int
+}
+
+// FiredNeurons returns the neurons that fired at least once, ordered by
+// descending spike count (ties by lower index). PATHFINDER uses this for
+// multi-degree prefetching with lowered inhibition (§3.4).
+func (r Result) FiredNeurons() []int {
+	var fired []int
+	for j, c := range r.Spikes {
+		if c > 0 {
+			fired = append(fired, j)
+		}
+	}
+	// Insertion sort by count descending: the list is tiny.
+	for i := 1; i < len(fired); i++ {
+		for k := i; k > 0 && r.Spikes[fired[k]] > r.Spikes[fired[k-1]]; k-- {
+			fired[k], fired[k-1] = fired[k-1], fired[k]
+		}
+	}
+	return fired
+}
+
+// Present runs one input interval of cfg.Ticks ticks. pixels is the input
+// intensity vector in [0, 1] (the flattened Memory Access Pixel Matrix);
+// each pixel emits Poisson spikes at rate FireProb × intensity per tick.
+// When learn is true, STDP adjusts weights during the interval and the
+// per-neuron weight sums are re-normalised afterwards. State variables
+// (potentials, refractory counters, traces) are reset before the interval,
+// as BindsNet does between samples; adaptive thresholds and weights persist.
+func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
+	if len(pixels) != n.cfg.InputSize {
+		return Result{}, fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
+	}
+	n.resetState()
+	for j := range n.theta {
+		n.theta[j] *= n.decayTheta
+	}
+
+	// Gather the active pixels once; typical PATHFINDER inputs are very
+	// sparse (a handful of lit pixels out of hundreds).
+	active := make([]int, 0, 32)
+	for i, p := range pixels {
+		if p > 0 {
+			active = append(active, i)
+		}
+	}
+
+	res := Result{Spikes: n.spikeCounts, Winner: -1}
+	inhHold := make([]int, n.cfg.Neurons) // remaining suppression ticks per inh neuron
+	excSpiked := make([]bool, n.cfg.Neurons)
+	preSpikes := make([]int, 0, len(active))
+	// firedList accumulates the distinct neurons that fired this interval;
+	// only their input weights (and post traces) can be non-zero, which
+	// lets STDP depression and re-normalisation touch only those columns.
+	firedList := make([]int, 0, 8)
+
+	for t := 1; t <= n.cfg.Ticks; t++ {
+		n.tick++
+		// 1. Input spikes for this tick: Poisson rate coding by default,
+		// or one deterministic spike per pixel under temporal coding
+		// (brighter pixels spike earlier).
+		preSpikes = preSpikes[:0]
+		if n.cfg.Temporal {
+			for _, i := range active {
+				spikeTick := 1 + int((1-pixels[i])*float64(n.cfg.Ticks-1))
+				if spikeTick == t {
+					preSpikes = append(preSpikes, i)
+				}
+			}
+		} else {
+			for _, i := range active {
+				if n.rand.float64() < n.cfg.FireProb*pixels[i] {
+					preSpikes = append(preSpikes, i)
+				}
+			}
+		}
+
+		// 2. Excitatory layer: leak, integrate, inhibit, fire.
+		nn := n.cfg.Neurons
+		for j := 0; j < nn; j++ {
+			n.vE[j] = n.cfg.RestE + (n.vE[j]-n.cfg.RestE)*n.decayE
+			n.xPost[j] *= n.decayTrace
+		}
+		gain := n.cfg.InputGain
+		if n.cfg.Temporal {
+			// A temporal spike carries the whole interval's charge at
+			// once (rate coding delivers ~Ticks × FireProb spikes).
+			gain *= float64(n.cfg.Ticks) * n.cfg.FireProb
+		}
+		for _, i := range preSpikes {
+			row := n.w[i*nn : (i+1)*nn]
+			for j := 0; j < nn; j++ {
+				n.vE[j] += gain * row[j]
+			}
+		}
+		// Sustained lateral inhibition from inhibitory neurons that fired
+		// within the last InhHold ticks. A neuron is not inhibited by its
+		// own inhibitory partner.
+		holdCount := 0
+		for k := 0; k < nn; k++ {
+			if inhHold[k] > 0 {
+				holdCount++
+			}
+		}
+		if holdCount > 0 {
+			for j := 0; j < nn; j++ {
+				others := holdCount
+				if inhHold[j] > 0 {
+					others--
+				}
+				n.vE[j] -= n.cfg.Inh * float64(others)
+			}
+		}
+		for k := 0; k < nn; k++ {
+			if inhHold[k] > 0 {
+				inhHold[k]--
+			}
+		}
+		// Fire, with immediate same-tick lateral inhibition: the neuron
+		// with the highest potential fires first and suppresses the rest
+		// before they are examined, giving winner-take-all dynamics
+		// within a tick.
+		for j := 0; j < nn; j++ {
+			excSpiked[j] = false
+			if n.refracE[j] > 0 {
+				n.refracE[j]--
+				n.vE[j] = n.cfg.ResetE
+			}
+		}
+		for {
+			best := -1
+			for j := 0; j < nn; j++ {
+				if excSpiked[j] || n.refracE[j] > 0 {
+					continue
+				}
+				if n.vE[j] >= n.cfg.ThreshE+n.theta[j] {
+					if best < 0 || n.vE[j] > n.vE[best] {
+						best = j
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			excSpiked[best] = true
+			n.vE[best] = n.cfg.ResetE
+			n.refracE[best] = n.cfg.RefracE
+			n.theta[best] += n.cfg.ThetaPlus
+			if n.spikeCounts[best] == 0 {
+				firedList = append(firedList, best)
+			}
+			n.spikeCounts[best]++
+			n.xPost[best] = 1
+			if res.FirstFireTick == 0 {
+				res.FirstFireTick = t
+			}
+			for j := 0; j < nn; j++ {
+				if j != best && !excSpiked[j] {
+					n.vE[j] -= n.cfg.Inh
+				}
+			}
+		}
+
+		// 3. STDP: depress on pre spikes (against post traces), potentiate
+		// on post spikes (against pre traces). Post traces are non-zero
+		// only for neurons that fired this interval, so depression visits
+		// only those columns.
+		if learn && len(firedList) > 0 {
+			for _, i := range preSpikes {
+				row := n.w[i*nn : (i+1)*nn]
+				for _, j := range firedList {
+					dep := n.cfg.NuPre * n.xPost[j]
+					if n.cfg.WeightDependent {
+						dep *= row[j] / n.cfg.WMax
+					}
+					w := row[j] - dep
+					if w < 0 {
+						w = 0
+					}
+					row[j] = w
+				}
+			}
+		}
+		// Update pre traces after depression (BindsNet order), lazily.
+		for _, i := range preSpikes {
+			n.decayPreTrace(i)
+			n.xPre[i] = 1
+		}
+		if learn {
+			for j := 0; j < nn; j++ {
+				if !excSpiked[j] {
+					continue
+				}
+				for _, i := range active {
+					n.decayPreTrace(i)
+					idx := i*nn + j
+					pot := n.cfg.NuPost * n.xPre[i]
+					if n.cfg.WeightDependent {
+						pot *= (n.cfg.WMax - n.w[idx]) / n.cfg.WMax
+					}
+					w := n.w[idx] + pot
+					if w > n.cfg.WMax {
+						w = n.cfg.WMax
+					}
+					n.w[idx] = w
+				}
+			}
+		}
+
+		// 4. Inhibitory layer, driven one-to-one by excitatory spikes. An
+		// inhibitory spike suppresses the other excitatory neurons for
+		// the next InhHold ticks.
+		for j := 0; j < nn; j++ {
+			n.vI[j] = n.cfg.RestI + (n.vI[j]-n.cfg.RestI)*n.decayI
+			if excSpiked[j] {
+				n.vI[j] += n.cfg.Exc
+			}
+			if n.refracI[j] > 0 {
+				n.refracI[j]--
+				n.vI[j] = n.cfg.ResetI
+				continue
+			}
+			if n.vI[j] >= n.cfg.ThreshI {
+				n.vI[j] = n.cfg.ResetI
+				n.refracI[j] = n.cfg.RefracI
+				if n.cfg.InhHold > inhHold[j] {
+					inhHold[j] = n.cfg.InhHold
+				}
+			}
+		}
+
+		if n.monitor != nil {
+			n.monitor.record(t, n.vE, excSpiked)
+		}
+	}
+
+	if learn && len(firedList) > 0 {
+		n.normalizeNeurons(firedList)
+	}
+
+	best := -1
+	for j, c := range n.spikeCounts {
+		if c > 0 && (best < 0 || c > n.spikeCounts[best]) {
+			best = j
+		}
+	}
+	res.Winner = best
+	out := make([]int, len(n.spikeCounts))
+	copy(out, n.spikeCounts)
+	res.Spikes = out
+	return res, nil
+}
+
+// PresentOneTick is the low-cost approximation of §3.4 ("Lowering Time
+// Interval"): instead of simulating cfg.Ticks ticks of Poisson input, it
+// accumulates the expected input current once and ranks neurons by their
+// resulting potential relative to their adaptive threshold. The neuron with
+// the highest margin is taken as the one that would have fired first in the
+// full interval (Table 1 measures how often this matches). Learning in this
+// mode applies the net effect of STDP — potentiation of the winner's active
+// synapses — followed by the usual normalisation.
+func (n *Network) PresentOneTick(pixels []float64, learn bool) (Result, error) {
+	if len(pixels) != n.cfg.InputSize {
+		return Result{}, fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
+	}
+	nn := n.cfg.Neurons
+	for j := range n.theta {
+		n.theta[j] *= n.decayTheta
+	}
+	best, _ := n.rankOneTick(pixels)
+	res := Result{Spikes: make([]int, nn), Winner: best, FirstFireTick: 1}
+	if best >= 0 {
+		res.Spikes[best] = 1
+	}
+	if learn && best >= 0 {
+		n.theta[best] += n.cfg.ThetaPlus
+		for i, p := range pixels {
+			if p <= 0 {
+				continue
+			}
+			idx := i*nn + best
+			w := n.w[idx] + n.cfg.NuPost*p
+			if w > n.cfg.WMax {
+				w = n.cfg.WMax
+			}
+			n.w[idx] = w
+		}
+		n.normalizeNeurons([]int{best})
+	}
+	return res, nil
+}
+
+// rankOneTick computes the expected single-tick potentials and returns the
+// neuron with the highest potential-over-threshold margin. It does not
+// mutate network state.
+func (n *Network) rankOneTick(pixels []float64) (best int, pot []float64) {
+	nn := n.cfg.Neurons
+	pot = make([]float64, nn)
+	for i, p := range pixels {
+		if p <= 0 {
+			continue
+		}
+		row := n.w[i*nn : (i+1)*nn]
+		scale := n.cfg.FireProb * n.cfg.InputGain * p
+		for j := 0; j < nn; j++ {
+			pot[j] += scale * row[j]
+		}
+	}
+	// The neuron that fires first in the full interval is the one whose
+	// potential climbs to its own threshold fastest, so rank by expected
+	// charge rate relative to the distance each neuron must climb
+	// (threshold range plus its adaptive offset).
+	best = -1
+	bestRate := math.Inf(-1)
+	climb := n.cfg.ThreshE - n.cfg.RestE
+	for j := 0; j < nn; j++ {
+		rate := pot[j] / (climb + n.theta[j])
+		if rate > bestRate {
+			bestRate = rate
+			best = j
+		}
+	}
+	return best, pot
+}
+
+// OneTickWinner returns the neuron the 1-tick approximation would pick for
+// the input, without mutating any network state. The Table 1 experiment
+// compares this against the full-interval winner.
+func (n *Network) OneTickWinner(pixels []float64) (int, error) {
+	if len(pixels) != n.cfg.InputSize {
+		return -1, fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
+	}
+	best, _ := n.rankOneTick(pixels)
+	return best, nil
+}
+
+// Potentials returns a copy of the excitatory membrane potentials.
+func (n *Network) Potentials() []float64 {
+	out := make([]float64, len(n.vE))
+	copy(out, n.vE)
+	return out
+}
+
+func (n *Network) decayPreTrace(i int) {
+	dt := n.tick - n.xPreTick[i]
+	if dt > 0 && n.xPre[i] != 0 {
+		n.xPre[i] *= math.Pow(n.decayTrace, float64(dt))
+		if n.xPre[i] < 1e-12 {
+			n.xPre[i] = 0
+		}
+	}
+	n.xPreTick[i] = n.tick
+}
+
+// resetState restores per-sample state (potentials, refractory counters,
+// traces, interval spike counts) while preserving weights and thetas.
+func (n *Network) resetState() {
+	for j := range n.vE {
+		n.vE[j] = n.cfg.RestE
+		n.vI[j] = n.cfg.RestI
+		n.refracE[j] = 0
+		n.refracI[j] = 0
+		n.xPost[j] = 0
+		n.spikeCounts[j] = 0
+	}
+	for i := range n.xPre {
+		n.xPre[i] = 0
+		n.xPreTick[i] = n.tick
+	}
+}
+
+// normalize rescales every excitatory neuron's input weights so they sum to
+// cfg.Norm, as the Diehl & Cook model does after every sample.
+func (n *Network) normalize() {
+	all := make([]int, n.cfg.Neurons)
+	for j := range all {
+		all[j] = j
+	}
+	n.normalizeNeurons(all)
+}
+
+// normalizeNeurons rescales only the given neurons' input-weight columns.
+// Within an interval only firing neurons' weights change, so per-sample
+// normalisation needs to touch only those.
+func (n *Network) normalizeNeurons(neurons []int) {
+	nn := n.cfg.Neurons
+	for _, j := range neurons {
+		sum := 0.0
+		for i := 0; i < n.cfg.InputSize; i++ {
+			sum += n.w[i*nn+j]
+		}
+		if sum <= 0 {
+			continue
+		}
+		scale := n.cfg.Norm / sum
+		for i := 0; i < n.cfg.InputSize; i++ {
+			w := n.w[i*nn+j] * scale
+			if w > n.cfg.WMax {
+				w = n.cfg.WMax
+			}
+			n.w[i*nn+j] = w
+		}
+	}
+}
+
+// Monitor records per-tick excitatory potentials and spikes for
+// visualisation (Figure 3) and the §3.6 walkthrough (Table 2).
+type Monitor struct {
+	// Ticks holds one snapshot per simulated tick since the monitor was
+	// attached.
+	Ticks []MonitorTick
+}
+
+// MonitorTick is one recorded simulation tick.
+type MonitorTick struct {
+	// Tick is the tick index within its input interval (1-based).
+	Tick int
+	// Potentials is the excitatory membrane potential vector.
+	Potentials []float64
+	// Fired marks the excitatory neurons that spiked this tick.
+	Fired []bool
+}
+
+func (m *Monitor) record(t int, v []float64, fired []bool) {
+	vc := make([]float64, len(v))
+	copy(vc, v)
+	fc := make([]bool, len(fired))
+	copy(fc, fired)
+	m.Ticks = append(m.Ticks, MonitorTick{Tick: t, Potentials: vc, Fired: fc})
+}
+
+// Reset clears all recorded ticks.
+func (m *Monitor) Reset() { m.Ticks = nil }

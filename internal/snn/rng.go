@@ -1,0 +1,28 @@
+package snn
+
+// rng is a small, fast, deterministic xorshift64* generator. The SNN makes
+// one random draw per active pixel per tick, so it wants a generator with
+// no locking and trivially reproducible streams.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: s}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead checks the trace decoder never panics or over-allocates on
+// arbitrary input, and that valid traces round-trip through it.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, []Access{{ID: 1, PC: 2, Addr: 192, Chain: 3}, {ID: 9, PC: 4, Addr: 4096}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("PFT2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// records.
+		var buf bytes.Buffer
+		if err := Write(&buf, accs); err != nil {
+			t.Fatalf("Write of decoded trace failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(accs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(accs))
+		}
+	})
+}
+
+// FuzzReadPrefetches mirrors FuzzRead for prefetch files.
+func FuzzReadPrefetches(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WritePrefetches(&seed, []Prefetch{{ID: 1, Addr: 64}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("PFP1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pfs, err := ReadPrefetches(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePrefetches(&buf, pfs); err != nil {
+			t.Fatalf("Write of decoded prefetches failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressHelpers(t *testing.T) {
+	a := Access{Addr: 2*PageBytes + 5*BlockBytes + 7}
+	if got, want := a.Page(), uint64(2); got != want {
+		t.Errorf("Page() = %d, want %d", got, want)
+	}
+	if got, want := a.Offset(), 5; got != want {
+		t.Errorf("Offset() = %d, want %d", got, want)
+	}
+	if got, want := a.Block(), uint64(2*BlocksPerPage+5); got != want {
+		t.Errorf("Block() = %d, want %d", got, want)
+	}
+}
+
+func TestBlockAddrRoundTrip(t *testing.T) {
+	for _, block := range []uint64{0, 1, 63, 64, 12345, 1 << 40} {
+		addr := BlockAddr(block)
+		if got := (Access{Addr: addr}).Block(); got != block {
+			t.Errorf("Block(BlockAddr(%d)) = %d", block, got)
+		}
+	}
+}
+
+func TestPageOfOffsetOf(t *testing.T) {
+	block := uint64(3*BlocksPerPage + 17)
+	if got := PageOf(block); got != 3 {
+		t.Errorf("PageOf = %d, want 3", got)
+	}
+	if got := OffsetOf(block); got != 17 {
+		t.Errorf("OffsetOf = %d, want 17", got)
+	}
+}
+
+func TestDeltaSamePage(t *testing.T) {
+	a := uint64(5*BlocksPerPage + 10)
+	b := uint64(5*BlocksPerPage + 13)
+	d, ok := Delta(a, b)
+	if !ok || d != 3 {
+		t.Errorf("Delta = %d,%v; want 3,true", d, ok)
+	}
+	d, ok = Delta(b, a)
+	if !ok || d != -3 {
+		t.Errorf("reverse Delta = %d,%v; want -3,true", d, ok)
+	}
+}
+
+func TestDeltaCrossPage(t *testing.T) {
+	a := uint64(5*BlocksPerPage + 63)
+	b := uint64(6 * BlocksPerPage)
+	if _, ok := Delta(a, b); ok {
+		t.Error("Delta across pages reported ok")
+	}
+}
+
+func TestDeltaBounds(t *testing.T) {
+	// Property: any same-page delta is within [MinDelta, MaxDelta].
+	f := func(page uint64, o1, o2 uint8) bool {
+		a := page*BlocksPerPage + uint64(o1%BlocksPerPage)
+		b := page*BlocksPerPage + uint64(o2%BlocksPerPage)
+		d, ok := Delta(a, b)
+		return ok && d >= MinDelta && d <= MaxDelta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	accs := make([]Access, 1000)
+	id := uint64(0)
+	for i := range accs {
+		id += uint64(rng.Intn(50))
+		accs[i] = Access{ID: id, PC: rng.Uint64() >> 16, Addr: rng.Uint64() >> 8}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, accs); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, accs) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWriteRejectsDecreasingIDs(t *testing.T) {
+	accs := []Access{{ID: 5}, {ID: 3}}
+	if err := Write(&bytes.Buffer{}, accs); err == nil {
+		t.Error("Write accepted decreasing IDs")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := Read(strings.NewReader("XXXX\x00")); err == nil {
+		t.Error("Read accepted bad magic")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Access{{ID: 1, PC: 2, Addr: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-1])); err == nil {
+		t.Error("Read accepted truncated input")
+	}
+}
+
+func TestReadEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d records, want 0", len(got))
+	}
+}
+
+func TestPrefetchRoundTrip(t *testing.T) {
+	pfs := []Prefetch{{ID: 1, Addr: 64}, {ID: 1, Addr: 128}, {ID: 9, Addr: 4096}}
+	var buf bytes.Buffer
+	if err := WritePrefetches(&buf, pfs); err != nil {
+		t.Fatalf("WritePrefetches: %v", err)
+	}
+	got, err := ReadPrefetches(&buf)
+	if err != nil {
+		t.Fatalf("ReadPrefetches: %v", err)
+	}
+	if !reflect.DeepEqual(got, pfs) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWritePrefetchesRejectsDecreasingIDs(t *testing.T) {
+	pfs := []Prefetch{{ID: 5}, {ID: 4}}
+	if err := WritePrefetches(&bytes.Buffer{}, pfs); err == nil {
+		t.Error("WritePrefetches accepted decreasing IDs")
+	}
+}
+
+func TestReadPrefetchesRejectsBadMagic(t *testing.T) {
+	if _, err := ReadPrefetches(strings.NewReader("NOPE\x00")); err == nil {
+		t.Error("ReadPrefetches accepted bad magic")
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	// Property: sorting arbitrary uvarint-sized records by ID and round
+	// tripping them is the identity.
+	f := func(ids []uint16, pcs []uint32, addrs []uint64) bool {
+		n := len(ids)
+		if len(pcs) < n {
+			n = len(pcs)
+		}
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		accs := make([]Access, n)
+		id := uint64(0)
+		for i := 0; i < n; i++ {
+			id += uint64(ids[i])
+			accs[i] = Access{ID: id, PC: uint64(pcs[i]), Addr: addrs[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, accs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(accs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// failWriter errors after n bytes, exercising the encoder's error paths.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "synthetic write failure" }
+
+func TestWriteFailurePaths(t *testing.T) {
+	accs := []Access{{ID: 1, PC: 2, Addr: 192}, {ID: 5, PC: 9, Addr: 4096}}
+	// Sweep the failure point across the whole encoding.
+	var full bytes.Buffer
+	if err := Write(&full, accs); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n++ {
+		if err := Write(&failWriter{n: n}, accs); err == nil {
+			t.Fatalf("Write succeeded with a writer that fails after %d bytes", n)
+		}
+	}
+}
+
+func TestWritePrefetchesFailurePaths(t *testing.T) {
+	pfs := []Prefetch{{ID: 1, Addr: 64}, {ID: 3, Addr: 128}}
+	var full bytes.Buffer
+	if err := WritePrefetches(&full, pfs); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < full.Len(); n++ {
+		if err := WritePrefetches(&failWriter{n: n}, pfs); err == nil {
+			t.Fatalf("WritePrefetches succeeded failing after %d bytes", n)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import "pathfinder/internal/trace"
+
+// FilterCache returns the subsequence of accesses that miss a small
+// set-associative LRU cache of the given geometry (sets × ways blocks).
+//
+// The paper's traces come from the ML Prefetching Competition, where the
+// recorded stream is the loads that reach the LLC — i.e. already filtered
+// through L1/L2. Our generators emit raw load streams, which is why the
+// absolute delta densities of Tables 7/8 run higher here (see
+// EXPERIMENTS.md): spatially-adjacent field reads hit upper-level caches
+// in the paper's setup and never appear in its traces. Filtering a
+// generated trace through this function reproduces the paper's trace
+// semantics when that distinction matters.
+func FilterCache(accs []trace.Access, sets, ways int) []trace.Access {
+	if sets <= 0 || ways <= 0 {
+		out := make([]trace.Access, len(accs))
+		copy(out, accs)
+		return out
+	}
+	type line struct {
+		tag   uint64
+		lru   uint64
+		valid bool
+	}
+	lines := make([]line, sets*ways)
+	tick := uint64(0)
+	var out []trace.Access
+	for _, a := range accs {
+		tick++
+		block := a.Block()
+		set := lines[int(block%uint64(sets))*ways:][:ways]
+		hit := false
+		victim := 0
+		for i := range set {
+			if set[i].valid && set[i].tag == block {
+				set[i].lru = tick
+				hit = true
+				break
+			}
+			if !set[i].valid {
+				victim = i
+			} else if set[victim].valid && set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		if hit {
+			continue
+		}
+		set[victim] = line{tag: block, lru: tick, valid: true}
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"sort"
+
+	"pathfinder/internal/trace"
+)
+
+// DeltaStats summarises the within-page delta behaviour of a trace the way
+// Tables 7 and 8 of the paper do. A delta is recorded whenever an access
+// touches a page that has been touched before: it is the signed block
+// distance from the page's previous offset to the new one.
+type DeltaStats struct {
+	// Accesses is the number of loads examined.
+	Accesses int
+	// Deltas is the total number of same-page deltas observed.
+	Deltas int
+	// InRange maps a range bound R to the number of deltas with |d| < R
+	// (Table 7 reports R = 31 and R = 15).
+	InRange map[int]int
+	// PerWindow holds Table 8's per-1K-access statistics.
+	PerWindow WindowStats
+}
+
+// WindowStats aggregates per-window (1K accesses) delta statistics, averaged
+// over all full windows of the trace (Table 8).
+type WindowStats struct {
+	// Windows is the number of full windows measured.
+	Windows int
+	// AvgDeltas is the mean number of deltas per window.
+	AvgDeltas float64
+	// AvgDistinct is the mean number of distinct delta values per window.
+	AvgDistinct float64
+	// AvgTop5 is the mean summed occurrence count of the five most common
+	// distinct deltas per window.
+	AvgTop5 float64
+}
+
+// ComputeDeltaStats scans a trace and returns its delta statistics for the
+// given range bounds (e.g. 31 and 15 for Table 7).
+func ComputeDeltaStats(accs []trace.Access, ranges ...int) DeltaStats {
+	st := DeltaStats{Accesses: len(accs), InRange: make(map[int]int, len(ranges))}
+	for _, r := range ranges {
+		st.InRange[r] = 0
+	}
+	lastOffset := make(map[uint64]int) // page -> last offset
+	const window = 1000
+	var (
+		winDeltas  int
+		winCounts  = make(map[int]int)
+		sumDeltas  int
+		sumDist    int
+		sumTop5    int
+		numWindows int
+	)
+	flush := func() {
+		sumDeltas += winDeltas
+		sumDist += len(winCounts)
+		top := make([]int, 0, len(winCounts))
+		for _, c := range winCounts {
+			top = append(top, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(top)))
+		for i := 0; i < len(top) && i < 5; i++ {
+			sumTop5 += top[i]
+		}
+		numWindows++
+		winDeltas = 0
+		winCounts = make(map[int]int)
+	}
+	for i, a := range accs {
+		page, off := a.Page(), a.Offset()
+		if prev, ok := lastOffset[page]; ok {
+			d := off - prev
+			st.Deltas++
+			winDeltas++
+			winCounts[d]++
+			for _, r := range ranges {
+				if d > -r && d < r {
+					st.InRange[r]++
+				}
+			}
+		}
+		lastOffset[page] = off
+		if (i+1)%window == 0 {
+			flush()
+		}
+	}
+	if numWindows > 0 {
+		st.PerWindow = WindowStats{
+			Windows:     numWindows,
+			AvgDeltas:   float64(sumDeltas) / float64(numWindows),
+			AvgDistinct: float64(sumDist) / float64(numWindows),
+			AvgTop5:     float64(sumTop5) / float64(numWindows),
+		}
+	}
+	return st
+}

@@ -1,0 +1,663 @@
+// Package workload generates the synthetic memory-access traces that stand
+// in for the paper's benchmark suite (GAP, SPEC06, SPEC17, CloudSuite;
+// Table 5). We do not have the proprietary ChampSim traces of the ML
+// Prefetching Competition, so each benchmark is modelled as a mixture of
+// access-pattern components chosen to match the paper's own published
+// characterisation of the traces:
+//
+//   - the fraction of same-page deltas and their range occupancy (Table 7),
+//   - the per-1K-access delta vocabulary and its concentration (Table 8),
+//   - the instruction-per-load density (Table 5),
+//   - and the qualitative pattern class that drives the evaluation
+//     discussion in §5 (strided vs. delta-correlated vs. temporal-irregular
+//     vs. noisy server workloads).
+//
+// Generators are deterministic given (name, loads, seed).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pathfinder/internal/trace"
+)
+
+// Kind enumerates the access-pattern components a workload mixes.
+type Kind int
+
+const (
+	// KindDeltaPattern cycles a fixed within-page delta pattern, moving to
+	// a fresh page when the pattern walks off the page. This is the
+	// pattern class PATHFINDER is designed to learn (§3.2).
+	KindDeltaPattern Kind = iota
+	// KindStride walks memory with a constant block stride, crossing page
+	// boundaries freely. Next-line and Best-Offset excel here.
+	KindStride
+	// KindPointerChase follows a fixed pseudo-random ring of block
+	// addresses, optionally with branchy (multi-successor) nodes. Exact
+	// repetition makes it learnable by temporal prefetchers (SISB);
+	// branchiness breaks last-successor prediction while context-aware
+	// models can still follow it.
+	KindPointerChase
+	// KindTemporalLoop replays a prerecorded random address sequence in a
+	// loop: no within-page structure, perfect temporal correlation.
+	KindTemporalLoop
+	// KindRandom touches uniformly random blocks in a large region: noise
+	// that no prefetcher should cover.
+	KindRandom
+	// KindHot reuses a small working set with a skewed distribution,
+	// producing upper-level cache hits.
+	KindHot
+)
+
+// Component is one weighted access-pattern source inside a workload mix.
+type Component struct {
+	// Weight is the relative probability of this component producing the
+	// next access.
+	Weight int
+	// Kind selects the pattern class.
+	Kind Kind
+	// Pattern is the block-delta cycle for KindDeltaPattern.
+	Pattern []int
+	// NoiseProb replaces a pattern access with a random in-page offset.
+	NoiseProb float64
+	// Stride is the block stride for KindStride.
+	Stride int
+	// Nodes is the ring size for KindPointerChase and the loop length for
+	// KindTemporalLoop.
+	Nodes int
+	// BranchProb is the probability a pointer-chase node has two
+	// successors chosen by a hidden alternating state.
+	BranchProb float64
+	// Set is the working-set size in blocks for KindHot and the region
+	// size in pages for KindRandom.
+	Set int
+	// PCs is how many distinct load PCs the component cycles through
+	// (default 1).
+	PCs int
+	// Fields applies to KindPointerChase: how many loads each node visit
+	// performs. One load is the serializing next-pointer read; the rest
+	// are independent reads of the node's neighbouring blocks (its
+	// fields), which spatial prefetchers can cover. Default 1.
+	Fields int
+	// Chains is how many concurrent dependence chains the component
+	// interleaves (independent traversal cursors). More chains expose
+	// more memory-level parallelism; one chain is fully serial. Applies
+	// to KindPointerChase and KindTemporalLoop. Default 1.
+	Chains int
+	// MorphEvery makes a KindDeltaPattern component non-stationary: after
+	// this many of its accesses the pattern is replaced with a fresh
+	// random one. Program phases are what separate on-line learners
+	// (PATHFINDER adapts within tens of accesses, Figure 8) from
+	// epoch-trained models (Delta-LSTM "encounters several new deltas
+	// during testing", §5). Zero keeps the pattern fixed.
+	MorphEvery int
+}
+
+// Spec describes one synthetic benchmark trace.
+type Spec struct {
+	// Name is the benchmark trace name from Table 5 (e.g. "cc-5").
+	Name string
+	// Suite is the benchmark suite the trace belongs to (GAP, SPEC06, ...).
+	Suite string
+	// IDGap is the mean instruction-id gap between consecutive loads; it
+	// encodes Table 5's total-instructions-per-1M-loads density.
+	IDGap int
+	// Components is the weighted pattern mixture.
+	Components []Component
+}
+
+// Suite returns the 11 benchmark specs of the paper's evaluation (Table 5),
+// in the paper's order.
+func Suite() []Spec {
+	return []Spec{
+		{
+			// GAP connected components: CSR edge-array streaming with
+			// moderate delta patterns plus random vertex-property lookups.
+			Name: "cc-5", Suite: "GAP", IDGap: 31,
+			Components: []Component{
+				{Weight: 25, Kind: KindDeltaPattern, Pattern: []int{1, 2, 3}, NoiseProb: 0.08, MorphEvery: 6000},
+				{Weight: 15, Kind: KindDeltaPattern, Pattern: []int{2, 3, 6}, NoiseProb: 0.12, MorphEvery: 4500},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{1, 4, 2, 5}, NoiseProb: 0.15, MorphEvery: 3500},
+				{Weight: 20, Kind: KindPointerChase, Nodes: 6_000, BranchProb: 0.3, Fields: 3, Chains: 4},
+				{Weight: 18, Kind: KindRandom, Set: 8192},
+				{Weight: 12, Kind: KindHot, Set: 256},
+			},
+		},
+		{
+			// GAP breadth-first search: largely sequential frontier and
+			// edge scans; the most delta-dense trace in the suite.
+			Name: "bfs-10", Suite: "GAP", IDGap: 71,
+			Components: []Component{
+				{Weight: 35, Kind: KindStride, Stride: 1},
+				{Weight: 25, Kind: KindDeltaPattern, Pattern: []int{1, 1, 2}, NoiseProb: 0.05, MorphEvery: 8000},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{1, 3, 1}, NoiseProb: 0.1, MorphEvery: 4000},
+				{Weight: 15, Kind: KindPointerChase, Nodes: 6_000, BranchProb: 0.25, Fields: 2, Chains: 3},
+				{Weight: 10, Kind: KindHot, Set: 256},
+				{Weight: 5, Kind: KindRandom, Set: 8192},
+			},
+		},
+		{
+			// SPEC06 omnetpp: discrete-event simulation; tiny within-page
+			// delta vocabulary, heavy heap pointer traffic with strong
+			// temporal repetition.
+			Name: "471-omnetpp-s1", Suite: "SPEC06", IDGap: 65,
+			Components: []Component{
+				{Weight: 38, Kind: KindTemporalLoop, Nodes: 6_500},
+				{Weight: 8, Kind: KindDeltaPattern, Pattern: []int{2, 4}, NoiseProb: 0.05},
+				{Weight: 27, Kind: KindPointerChase, Nodes: 6_500, BranchProb: 0.08, Fields: 2, Chains: 2},
+				{Weight: 15, Kind: KindHot, Set: 384},
+				{Weight: 12, Kind: KindRandom, Set: 16384},
+			},
+		},
+		{
+			// SPEC06 astar: path-finding over pointer-linked graph nodes;
+			// few same-page deltas, repeated search sequences.
+			Name: "473-astar-s1", Suite: "SPEC06", IDGap: 99,
+			Components: []Component{
+				{Weight: 42, Kind: KindPointerChase, Nodes: 5_000, BranchProb: 0.3, PCs: 4, Fields: 2, Chains: 2},
+				{Weight: 22, Kind: KindTemporalLoop, Nodes: 5_500, Chains: 2},
+				{Weight: 6, Kind: KindDeltaPattern, Pattern: []int{1, 3}, NoiseProb: 0.1},
+				{Weight: 15, Kind: KindHot, Set: 512},
+				{Weight: 15, Kind: KindRandom, Set: 16384},
+			},
+		},
+		{
+			// SPEC06 soplex: sparse linear algebra; many distinct strides
+			// and delta patterns (wide vocabulary), strong row repetition.
+			Name: "450-soplex-s0", Suite: "SPEC06", IDGap: 39,
+			Components: []Component{
+				{Weight: 18, Kind: KindStride, Stride: 2},
+				{Weight: 14, Kind: KindStride, Stride: 5},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{1, 2, 3, 7}, NoiseProb: 0.1, MorphEvery: 3000},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{4, 9, 2}, NoiseProb: 0.15, MorphEvery: 3500},
+				{Weight: 8, Kind: KindDeltaPattern, Pattern: []int{11, 1, 6, 3}, NoiseProb: 0.2, MorphEvery: 2500},
+				{Weight: 22, Kind: KindTemporalLoop, Nodes: 7_000, Chains: 3},
+				{Weight: 10, Kind: KindHot, Set: 384},
+				{Weight: 8, Kind: KindRandom, Set: 8192},
+			},
+		},
+		{
+			// SPEC06 sphinx3: speech decoding; highly concentrated small
+			// deltas (Table 8: top-5 deltas cover most of the traffic).
+			Name: "482-sphinx-s0", Suite: "SPEC06", IDGap: 95,
+			Components: []Component{
+				{Weight: 32, Kind: KindStride, Stride: 1},
+				{Weight: 26, Kind: KindDeltaPattern, Pattern: []int{1, 2}, NoiseProb: 0.04, MorphEvery: 9000},
+				{Weight: 22, Kind: KindTemporalLoop, Nodes: 6_500, Chains: 3},
+				{Weight: 12, Kind: KindHot, Set: 256},
+				{Weight: 8, Kind: KindRandom, Set: 8192},
+			},
+		},
+		{
+			// SPEC17 mcf: vehicle scheduling; the most irregular trace.
+			// Branchy pointer chasing over a huge node set defeats both
+			// within-page delta learning and last-successor temporal
+			// prediction (§5: PATHFINDER's weakest benchmark).
+			Name: "605-mcf-s1", Suite: "SPEC17", IDGap: 48,
+			Components: []Component{
+				{Weight: 48, Kind: KindPointerChase, Nodes: 5_500, BranchProb: 0.35, PCs: 6, Fields: 2, Chains: 2},
+				{Weight: 8, Kind: KindDeltaPattern, Pattern: []int{5, 11, 3}, NoiseProb: 0.3},
+				{Weight: 22, Kind: KindRandom, Set: 32768},
+				{Weight: 12, Kind: KindTemporalLoop, Nodes: 7_500, Chains: 2},
+				{Weight: 10, Kind: KindHot, Set: 512},
+			},
+		},
+		{
+			// SPEC17 xalancbmk: XML transformation; a dominant non-unit
+			// delta coexists with a unit-stride component (the Pythia
+			// "local minimum" discussed in §5) plus temporal loops.
+			Name: "623-xalan-s1", Suite: "SPEC17", IDGap: 63,
+			Components: []Component{
+				{Weight: 30, Kind: KindDeltaPattern, Pattern: []int{3, 3, 3}, NoiseProb: 0.06, MorphEvery: 7000},
+				{Weight: 12, Kind: KindStride, Stride: 1},
+				{Weight: 28, Kind: KindTemporalLoop, Nodes: 6_000, Chains: 2},
+				{Weight: 12, Kind: KindHot, Set: 384},
+				{Weight: 10, Kind: KindPointerChase, Nodes: 5_000, BranchProb: 0.1, Fields: 2, Chains: 2},
+				{Weight: 8, Kind: KindRandom, Set: 8192},
+			},
+		},
+		{
+			// CloudSuite cassandra: server workload; many interleaved
+			// streams, large instruction footprint, substantial noise.
+			Name: "cassandra-phase0-core0", Suite: "CloudSuite", IDGap: 207,
+			Components: []Component{
+				{Weight: 22, Kind: KindPointerChase, Nodes: 8_000, BranchProb: 0.15, PCs: 8, Fields: 2, Chains: 3},
+				{Weight: 18, Kind: KindTemporalLoop, Nodes: 8_000, Chains: 3},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{1, 2, 5}, NoiseProb: 0.15, MorphEvery: 3000},
+				{Weight: 8, Kind: KindStride, Stride: 1},
+				{Weight: 22, Kind: KindRandom, Set: 32768},
+				{Weight: 20, Kind: KindHot, Set: 768},
+			},
+		},
+		{
+			// CloudSuite cloud9: JavaScript server; wide delta vocabulary
+			// with moderate concentration and heavy temporal reuse.
+			Name: "cloud9-phase0-core0", Suite: "CloudSuite", IDGap: 208,
+			Components: []Component{
+				{Weight: 14, Kind: KindDeltaPattern, Pattern: []int{2, 7, 1}, NoiseProb: 0.18, MorphEvery: 3500},
+				{Weight: 10, Kind: KindDeltaPattern, Pattern: []int{6, 1, 9, 4}, NoiseProb: 0.2, MorphEvery: 2500},
+				{Weight: 12, Kind: KindStride, Stride: 3},
+				{Weight: 22, Kind: KindTemporalLoop, Nodes: 8_500, Chains: 3},
+				{Weight: 16, Kind: KindPointerChase, Nodes: 6_000, BranchProb: 0.12, PCs: 6, Fields: 2, Chains: 3},
+				{Weight: 14, Kind: KindRandom, Set: 16384},
+				{Weight: 12, Kind: KindHot, Set: 512},
+			},
+		},
+		{
+			// CloudSuite nutch: search indexing; delta-dense with a highly
+			// concentrated top-5 vocabulary (Table 8).
+			Name: "nutch-phase0-core0", Suite: "CloudSuite", IDGap: 154,
+			Components: []Component{
+				{Weight: 28, Kind: KindDeltaPattern, Pattern: []int{1, 2, 1}, NoiseProb: 0.08, MorphEvery: 6000},
+				{Weight: 16, Kind: KindStride, Stride: 2},
+				{Weight: 14, Kind: KindDeltaPattern, Pattern: []int{4, 1, 4}, NoiseProb: 0.1, MorphEvery: 4000},
+				{Weight: 16, Kind: KindTemporalLoop, Nodes: 6_500, Chains: 3},
+				{Weight: 12, Kind: KindPointerChase, Nodes: 5_500, BranchProb: 0.1, Fields: 2, Chains: 3},
+				{Weight: 8, Kind: KindRandom, Set: 16384},
+				{Weight: 6, Kind: KindHot, Set: 384},
+			},
+		},
+	}
+}
+
+// Names returns the trace names of the suite, in order.
+func Names() []string {
+	specs := Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Lookup returns the spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, Names())
+}
+
+// Generate produces a deterministic trace of n loads for the named
+// benchmark. The same (name, n, seed) always yields the same trace. Beyond
+// the Table 5 suite, the executed graph kernels "bfs-csr" and "cc-csr"
+// (see graph.go) are accepted.
+func Generate(name string, n int, seed int64) ([]trace.Access, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		if accs, err2 := GenerateExecuted(name, n, seed); err2 == nil {
+			return accs, nil
+		}
+		return nil, err
+	}
+	return spec.Generate(n, seed), nil
+}
+
+// Generate produces a deterministic trace of n loads from the spec.
+func (s Spec) Generate(n int, seed int64) []trace.Access {
+	rng := rand.New(rand.NewSource(seed ^ int64(hashName(s.Name))))
+	streams := make([]stream, len(s.Components))
+	weights := make([]int, len(s.Components))
+	total := 0
+	for i, c := range s.Components {
+		streams[i] = newStream(c, i, rng)
+		total += c.Weight
+		weights[i] = total
+	}
+	if total == 0 {
+		return nil
+	}
+	accs := make([]trace.Access, n)
+	id := uint64(0)
+	for i := 0; i < n; i++ {
+		// Geometric-ish instruction gap with the Table 5 mean.
+		gap := 1 + rng.Intn(2*s.IDGap-1)
+		id += uint64(gap)
+		pick := rng.Intn(total)
+		j := sort.SearchInts(weights, pick+1)
+		pc, addr := streams[j].next(rng)
+		accs[i] = trace.Access{ID: id, PC: pc, Addr: addr, Chain: streams[j].chain()}
+	}
+	return accs
+}
+
+func hashName(s string) uint64 {
+	// FNV-1a, inlined to keep the package dependency-free.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// stream produces one access at a time for a single component. chain is
+// non-zero for streams whose loads form a serial dependence chain.
+type stream interface {
+	next(rng *rand.Rand) (pc, addr uint64)
+	chain() uint32
+}
+
+// regionBase gives each component a disjoint 16 GB virtual region so
+// components never alias pages.
+func regionBase(idx int) uint64 { return uint64(idx+1) << 34 }
+
+func pcBase(idx int) uint64 { return 0x400000 + uint64(idx)*0x1000 }
+
+func newStream(c Component, idx int, rng *rand.Rand) stream {
+	switch c.Kind {
+	case KindDeltaPattern:
+		return &deltaPatternStream{
+			base:    regionBase(idx),
+			pc:      pcBase(idx),
+			pattern: append([]int(nil), c.Pattern...),
+			noise:   c.NoiseProb,
+			morph:   c.MorphEvery,
+			offset:  0,
+			page:    0,
+		}
+	case KindStride:
+		return &strideStream{base: regionBase(idx), pc: pcBase(idx), stride: c.Stride}
+	case KindPointerChase:
+		return newPointerChase(c, idx, rng)
+	case KindTemporalLoop:
+		return newTemporalLoop(c, idx, rng)
+	case KindRandom:
+		pages := c.Set
+		if pages <= 0 {
+			pages = 4096
+		}
+		return &randomStream{base: regionBase(idx), pc: pcBase(idx), pages: pages}
+	case KindHot:
+		return newHotStream(c, idx, rng)
+	default:
+		panic(fmt.Sprintf("workload: unknown component kind %d", c.Kind))
+	}
+}
+
+// deltaPatternStream cycles Pattern within pages of its region and advances
+// to a fresh page when the next delta would leave the page.
+type deltaPatternStream struct {
+	base    uint64
+	pc      uint64
+	pattern []int
+	noise   float64
+	morph   int
+	count   int
+	page    uint64
+	offset  int
+	pos     int
+}
+
+func (d *deltaPatternStream) chain() uint32 { return 0 }
+
+func (d *deltaPatternStream) next(rng *rand.Rand) (uint64, uint64) {
+	d.count++
+	if d.morph > 0 && d.count%d.morph == 0 {
+		// Phase change: a fresh random pattern of 2-4 small deltas.
+		n := 2 + rng.Intn(3)
+		d.pattern = d.pattern[:0]
+		for i := 0; i < n; i++ {
+			d.pattern = append(d.pattern, 1+rng.Intn(12))
+		}
+		d.pos = 0
+	}
+	if d.noise > 0 && rng.Float64() < d.noise {
+		off := rng.Intn(trace.BlocksPerPage)
+		return d.pc, d.base + d.page*trace.PageBytes + uint64(off)*trace.BlockBytes
+	}
+	delta := d.pattern[d.pos%len(d.pattern)]
+	d.pos++
+	next := d.offset + delta
+	if next < 0 || next >= trace.BlocksPerPage {
+		// Pattern walked off the page: start over on the next page.
+		d.page++
+		d.offset = 0
+		d.pos = 1 // the first delta of the pattern was "consumed" landing here
+		next = 0
+	}
+	d.offset = next
+	return d.pc, d.base + d.page*trace.PageBytes + uint64(d.offset)*trace.BlockBytes
+}
+
+// strideStream walks memory with a fixed block stride, crossing pages.
+type strideStream struct {
+	base   uint64
+	pc     uint64
+	stride int
+	block  uint64
+}
+
+func (s *strideStream) chain() uint32 { return 0 }
+
+func (s *strideStream) next(rng *rand.Rand) (uint64, uint64) {
+	addr := s.base + s.block*trace.BlockBytes
+	s.block += uint64(s.stride)
+	// Wrap within a 4 GB window to bound the footprint.
+	if s.block >= (1<<32)/trace.BlockBytes {
+		s.block = 0
+	}
+	return s.pc, addr
+}
+
+// pointerChaseStream follows a fixed ring of pseudo-random block addresses.
+// Branchy nodes have two successors chosen by a hidden alternating bit, so a
+// last-successor predictor is right only half the time on them while a
+// context-aware predictor can follow the alternation.
+type pointerChaseStream struct {
+	chainBase uint32
+	pcs       []uint64
+	nodes     []uint64 // block addresses
+	succ      []int32
+	succAlt   []int32 // -1 if not branchy
+	state     []bool  // hidden alternating bit per branchy node
+	cursors   []int   // one traversal cursor per concurrent chain
+	curChain  int     // cursor taking the next hop (round-robin)
+	pcPos     int
+	fields    int
+	// fieldsLeft counts the independent field reads still due for the
+	// current cursor's node before its next serializing pointer hop;
+	// lastChain is the chain id of the most recently emitted access.
+	fieldsLeft int
+	lastChain  uint32
+}
+
+func newPointerChase(c Component, idx int, rng *rand.Rand) *pointerChaseStream {
+	n := c.Nodes
+	if n <= 0 {
+		n = 1024
+	}
+	npc := c.PCs
+	if npc <= 0 {
+		npc = 1
+	}
+	fields := c.Fields
+	if fields < 1 {
+		fields = 1
+	}
+	chains := c.Chains
+	if chains < 1 {
+		chains = 1
+	}
+	s := &pointerChaseStream{
+		chainBase: uint32((idx + 1) * 64),
+		fields:    fields,
+		cursors:   make([]int, chains),
+		nodes:     make([]uint64, n),
+		succ:      make([]int32, n),
+		succAlt:   make([]int32, n),
+		state:     make([]bool, n),
+		pcs:       make([]uint64, npc),
+	}
+	for i := range s.pcs {
+		s.pcs[i] = pcBase(idx) + uint64(i)*8
+	}
+	base := regionBase(idx)
+	span := uint64(n) * 2 // pack nodes at ~2 blocks per node
+	used := make(map[uint64]bool, n)
+	for i := range s.nodes {
+		// Nodes get distinct block addresses so each has a well-defined
+		// temporal successor.
+		blk := rng.Uint64() % span
+		for used[blk] {
+			blk = (blk + 1) % span
+		}
+		used[blk] = true
+		s.nodes[i] = base + blk*trace.BlockBytes
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		s.succ[perm[i]] = int32(perm[(i+1)%n])
+		s.succAlt[perm[i]] = -1
+	}
+	for i := 0; i < n; i++ {
+		if rng.Float64() < c.BranchProb {
+			s.succAlt[i] = int32(rng.Intn(n))
+		}
+	}
+	for c := range s.cursors {
+		s.cursors[c] = rng.Intn(n)
+	}
+	return s
+}
+
+// chain reports the chain id of the most recently emitted access: the
+// serializing pointer hops carry the chain; field reads are independent.
+func (s *pointerChaseStream) chain() uint32 { return s.lastChain }
+
+func (s *pointerChaseStream) next(rng *rand.Rand) (uint64, uint64) {
+	pc := s.pcs[s.pcPos]
+	s.pcPos = (s.pcPos + 1) % len(s.pcs)
+	cur := s.cursors[s.curChain]
+	if s.fieldsLeft > 0 {
+		// Independent field read: a block adjacent to the current node.
+		s.fieldsLeft--
+		s.lastChain = 0
+		return pc, s.nodes[cur] + uint64(s.fields-s.fieldsLeft)*trace.BlockBytes
+	}
+	addr := s.nodes[cur]
+	nxt := s.succ[cur]
+	if alt := s.succAlt[cur]; alt >= 0 {
+		if s.state[cur] {
+			nxt = alt
+		}
+		s.state[cur] = !s.state[cur]
+	}
+	s.cursors[s.curChain] = int(nxt)
+	s.fieldsLeft = s.fields - 1
+	s.lastChain = s.chainBase + uint32(s.curChain)
+	s.curChain = (s.curChain + 1) % len(s.cursors)
+	return pc, addr
+}
+
+// temporalLoopStream replays a fixed random address sequence forever.
+type temporalLoopStream struct {
+	chainBase uint32
+	pc        uint64
+	seq       []uint64
+	cursors   []int
+	curChain  int
+	base      uint64
+}
+
+func newTemporalLoop(c Component, idx int, rng *rand.Rand) *temporalLoopStream {
+	n := c.Nodes
+	if n <= 0 {
+		n = 1024
+	}
+	chains := c.Chains
+	if chains < 1 {
+		chains = 1
+	}
+	s := &temporalLoopStream{
+		chainBase: uint32((idx + 1) * 64),
+		pc:        pcBase(idx),
+		base:      regionBase(idx),
+		cursors:   make([]int, chains),
+	}
+	// Loop entries get distinct block addresses: a temporal loop models a
+	// pointer-linked structure traversed in order, where each element has
+	// one well-defined successor. (Sampling with replacement would give
+	// duplicated addresses conflicting successors and silently break
+	// last-successor temporal prediction.)
+	s.seq = make([]uint64, n)
+	span := uint64(n) * 2
+	used := make(map[uint64]bool, n)
+	for i := range s.seq {
+		blk := rng.Uint64() % span
+		for used[blk] {
+			blk = (blk + 1) % span
+		}
+		used[blk] = true
+		s.seq[i] = s.base + blk*trace.BlockBytes
+	}
+	for i := range s.cursors {
+		s.cursors[i] = i * n / chains // staggered around the loop
+	}
+	return s
+}
+
+// chain marks temporal-loop loads as serially dependent, modelling
+// linked traversals of event queues and object graphs.
+func (s *temporalLoopStream) chain() uint32 { return s.chainBase + uint32(s.curChain) }
+
+func (s *temporalLoopStream) next(rng *rand.Rand) (uint64, uint64) {
+	c := (s.curChain + 1) % len(s.cursors)
+	s.curChain = c
+	addr := s.seq[s.cursors[c]]
+	s.cursors[c] = (s.cursors[c] + 1) % len(s.seq)
+	return s.pc, addr
+}
+
+// randomStream touches uniformly random blocks within its region.
+type randomStream struct {
+	base  uint64
+	pc    uint64
+	pages int
+}
+
+func (s *randomStream) chain() uint32 { return 0 }
+
+func (s *randomStream) next(rng *rand.Rand) (uint64, uint64) {
+	page := uint64(rng.Intn(s.pages))
+	off := uint64(rng.Intn(trace.BlocksPerPage))
+	return s.pc, s.base + page*trace.PageBytes + off*trace.BlockBytes
+}
+
+// hotStream reuses a small working set with a skewed (approximately Zipfian)
+// distribution so most of its accesses hit in the upper-level caches.
+type hotStream struct {
+	pc    uint64
+	addrs []uint64
+}
+
+func newHotStream(c Component, idx int, rng *rand.Rand) *hotStream {
+	n := c.Set
+	if n <= 0 {
+		n = 256
+	}
+	s := &hotStream{pc: pcBase(idx)}
+	base := regionBase(idx)
+	s.addrs = make([]uint64, n)
+	for i := range s.addrs {
+		s.addrs[i] = base + uint64(i)*trace.BlockBytes
+	}
+	return s
+}
+
+func (s *hotStream) chain() uint32 { return 0 }
+
+func (s *hotStream) next(rng *rand.Rand) (uint64, uint64) {
+	// Squaring a uniform variate skews the index toward 0: a cheap
+	// Zipf-like distribution.
+	f := rng.Float64()
+	i := int(f * f * float64(len(s.addrs)))
+	if i >= len(s.addrs) {
+		i = len(s.addrs) - 1
+	}
+	return s.pc, s.addrs[i]
+}

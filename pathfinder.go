@@ -1,0 +1,324 @@
+// Package pathfinder is a from-scratch Go reproduction of PATHFINDER
+// (ASPLOS 2024): a hardware data prefetcher that learns within-page address
+// delta patterns in real time with a spiking neural network trained by
+// spike-timing-dependent plasticity (STDP).
+//
+// The package is the public facade over the full system:
+//
+//   - the PATHFINDER prefetcher and its SNN substrate (New, DefaultConfig);
+//   - every baseline the paper compares against: NextLine, Best-Offset,
+//     SPP, an idealized SISB, Pythia (online), and the offline neural
+//     baselines Delta-LSTM and Voyager (GenerateDeltaLSTM,
+//     GenerateVoyager);
+//   - synthetic workload generators standing in for the paper's GAP /
+//     SPEC / CloudSuite traces (Workloads, GenerateTrace);
+//   - the trace-driven timing simulator that turns prefetch files into
+//     IPC, accuracy and coverage (Simulate, Evaluate);
+//   - the hardware cost model of §3.5 (HardwareCost).
+//
+// A minimal end-to-end run:
+//
+//	accs, _ := pathfinder.GenerateTrace("cc-5", 100_000, 1)
+//	pf, _ := pathfinder.New(pathfinder.DefaultConfig())
+//	m, _ := pathfinder.Evaluate(pf, accs, pathfinder.DefaultSimConfig())
+//	fmt.Printf("IPC %.3f accuracy %.2f coverage %.2f\n", m.IPC, m.Accuracy, m.Coverage)
+package pathfinder
+
+import (
+	"fmt"
+	"io"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/hwcost"
+	"pathfinder/internal/lstm"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/snn"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+// Core prefetcher types.
+type (
+	// Config selects a PATHFINDER variant (§3); see DefaultConfig.
+	Config = core.Config
+	// Prefetcher is a PATHFINDER instance. It implements OnlinePrefetcher.
+	Prefetcher = core.Pathfinder
+	// Stats are PATHFINDER's internal counters.
+	Stats = core.Stats
+)
+
+// Trace types.
+type (
+	// Access is one load of a memory trace.
+	Access = trace.Access
+	// PrefetchEntry is one record of a prefetch file.
+	PrefetchEntry = trace.Prefetch
+)
+
+// Simulation types.
+type (
+	// SimConfig is the machine configuration (Table 3 defaults).
+	SimConfig = sim.Config
+	// SimResult carries one simulation's measurements.
+	SimResult = sim.Result
+)
+
+// OnlinePrefetcher is the common interface of PATHFINDER and the online
+// baselines: observe one access, suggest up to budget prefetch addresses.
+type OnlinePrefetcher = prefetch.Prefetcher
+
+// SNN types, exposed for the §3.6 demonstrations.
+type (
+	// SNNConfig holds the spiking-network hyper-parameters (Table 4).
+	SNNConfig = snn.Config
+	// SNN is the Diehl & Cook spiking network PATHFINDER queries.
+	SNN = snn.Network
+	// SNNMonitor records per-tick potentials and spikes (Figure 3).
+	SNNMonitor = snn.Monitor
+)
+
+// Hardware cost types (§3.5, Table 9).
+type (
+	// HWConfig describes a PATHFINDER hardware configuration for costing.
+	HWConfig = hwcost.Config
+	// HWCost is an area/power estimate at 12 nm.
+	HWCost = hwcost.Cost
+)
+
+// Offline baseline configurations.
+type (
+	// DeltaLSTMConfig configures the Delta-LSTM baseline.
+	DeltaLSTMConfig = lstm.DeltaLSTMConfig
+	// VoyagerConfig configures the Voyager baseline.
+	VoyagerConfig = lstm.VoyagerConfig
+)
+
+// Budget is the per-access prefetch budget used throughout the evaluation
+// (§4.5: at most 2 prefetches per access).
+const Budget = prefetch.Budget
+
+// Cache replacement policies for SimConfig.LLCPolicy.
+const (
+	// PolicyLRU is true least-recently-used replacement (the default).
+	PolicyLRU = sim.PolicyLRU
+	// PolicySRRIP is re-reference interval prediction with prefetch-aware
+	// distant insertion.
+	PolicySRRIP = sim.PolicySRRIP
+)
+
+// DefaultConfig returns the paper's high-accuracy PATHFINDER configuration
+// (Figure 4): 50 neurons, 2 labels per neuron, delta range ±63, 32-tick
+// interval, degree 2.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// New builds a PATHFINDER prefetcher.
+func New(cfg Config) (*Prefetcher, error) { return core.New(cfg) }
+
+// LoadPrefetcher restores a trained PATHFINDER saved with
+// (*Prefetcher).Save: the SNN weights, adaptive thresholds, and the
+// Inference Table labels persist; the transient Training Table re-warms on
+// its own within a few accesses per page.
+func LoadPrefetcher(r io.Reader) (*Prefetcher, error) { return core.Load(r) }
+
+// NewSNN builds a standalone spiking network (for demos of the §3.6
+// behaviour; use DefaultSNNConfig for the Table 4 parameters).
+func NewSNN(cfg SNNConfig) (*SNN, error) { return snn.New(cfg) }
+
+// DefaultSNNConfig returns the Table 4 network parameters for an input of
+// the given size.
+func DefaultSNNConfig(inputSize int) SNNConfig { return snn.DefaultConfig(inputSize) }
+
+// Baseline constructors (§4.3).
+
+// NewNextLine returns a next-line prefetcher of the given degree (0 means
+// "fill the budget").
+func NewNextLine(degree int) OnlinePrefetcher { return &prefetch.NextLine{Degree: degree} }
+
+// NewBestOffset returns Michaud's Best-Offset prefetcher.
+func NewBestOffset() OnlinePrefetcher { return prefetch.NewBestOffset() }
+
+// NewSPP returns the Signature Path Prefetcher.
+func NewSPP() OnlinePrefetcher { return prefetch.NewSPP() }
+
+// NewSISB returns the idealized Irregular Stream Buffer.
+func NewSISB() OnlinePrefetcher { return prefetch.NewSISB() }
+
+// NewPythia returns the reinforcement-learning prefetcher.
+func NewPythia(seed int64) OnlinePrefetcher { return prefetch.NewPythia(seed) }
+
+// NewNoPrefetch returns the no-prefetching baseline.
+func NewNoPrefetch() OnlinePrefetcher { return prefetch.NoPrefetch{} }
+
+// NewStride returns a classic per-PC stride prefetcher (Baer & Chen, §2.1).
+func NewStride() OnlinePrefetcher { return prefetch.NewStride() }
+
+// NewVLDP returns the Variable Length Delta Prefetcher (Shevgoor et al.,
+// cited in §2.1 as the complex end of delta correlation).
+func NewVLDP() OnlinePrefetcher { return prefetch.NewVLDP() }
+
+// NewSMS returns Spatial Memory Streaming (Somogyi et al., the spatial
+// prefetcher family of §2.1).
+func NewSMS() OnlinePrefetcher { return prefetch.NewSMS() }
+
+// NewThrottle wraps any prefetcher with feedback-directed aggressiveness
+// control (Srinath et al.): it earns the full per-access budget only while
+// its recent suggestions are accurate — the throttling mechanism the
+// paper's Best-Offset baseline ships with disabled (§4.3).
+func NewThrottle(inner OnlinePrefetcher) OnlinePrefetcher { return prefetch.NewThrottle(inner) }
+
+// NewISB returns the realistic, bounded-metadata Irregular Stream Buffer
+// (Jain & Lin); NewSISB is its idealized unbounded variant.
+func NewISB() OnlinePrefetcher { return prefetch.NewISB() }
+
+// NewNextPage returns the cold-page first-access predictor implementing
+// the future-work item of §3.4 ("Initial Accesses to a Page"); ensemble it
+// with PATHFINDER to cover cold-page misses.
+func NewNextPage() OnlinePrefetcher { return prefetch.NewNextPage() }
+
+// NewDynamicEnsemble combines prefetchers with usefulness-scored priorities
+// — the "dynamic ensemble priority policies" the paper leaves as future
+// work (§5).
+func NewDynamicEnsemble(label string, members ...OnlinePrefetcher) OnlinePrefetcher {
+	d := prefetch.NewDynamicEnsemble(members...)
+	d.Label = label
+	return d
+}
+
+// NewEnsemble combines prefetchers with fixed priority (first wins); the
+// paper's best design point is NewEnsemble(pf, NewNextLine(0), NewSISB()).
+func NewEnsemble(label string, members ...OnlinePrefetcher) OnlinePrefetcher {
+	e := prefetch.NewEnsemble(members...)
+	e.Label = label
+	return e
+}
+
+// Workloads returns the names of the paper's 11 benchmark traces (Table 5).
+func Workloads() []string { return workload.Names() }
+
+// GenerateTrace synthesises a deterministic trace of n loads for the named
+// benchmark (see DESIGN.md for the trace-substitution rationale).
+func GenerateTrace(name string, n int, seed int64) ([]Access, error) {
+	return workload.Generate(name, n, seed)
+}
+
+// DefaultSimConfig returns the Table 3 machine configuration, appropriate
+// for full-length (1 M load) traces.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// ScaledSimConfig returns the Table 3 machine with its cache hierarchy
+// scaled down 8×, matching the shorter traces the experiment harness runs
+// by default (see sim.ScaledConfig for the rationale).
+func ScaledSimConfig() SimConfig { return sim.ScaledConfig() }
+
+// Simulate replays a trace and a prefetch file on the configured machine.
+func Simulate(cfg SimConfig, accs []Access, pfs []PrefetchEntry) (SimResult, error) {
+	return sim.Run(cfg, accs, pfs)
+}
+
+// SimulateMulti simulates several cores with private L1/L2 caches sharing
+// one LLC and memory controller — the co-scheduled-thread interference
+// scenario of §2.3. cores[i] is core i's trace; pfs may be nil, or one
+// prefetch file per core (individual entries may be nil). It returns one
+// result per core.
+func SimulateMulti(cfg SimConfig, cores [][]Access, pfs [][]PrefetchEntry) ([]SimResult, error) {
+	return sim.RunMulti(cfg, cores, pfs)
+}
+
+// GeneratePrefetches drives an online prefetcher over a trace, producing
+// its prefetch file (phase one of the two-phase flow of §4.1).
+func GeneratePrefetches(p OnlinePrefetcher, accs []Access, budget int) []PrefetchEntry {
+	return prefetch.GenerateFile(p, accs, budget)
+}
+
+// DefaultDeltaLSTMConfig returns the Delta-LSTM evaluation configuration.
+func DefaultDeltaLSTMConfig() DeltaLSTMConfig { return lstm.DefaultDeltaLSTMConfig() }
+
+// GenerateDeltaLSTM runs the offline Delta-LSTM baseline over a trace.
+func GenerateDeltaLSTM(cfg DeltaLSTMConfig, accs []Access, budget int) ([]PrefetchEntry, error) {
+	return lstm.GenerateDeltaLSTM(cfg, accs, budget)
+}
+
+// DefaultVoyagerConfig returns the Voyager evaluation configuration.
+func DefaultVoyagerConfig() VoyagerConfig { return lstm.DefaultVoyagerConfig() }
+
+// GenerateVoyager runs the offline Voyager baseline over a trace.
+func GenerateVoyager(cfg VoyagerConfig, accs []Access, budget int) ([]PrefetchEntry, error) {
+	return lstm.GenerateVoyager(cfg, accs, budget)
+}
+
+// DefaultHWConfig returns the paper's full hardware configuration.
+func DefaultHWConfig() HWConfig { return hwcost.DefaultConfig() }
+
+// HardwareCost estimates silicon area and power for a PATHFINDER hardware
+// configuration (§3.5; the default lands at the paper's 0.23 mm² / 0.5 W).
+func HardwareCost(cfg HWConfig) (HWCost, error) { return hwcost.Total(cfg) }
+
+// Metrics summarises one prefetcher evaluation (§4.5).
+type Metrics struct {
+	// Prefetcher and Trace identify the run.
+	Prefetcher, Trace string
+	// IPC is instructions per cycle after warmup.
+	IPC float64
+	// Accuracy is useful/issued prefetches.
+	Accuracy float64
+	// Coverage is useful prefetches over baseline LLC misses.
+	Coverage float64
+	// Issued and Useful are the raw prefetch counts; BaselineMisses is
+	// the no-prefetch LLC miss count the coverage is relative to.
+	Issued, Useful, BaselineMisses uint64
+}
+
+// Evaluate runs the complete two-phase evaluation of one online prefetcher
+// on a trace: a no-prefetch baseline simulation (for baseline misses), the
+// prefetch-file generation, and the timed replay. Warmup is 10% of the
+// trace.
+func Evaluate(p OnlinePrefetcher, accs []Access, cfg SimConfig) (Metrics, error) {
+	if len(accs) == 0 {
+		return Metrics{}, fmt.Errorf("pathfinder: empty trace")
+	}
+	cfg.Warmup = len(accs) / 10
+	base, err := sim.Run(cfg, accs, nil)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("pathfinder: baseline simulation: %w", err)
+	}
+	return EvaluateAgainstBaseline(p, accs, cfg, base.LLCLoadMisses)
+}
+
+// EvaluateAgainstBaseline is Evaluate with a precomputed baseline miss
+// count, letting callers share one baseline run across many prefetchers.
+// cfg.Warmup must already be set as it was for the baseline run.
+func EvaluateAgainstBaseline(p OnlinePrefetcher, accs []Access, cfg SimConfig, baselineMisses uint64) (Metrics, error) {
+	pfs := prefetch.GenerateFile(p, accs, Budget)
+	res, err := sim.Run(cfg, accs, pfs)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("pathfinder: prefetch simulation: %w", err)
+	}
+	return Metrics{
+		Prefetcher:     p.Name(),
+		IPC:            res.IPC,
+		Accuracy:       res.Accuracy(),
+		Coverage:       res.Coverage(baselineMisses),
+		Issued:         res.PrefIssued,
+		Useful:         res.PrefUseful,
+		BaselineMisses: baselineMisses,
+	}, nil
+}
+
+// EvaluateFile scores an already-generated prefetch file (used for the
+// offline baselines Delta-LSTM and Voyager).
+func EvaluateFile(name string, accs []Access, pfs []PrefetchEntry, cfg SimConfig, baselineMisses uint64) (Metrics, error) {
+	res, err := sim.Run(cfg, accs, pfs)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("pathfinder: prefetch simulation: %w", err)
+	}
+	return Metrics{
+		Prefetcher:     name,
+		IPC:            res.IPC,
+		Accuracy:       res.Accuracy(),
+		Coverage:       res.Coverage(baselineMisses),
+		Issued:         res.PrefIssued,
+		Useful:         res.PrefUseful,
+		BaselineMisses: baselineMisses,
+	}, nil
+}
