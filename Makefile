@@ -1,0 +1,24 @@
+# Verify flow. `make verify` is the tier-1 gate (see ROADMAP.md); `make race`
+# runs the race detector over the parallel evaluation engine and the
+# experiment harness that drives it.
+
+GO ?= go
+
+.PHONY: build test vet race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+verify: build test vet race

@@ -6,6 +6,12 @@ package pathfinder
 // cmd/experiments with -loads 1000000 for paper-scale numbers. Per-run
 // metrics are attached with b.ReportMetric so `-benchmem` output carries
 // the reproduced values, not just wall time.
+//
+// Harness notes: benchmarks pin WithParallelism(1) so wall-clock numbers
+// measure the simulator, not the worker pool's scheduling. The verify flow
+// also runs `go vet ./...` and the race target
+// (`go test -race ./internal/runner/... ./internal/experiments/...`, or
+// `make race`) to keep the parallel engine honest.
 
 import (
 	"io"
@@ -15,13 +21,14 @@ import (
 )
 
 // benchOpts are the reduced-scale settings used by every benchmark.
-func benchOpts() experiments.Options {
-	return experiments.Options{
-		Loads:       20_000,
-		Seed:        1,
-		Sim:         ScaledSimConfig(),
-		SkipOffline: true,
-	}
+func benchOpts(extra ...experiments.Option) []experiments.Option {
+	return append([]experiments.Option{
+		experiments.WithLoads(20_000),
+		experiments.WithSeed(1),
+		experiments.WithSim(ScaledSimConfig()),
+		experiments.WithSkipOffline(true),
+		experiments.WithParallelism(1),
+	}, extra...)
 }
 
 // fastTraces is a representative 4-trace subset covering the pattern
@@ -29,10 +36,9 @@ func benchOpts() experiments.Options {
 var fastTraces = []string{"cc-5", "bfs-10", "605-mcf-s1", "471-omnetpp-s1"}
 
 func BenchmarkTable1OneTickMatch(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = []string{"cc-5"}
+	opts := benchOpts(experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table1(io.Discard, opts)
+		rows, err := experiments.Table1(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,10 +60,9 @@ func BenchmarkTable2Walkthrough(b *testing.B) {
 // mean metric.
 func benchFig4(b *testing.B, metric func(experiments.Fig4Result) float64, unit string) {
 	b.Helper()
-	opts := benchOpts()
-	opts.Traces = fastTraces
+	opts := benchOpts(experiments.WithTraces(fastTraces...))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(io.Discard, opts)
+		res, err := experiments.Fig4(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,10 +97,9 @@ func BenchmarkFig4cCoverage(b *testing.B) {
 }
 
 func BenchmarkTable6IssuedPrefetches(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = []string{"cc-5"}
+	opts := benchOpts(experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(io.Discard, opts)
+		res, err := experiments.Fig4(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,10 +110,9 @@ func BenchmarkTable6IssuedPrefetches(b *testing.B) {
 }
 
 func BenchmarkFig5DeltaRange(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = []string{"cc-5", "623-xalan-s1"}
+	opts := benchOpts(experiments.WithTraces("cc-5", "623-xalan-s1"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(io.Discard, opts)
+		res, err := experiments.Fig5(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,10 +122,9 @@ func BenchmarkFig5DeltaRange(b *testing.B) {
 }
 
 func BenchmarkTable7DeltaRanges(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = fastTraces
+	opts := benchOpts(experiments.WithTraces(fastTraces...))
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table7(io.Discard, opts)
+		rows, err := experiments.Table7(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,11 +133,9 @@ func BenchmarkTable7DeltaRanges(b *testing.B) {
 }
 
 func BenchmarkFig6Neurons(b *testing.B) {
-	opts := benchOpts()
-	opts.Loads = 10_000
-	opts.Traces = []string{"cc-5"}
+	opts := benchOpts(experiments.WithLoads(10_000), experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(io.Discard, opts)
+		res, err := experiments.Fig6(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,10 +145,9 @@ func BenchmarkFig6Neurons(b *testing.B) {
 }
 
 func BenchmarkTable8DeltaStats(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = fastTraces
+	opts := benchOpts(experiments.WithTraces(fastTraces...))
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table8(io.Discard, opts)
+		rows, err := experiments.Table8(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,10 +156,9 @@ func BenchmarkTable8DeltaStats(b *testing.B) {
 }
 
 func BenchmarkFig7OneTick(b *testing.B) {
-	opts := benchOpts()
-	opts.Traces = []string{"cc-5", "bfs-10"}
+	opts := benchOpts(experiments.WithTraces("cc-5", "bfs-10"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig7(io.Discard, opts)
+		res, err := experiments.Fig7(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,11 +168,9 @@ func BenchmarkFig7OneTick(b *testing.B) {
 }
 
 func BenchmarkFig8DutyCycle(b *testing.B) {
-	opts := benchOpts()
-	opts.Loads = 10_000
-	opts.Traces = []string{"cc-5"}
+	opts := benchOpts(experiments.WithLoads(10_000), experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig8(io.Discard, opts)
+		res, err := experiments.Fig8(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,11 +180,9 @@ func BenchmarkFig8DutyCycle(b *testing.B) {
 }
 
 func BenchmarkFig9Variants(b *testing.B) {
-	opts := benchOpts()
-	opts.Loads = 10_000
-	opts.Traces = []string{"cc-5"}
+	opts := benchOpts(experiments.WithLoads(10_000), experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig9(io.Discard, opts)
+		res, err := experiments.Fig9(io.Discard, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,16 +6,23 @@
 //	experiments -run fig4 -skip-offline  # the headline comparison, online prefetchers only
 //	experiments -run fig5,fig7,table9 -loads 100000
 //	experiments -run fig4 -loads 1000000 -fullsim   # paper-scale machine + trace length
+//	experiments -run fig4 -par 1         # serial run (bit-identical results)
 //
 // Experiments: config, table1, table2, table7, table8, table9, fig4 (incl.
 // table 6), fig5, fig6, fig7, fig8, fig9.
+//
+// Grids fan out across GOMAXPROCS workers (override with -par); Ctrl-C
+// cancels the run mid-grid. A live progress line is written to stderr when
+// it is a terminal (-progress to force it on or off).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -36,6 +43,27 @@ func writeJSON(dir, name string, v any) error {
 	return os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644)
 }
 
+// stderrIsTerminal reports whether stderr is a character device, i.e. a
+// live terminal rather than a pipe or file.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressSink renders one in-place progress line per completed grid cell:
+// jobs done, the cell just finished, its wall clock and simulation speed.
+func progressSink(p experiments.Progress) {
+	rate := 0.0
+	if p.Wall > 0 {
+		rate = float64(p.Cycles) / p.Wall.Seconds() / 1e6
+	}
+	fmt.Fprintf(os.Stderr, "\r\x1b[K[%3d/%3d] %s/%s %.1fs %.0f Mcyc/s",
+		p.Done, p.Total, p.Trace, p.Prefetcher, p.Wall.Seconds(), rate)
+	if p.Done == p.Total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
 func main() {
 	var (
 		run         = flag.String("run", "all", "comma-separated experiments to run (all, config, table1, table2, table7, table8, table9, fig4..fig9, extended, noise, interference, degree, seeds, snnsweep, inputs)")
@@ -45,6 +73,8 @@ func main() {
 		skipOffline = flag.Bool("skip-offline", false, "skip Delta-LSTM and Voyager (much faster)")
 		fullSim     = flag.Bool("fullsim", false, "use the full Table 3 hierarchy instead of the trace-scaled one")
 		seeds       = flag.Int("seeds", 3, "seeds for the seed-variance study (-run seeds)")
+		par         = flag.Int("par", 0, "evaluation workers (0 = GOMAXPROCS; 1 = serial)")
+		progress    = flag.Bool("progress", stderrIsTerminal(), "render a live progress line on stderr")
 		jsonDir     = flag.String("json", "", "also write each experiment's structured result as <dir>/<name>.json")
 		list        = flag.Bool("list", false, "list experiments and exit")
 	)
@@ -77,16 +107,24 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{
-		Loads:       *loads,
-		Seed:        *seed,
-		SkipOffline: *skipOffline,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []experiments.Option{
+		experiments.WithContext(ctx),
+		experiments.WithLoads(*loads),
+		experiments.WithSeed(*seed),
+		experiments.WithSkipOffline(*skipOffline),
+		experiments.WithParallelism(*par),
 	}
 	if *traces != "" {
-		opts.Traces = strings.Split(*traces, ",")
+		opts = append(opts, experiments.WithTraces(strings.Split(*traces, ",")...))
 	}
 	if *fullSim {
-		opts.Sim = pathfinder.DefaultSimConfig()
+		opts = append(opts, experiments.WithSim(pathfinder.DefaultSimConfig()))
+	}
+	if *progress {
+		opts = append(opts, experiments.WithProgress(progressSink))
 	}
 
 	want := make(map[string]bool)
@@ -117,25 +155,25 @@ func main() {
 	}
 
 	out := os.Stdout
-	do("config", func() (any, error) { experiments.PrintConfig(out, opts); return nil, nil })
-	do("table1", func() (any, error) { return experiments.Table1(out, opts) })
-	do("table2", func() (any, error) { return experiments.Table2(out, opts.Seed) })
-	do("table7", func() (any, error) { return experiments.Table7(out, opts) })
-	do("table8", func() (any, error) { return experiments.Table8(out, opts) })
+	do("config", func() (any, error) { experiments.PrintConfig(out, opts...); return nil, nil })
+	do("table1", func() (any, error) { return experiments.Table1(out, opts...) })
+	do("table2", func() (any, error) { return experiments.Table2(out, *seed) })
+	do("table7", func() (any, error) { return experiments.Table7(out, opts...) })
+	do("table8", func() (any, error) { return experiments.Table8(out, opts...) })
 	do("table9", func() (any, error) { return experiments.Table9(out), nil })
-	do("fig4", func() (any, error) { return experiments.Fig4(out, opts) })
-	do("fig5", func() (any, error) { return experiments.Fig5(out, opts) })
-	do("fig6", func() (any, error) { return experiments.Fig6(out, opts) })
-	do("fig7", func() (any, error) { return experiments.Fig7(out, opts) })
-	do("fig8", func() (any, error) { return experiments.Fig8(out, opts) })
-	do("fig9", func() (any, error) { return experiments.Fig9(out, opts) })
-	do("extended", func() (any, error) { return experiments.Extended(out, opts) })
-	do("noise", func() (any, error) { return experiments.NoiseTolerance(out, opts) })
-	do("interference", func() (any, error) { return experiments.Interference(out, opts) })
-	do("degree", func() (any, error) { return experiments.Degree(out, opts) })
-	do("seeds", func() (any, error) { return experiments.SeedStudy(out, opts, *seeds) })
-	do("snnsweep", func() (any, error) { return experiments.SNNSensitivity(out, opts) })
-	do("inputs", func() (any, error) { return experiments.InputEncodings(out, opts) })
+	do("fig4", func() (any, error) { return experiments.Fig4(out, opts...) })
+	do("fig5", func() (any, error) { return experiments.Fig5(out, opts...) })
+	do("fig6", func() (any, error) { return experiments.Fig6(out, opts...) })
+	do("fig7", func() (any, error) { return experiments.Fig7(out, opts...) })
+	do("fig8", func() (any, error) { return experiments.Fig8(out, opts...) })
+	do("fig9", func() (any, error) { return experiments.Fig9(out, opts...) })
+	do("extended", func() (any, error) { return experiments.Extended(out, opts...) })
+	do("noise", func() (any, error) { return experiments.NoiseTolerance(out, opts...) })
+	do("interference", func() (any, error) { return experiments.Interference(out, opts...) })
+	do("degree", func() (any, error) { return experiments.Degree(out, opts...) })
+	do("seeds", func() (any, error) { return experiments.SeedStudy(out, *seeds, opts...) })
+	do("snnsweep", func() (any, error) { return experiments.SNNSensitivity(out, opts...) })
+	do("inputs", func() (any, error) { return experiments.InputEncodings(out, opts...) })
 
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; see -h\n", *run)

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pathfinder"
@@ -44,6 +46,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	accs, err := loadTrace(*traceFile, *traceName, *loads, *seed)
 	if err != nil {
 		fatal(err)
@@ -53,11 +58,6 @@ func main() {
 		cfg = pathfinder.DefaultSimConfig()
 	}
 	cfg.Warmup = len(accs) / 10
-
-	base, err := pathfinder.Simulate(cfg, accs, nil)
-	if err != nil {
-		fatal(err)
-	}
 
 	var pfs []pathfinder.PrefetchEntry
 	label := *pfName
@@ -93,6 +93,10 @@ func main() {
 		}
 	}
 	if *coRunner != "" {
+		base, err := pathfinder.Simulate(cfg, accs, nil)
+		if err != nil {
+			fatal(err)
+		}
 		co, err := pathfinder.GenerateTrace(*coRunner, len(accs), *seed+7)
 		if err != nil {
 			fatal(err)
@@ -114,18 +118,37 @@ func main() {
 		return
 	}
 
-	m, err := pathfinder.EvaluateFile(label, accs, pfs, cfg, base.LLCLoadMisses)
+	// The single-benchmark path goes through the evaluation engine: the
+	// no-prefetch baseline and the prefetch replay are one EvalJob, and the
+	// engine's progress sink reports simulation throughput on stderr.
+	r := pathfinder.NewRunner(pathfinder.RunnerConfig{
+		Loads: len(accs), Seed: *seed, Sim: cfg, Parallelism: 1,
+		Progress: func(p pathfinder.RunnerProgress) {
+			rate := 0.0
+			if p.Wall > 0 {
+				rate = float64(p.Cycles) / p.Wall.Seconds() / 1e6
+			}
+			fmt.Fprintf(os.Stderr, "pfsim: %s/%s simulated in %.2fs (%.0f Mcyc/s)\n",
+				p.Trace, p.Prefetcher, p.Wall.Seconds(), rate)
+		},
+	})
+	if pfs == nil {
+		pfs = []pathfinder.PrefetchEntry{} // an explicitly empty prefetch file
+	}
+	res, err := r.Eval(ctx, pathfinder.EvalJob{
+		Trace: *traceName, Accs: accs, Label: label, File: pfs,
+	})
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("trace            %s (%d loads)\n", *traceName, len(accs))
 	fmt.Printf("prefetcher       %s\n", label)
-	fmt.Printf("baseline IPC     %.3f (LLC misses %d)\n", base.IPC, base.LLCLoadMisses)
-	fmt.Printf("IPC              %.3f (%+.1f%%)\n", m.IPC, 100*(m.IPC/base.IPC-1))
-	fmt.Printf("accuracy         %.3f\n", m.Accuracy)
-	fmt.Printf("coverage         %.3f\n", m.Coverage)
-	fmt.Printf("issued / useful  %d / %d\n", m.Issued, m.Useful)
+	fmt.Printf("baseline IPC     %.3f (LLC misses %d)\n", res.BaselineIPC, res.BaselineMisses)
+	fmt.Printf("IPC              %.3f (%+.1f%%)\n", res.IPC, 100*(res.IPC/res.BaselineIPC-1))
+	fmt.Printf("accuracy         %.3f\n", res.Accuracy)
+	fmt.Printf("coverage         %.3f\n", res.Coverage)
+	fmt.Printf("issued / useful  %d / %d\n", res.Issued, res.Useful)
 }
 
 func loadTrace(file, name string, loads int, seed int64) ([]pathfinder.Access, error) {

@@ -2,6 +2,7 @@ package pathfinder_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"pathfinder"
@@ -29,8 +30,47 @@ func ExampleNew() {
 	// Output: true
 }
 
-// ExampleEvaluate runs the full two-phase evaluation (§4.1) of a
-// prefetcher on a synthetic benchmark trace.
+// ExampleEval runs one cell of the two-phase evaluation (§4.1): Eval
+// generates the named trace, simulates its no-prefetch baseline, and
+// replays the prefetcher's advice through the timing model.
+func ExampleEval() {
+	m, err := pathfinder.Eval(context.Background(), pathfinder.EvalJob{
+		Trace:      "bfs-10",
+		Loads:      10_000,
+		Prefetcher: pathfinder.NewBestOffset(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Prefetcher, m.IPC > 0, m.Accuracy >= 0 && m.Accuracy <= 1)
+	// Output: BO true true
+}
+
+// ExampleRunner fans an evaluation grid across a worker pool; results come
+// back in job order, bit-identical to a serial run.
+func ExampleRunner() {
+	r := pathfinder.NewRunner(pathfinder.RunnerConfig{Loads: 10_000})
+	var jobs []pathfinder.EvalJob
+	for _, tr := range []string{"cc-5", "bfs-10"} {
+		jobs = append(jobs, pathfinder.EvalJob{
+			Trace:      tr,
+			Prefetcher: pathfinder.NewBestOffset(),
+		})
+	}
+	results, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		panic(err)
+	}
+	for _, res := range results {
+		fmt.Println(res.Trace, res.Prefetcher, res.IPC > 0)
+	}
+	// Output:
+	// cc-5 BO true
+	// bfs-10 BO true
+}
+
+// ExampleEvaluate runs the deprecated slice-based wrapper, kept for
+// callers that already hold a generated trace.
 func ExampleEvaluate() {
 	accs, err := pathfinder.GenerateTrace("bfs-10", 10_000, 1)
 	if err != nil {

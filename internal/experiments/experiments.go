@@ -3,125 +3,133 @@
 // sweep, prints the same rows/series the paper reports as a text table, and
 // returns the results in structured form for tests and EXPERIMENTS.md.
 //
-// The harness defaults to 50 K-load traces against the 8×-scaled hierarchy
-// (see sim.ScaledConfig); pass Options{Loads: 1_000_000, Sim:
-// pathfinder.DefaultSimConfig()} for paper-scale runs.
+// Experiments are configured with functional options and submit their
+// (trace × prefetcher) grids to the parallel evaluation engine in
+// internal/runner, so a full sweep saturates every core while producing
+// results bit-identical to a serial run. The harness defaults to 50 K-load
+// traces against the 8×-scaled hierarchy (see sim.ScaledConfig); pass
+// WithLoads(1_000_000) and WithSim(pathfinder.DefaultSimConfig()) for
+// paper-scale runs.
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"math"
 	"sort"
 	"text/tabwriter"
 
 	"pathfinder/internal/core"
-	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 	"pathfinder/internal/sim"
-	"pathfinder/internal/trace"
 	"pathfinder/internal/workload"
 )
 
-// Options configures an experiment run.
-type Options struct {
-	// Loads is the trace length per benchmark (default 50_000; the paper
-	// uses 1_000_000).
-	Loads int
-	// Seed drives trace generation and every learner.
-	Seed int64
-	// Traces restricts the benchmark set (default: the full Table 5
-	// suite).
-	Traces []string
-	// Sim is the machine configuration (default: the scaled hierarchy).
-	Sim sim.Config
-	// SkipOffline omits the offline neural baselines (Delta-LSTM,
-	// Voyager), which dominate runtime.
-	SkipOffline bool
+// Metrics is one (trace, prefetcher) measurement (§4.5).
+type Metrics = runner.Metrics
+
+// Progress is one evaluation-engine progress event (see WithProgress).
+type Progress = runner.Progress
+
+// Option configures an experiment run.
+type Option func(*options)
+
+// options carries the resolved configuration of one experiment run.
+type options struct {
+	ctx         context.Context
+	loads       int
+	seed        int64
+	traces      []string
+	sim         sim.Config
+	skipOffline bool
+	parallelism int
+	progress    runner.ProgressFunc
 }
 
-// withDefaults fills unset fields.
-func (o Options) withDefaults() Options {
-	if o.Loads == 0 {
-		o.Loads = 50_000
+// newOptions applies the options over the defaults: 50 K loads, seed 1,
+// the full Table 5 suite, the scaled machine, GOMAXPROCS workers.
+func newOptions(opts []Option) options {
+	o := options{ctx: context.Background(), loads: 50_000, seed: 1}
+	for _, fn := range opts {
+		fn(&o)
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
+	if len(o.traces) == 0 {
+		o.traces = workload.Names()
 	}
-	if len(o.Traces) == 0 {
-		o.Traces = workload.Names()
-	}
-	if o.Sim.Width == 0 {
-		o.Sim = sim.ScaledConfig()
+	if o.sim.Width == 0 {
+		o.sim = sim.ScaledConfig()
 	}
 	return o
 }
 
-// Metrics is one (trace, prefetcher) measurement (§4.5).
-type Metrics struct {
-	// Prefetcher and Trace identify the run.
-	Prefetcher, Trace string
-	// IPC is instructions per cycle after warmup.
-	IPC float64
-	// Accuracy is useful/issued prefetches; Coverage is useful prefetches
-	// over baseline LLC misses.
-	Accuracy, Coverage float64
-	// Issued and Useful are the raw prefetch counts; BaselineMisses is
-	// the no-prefetch LLC miss count coverage is relative to.
-	Issued, Useful, BaselineMisses uint64
-}
-
-// benchEnv caches a benchmark's trace and no-prefetch baseline.
-type benchEnv struct {
-	name           string
-	accs           []trace.Access
-	cfg            sim.Config
-	baselineIPC    float64
-	baselineMisses uint64
-}
-
-// loadEnv generates the trace and runs the no-prefetch baseline once.
-func loadEnv(name string, opts Options) (*benchEnv, error) {
-	accs, err := workload.Generate(name, opts.Loads, opts.Seed)
-	if err != nil {
-		return nil, err
+// WithLoads sets the trace length per benchmark (default 50_000; the
+// paper uses 1_000_000).
+func WithLoads(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.loads = n
+		}
 	}
-	cfg := opts.Sim
-	cfg.Warmup = len(accs) / 10
-	base, err := sim.Run(cfg, accs, nil)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s baseline: %w", name, err)
-	}
-	return &benchEnv{
-		name:           name,
-		accs:           accs,
-		cfg:            cfg,
-		baselineIPC:    base.IPC,
-		baselineMisses: base.LLCLoadMisses,
-	}, nil
 }
 
-// evalOnline scores an online prefetcher against the cached baseline.
-func (e *benchEnv) evalOnline(p prefetch.Prefetcher) (Metrics, error) {
-	pfs := prefetch.GenerateFile(p, e.accs, prefetch.Budget)
-	return e.evalFile(p.Name(), pfs)
+// WithSeed sets the seed driving trace generation and every learner.
+func WithSeed(seed int64) Option {
+	return func(o *options) {
+		if seed != 0 {
+			o.seed = seed
+		}
+	}
 }
 
-// evalFile scores a prefetch file against the cached baseline.
-func (e *benchEnv) evalFile(name string, pfs []trace.Prefetch) (Metrics, error) {
-	res, err := sim.Run(e.cfg, e.accs, pfs)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("experiments: %s / %s: %w", e.name, name, err)
+// WithTraces restricts the benchmark set (default: the full Table 5 suite).
+func WithTraces(names ...string) Option {
+	return func(o *options) { o.traces = names }
+}
+
+// WithSim sets the machine configuration (default: the scaled hierarchy).
+func WithSim(cfg sim.Config) Option {
+	return func(o *options) { o.sim = cfg }
+}
+
+// WithSkipOffline omits the offline neural baselines (Delta-LSTM,
+// Voyager), which dominate runtime.
+func WithSkipOffline(skip bool) Option {
+	return func(o *options) { o.skipOffline = skip }
+}
+
+// WithParallelism sets the evaluation-engine worker count (default
+// GOMAXPROCS). One worker reproduces the historical serial behaviour;
+// results are bit-identical either way.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithProgress installs a sink receiving one event per completed
+// evaluation cell (jobs done, wall clock, simulated cycles).
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// WithContext threads a cancellation context through trace generation,
+// prefetch-file generation and the simulator; a cancelled experiment
+// stops mid-grid.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) {
+		if ctx != nil {
+			o.ctx = ctx
+		}
 	}
-	return Metrics{
-		Prefetcher:     name,
-		Trace:          e.name,
-		IPC:            res.IPC,
-		Accuracy:       res.Accuracy(),
-		Coverage:       res.Coverage(e.baselineMisses),
-		Issued:         res.PrefIssued,
-		Useful:         res.PrefUseful,
-		BaselineMisses: e.baselineMisses,
-	}, nil
+}
+
+// newRunner builds the evaluation engine for this run's configuration.
+func (o options) newRunner() *runner.Runner {
+	return runner.New(runner.Config{
+		Loads:       o.loads,
+		Seed:        o.seed,
+		Sim:         o.sim,
+		Parallelism: o.parallelism,
+		Progress:    o.progress,
+	})
 }
 
 // newPathfinder builds a fresh PATHFINDER with the experiment seed.

@@ -4,29 +4,46 @@ import (
 	"bytes"
 	"strings"
 	"testing"
-
-	"pathfinder/internal/sim"
 )
 
 // smallOpts keeps experiment tests fast: two traces, short runs, no offline
 // neural baselines.
-func smallOpts() Options {
-	return Options{
-		Loads:       6000,
-		Seed:        1,
-		Traces:      []string{"cc-5", "623-xalan-s1"},
-		Sim:         sim.ScaledConfig(),
-		SkipOffline: true,
+func smallOpts() []Option {
+	return []Option{
+		WithLoads(6000),
+		WithSeed(1),
+		WithTraces("cc-5", "623-xalan-s1"),
+		WithSkipOffline(true),
 	}
 }
 
+// withExtra appends options to the small-test base.
+func withExtra(extra ...Option) []Option {
+	return append(smallOpts(), extra...)
+}
+
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
-	if o.Loads != 50_000 || o.Seed != 1 || len(o.Traces) != 11 {
+	o := newOptions(nil)
+	if o.loads != 50_000 || o.seed != 1 || len(o.traces) != 11 {
 		t.Errorf("defaults: %+v", o)
 	}
-	if o.Sim.Width == 0 {
+	if o.sim.Width == 0 {
 		t.Error("sim config not defaulted")
+	}
+	if o.ctx == nil {
+		t.Error("context not defaulted")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	o := newOptions([]Option{WithLoads(123), WithSeed(9), WithTraces("cc-5"), WithParallelism(2)})
+	if o.loads != 123 || o.seed != 9 || len(o.traces) != 1 || o.parallelism != 2 {
+		t.Errorf("options not applied: %+v", o)
+	}
+	// Non-positive loads and zero seeds keep the defaults.
+	o = newOptions([]Option{WithLoads(0), WithSeed(0)})
+	if o.loads != 50_000 || o.seed != 1 {
+		t.Errorf("guard rails not applied: %+v", o)
 	}
 }
 
@@ -53,7 +70,7 @@ func TestMean(t *testing.T) {
 
 func TestFig4SmallRun(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Fig4(&buf, smallOpts())
+	res, err := Fig4(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Fig4: %v", err)
 	}
@@ -71,7 +88,7 @@ func TestFig4SmallRun(t *testing.T) {
 	}
 	// Offline baselines skipped.
 	if _, ok := res.Rows["cc-5"]["Voyager"]; ok {
-		t.Error("Voyager present despite SkipOffline")
+		t.Error("Voyager present despite WithSkipOffline")
 	}
 	out := buf.String()
 	for _, want := range []string{"Figure 4a", "Figure 4b", "Figure 4c", "Table 6"} {
@@ -86,7 +103,7 @@ func TestFig4SmallRun(t *testing.T) {
 
 func TestFig5DeltaRangeTradeoff(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Fig5(&buf, smallOpts())
+	res, err := Fig5(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Fig5: %v", err)
 	}
@@ -104,10 +121,8 @@ func TestFig5DeltaRangeTradeoff(t *testing.T) {
 }
 
 func TestFig6NeuronSweepShape(t *testing.T) {
-	opts := smallOpts()
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := Fig6(&buf, opts)
+	res, err := Fig6(&buf, withExtra(WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("Fig6: %v", err)
 	}
@@ -121,7 +136,7 @@ func TestFig6NeuronSweepShape(t *testing.T) {
 
 func TestFig7OneTickClose(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Fig7(&buf, smallOpts())
+	res, err := Fig7(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Fig7: %v", err)
 	}
@@ -137,10 +152,8 @@ func TestFig7OneTickClose(t *testing.T) {
 }
 
 func TestFig8DutyCycle(t *testing.T) {
-	opts := smallOpts()
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := Fig8(&buf, opts)
+	res, err := Fig8(&buf, withExtra(WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("Fig8: %v", err)
 	}
@@ -150,10 +163,8 @@ func TestFig8DutyCycle(t *testing.T) {
 }
 
 func TestFig9VariantLadder(t *testing.T) {
-	opts := smallOpts()
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := Fig9(&buf, opts)
+	res, err := Fig9(&buf, withExtra(WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("Fig9: %v", err)
 	}
@@ -164,7 +175,7 @@ func TestFig9VariantLadder(t *testing.T) {
 
 func TestTable1MatchRates(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table1(&buf, smallOpts())
+	rows, err := Table1(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}
@@ -207,7 +218,7 @@ func TestTable2Walkthrough(t *testing.T) {
 
 func TestTable7RangesNested(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table7(&buf, smallOpts())
+	rows, err := Table7(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Table7: %v", err)
 	}
@@ -220,7 +231,7 @@ func TestTable7RangesNested(t *testing.T) {
 
 func TestTable8Positive(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Table8(&buf, smallOpts())
+	rows, err := Table8(&buf, smallOpts()...)
 	if err != nil {
 		t.Fatalf("Table8: %v", err)
 	}
@@ -247,7 +258,7 @@ func TestTable9Print(t *testing.T) {
 
 func TestPrintConfig(t *testing.T) {
 	var buf bytes.Buffer
-	PrintConfig(&buf, smallOpts())
+	PrintConfig(&buf, smallOpts()...)
 	out := buf.String()
 	for _, want := range []string{"Table 3", "Table 4", "Table 5", "cc-5", "n_neurons"} {
 		if !strings.Contains(out, want) {
@@ -257,10 +268,8 @@ func TestPrintConfig(t *testing.T) {
 }
 
 func TestExtendedLineup(t *testing.T) {
-	opts := smallOpts()
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := Extended(&buf, opts)
+	res, err := Extended(&buf, withExtra(WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("Extended: %v", err)
 	}
@@ -275,10 +284,8 @@ func TestExtendedLineup(t *testing.T) {
 }
 
 func TestNoiseToleranceDegradesGracefully(t *testing.T) {
-	opts := smallOpts()
-	opts.Loads = 8000
 	var buf bytes.Buffer
-	rows, err := NoiseTolerance(&buf, opts)
+	rows, err := NoiseTolerance(&buf, withExtra(WithLoads(8000))...)
 	if err != nil {
 		t.Fatalf("NoiseTolerance: %v", err)
 	}
@@ -297,10 +304,8 @@ func TestNoiseToleranceDegradesGracefully(t *testing.T) {
 }
 
 func TestInterference(t *testing.T) {
-	opts := smallOpts()
-	opts.Loads = 8000
 	var buf bytes.Buffer
-	rows, err := Interference(&buf, opts)
+	rows, err := Interference(&buf, withExtra(WithLoads(8000))...)
 	if err != nil {
 		t.Fatalf("Interference: %v", err)
 	}
@@ -318,10 +323,8 @@ func TestInterference(t *testing.T) {
 }
 
 func TestDegreeSweep(t *testing.T) {
-	opts := smallOpts()
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := Degree(&buf, opts)
+	res, err := Degree(&buf, withExtra(WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("Degree: %v", err)
 	}
@@ -352,11 +355,8 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestSeedStudy(t *testing.T) {
-	opts := smallOpts()
-	opts.Loads = 5000
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	rows, err := SeedStudy(&buf, opts, 2)
+	rows, err := SeedStudy(&buf, 2, withExtra(WithLoads(5000), WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("SeedStudy: %v", err)
 	}
@@ -369,10 +369,8 @@ func TestSeedStudy(t *testing.T) {
 }
 
 func TestSNNSensitivity(t *testing.T) {
-	opts := smallOpts()
-	opts.Loads = 5000
 	var buf bytes.Buffer
-	res, err := SNNSensitivity(&buf, opts)
+	res, err := SNNSensitivity(&buf, withExtra(WithLoads(5000))...)
 	if err != nil {
 		t.Fatalf("SNNSensitivity: %v", err)
 	}
@@ -387,11 +385,8 @@ func TestSNNSensitivity(t *testing.T) {
 }
 
 func TestInputEncodings(t *testing.T) {
-	opts := smallOpts()
-	opts.Loads = 5000
-	opts.Traces = []string{"cc-5"}
 	var buf bytes.Buffer
-	res, err := InputEncodings(&buf, opts)
+	res, err := InputEncodings(&buf, withExtra(WithLoads(5000), WithTraces("cc-5"))...)
 	if err != nil {
 		t.Fatalf("InputEncodings: %v", err)
 	}

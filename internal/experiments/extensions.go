@@ -6,6 +6,7 @@ import (
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/snn"
 	"pathfinder/internal/trace"
@@ -17,8 +18,8 @@ import (
 // Stride, VLDP, SMS) plus the two ensemble policies — the paper's fixed
 // priority and the dynamic usefulness-scored priority it names as future
 // work (§5).
-func Extended(w io.Writer, opts Options) (SweepResult, error) {
-	opts = opts.withDefaults()
+func Extended(w io.Writer, opts ...Option) (SweepResult, error) {
+	o := newOptions(opts)
 	res := SweepResult{Rows: make(map[string]map[string]Metrics)}
 	lineup := []string{"Stride", "VLDP", "SMS", "Pathfinder", "PF+SISB+NL (fixed)", "PF+SISB+NL (dynamic)"}
 	res.Configs = lineup
@@ -32,9 +33,9 @@ func Extended(w io.Writer, opts Options) (SweepResult, error) {
 		case "SMS":
 			return prefetch.NewSMS(), nil
 		case "Pathfinder":
-			return newPathfinder(core.DefaultConfig(), opts.Seed)
+			return newPathfinder(core.DefaultConfig(), o.seed)
 		case "PF+SISB+NL (fixed)":
-			pf, err := newPathfinder(core.DefaultConfig(), opts.Seed)
+			pf, err := newPathfinder(core.DefaultConfig(), o.seed)
 			if err != nil {
 				return nil, err
 			}
@@ -42,7 +43,7 @@ func Extended(w io.Writer, opts Options) (SweepResult, error) {
 			e.Label = name
 			return e, nil
 		case "PF+SISB+NL (dynamic)":
-			pf, err := newPathfinder(core.DefaultConfig(), opts.Seed)
+			pf, err := newPathfinder(core.DefaultConfig(), o.seed)
 			if err != nil {
 				return nil, err
 			}
@@ -53,27 +54,23 @@ func Extended(w io.Writer, opts Options) (SweepResult, error) {
 		return nil, fmt.Errorf("experiments: unknown lineup member %q", name)
 	}
 
-	for _, tr := range opts.Traces {
-		env, err := loadEnv(tr, opts)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		row := make(map[string]Metrics, len(lineup))
-		res.Rows[tr] = row
+	jobs := make([]runner.Job, 0, len(o.traces)*len(lineup))
+	for _, tr := range o.traces {
 		for _, name := range lineup {
-			p, err := build(name)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			m, err := env.evalOnline(p)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			m.Prefetcher = name
-			row[name] = m
+			name := name
+			jobs = append(jobs, runner.Job{
+				Trace: tr,
+				Label: name,
+				New:   func() (prefetch.Prefetcher, error) { return build(name) },
+			})
 		}
 	}
-	res.print(w, "Extended lineup (related-work baselines + ensemble policies)", opts)
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("experiments: extended lineup: %w", err)
+	}
+	res.collect(results)
+	res.print(w, "Extended lineup (related-work baselines + ensemble policies)", o)
 	return res, nil
 }
 
@@ -84,16 +81,36 @@ type NoiseRow struct {
 	Coverage map[string]float64
 }
 
+// noisePrefetchers is the noise-tolerance lineup, in print order.
+var noisePrefetchers = []string{"Pathfinder", "SPP", "VLDP", "BO"}
+
 // NoiseTolerance tests §2.3's motivation for neural prefetchers — that
 // they "make correct predictions even in the face of noisy inputs" caused
 // by out-of-order reordering and interference. A pure delta-pattern
 // workload is corrupted with increasing per-access noise; PATHFINDER's
 // accuracy should degrade more gracefully than exact-match rule tables
-// like SPP and VLDP.
-func NoiseTolerance(w io.Writer, opts Options) ([]NoiseRow, error) {
-	opts = opts.withDefaults()
-	var rows []NoiseRow
-	for _, noise := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
+// like SPP and VLDP. The (noise level × prefetcher) grid runs as one
+// parallel batch; each level's no-prefetch baseline is simulated once.
+func NoiseTolerance(w io.Writer, opts ...Option) ([]NoiseRow, error) {
+	o := newOptions(opts)
+	levels := []float64{0, 0.05, 0.10, 0.20, 0.30}
+
+	build := func(name string) (prefetch.Prefetcher, error) {
+		switch name {
+		case "Pathfinder":
+			return newPathfinder(core.DefaultConfig(), o.seed)
+		case "SPP":
+			return prefetch.NewSPP(), nil
+		case "VLDP":
+			return prefetch.NewVLDP(), nil
+		case "BO":
+			return prefetch.NewBestOffset(), nil
+		}
+		return nil, fmt.Errorf("experiments: unknown prefetcher %q", name)
+	}
+
+	var jobs []runner.Job
+	for _, noise := range levels {
 		spec := workload.Spec{
 			Name:  fmt.Sprintf("noisy-deltas-%.2f", noise),
 			IDGap: 40,
@@ -103,42 +120,45 @@ func NoiseTolerance(w io.Writer, opts Options) ([]NoiseRow, error) {
 				{Weight: 25, Kind: workload.KindDeltaPattern, Pattern: []int{7, 1, 3, 6}, NoiseProb: noise},
 			},
 		}
-		accs := spec.Generate(opts.Loads, opts.Seed)
-		cfg := opts.Sim
-		cfg.Warmup = len(accs) / 10
-		base, err := sim.Run(cfg, accs, nil)
+		accs, err := spec.GenerateCtx(o.ctx, o.loads, o.seed)
 		if err != nil {
 			return nil, err
 		}
-		env := &benchEnv{name: spec.Name, accs: accs, cfg: cfg, baselineMisses: base.LLCLoadMisses}
-
-		row := NoiseRow{Noise: noise, Accuracy: map[string]float64{}, Coverage: map[string]float64{}}
-		pf, err := newPathfinder(core.DefaultConfig(), opts.Seed)
-		if err != nil {
-			return nil, err
+		for _, name := range noisePrefetchers {
+			name := name
+			jobs = append(jobs, runner.Job{
+				Trace: spec.Name,
+				Accs:  accs,
+				Label: name,
+				New:   func() (prefetch.Prefetcher, error) { return build(name) },
+			})
 		}
-		for _, p := range []prefetch.Prefetcher{pf, prefetch.NewSPP(), prefetch.NewVLDP(), prefetch.NewBestOffset()} {
-			m, err := env.evalOnline(p)
-			if err != nil {
-				return nil, err
-			}
-			row.Accuracy[p.Name()] = m.Accuracy
-			row.Coverage[p.Name()] = m.Coverage
-		}
-		rows = append(rows, row)
+	}
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: noise tolerance: %w", err)
 	}
 
-	fmt.Fprintf(w, "\nNoise tolerance (§2.3): accuracy/coverage on a delta-pattern workload vs per-access noise, %d loads\n", opts.Loads)
+	rows := make([]NoiseRow, len(levels))
+	for i, noise := range levels {
+		rows[i] = NoiseRow{Noise: noise, Accuracy: map[string]float64{}, Coverage: map[string]float64{}}
+		for j := range noisePrefetchers {
+			m := results[i*len(noisePrefetchers)+j].Metrics
+			rows[i].Accuracy[m.Prefetcher] = m.Accuracy
+			rows[i].Coverage[m.Prefetcher] = m.Coverage
+		}
+	}
+
+	fmt.Fprintf(w, "\nNoise tolerance (§2.3): accuracy/coverage on a delta-pattern workload vs per-access noise, %d loads\n", o.loads)
 	tw := newTable(w)
-	names := []string{"Pathfinder", "SPP", "VLDP", "BO"}
 	fmt.Fprint(tw, "noise")
-	for _, n := range names {
+	for _, n := range noisePrefetchers {
 		fmt.Fprintf(tw, "\t%s acc\t%s cov", n, n)
 	}
 	fmt.Fprintln(tw)
 	for _, r := range rows {
 		fmt.Fprintf(tw, "%.2f", r.Noise)
-		for _, n := range names {
+		for _, n := range noisePrefetchers {
 			fmt.Fprintf(tw, "\t%.3f\t%.3f", r.Accuracy[n], r.Coverage[n])
 		}
 		fmt.Fprintln(tw)
@@ -160,10 +180,13 @@ type InterferenceRow struct {
 // inject noise that perturbs rule-based prefetchers — by running each
 // prefetcher's benchmark core alone and then next to a streaming co-runner
 // that thrashes the shared LLC and memory controller. Both the IPC cost
-// and the accuracy cost of sharing are reported.
-func Interference(w io.Writer, opts Options) ([]InterferenceRow, error) {
-	opts = opts.withDefaults()
-	victim, err := workload.Generate("cc-5", opts.Loads, opts.Seed)
+// and the accuracy cost of sharing are reported. The solo and shared
+// simulations need the multi-core frontend directly, so this experiment
+// bypasses the evaluation engine but still fans the three prefetchers out
+// across workers.
+func Interference(w io.Writer, opts ...Option) ([]InterferenceRow, error) {
+	o := newOptions(opts)
+	victim, err := workload.GenerateCtx(o.ctx, "cc-5", o.loads, o.seed)
 	if err != nil {
 		return nil, err
 	}
@@ -176,12 +199,15 @@ func Interference(w io.Writer, opts Options) ([]InterferenceRow, error) {
 			{Weight: 30, Kind: workload.KindRandom, Set: 32768},
 		},
 	}
-	coRunner := coSpec.Generate(opts.Loads, opts.Seed+7)
+	coRunner, err := coSpec.GenerateCtx(o.ctx, o.loads, o.seed+7)
+	if err != nil {
+		return nil, err
+	}
 	for i := range coRunner {
 		coRunner[i].Addr += 1 << 40 // keep address spaces disjoint
 	}
-	cfg := opts.Sim
-	cfg.Warmup = opts.Loads / 10
+	cfg := o.sim
+	cfg.Warmup = o.loads / 10
 
 	build := func(name string) (prefetch.Prefetcher, error) {
 		switch name {
@@ -190,36 +216,44 @@ func Interference(w io.Writer, opts Options) ([]InterferenceRow, error) {
 		case "SPP":
 			return prefetch.NewSPP(), nil
 		case "Pathfinder":
-			return newPathfinder(core.DefaultConfig(), opts.Seed)
+			return newPathfinder(core.DefaultConfig(), o.seed)
 		}
 		return nil, fmt.Errorf("experiments: unknown prefetcher %q", name)
 	}
 
-	var rows []InterferenceRow
-	for _, name := range []string{"BO", "SPP", "Pathfinder"} {
-		p, err := build(name)
+	names := []string{"BO", "SPP", "Pathfinder"}
+	rows := make([]InterferenceRow, len(names))
+	err = runner.ForEach(o.ctx, o.parallelism, len(names), func(i int) error {
+		p, err := build(names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		file := prefetch.GenerateFile(p, victim, prefetch.Budget)
-		solo, err := sim.Run(cfg, victim, file)
+		file, err := prefetch.GenerateFileCtx(o.ctx, p, victim, prefetch.Budget)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		shared, err := sim.RunMulti(cfg, [][]trace.Access{victim, coRunner}, [][]trace.Prefetch{file, nil})
+		solo, err := sim.RunCtx(o.ctx, cfg, victim, file)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, InterferenceRow{
-			Prefetcher:     name,
+		shared, err := sim.RunMultiCtx(o.ctx, cfg, [][]trace.Access{victim, coRunner}, [][]trace.Prefetch{file, nil})
+		if err != nil {
+			return err
+		}
+		rows[i] = InterferenceRow{
+			Prefetcher:     names[i],
 			SoloIPC:        solo.IPC,
 			SharedIPC:      shared[0].IPC,
 			SoloAccuracy:   solo.Accuracy(),
 			SharedAccuracy: shared[0].Accuracy(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	fmt.Fprintf(w, "\nInterference (§2.3): cc-5 alone vs next to a streaming co-runner on a shared LLC, %d loads\n", opts.Loads)
+	fmt.Fprintf(w, "\nInterference (§2.3): cc-5 alone vs next to a streaming co-runner on a shared LLC, %d loads\n", o.loads)
 	tw := newTable(w)
 	fmt.Fprintln(tw, "prefetcher\tsolo IPC\tshared IPC\tIPC loss\tsolo acc\tshared acc")
 	for _, r := range rows {
@@ -238,9 +272,10 @@ func Interference(w io.Writer, opts Options) ([]InterferenceRow, error) {
 // 4, with the extra predictions coming either from a second label slot per
 // neuron (the paper's adopted approach) or from lowered inhibition letting
 // several neurons fire (its alternative). The evaluation's budget of two
-// prefetches per access (§4.5) is lifted to the degree under test.
-func Degree(w io.Writer, opts Options) (SweepResult, error) {
-	opts = opts.withDefaults()
+// prefetches per access (§4.5) is lifted to the degree under test via the
+// per-job budget override.
+func Degree(w io.Writer, opts ...Option) (SweepResult, error) {
+	o := newOptions(opts)
 
 	configs := []NamedConfig{}
 	mk := func(label string, degree, labels int, multiFire bool) {
@@ -260,28 +295,27 @@ func Degree(w io.Writer, opts Options) (SweepResult, error) {
 	for _, c := range configs {
 		res.Configs = append(res.Configs, c.Label)
 	}
-	for _, tr := range opts.Traces {
-		env, err := loadEnv(tr, opts)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		row := make(map[string]Metrics, len(configs))
-		res.Rows[tr] = row
+	jobs := make([]runner.Job, 0, len(o.traces)*len(configs))
+	for _, tr := range o.traces {
 		for _, c := range configs {
-			pf, err := newPathfinder(c.Config, opts.Seed)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			// Lift the per-access budget to the degree under test.
-			pfs := prefetch.GenerateFile(pf, env.accs, c.Config.Degree)
-			m, err := env.evalFile(c.Label, pfs)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			row[c.Label] = m
+			cfg := c.Config
+			jobs = append(jobs, runner.Job{
+				Trace: tr,
+				Label: c.Label,
+				New: func() (prefetch.Prefetcher, error) {
+					return newPathfinder(cfg, o.seed)
+				},
+				// Lift the per-access budget to the degree under test.
+				Budget: cfg.Degree,
+			})
 		}
 	}
-	res.print(w, "Multi-degree mechanisms (§3.4)", opts)
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("experiments: degree sweep: %w", err)
+	}
+	res.collect(results)
+	res.print(w, "Multi-degree mechanisms (§3.4)", o)
 	return res, nil
 }
 
@@ -291,55 +325,54 @@ func Degree(w io.Writer, opts Options) (SweepResult, error) {
 // the rate-coding input gain, which compensates for the pixel matrices
 // being far sparser than the MNIST images the Diehl & Cook model was tuned
 // for. Reported on one delta-rich trace.
-func SNNSensitivity(w io.Writer, opts Options) (SweepResult, error) {
-	opts = opts.withDefaults()
-	opts.Traces = []string{"cc-5"}
+func SNNSensitivity(w io.Writer, opts ...Option) (SweepResult, error) {
+	o := newOptions(opts)
+	o.traces = []string{"cc-5"}
 
 	res := SweepResult{Rows: make(map[string]map[string]Metrics)}
-	env, err := loadEnv("cc-5", opts)
-	if err != nil {
-		return SweepResult{}, err
-	}
-	row := make(map[string]Metrics)
-	res.Rows["cc-5"] = row
 
-	run := func(label string, mutate func(*snn.Config)) error {
-		cfg := core.DefaultConfig()
-		cfg.Seed = opts.Seed
-		pf, err := core.New(cfg)
-		if err != nil {
-			return err
+	mkJob := func(label string, mutate func(*snn.Config)) runner.Job {
+		return runner.Job{
+			Trace: "cc-5",
+			Label: label,
+			New: func() (prefetch.Prefetcher, error) {
+				cfg := core.DefaultConfig()
+				cfg.Seed = o.seed
+				pf, err := core.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				scfg := pf.Network().Config()
+				mutate(&scfg)
+				net, err := snn.New(scfg)
+				if err != nil {
+					return nil, err
+				}
+				pf.ReplaceNetwork(net)
+				return pf, nil
+			},
 		}
-		scfg := pf.Network().Config()
-		mutate(&scfg)
-		net, err := snn.New(scfg)
-		if err != nil {
-			return err
-		}
-		pf.ReplaceNetwork(net)
-		m, err := env.evalOnline(pf)
-		if err != nil {
-			return err
-		}
-		m.Prefetcher = label
-		res.Configs = append(res.Configs, label)
-		row[label] = m
-		return nil
 	}
 
+	var jobs []runner.Job
 	for _, nu := range []float64{0.005, 0.02, 0.05, 0.1} {
 		nu := nu
-		if err := run(fmt.Sprintf("nuPost %.3f", nu), func(c *snn.Config) { c.NuPost = nu }); err != nil {
-			return SweepResult{}, err
-		}
+		label := fmt.Sprintf("nuPost %.3f", nu)
+		res.Configs = append(res.Configs, label)
+		jobs = append(jobs, mkJob(label, func(c *snn.Config) { c.NuPost = nu }))
 	}
 	for _, g := range []float64{2, 4, 8, 16} {
 		g := g
-		if err := run(fmt.Sprintf("gain %.0f", g), func(c *snn.Config) { c.InputGain = g }); err != nil {
-			return SweepResult{}, err
-		}
+		label := fmt.Sprintf("gain %.0f", g)
+		res.Configs = append(res.Configs, label)
+		jobs = append(jobs, mkJob(label, func(c *snn.Config) { c.InputGain = g }))
 	}
-	res.print(w, "SNN hyper-parameter sensitivity (cc-5)", opts)
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("experiments: SNN sensitivity: %w", err)
+	}
+	res.collect(results)
+	res.print(w, "SNN hyper-parameter sensitivity (cc-5)", o)
 	return res, nil
 }
 
@@ -348,13 +381,13 @@ func SNNSensitivity(w io.Writer, opts Options) (SweepResult, error) {
 // variant. The paper chose deltas because they "tend to be more
 // predictable and easier to encode than the addresses themselves"; this
 // experiment checks that choice.
-func InputEncodings(w io.Writer, opts Options) (SweepResult, error) {
+func InputEncodings(w io.Writer, opts ...Option) (SweepResult, error) {
 	mk := func(label string, mode core.InputMode) NamedConfig {
 		cfg := core.DefaultConfig()
 		cfg.Inputs = mode
 		return NamedConfig{Label: label, Config: cfg}
 	}
-	return runSweep(w, "Input encodings (§3.2 design space)", opts, []NamedConfig{
+	return runSweep(w, "Input encodings (§3.2 design space)", newOptions(opts), []NamedConfig{
 		mk("delta-history", core.InputDeltaHistory),
 		mk("pc+delta", core.InputPCDelta),
 		mk("footprint", core.InputFootprint),

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/lstm"
 	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
+	"pathfinder/internal/trace"
 )
 
 // Fig4Result holds the Figure 4 comparison: per-trace, per-prefetcher IPC,
@@ -28,50 +31,62 @@ var Fig4Prefetchers = []string{
 
 // Fig4 reproduces Figure 4 (a: IPC, b: accuracy, c: coverage) and Table 6
 // (issued prefetches of SPP, Pythia and PATHFINDER): every prefetcher of
-// §4.3 on every benchmark of Table 5.
-func Fig4(w io.Writer, opts Options) (Fig4Result, error) {
-	opts = opts.withDefaults()
+// §4.3 on every benchmark of Table 5, evaluated as one parallel grid.
+func Fig4(w io.Writer, opts ...Option) (Fig4Result, error) {
+	o := newOptions(opts)
 	res := Fig4Result{
 		Rows:        make(map[string]map[string]Metrics),
 		BaselineIPC: make(map[string]float64),
 	}
 	for _, name := range Fig4Prefetchers {
-		if opts.SkipOffline && (name == "Voyager" || name == "DeltaLSTM") {
+		if o.skipOffline && (name == "Voyager" || name == "DeltaLSTM") {
 			continue
 		}
 		res.Prefetchers = append(res.Prefetchers, name)
 	}
 
-	for _, tr := range opts.Traces {
-		env, err := loadEnv(tr, opts)
-		if err != nil {
-			return Fig4Result{}, err
-		}
-		res.BaselineIPC[tr] = env.baselineIPC
-		row := make(map[string]Metrics, len(res.Prefetchers))
-		res.Rows[tr] = row
-		row["NoPF"] = Metrics{Prefetcher: "NoPF", Trace: tr, IPC: env.baselineIPC, BaselineMisses: env.baselineMisses}
-
+	var jobs []runner.Job
+	for _, tr := range o.traces {
 		for _, name := range res.Prefetchers {
 			if name == "NoPF" {
 				continue
 			}
-			m, err := runFig4Prefetcher(name, env, opts)
+			job, err := fig4Job(name, tr, o)
 			if err != nil {
 				return Fig4Result{}, err
 			}
-			row[name] = m
+			jobs = append(jobs, job)
 		}
 	}
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return Fig4Result{}, fmt.Errorf("experiments: Figure 4: %w", err)
+	}
+	for _, r := range results {
+		row := res.Rows[r.Trace]
+		if row == nil {
+			row = make(map[string]Metrics, len(res.Prefetchers))
+			res.Rows[r.Trace] = row
+			res.BaselineIPC[r.Trace] = r.BaselineIPC
+			row["NoPF"] = Metrics{
+				Prefetcher:     "NoPF",
+				Trace:          r.Trace,
+				IPC:            r.BaselineIPC,
+				BaselineMisses: r.BaselineMisses,
+			}
+		}
+		row[r.Prefetcher] = r.Metrics
+	}
 
-	res.print(w, opts)
+	res.print(w, o)
 	return res, nil
 }
 
-// runFig4Prefetcher builds and evaluates one lineup member on one trace.
-func runFig4Prefetcher(name string, env *benchEnv, opts Options) (Metrics, error) {
+// fig4Job builds the evaluation job for one lineup member on one trace.
+func fig4Job(name, tr string, o options) (runner.Job, error) {
+	job := runner.Job{Trace: tr, Label: name}
 	mk := func() (*core.Pathfinder, error) {
-		return newPathfinder(core.DefaultConfig(), opts.Seed)
+		return newPathfinder(core.DefaultConfig(), o.seed)
 	}
 	ensemble := func(label string, members ...prefetch.Prefetcher) *prefetch.Ensemble {
 		e := prefetch.NewEnsemble(members...)
@@ -80,56 +95,54 @@ func runFig4Prefetcher(name string, env *benchEnv, opts Options) (Metrics, error
 	}
 	switch name {
 	case "BO":
-		return env.evalOnline(prefetch.NewBestOffset())
+		job.New = func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil }
 	case "SISB":
-		return env.evalOnline(prefetch.NewSISB())
+		job.New = func() (prefetch.Prefetcher, error) { return prefetch.NewSISB(), nil }
 	case "SPP":
-		return env.evalOnline(prefetch.NewSPP())
+		job.New = func() (prefetch.Prefetcher, error) { return prefetch.NewSPP(), nil }
 	case "Pythia":
-		return env.evalOnline(prefetch.NewPythia(opts.Seed))
+		job.New = func() (prefetch.Prefetcher, error) { return prefetch.NewPythia(o.seed), nil }
 	case "Pathfinder":
-		pf, err := mk()
-		if err != nil {
-			return Metrics{}, err
-		}
-		return env.evalOnline(pf)
+		job.New = func() (prefetch.Prefetcher, error) { return mk() }
 	case "PF+NL":
-		pf, err := mk()
-		if err != nil {
-			return Metrics{}, err
+		job.New = func() (prefetch.Prefetcher, error) {
+			pf, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			return ensemble("PF+NL", pf, &prefetch.NextLine{}), nil
 		}
-		return env.evalOnline(ensemble("PF+NL", pf, &prefetch.NextLine{}))
 	case "PF+NL+SISB":
-		pf, err := mk()
-		if err != nil {
-			return Metrics{}, err
+		job.New = func() (prefetch.Prefetcher, error) {
+			pf, err := mk()
+			if err != nil {
+				return nil, err
+			}
+			// Fixed priority per §5: PATHFINDER first, temporal replay next,
+			// next-line as last-resort filler.
+			return ensemble("PF+NL+SISB", pf, prefetch.NewSISB(), &prefetch.NextLine{}), nil
 		}
-		// Fixed priority per §5: PATHFINDER first, temporal replay next,
-		// next-line as last-resort filler.
-		return env.evalOnline(ensemble("PF+NL+SISB", pf, prefetch.NewSISB(), &prefetch.NextLine{}))
 	case "DeltaLSTM":
-		cfg := lstm.DefaultDeltaLSTMConfig()
-		cfg.Seed = opts.Seed
-		pfs, err := lstm.GenerateDeltaLSTM(cfg, env.accs, prefetch.Budget)
-		if err != nil {
-			return Metrics{}, err
+		job.GenFile = func(ctx context.Context, accs []trace.Access) ([]trace.Prefetch, error) {
+			cfg := lstm.DefaultDeltaLSTMConfig()
+			cfg.Seed = o.seed
+			return lstm.GenerateDeltaLSTM(cfg, accs, prefetch.Budget)
 		}
-		return env.evalFile("DeltaLSTM", pfs)
 	case "Voyager":
-		cfg := lstm.DefaultVoyagerConfig()
-		cfg.Seed = opts.Seed
-		pfs, err := lstm.GenerateVoyager(cfg, env.accs, prefetch.Budget)
-		if err != nil {
-			return Metrics{}, err
+		job.GenFile = func(ctx context.Context, accs []trace.Access) ([]trace.Prefetch, error) {
+			cfg := lstm.DefaultVoyagerConfig()
+			cfg.Seed = o.seed
+			return lstm.GenerateVoyager(cfg, accs, prefetch.Budget)
 		}
-		return env.evalFile("Voyager", pfs)
+	default:
+		return runner.Job{}, fmt.Errorf("experiments: unknown prefetcher %q", name)
 	}
-	return Metrics{}, fmt.Errorf("experiments: unknown prefetcher %q", name)
+	return job, nil
 }
 
-func (r Fig4Result) print(w io.Writer, opts Options) {
+func (r Fig4Result) print(w io.Writer, o options) {
 	for _, metric := range []string{"IPC (Figure 4a)", "Accuracy (Figure 4b)", "Coverage (Figure 4c)"} {
-		fmt.Fprintf(w, "\n%s — %d loads/trace\n", metric, opts.Loads)
+		fmt.Fprintf(w, "\n%s — %d loads/trace\n", metric, o.loads)
 		tw := newTable(w)
 		fmt.Fprint(tw, "trace")
 		for _, p := range r.Prefetchers {
@@ -137,7 +150,7 @@ func (r Fig4Result) print(w io.Writer, opts Options) {
 		}
 		fmt.Fprintln(tw)
 		perPF := make(map[string][]float64)
-		for _, tr := range opts.Traces {
+		for _, tr := range o.traces {
 			fmt.Fprint(tw, tr)
 			for _, p := range r.Prefetchers {
 				m := r.Rows[tr][p]
@@ -171,14 +184,14 @@ func (r Fig4Result) print(w io.Writer, opts Options) {
 	tw := newTable(w)
 	fmt.Fprintln(tw, "trace\tSPP\tPythia\tPathfinder")
 	var sums [3]uint64
-	for _, tr := range opts.Traces {
+	for _, tr := range o.traces {
 		row := r.Rows[tr]
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", tr, row["SPP"].Issued, row["Pythia"].Issued, row["Pathfinder"].Issued)
 		sums[0] += row["SPP"].Issued
 		sums[1] += row["Pythia"].Issued
 		sums[2] += row["Pathfinder"].Issued
 	}
-	n := uint64(len(opts.Traces))
+	n := uint64(len(o.traces))
 	if n > 0 {
 		fmt.Fprintf(tw, "average\t%d\t%d\t%d\n", sums[0]/n, sums[1]/n, sums[2]/n)
 	}

@@ -6,6 +6,8 @@ import (
 	"math"
 
 	"pathfinder/internal/core"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 )
 
 // Summary is a mean ± sample-standard-deviation pair over repeated runs.
@@ -51,31 +53,37 @@ type SeedStudyRow struct {
 // SeedStudy quantifies run-to-run variance: PATHFINDER's SNN starts from
 // seeded random weights and the traces are seeded too, so any conclusion
 // drawn from a single seed needs an error bar. It evaluates PATHFINDER on
-// each trace across `seeds` seeds and reports mean ± stddev for IPC,
-// accuracy and coverage.
-func SeedStudy(w io.Writer, opts Options, seeds int) ([]SeedStudyRow, error) {
-	opts = opts.withDefaults()
+// each trace across `seeds` seeds — the whole (trace × seed) grid as one
+// parallel batch, using the per-job seed override — and reports
+// mean ± stddev for IPC, accuracy and coverage.
+func SeedStudy(w io.Writer, seeds int, opts ...Option) ([]SeedStudyRow, error) {
+	o := newOptions(opts)
 	if seeds < 2 {
 		seeds = 3
 	}
-	var rows []SeedStudyRow
-	for _, tr := range opts.Traces {
+	jobs := make([]runner.Job, 0, len(o.traces)*seeds)
+	for _, tr := range o.traces {
+		for s := 0; s < seeds; s++ {
+			seed := o.seed + int64(s)
+			jobs = append(jobs, runner.Job{
+				Trace: tr,
+				Label: "Pathfinder",
+				Seed:  seed,
+				New: func() (prefetch.Prefetcher, error) {
+					return newPathfinder(core.DefaultConfig(), seed)
+				},
+			})
+		}
+	}
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: seed study: %w", err)
+	}
+	rows := make([]SeedStudyRow, 0, len(o.traces))
+	for i, tr := range o.traces {
 		var ipcs, accs, covs []float64
 		for s := 0; s < seeds; s++ {
-			o := opts
-			o.Seed = opts.Seed + int64(s)
-			env, err := loadEnv(tr, o)
-			if err != nil {
-				return nil, err
-			}
-			pf, err := newPathfinder(core.DefaultConfig(), o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			m, err := env.evalOnline(pf)
-			if err != nil {
-				return nil, err
-			}
+			m := results[i*seeds+s].Metrics
 			ipcs = append(ipcs, m.IPC)
 			accs = append(accs, m.Accuracy)
 			covs = append(covs, m.Coverage)
@@ -87,7 +95,7 @@ func SeedStudy(w io.Writer, opts Options, seeds int) ([]SeedStudyRow, error) {
 			Cov:      summarize(covs),
 		})
 	}
-	fmt.Fprintf(w, "\nSeed study: PATHFINDER across %d seeds, %d loads/trace\n", seeds, opts.Loads)
+	fmt.Fprintf(w, "\nSeed study: PATHFINDER across %d seeds, %d loads/trace\n", seeds, o.loads)
 	tw := newTable(w)
 	fmt.Fprintln(tw, "trace\tIPC\taccuracy\tcoverage")
 	for _, r := range rows {

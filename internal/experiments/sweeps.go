@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"pathfinder/internal/core"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 )
 
 // NamedConfig pairs a PATHFINDER variant with its display label.
@@ -20,41 +22,50 @@ type SweepResult struct {
 	Rows    map[string]map[string]Metrics // trace -> label -> metrics
 }
 
-// runSweep evaluates each config on each trace and prints IPC/accuracy/
-// coverage tables.
-func runSweep(w io.Writer, title string, opts Options, configs []NamedConfig) (SweepResult, error) {
-	opts = opts.withDefaults()
+// collect indexes runner results into the trace -> label map.
+func (r *SweepResult) collect(results []runner.Result) {
+	for _, res := range results {
+		row := r.Rows[res.Trace]
+		if row == nil {
+			row = make(map[string]Metrics)
+			r.Rows[res.Trace] = row
+		}
+		row[res.Prefetcher] = res.Metrics
+	}
+}
+
+// runSweep evaluates each config on each trace through the parallel
+// evaluation engine and prints IPC/accuracy/coverage tables.
+func runSweep(w io.Writer, title string, o options, configs []NamedConfig) (SweepResult, error) {
 	res := SweepResult{Rows: make(map[string]map[string]Metrics)}
+	jobs := make([]runner.Job, 0, len(o.traces)*len(configs))
 	for _, c := range configs {
 		res.Configs = append(res.Configs, c.Label)
 	}
-	for _, tr := range opts.Traces {
-		env, err := loadEnv(tr, opts)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		row := make(map[string]Metrics, len(configs))
-		res.Rows[tr] = row
+	for _, tr := range o.traces {
 		for _, c := range configs {
-			pf, err := newPathfinder(c.Config, opts.Seed)
-			if err != nil {
-				return SweepResult{}, fmt.Errorf("experiments: %s config %q: %w", title, c.Label, err)
-			}
-			m, err := env.evalOnline(pf)
-			if err != nil {
-				return SweepResult{}, err
-			}
-			m.Prefetcher = c.Label
-			row[c.Label] = m
+			cfg := c.Config
+			jobs = append(jobs, runner.Job{
+				Trace: tr,
+				Label: c.Label,
+				New: func() (prefetch.Prefetcher, error) {
+					return newPathfinder(cfg, o.seed)
+				},
+			})
 		}
 	}
-	res.print(w, title, opts)
+	results, err := o.newRunner().Run(o.ctx, jobs)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("experiments: %s: %w", title, err)
+	}
+	res.collect(results)
+	res.print(w, title, o)
 	return res, nil
 }
 
-func (r SweepResult) print(w io.Writer, title string, opts Options) {
+func (r SweepResult) print(w io.Writer, title string, o options) {
 	for _, metric := range []string{"IPC", "Accuracy", "Coverage"} {
-		fmt.Fprintf(w, "\n%s — %s, %d loads/trace\n", title, metric, opts.Loads)
+		fmt.Fprintf(w, "\n%s — %s, %d loads/trace\n", title, metric, o.loads)
 		tw := newTable(w)
 		fmt.Fprint(tw, "trace")
 		for _, c := range r.Configs {
@@ -62,7 +73,7 @@ func (r SweepResult) print(w io.Writer, title string, opts Options) {
 		}
 		fmt.Fprintln(tw)
 		perCfg := make(map[string][]float64)
-		for _, tr := range opts.Traces {
+		for _, tr := range o.traces {
 			fmt.Fprint(tw, tr)
 			for _, c := range r.Configs {
 				m := r.Rows[tr][c]
@@ -107,20 +118,20 @@ func (r SweepResult) MeanIPC(label string) float64 {
 // Fig5 reproduces Figure 5: PATHFINDER at delta ranges 31, 63 and 127 (same
 // 50 neurons, same 32-tick interval). Smaller ranges trade coverage for
 // accuracy because fewer deltas are encodable (Table 7 quantifies how many).
-func Fig5(w io.Writer, opts Options) (SweepResult, error) {
+func Fig5(w io.Writer, opts ...Option) (SweepResult, error) {
 	var configs []NamedConfig
 	for _, d := range []int{31, 63, 127} {
 		cfg := core.DefaultConfig()
 		cfg.DeltaRange = d
 		configs = append(configs, NamedConfig{Label: fmt.Sprintf("range %d", d), Config: cfg})
 	}
-	return runSweep(w, "Figure 5 (delta range)", opts, configs)
+	return runSweep(w, "Figure 5 (delta range)", newOptions(opts), configs)
 }
 
 // Fig6 reproduces Figure 6: PATHFINDER IPC as the neuron count varies from
 // 10 to 100, for both the 2-label and the 1-label configuration. The
 // 2-label variant tolerates fewer neurons (§5, Table 8 discussion).
-func Fig6(w io.Writer, opts Options) (SweepResult, error) {
+func Fig6(w io.Writer, opts ...Option) (SweepResult, error) {
 	var configs []NamedConfig
 	for _, labels := range []int{2, 1} {
 		for _, n := range []int{10, 25, 50, 75, 100} {
@@ -133,17 +144,17 @@ func Fig6(w io.Writer, opts Options) (SweepResult, error) {
 			})
 		}
 	}
-	return runSweep(w, "Figure 6 (neuron count x labels)", opts, configs)
+	return runSweep(w, "Figure 6 (neuron count x labels)", newOptions(opts), configs)
 }
 
 // Fig7 reproduces Figure 7: the 1-tick approximation (§3.4) versus the full
 // 32-tick interval. The IPC difference should be small (Table 1 shows the
 // winners usually match).
-func Fig7(w io.Writer, opts Options) (SweepResult, error) {
+func Fig7(w io.Writer, opts ...Option) (SweepResult, error) {
 	full := core.DefaultConfig()
 	one := core.DefaultConfig()
 	one.OneTick = true
-	res, err := runSweep(w, "Figure 7 (1-tick vs 32-tick)", opts, []NamedConfig{
+	res, err := runSweep(w, "Figure 7 (1-tick vs 32-tick)", newOptions(opts), []NamedConfig{
 		{Label: "32-tick", Config: full},
 		{Label: "1-tick", Config: one},
 	})
@@ -168,7 +179,7 @@ func Fig7(w io.Writer, opts Options) (SweepResult, error) {
 // Fig8 reproduces Figure 8: STDP enabled only for the first k queries of
 // every 5000, for k in {10, 20, 50, 100, 1000, 2000, 3000, 4000}, against
 // always-on STDP. The paper finds k≈50 already matches always-on.
-func Fig8(w io.Writer, opts Options) (SweepResult, error) {
+func Fig8(w io.Writer, opts ...Option) (SweepResult, error) {
 	configs := []NamedConfig{{Label: "always", Config: core.DefaultConfig()}}
 	for _, k := range []int{10, 20, 50, 100, 1000, 2000, 3000, 4000} {
 		cfg := core.DefaultConfig()
@@ -176,13 +187,13 @@ func Fig8(w io.Writer, opts Options) (SweepResult, error) {
 		cfg.STDPPeriod = 5000
 		configs = append(configs, NamedConfig{Label: fmt.Sprintf("first %d", k), Config: cfg})
 	}
-	return runSweep(w, "Figure 8 (STDP duty cycle, per 5K accesses)", opts, configs)
+	return runSweep(w, "Figure 8 (STDP duty cycle, per 5K accesses)", newOptions(opts), configs)
 }
 
 // Fig9 reproduces Figure 9's variant ladder: basic 1-label, enlarged-pixel
 // 1-label, enlarged 2-label, enlarged reduced-interval (1-tick) 2-label,
 // and reordered enlarged reduced-interval 2-label.
-func Fig9(w io.Writer, opts Options) (SweepResult, error) {
+func Fig9(w io.Writer, opts ...Option) (SweepResult, error) {
 	basic1 := core.DefaultConfig()
 	basic1.LabelsPerNeuron = 1
 	basic1.Enlarged = false
@@ -200,7 +211,7 @@ func Fig9(w io.Writer, opts Options) (SweepResult, error) {
 	reorder.Reorder = true
 	reorder.MiddleShift = 11
 
-	return runSweep(w, "Figure 9 (variant ladder)", opts, []NamedConfig{
+	return runSweep(w, "Figure 9 (variant ladder)", newOptions(opts), []NamedConfig{
 		{Label: "basic-1l", Config: basic1},
 		{Label: "enlarged-1l", Config: enl1},
 		{Label: "enlarged-2l", Config: enl2},

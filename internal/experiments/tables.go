@@ -7,6 +7,7 @@ import (
 	"pathfinder/internal/core"
 	"pathfinder/internal/hwcost"
 	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 	"pathfinder/internal/snn"
 	"pathfinder/internal/workload"
 )
@@ -20,20 +21,22 @@ type Table1Row struct {
 
 // Table1 reproduces Table 1: on every full 32-tick SNN query, also compute
 // the neuron with the highest potential after one (expected) tick and
-// report how often it matches the interval's firing neuron.
-func Table1(w io.Writer, opts Options) ([]Table1Row, error) {
-	opts = opts.withDefaults()
-	var rows []Table1Row
-	for _, tr := range opts.Traces {
-		accs, err := workload.Generate(tr, opts.Loads, opts.Seed)
+// report how often it matches the interval's firing neuron. Traces run in
+// parallel; each gets its own deterministically seeded PATHFINDER.
+func Table1(w io.Writer, opts ...Option) ([]Table1Row, error) {
+	o := newOptions(opts)
+	rows := make([]Table1Row, len(o.traces))
+	err := runner.ForEach(o.ctx, o.parallelism, len(o.traces), func(i int) error {
+		tr := o.traces[i]
+		accs, err := workload.GenerateCtx(o.ctx, tr, o.loads, o.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := core.DefaultConfig()
 		cfg.CompareOneTick = true
-		pf, err := newPathfinder(cfg, opts.Seed)
+		pf, err := newPathfinder(cfg, o.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, a := range accs {
 			pf.Advise(a, prefetch.Budget)
@@ -43,9 +46,13 @@ func Table1(w io.Writer, opts Options) ([]Table1Row, error) {
 		if st.OneTickQueries > 0 {
 			rate = float64(st.OneTickMatches) / float64(st.OneTickQueries)
 		}
-		rows = append(rows, Table1Row{Trace: tr, MatchRate: rate, Queries: st.OneTickQueries})
+		rows[i] = Table1Row{Trace: tr, MatchRate: rate, Queries: st.OneTickQueries}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Fprintf(w, "\nTable 1: %% of queries where the highest-voltage neuron after 1 tick matched the 32-tick firing neuron (%d loads/trace)\n", opts.Loads)
+	fmt.Fprintf(w, "\nTable 1: %% of queries where the highest-voltage neuron after 1 tick matched the 32-tick firing neuron (%d loads/trace)\n", o.loads)
 	tw := newTable(w)
 	fmt.Fprintln(tw, "trace\tmatched neuron\tqueries")
 	for _, r := range rows {
@@ -135,24 +142,29 @@ type Table7Row struct {
 }
 
 // Table7 reproduces Table 7: how many same-page deltas fall within (−31,31)
-// and (−15,15) per trace.
-func Table7(w io.Writer, opts Options) ([]Table7Row, error) {
-	opts = opts.withDefaults()
-	var rows []Table7Row
-	for _, tr := range opts.Traces {
-		accs, err := workload.Generate(tr, opts.Loads, opts.Seed)
+// and (−15,15) per trace. Traces run in parallel.
+func Table7(w io.Writer, opts ...Option) ([]Table7Row, error) {
+	o := newOptions(opts)
+	rows := make([]Table7Row, len(o.traces))
+	err := runner.ForEach(o.ctx, o.parallelism, len(o.traces), func(i int) error {
+		tr := o.traces[i]
+		accs, err := workload.GenerateCtx(o.ctx, tr, o.loads, o.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st := workload.ComputeDeltaStats(accs, 31, 15)
-		rows = append(rows, Table7Row{
+		rows[i] = Table7Row{
 			Trace:    tr,
 			Deltas:   st.Deltas,
 			Within31: st.InRange[31],
 			Within15: st.InRange[15],
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Fprintf(w, "\nTable 7: deltas within range, out of %d loads/trace\n", opts.Loads)
+	fmt.Fprintf(w, "\nTable 7: deltas within range, out of %d loads/trace\n", o.loads)
 	tw := newTable(w)
 	fmt.Fprintln(tw, "trace\t#deltas\tin (-31,31)\tin (-15,15)")
 	for _, r := range rows {
@@ -172,21 +184,27 @@ type Table8Row struct {
 
 // Table8 reproduces Table 8: per 1K accesses, the mean number of deltas,
 // distinct deltas, and the summed occurrences of the top-5 distinct deltas.
-func Table8(w io.Writer, opts Options) ([]Table8Row, error) {
-	opts = opts.withDefaults()
-	var rows []Table8Row
-	for _, tr := range opts.Traces {
-		accs, err := workload.Generate(tr, opts.Loads, opts.Seed)
+// Traces run in parallel.
+func Table8(w io.Writer, opts ...Option) ([]Table8Row, error) {
+	o := newOptions(opts)
+	rows := make([]Table8Row, len(o.traces))
+	err := runner.ForEach(o.ctx, o.parallelism, len(o.traces), func(i int) error {
+		tr := o.traces[i]
+		accs, err := workload.GenerateCtx(o.ctx, tr, o.loads, o.seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		st := workload.ComputeDeltaStats(accs)
-		rows = append(rows, Table8Row{
+		rows[i] = Table8Row{
 			Trace:       tr,
 			AvgDeltas:   st.PerWindow.AvgDeltas,
 			AvgDistinct: st.PerWindow.AvgDistinct,
 			AvgTop5:     st.PerWindow.AvgTop5,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fmt.Fprintln(w, "\nTable 8: per-1K-access delta statistics")
 	tw := newTable(w)
@@ -232,9 +250,9 @@ func Table9(w io.Writer) []hwcost.Table9Row {
 // PrintConfig prints the configuration tables of the methodology section:
 // the machine (Table 3), the SNN hyper-parameters (Table 4), and the
 // workload suite (Table 5).
-func PrintConfig(w io.Writer, opts Options) {
-	opts = opts.withDefaults()
-	cfg := opts.Sim
+func PrintConfig(w io.Writer, opts ...Option) {
+	o := newOptions(opts)
+	cfg := o.sim
 	fmt.Fprintln(w, "\nTable 3: simulator parameters")
 	tw := newTable(w)
 	fmt.Fprintf(tw, "L1D\t%d sets, %d ways, latency %d cycles\n", cfg.L1Sets, cfg.L1Ways, cfg.L1Lat)

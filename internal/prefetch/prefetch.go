@@ -5,7 +5,11 @@
 // of §3.4/§5.
 package prefetch
 
-import "pathfinder/internal/trace"
+import (
+	"context"
+
+	"pathfinder/internal/trace"
+)
 
 // Prefetcher observes a load stream one access at a time and suggests
 // blocks to prefetch. Implementations learn online; there is no separate
@@ -28,11 +32,26 @@ const Budget = 2
 // suggestions into a prefetch file for sim.Run, enforcing the per-access
 // budget. This is the first phase of the two-phase flow of §4.1.
 func GenerateFile(p Prefetcher, accs []trace.Access, budget int) []trace.Prefetch {
+	out, _ := GenerateFileCtx(context.Background(), p, accs, budget)
+	return out
+}
+
+// GenerateFileCtx is GenerateFile with cancellation: it polls ctx every
+// few thousand accesses and returns ctx.Err() when cancelled. It is on
+// every evaluation's hot path, so the output is allocated once at the
+// budget-implied capacity (len(accs)*budget entries) and the per-access
+// advice slice is truncated in place rather than copied.
+func GenerateFileCtx(ctx context.Context, p Prefetcher, accs []trace.Access, budget int) ([]trace.Prefetch, error) {
 	if budget <= 0 {
 		budget = Budget
 	}
-	var out []trace.Prefetch
-	for _, a := range accs {
+	out := make([]trace.Prefetch, 0, len(accs)*budget)
+	for i, a := range accs {
+		if i&2047 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		addrs := p.Advise(a, budget)
 		if len(addrs) > budget {
 			addrs = addrs[:budget]
@@ -41,7 +60,7 @@ func GenerateFile(p Prefetcher, accs []trace.Access, budget int) []trace.Prefetc
 			out = append(out, trace.Prefetch{ID: a.ID, Addr: addr &^ (trace.BlockBytes - 1)})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // NoPrefetch is the no-prefetching baseline.

@@ -1,0 +1,75 @@
+package runner
+
+import (
+	"context"
+	"sync"
+)
+
+// flightShards is the shard count of the single-flight caches. Sixteen
+// shards keep lock contention negligible for grids of hundreds of cells
+// while costing nothing for small runs.
+const flightShards = 16
+
+// flight is a sharded single-flight cache: for each key the value is built
+// exactly once, concurrent callers block until the builder finishes, and
+// failed builds are evicted so a later caller may retry.
+type flight[T any] struct {
+	shards [flightShards]flightShard[T]
+}
+
+type flightShard[T any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[T]
+}
+
+type flightCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Do returns the cached value for key, building it with fn if absent. The
+// build runs on the first caller's goroutine; waiters give up (without
+// cancelling the build) when their own ctx is cancelled.
+func (f *flight[T]) Do(ctx context.Context, key string, fn func() (T, error)) (T, error) {
+	sh := &f.shards[fnv1a(key)%flightShards]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]*flightCall[T])
+	}
+	if c, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+	c := &flightCall[T]{done: make(chan struct{})}
+	sh.m[key] = c
+	sh.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+	if c.err != nil {
+		// Evict so a retry with a live context can rebuild.
+		sh.mu.Lock()
+		if sh.m[key] == c {
+			delete(sh.m, key)
+		}
+		sh.mu.Unlock()
+	}
+	return c.val, c.err
+}
+
+// fnv1a hashes a key for shard selection.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,484 @@
+// Package runner is the parallel evaluation engine behind the experiment
+// harness: it fans a (trace × prefetcher) grid out across a worker pool,
+// computes each trace's no-prefetch baseline exactly once through a
+// sharded single-flight cache, and reports per-cell progress to an
+// optional sink.
+//
+// Determinism contract: every job is evaluated in isolation — its trace is
+// generated (or taken) read-only, its prefetcher is constructed fresh from
+// the job's deterministic seed, and the simulator shares no mutable state
+// between jobs — so Run returns bit-identical Metrics for any Parallelism,
+// in the submitted job order.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+// Metrics summarises one prefetcher evaluation (§4.5 of the paper).
+type Metrics struct {
+	// Prefetcher and Trace identify the run.
+	Prefetcher, Trace string
+	// IPC is instructions per cycle after warmup.
+	IPC float64
+	// Accuracy is useful/issued prefetches; Coverage is useful prefetches
+	// over baseline LLC misses.
+	Accuracy, Coverage float64
+	// Issued and Useful are the raw prefetch counts; BaselineMisses is
+	// the no-prefetch LLC miss count coverage is relative to.
+	Issued, Useful, BaselineMisses uint64
+}
+
+// Result is one evaluated job: its metrics plus engine-level measurements.
+type Result struct {
+	Metrics
+	// BaselineIPC is the no-prefetch IPC of the job's trace (zero when the
+	// job supplied a precomputed baseline, which skips the baseline run).
+	BaselineIPC float64
+	// Cycles is the simulated cycle count of the prefetch run.
+	Cycles uint64
+	// Wall is the host wall-clock time the job took, including its share
+	// of cached trace/baseline builds.
+	Wall time.Duration
+}
+
+// Progress is one progress event, emitted after each job completes.
+type Progress struct {
+	// Done jobs out of Total in this Run call.
+	Done, Total int
+	// Trace and Prefetcher identify the finished job.
+	Trace, Prefetcher string
+	// Wall is the job's wall-clock time; Cycles its simulated cycles, so
+	// sinks can derive simulated-cycles-per-second throughput.
+	Wall   time.Duration
+	Cycles uint64
+}
+
+// ProgressFunc receives progress events. Calls are serialised and ordered
+// by completion; implementations should be fast (they run under the
+// engine's bookkeeping lock).
+type ProgressFunc func(Progress)
+
+// Config configures a Runner. The zero value is usable: 50 K-load traces,
+// seed 1, the scaled Table 3 machine, and GOMAXPROCS workers.
+type Config struct {
+	// Loads is the default trace length for jobs that name a workload.
+	Loads int
+	// Seed is the default seed for trace generation.
+	Seed int64
+	// Sim is the default machine configuration.
+	Sim sim.Config
+	// Parallelism is the worker count (default GOMAXPROCS).
+	Parallelism int
+	// Progress, if set, receives one event per completed job.
+	Progress ProgressFunc
+}
+
+// Job is one evaluation cell: a trace and exactly one source of
+// prefetches — an online prefetcher (instance or factory), an offline
+// prefetch-file generator, or a precomputed file.
+type Job struct {
+	// Trace names a workload (generated with the effective Loads/Seed and
+	// cached across jobs). Optional when Accs is set, but still used as
+	// the result label and the baseline-cache key.
+	Trace string
+	// Accs, if non-nil, is the trace to replay (bypasses generation).
+	Accs []trace.Access
+	// Label overrides the result's Prefetcher name.
+	Label string
+
+	// New builds the job's online prefetcher; preferred over Prefetcher
+	// because construction then happens inside the job with the job's
+	// deterministic seed. Exactly one of New, Prefetcher, GenFile, File
+	// must be set (File may be an explicitly empty file for a no-prefetch
+	// run via Prefetcher: prefetch.NoPrefetch{}).
+	New func() (prefetch.Prefetcher, error)
+	// Prefetcher is a ready-made online prefetcher. It must not be shared
+	// with any other job: prefetchers are stateful.
+	Prefetcher prefetch.Prefetcher
+	// GenFile generates a prefetch file offline (the Delta-LSTM/Voyager
+	// path). Label is required with GenFile.
+	GenFile func(ctx context.Context, accs []trace.Access) ([]trace.Prefetch, error)
+	// File is an already-generated prefetch file.
+	File []trace.Prefetch
+
+	// Budget caps prefetches per access (default prefetch.Budget).
+	Budget int
+	// Baseline, if non-nil, is a precomputed no-prefetch LLC miss count;
+	// the baseline simulation is skipped.
+	Baseline *uint64
+	// Warmup overrides the warmup length: >0 is an explicit access count,
+	// <0 disables warmup, 0 defers to Sim.Warmup and then to the default
+	// 10% of the trace.
+	Warmup int
+	// Loads / Seed / Sim override the runner defaults for this job. A
+	// job-level Sim bypasses the shared baseline cache (the machine
+	// differs from the cached runs).
+	Loads int
+	Seed  int64
+	Sim   *sim.Config
+}
+
+// Runner evaluates jobs across a worker pool, sharing per-trace work
+// (generation and the no-prefetch baseline) through single-flight caches.
+// A Runner is safe for concurrent use; caches persist across Run calls.
+type Runner struct {
+	cfg       Config
+	traces    flight[[]trace.Access]
+	baselines flight[baselineInfo]
+
+	baselineSims atomic.Int64
+}
+
+type baselineInfo struct {
+	ipc    float64
+	misses uint64
+}
+
+// New builds a Runner. Zero-value Config fields take their defaults
+// (50 K loads, seed 1, scaled machine, GOMAXPROCS workers).
+func New(cfg Config) *Runner {
+	if cfg.Loads <= 0 {
+		cfg.Loads = 50_000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Sim.Width == 0 {
+		cfg.Sim = sim.ScaledConfig()
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{cfg: cfg}
+}
+
+// BaselineSims reports how many no-prefetch baseline simulations the
+// runner has actually executed — with the single-flight cache this stays
+// at one per distinct trace regardless of grid size or parallelism.
+func (r *Runner) BaselineSims() int64 { return r.baselineSims.Load() }
+
+// Run evaluates the jobs across the worker pool and returns one Result
+// per job, in job order. On error (including cancellation) it waits for
+// in-flight workers to wind down — no goroutines outlive the call — and
+// the returned results must be discarded.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.cfg.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idxc := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				res, err := r.eval(ctx, jobs[i])
+				if err != nil {
+					fail(fmt.Errorf("runner: job %d (%s/%s): %w", i, jobs[i].Trace, jobs[i].Label, err))
+					return
+				}
+				results[i] = res
+				mu.Lock()
+				done++
+				if r.cfg.Progress != nil {
+					r.cfg.Progress(Progress{
+						Done: done, Total: len(jobs),
+						Trace: res.Trace, Prefetcher: res.Prefetcher,
+						Wall: res.Wall, Cycles: res.Cycles,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idxc <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxc)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Eval evaluates a single job on the calling goroutine (no pool), still
+// sharing the runner's caches and emitting a 1/1 progress event.
+func (r *Runner) Eval(ctx context.Context, job Job) (Result, error) {
+	res, err := r.eval(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(Progress{
+			Done: 1, Total: 1,
+			Trace: res.Trace, Prefetcher: res.Prefetcher,
+			Wall: res.Wall, Cycles: res.Cycles,
+		})
+	}
+	return res, nil
+}
+
+// effective resolves a job's loads/seed/sim against the runner defaults.
+func (r *Runner) effective(job Job) (loads int, seed int64, cfg sim.Config) {
+	loads, seed, cfg = r.cfg.Loads, r.cfg.Seed, r.cfg.Sim
+	if job.Loads > 0 {
+		loads = job.Loads
+	}
+	if job.Seed != 0 {
+		seed = job.Seed
+	}
+	if job.Sim != nil {
+		cfg = *job.Sim
+	}
+	return loads, seed, cfg
+}
+
+// resolveWarmup applies the warmup precedence: job override, then the sim
+// config, then the conventional 10% of the trace.
+func resolveWarmup(jobWarmup, simWarmup, n int) int {
+	switch {
+	case jobWarmup > 0:
+		return jobWarmup
+	case jobWarmup < 0:
+		return 0
+	case simWarmup > 0:
+		return simWarmup
+	}
+	return n / 10
+}
+
+// eval runs one job end to end: trace, baseline, prefetch file, timed
+// replay.
+func (r *Runner) eval(ctx context.Context, job Job) (Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	loads, seed, cfg := r.effective(job)
+
+	accs := job.Accs
+	if accs == nil {
+		if job.Trace == "" {
+			return Result{}, fmt.Errorf("job has neither a trace name nor accesses")
+		}
+		key := fmt.Sprintf("%s\x00%d\x00%d", job.Trace, loads, seed)
+		var err error
+		accs, err = r.traces.Do(ctx, key, func() ([]trace.Access, error) {
+			return workload.GenerateCtx(ctx, job.Trace, loads, seed)
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if len(accs) == 0 {
+		return Result{}, fmt.Errorf("empty trace")
+	}
+	cfg.Warmup = resolveWarmup(job.Warmup, cfg.Warmup, len(accs))
+
+	var base baselineInfo
+	if job.Baseline != nil {
+		base.misses = *job.Baseline
+	} else {
+		var err error
+		base, err = r.baseline(ctx, job, cfg, accs)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	pfs, label, err := r.prefetchFile(ctx, job, accs)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.RunCtx(ctx, cfg, accs, pfs)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Metrics: Metrics{
+			Prefetcher:     label,
+			Trace:          job.Trace,
+			IPC:            res.IPC,
+			Accuracy:       res.Accuracy(),
+			Coverage:       res.Coverage(base.misses),
+			Issued:         res.PrefIssued,
+			Useful:         res.PrefUseful,
+			BaselineMisses: base.misses,
+		},
+		BaselineIPC: base.ipc,
+		Cycles:      res.Cycles,
+		Wall:        time.Since(start),
+	}, nil
+}
+
+// baseline returns the trace's no-prefetch simulation, through the
+// single-flight cache when the job runs on the shared machine
+// configuration.
+func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []trace.Access) (baselineInfo, error) {
+	run := func() (baselineInfo, error) {
+		r.baselineSims.Add(1)
+		res, err := sim.RunCtx(ctx, cfg, accs, nil)
+		if err != nil {
+			return baselineInfo{}, fmt.Errorf("baseline simulation: %w", err)
+		}
+		return baselineInfo{ipc: res.IPC, misses: res.LLCLoadMisses}, nil
+	}
+	// A per-job machine override or an anonymous trace is not cacheable:
+	// the cache key could not distinguish it from the shared runs.
+	if job.Sim != nil || job.Trace == "" {
+		return run()
+	}
+	loads, seed, _ := r.effective(job)
+	key := fmt.Sprintf("%s\x00%d\x00%d\x00%d", job.Trace, loads, seed, cfg.Warmup)
+	return r.baselines.Do(ctx, key, run)
+}
+
+// prefetchFile produces the job's prefetch file and result label.
+func (r *Runner) prefetchFile(ctx context.Context, job Job, accs []trace.Access) ([]trace.Prefetch, string, error) {
+	label := job.Label
+	switch {
+	case job.File != nil:
+		if label == "" {
+			label = "file"
+		}
+		return job.File, label, nil
+	case job.GenFile != nil:
+		if label == "" {
+			return nil, "", fmt.Errorf("GenFile job needs a Label")
+		}
+		pfs, err := job.GenFile(ctx, accs)
+		return pfs, label, err
+	case job.New != nil, job.Prefetcher != nil:
+		p := job.Prefetcher
+		if job.New != nil {
+			var err error
+			if p, err = job.New(); err != nil {
+				return nil, "", err
+			}
+		}
+		budget := job.Budget
+		if budget <= 0 {
+			budget = prefetch.Budget
+		}
+		pfs, err := prefetch.GenerateFileCtx(ctx, p, accs, budget)
+		if err != nil {
+			return nil, "", err
+		}
+		if label == "" {
+			label = p.Name()
+		}
+		return pfs, label, nil
+	}
+	return nil, "", fmt.Errorf("job has no prefetcher, generator, or file")
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a worker pool of the
+// given size (0 means GOMAXPROCS), stopping at the first error or
+// cancellation. It is the runner's escape hatch for experiment loops that
+// are not (trace × prefetcher) simulation cells — per-trace statistics,
+// multi-core interference runs — but should still saturate the machine.
+func ForEach(ctx context.Context, parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	idxc := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxc {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idxc <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxc)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

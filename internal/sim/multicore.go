@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"pathfinder/internal/trace"
@@ -253,6 +254,12 @@ func (c *corePipeline) finish() Result {
 // core naturally falls behind while others occupy the shared resources.
 // It returns one Result per core.
 func RunMulti(cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Result, error) {
+	return RunMultiCtx(context.Background(), cfg, cores, pfs)
+}
+
+// RunMultiCtx is RunMulti with cancellation: the scheduling loop polls ctx
+// every few thousand steps and returns ctx.Err() when cancelled.
+func RunMultiCtx(ctx context.Context, cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Result, error) {
 	if cfg.Width <= 0 || cfg.ROB <= 0 {
 		return nil, fmt.Errorf("sim: invalid core config (width %d, ROB %d)", cfg.Width, cfg.ROB)
 	}
@@ -284,7 +291,14 @@ func RunMulti(cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Res
 
 	// Advance the core with the smallest local retire time; this keeps
 	// the shared-resource access order consistent with wall-clock time.
+	steps := 0
 	for {
+		if steps&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		best := -1
 		for i, p := range pipes {
 			if p.done() {

@@ -1,6 +1,10 @@
 package sim
 
-import "pathfinder/internal/trace"
+import (
+	"context"
+
+	"pathfinder/internal/trace"
+)
 
 // Config is the full machine configuration, defaulting to Table 3 of the
 // paper. Latencies are in core cycles.
@@ -153,7 +157,14 @@ type retirePoint struct {
 // the LLC, §4.1) and contend for DRAM banks and queue slots with demand
 // loads.
 func Run(cfg Config, accs []trace.Access, pfs []trace.Prefetch) (Result, error) {
-	res, err := RunMulti(cfg, [][]trace.Access{accs}, [][]trace.Prefetch{pfs})
+	return RunCtx(context.Background(), cfg, accs, pfs)
+}
+
+// RunCtx is Run with cancellation: the replay polls ctx periodically and
+// aborts with ctx.Err() mid-simulation, so a cancelled evaluation grid
+// stops within a few thousand simulated accesses.
+func RunCtx(ctx context.Context, cfg Config, accs []trace.Access, pfs []trace.Prefetch) (Result, error) {
+	res, err := RunMultiCtx(ctx, cfg, [][]trace.Access{accs}, [][]trace.Prefetch{pfs})
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,6 +16,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -287,18 +288,33 @@ func Lookup(name string) (Spec, error) {
 // the Table 5 suite, the executed graph kernels "bfs-csr" and "cc-csr"
 // (see graph.go) are accepted.
 func Generate(name string, n int, seed int64) ([]trace.Access, error) {
+	return GenerateCtx(context.Background(), name, n, seed)
+}
+
+// GenerateCtx is Generate with cancellation: generation polls ctx
+// periodically and aborts with ctx.Err() when cancelled.
+func GenerateCtx(ctx context.Context, name string, n int, seed int64) ([]trace.Access, error) {
 	spec, err := Lookup(name)
 	if err != nil {
+		if err2 := ctx.Err(); err2 != nil {
+			return nil, err2
+		}
 		if accs, err2 := GenerateExecuted(name, n, seed); err2 == nil {
 			return accs, nil
 		}
 		return nil, err
 	}
-	return spec.Generate(n, seed), nil
+	return spec.GenerateCtx(ctx, n, seed)
 }
 
 // Generate produces a deterministic trace of n loads from the spec.
 func (s Spec) Generate(n int, seed int64) []trace.Access {
+	accs, _ := s.GenerateCtx(context.Background(), n, seed)
+	return accs
+}
+
+// GenerateCtx is Spec.Generate with periodic cancellation checks.
+func (s Spec) GenerateCtx(ctx context.Context, n int, seed int64) ([]trace.Access, error) {
 	rng := rand.New(rand.NewSource(seed ^ int64(hashName(s.Name))))
 	streams := make([]stream, len(s.Components))
 	weights := make([]int, len(s.Components))
@@ -309,11 +325,16 @@ func (s Spec) Generate(n int, seed int64) []trace.Access {
 		weights[i] = total
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	accs := make([]trace.Access, n)
 	id := uint64(0)
 	for i := 0; i < n; i++ {
+		if i&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Geometric-ish instruction gap with the Table 5 mean.
 		gap := 1 + rng.Intn(2*s.IDGap-1)
 		id += uint64(gap)
@@ -322,7 +343,7 @@ func (s Spec) Generate(n int, seed int64) []trace.Access {
 		pc, addr := streams[j].next(rng)
 		accs[i] = trace.Access{ID: id, PC: pc, Addr: addr, Chain: streams[j].chain()}
 	}
-	return accs
+	return accs, nil
 }
 
 func hashName(s string) uint64 {

@@ -13,25 +13,28 @@
 //   - synthetic workload generators standing in for the paper's GAP /
 //     SPEC / CloudSuite traces (Workloads, GenerateTrace);
 //   - the trace-driven timing simulator that turns prefetch files into
-//     IPC, accuracy and coverage (Simulate, Evaluate);
+//     IPC, accuracy and coverage (Simulate, Eval);
+//   - the parallel evaluation engine that fans (trace × prefetcher) grids
+//     across all cores (Runner, EvalJob, EvalResult);
 //   - the hardware cost model of §3.5 (HardwareCost).
 //
 // A minimal end-to-end run:
 //
 //	accs, _ := pathfinder.GenerateTrace("cc-5", 100_000, 1)
 //	pf, _ := pathfinder.New(pathfinder.DefaultConfig())
-//	m, _ := pathfinder.Evaluate(pf, accs, pathfinder.DefaultSimConfig())
+//	m, _ := pathfinder.Eval(context.Background(), pathfinder.EvalJob{Prefetcher: pf, Accs: accs})
 //	fmt.Printf("IPC %.3f accuracy %.2f coverage %.2f\n", m.IPC, m.Accuracy, m.Coverage)
 package pathfinder
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/hwcost"
 	"pathfinder/internal/lstm"
 	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/snn"
 	"pathfinder/internal/trace"
@@ -254,71 +257,87 @@ func DefaultHWConfig() HWConfig { return hwcost.DefaultConfig() }
 // configuration (§3.5; the default lands at the paper's 0.23 mm² / 0.5 W).
 func HardwareCost(cfg HWConfig) (HWCost, error) { return hwcost.Total(cfg) }
 
-// Metrics summarises one prefetcher evaluation (§4.5).
-type Metrics struct {
-	// Prefetcher and Trace identify the run.
-	Prefetcher, Trace string
-	// IPC is instructions per cycle after warmup.
-	IPC float64
-	// Accuracy is useful/issued prefetches.
-	Accuracy float64
-	// Coverage is useful prefetches over baseline LLC misses.
-	Coverage float64
-	// Issued and Useful are the raw prefetch counts; BaselineMisses is
-	// the no-prefetch LLC miss count the coverage is relative to.
-	Issued, Useful, BaselineMisses uint64
+// Parallel evaluation engine types.
+type (
+	// Metrics summarises one prefetcher evaluation (§4.5).
+	Metrics = runner.Metrics
+	// EvalJob describes one evaluation: a trace (by name or as explicit
+	// accesses) and exactly one prefetch source — an online prefetcher
+	// (instance or factory), an offline file generator, or a precomputed
+	// file — plus optional baseline, warmup, budget, and machine
+	// overrides.
+	EvalJob = runner.Job
+	// EvalResult is one evaluated job: Metrics plus the trace's
+	// no-prefetch IPC and the job's wall-clock / simulated-cycle cost.
+	EvalResult = runner.Result
+	// Runner is the parallel evaluation engine: it fans EvalJobs across a
+	// worker pool and runs each trace's no-prefetch baseline exactly once
+	// through a single-flight cache. Results are bit-identical to a
+	// serial run regardless of parallelism.
+	Runner = runner.Runner
+	// RunnerConfig configures a Runner (trace length, seed, machine,
+	// parallelism, progress sink).
+	RunnerConfig = runner.Config
+	// RunnerProgress is one progress event (jobs done, wall clock,
+	// simulated cycles) delivered to RunnerConfig.Progress.
+	RunnerProgress = runner.Progress
+)
+
+// NewRunner builds a parallel evaluation engine. Zero-value config fields
+// take defaults: 50 K-load traces, seed 1, the scaled Table 3 machine,
+// GOMAXPROCS workers.
+func NewRunner(cfg RunnerConfig) *Runner { return runner.New(cfg) }
+
+// Eval runs the complete two-phase evaluation described by one EvalJob:
+// trace acquisition, the no-prefetch baseline (unless job.Baseline is
+// precomputed), prefetch-file generation, and the timed replay. Warmup
+// defaults to 10% of the trace; job.Sim defaults to ScaledSimConfig. It
+// subsumes the deprecated Evaluate, EvaluateAgainstBaseline and
+// EvaluateFile entry points; use a Runner to evaluate whole grids in
+// parallel.
+func Eval(ctx context.Context, job EvalJob) (Metrics, error) {
+	res, err := runner.New(runner.Config{Parallelism: 1}).Eval(ctx, job)
+	return res.Metrics, err
 }
 
-// Evaluate runs the complete two-phase evaluation of one online prefetcher
-// on a trace: a no-prefetch baseline simulation (for baseline misses), the
-// prefetch-file generation, and the timed replay. Warmup is 10% of the
-// trace.
+// Evaluate runs the two-phase evaluation of one online prefetcher on a
+// trace with a fresh baseline simulation and a 10%-of-trace warmup.
+//
+// Deprecated: use Eval with an EvalJob{Prefetcher: p, Accs: accs, Sim: &cfg}.
 func Evaluate(p OnlinePrefetcher, accs []Access, cfg SimConfig) (Metrics, error) {
-	if len(accs) == 0 {
-		return Metrics{}, fmt.Errorf("pathfinder: empty trace")
-	}
-	cfg.Warmup = len(accs) / 10
-	base, err := sim.Run(cfg, accs, nil)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("pathfinder: baseline simulation: %w", err)
-	}
-	return EvaluateAgainstBaseline(p, accs, cfg, base.LLCLoadMisses)
+	return Eval(context.Background(), EvalJob{Prefetcher: p, Accs: accs, Sim: &cfg})
 }
 
 // EvaluateAgainstBaseline is Evaluate with a precomputed baseline miss
 // count, letting callers share one baseline run across many prefetchers.
 // cfg.Warmup must already be set as it was for the baseline run.
+//
+// Deprecated: use Eval with EvalJob.Baseline set (a Runner shares
+// baselines across a grid automatically).
 func EvaluateAgainstBaseline(p OnlinePrefetcher, accs []Access, cfg SimConfig, baselineMisses uint64) (Metrics, error) {
-	pfs := prefetch.GenerateFile(p, accs, Budget)
-	res, err := sim.Run(cfg, accs, pfs)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("pathfinder: prefetch simulation: %w", err)
-	}
-	return Metrics{
-		Prefetcher:     p.Name(),
-		IPC:            res.IPC,
-		Accuracy:       res.Accuracy(),
-		Coverage:       res.Coverage(baselineMisses),
-		Issued:         res.PrefIssued,
-		Useful:         res.PrefUseful,
-		BaselineMisses: baselineMisses,
-	}, nil
+	return Eval(context.Background(), EvalJob{
+		Prefetcher: p, Accs: accs, Sim: &cfg,
+		Baseline: &baselineMisses, Warmup: explicitWarmup(cfg.Warmup),
+	})
 }
 
 // EvaluateFile scores an already-generated prefetch file (used for the
 // offline baselines Delta-LSTM and Voyager).
+//
+// Deprecated: use Eval with EvalJob.File.
 func EvaluateFile(name string, accs []Access, pfs []PrefetchEntry, cfg SimConfig, baselineMisses uint64) (Metrics, error) {
-	res, err := sim.Run(cfg, accs, pfs)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("pathfinder: prefetch simulation: %w", err)
+	return Eval(context.Background(), EvalJob{
+		Label: name, Accs: accs, File: pfs, Sim: &cfg,
+		Baseline: &baselineMisses, Warmup: explicitWarmup(cfg.Warmup),
+	})
+}
+
+// explicitWarmup maps a SimConfig.Warmup the legacy entry points received
+// onto the EvalJob override, preserving their exact semantics: whatever
+// the caller set is used verbatim, including zero (no warmup).
+func explicitWarmup(w int) int {
+	if w == 0 {
+		return -1
 	}
-	return Metrics{
-		Prefetcher:     name,
-		IPC:            res.IPC,
-		Accuracy:       res.Accuracy(),
-		Coverage:       res.Coverage(baselineMisses),
-		Issued:         res.PrefIssued,
-		Useful:         res.PrefUseful,
-		BaselineMisses: baselineMisses,
-	}, nil
+	return w
 }
