@@ -1,10 +1,11 @@
 # Verify flow. `make verify` is the tier-1 gate (see ROADMAP.md); `make race`
 # runs the race detector over the parallel evaluation engine and the
-# experiment harness that drives it.
+# experiment harness that drives it. `make bench-micro` records the SNN
+# hot-path micro-benchmarks into BENCH_snn.json (see docs/performance.md).
 
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet race bench bench-micro verify
 
 build:
 	$(GO) build ./...
@@ -20,5 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# SNN hot-path micro-benchmarks (5 repetitions, alloc counts) plus the
+# end-to-end BenchmarkSimulate, aggregated into BENCH_snn.json.
+bench-micro:
+	{ $(GO) test ./internal/snn -run '^$$' -bench 'BenchmarkPresent' -benchmem -count=5 -timeout 30m && \
+	  $(GO) test . -run '^$$' -bench 'BenchmarkSimulate$$' -benchmem -count=5 -timeout 30m ; } | \
+	  $(GO) run ./cmd/benchjson -o BENCH_snn.json
+	@cat BENCH_snn.json
 
 verify: build test vet race

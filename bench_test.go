@@ -35,6 +35,32 @@ func benchOpts(extra ...experiments.Option) []experiments.Option {
 // classes: delta-rich GAP, strided SPEC, irregular SPEC17, temporal SPEC06.
 var fastTraces = []string{"cc-5", "bfs-10", "605-mcf-s1", "471-omnetpp-s1"}
 
+// BenchmarkSimulate measures the end-to-end per-access cost of the
+// PATHFINDER pipeline — advise (SNN query per miss), prefetch generation
+// and the two-phase cache simulation — the macro companion to
+// internal/snn's BenchmarkPresent micro-benchmarks (see
+// docs/performance.md). Run by `make bench-micro` into BENCH_snn.json.
+func BenchmarkSimulate(b *testing.B) {
+	accs, err := GenerateTrace("cc-5", 20_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ScaledSimConfig()
+	cfg.Warmup = len(accs) / 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pfs := GeneratePrefetches(pf, accs, Budget)
+		if _, err := Simulate(cfg, accs, pfs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1OneTickMatch(b *testing.B) {
 	opts := benchOpts(experiments.WithTraces("cc-5"))
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` output read on stdin into a
+// compact JSON perf record. `make bench-micro` pipes the SNN
+// micro-benchmarks through it into BENCH_snn.json so successive PRs leave
+// a comparable perf trajectory (see docs/performance.md).
+//
+// Repeated runs of the same benchmark (-count=N) are aggregated: ns/op is
+// reported as both the minimum (the least-noise estimate conventionally
+// quoted for comparisons) and the mean; allocs/op and B/op must be stable
+// across runs and are carried through as-is.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's aggregated result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOpMin  float64 `json:"ns_per_op_min"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type sample struct {
+	nsPerOp   float64
+	allocs    int64
+	bytes     int64
+	hasAllocs bool
+}
+
+// parseLine extracts one benchmark result line, e.g.
+//
+//	BenchmarkPresent/rate/learn-8   85840   13581 ns/op   0 B/op   0 allocs/op
+//
+// Returns ok=false for non-benchmark lines (headers, PASS, metrics-only).
+func parseLine(line string) (name string, s sample, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", sample{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so runs on different machines compare.
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	found := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", sample{}, false
+			}
+			s.nsPerOp = v
+			found = true
+		case "B/op":
+			s.bytes, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			s.allocs, _ = strconv.ParseInt(val, 10, 64)
+			s.hasAllocs = true
+		}
+	}
+	return name, s, found
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	byName := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw output through so the run stays visible when piped.
+		fmt.Fprintln(os.Stderr, line)
+		name, s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		if _, seen := byName[name]; !seen {
+			order = append(order, name)
+		}
+		byName[name] = append(byName[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	entries := make([]Entry, 0, len(order))
+	for _, name := range order {
+		runs := byName[name]
+		e := Entry{Name: name, Runs: len(runs), NsPerOpMin: runs[0].nsPerOp}
+		sum := 0.0
+		for _, r := range runs {
+			sum += r.nsPerOp
+			if r.nsPerOp < e.NsPerOpMin {
+				e.NsPerOpMin = r.nsPerOp
+			}
+			if r.hasAllocs {
+				e.AllocsPerOp = r.allocs
+				e.BytesPerOp = r.bytes
+			}
+		}
+		e.NsPerOpMean = sum / float64(len(runs))
+		entries = append(entries, e)
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, s, ok := parseLine("BenchmarkPresent/rate/learn-8   85840   13581 ns/op   416 B/op   1 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if name != "BenchmarkPresent/rate/learn" {
+		t.Errorf("name = %q", name)
+	}
+	if s.nsPerOp != 13581 || s.bytes != 416 || s.allocs != 1 || !s.hasAllocs {
+		t.Errorf("sample = %+v", s)
+	}
+
+	if _, _, ok := parseLine("pkg: pathfinder/internal/snn"); ok {
+		t.Error("header line parsed as benchmark")
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Error("PASS parsed as benchmark")
+	}
+
+	// Without -benchmem there are no alloc columns.
+	name, s, ok = parseLine("BenchmarkSimulate-4   12   95000000 ns/op")
+	if !ok || name != "BenchmarkSimulate" || s.nsPerOp != 95000000 || s.hasAllocs {
+		t.Errorf("plain line: name=%q s=%+v ok=%v", name, s, ok)
+	}
+}

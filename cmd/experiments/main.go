@@ -29,6 +29,7 @@ import (
 
 	"pathfinder"
 	"pathfinder/internal/experiments"
+	"pathfinder/internal/profiling"
 )
 
 // writeJSON stores an experiment's structured result for external plotting.
@@ -77,8 +78,17 @@ func main() {
 		progress    = flag.Bool("progress", stderrIsTerminal(), "render a live progress line on stderr")
 		jsonDir     = flag.String("json", "", "also write each experiment's structured result as <dir>/<name>.json")
 		list        = flag.Bool("list", false, "list experiments and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile here (inspect with `go tool pprof`)")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap (allocs) profile here at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range [][2]string{
@@ -143,12 +153,14 @@ func main() {
 		res, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Printf("(%s took %.1fs)\n", name, time.Since(start).Seconds())
 		if *jsonDir != "" && res != nil {
 			if err := writeJSON(*jsonDir, name, res); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: writing json: %v\n", name, err)
+				stopProfiles()
 				os.Exit(1)
 			}
 		}

@@ -21,8 +21,13 @@ import (
 	"strings"
 
 	"pathfinder"
+	"pathfinder/internal/profiling"
 	"pathfinder/internal/trace"
 )
+
+// stopProfiles flushes any active pprof profiles; fatal routes through it
+// so profiles survive error exits.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -36,8 +41,17 @@ func main() {
 		pfIn      = flag.String("prefetch-in", "", "replay this prefetch file instead of generating one (the artifact's two-step flow)")
 		coRunner  = flag.String("corunner", "", "also run this benchmark on a second core sharing the LLC (multi-core mode)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile here (inspect with `go tool pprof`)")
+		memProf   = flag.String("memprofile", "", "write a pprof heap (allocs) profile here at exit")
 	)
 	flag.Parse()
+
+	sp, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = sp
+	defer stopProfiles()
 
 	if *list {
 		for _, n := range pathfinder.Workloads() {
@@ -243,5 +257,6 @@ func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.P
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pfsim:", err)
+	stopProfiles()
 	os.Exit(1)
 }

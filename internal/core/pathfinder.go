@@ -142,6 +142,8 @@ const (
 // QueryHook observes one SNN query: the delta history presented, the neuron
 // that won (or -1), and the prefetch addresses issued for it. Hooks serve
 // observability — the §3.6 walkthrough, experiment instrumentation, tests.
+// hist may point into per-access scratch that the next Advise overwrites;
+// hooks that retain it must copy.
 type QueryHook func(hist []int, winner int, prefetches []uint64)
 
 // Pathfinder is the SNN/STDP prefetcher of §3. It implements the
@@ -158,6 +160,14 @@ type Pathfinder struct {
 
 	pixels []float64
 	stats  Stats
+
+	// Per-access scratch, reused so the miss path performs no steady-state
+	// heap allocations beyond the returned suggestion slice (which stays
+	// freshly allocated: callers such as Throttle and the examples retain
+	// it across later Advise calls).
+	histBuf  []int      // synthetic histories (cold-page, partial)
+	res      snn.Result // SNN query result, reused via PresentInto
+	firedBuf []int      // multi-fire neuron list scratch
 }
 
 // New builds a PATHFINDER instance from the configuration.
@@ -212,7 +222,8 @@ func New(cfg Config) (*Pathfinder, error) {
 		net:    net,
 		tt:     NewTrainingTable(cfg.TrainingTableSize, cfg.History),
 		it:     NewInferenceTable(cfg.Neurons, cfg.LabelsPerNeuron),
-		pixels: make([]float64, inputSize),
+		pixels:  make([]float64, inputSize),
+		histBuf: make([]int, cfg.History),
 	}, nil
 }
 
@@ -265,8 +276,11 @@ func (p *Pathfinder) Advise(a trace.Access, budget int) []uint64 {
 		if p.cfg.ColdPage {
 			// First touch: feed {OF1, 0, 0, ...} (§3.4 "Initial Accesses
 			// to a Page").
-			hist := make([]int, p.cfg.History)
 			if p.enc.InRange(off) {
+				hist := p.histBuf
+				for i := range hist {
+					hist[i] = 0
+				}
 				hist[0] = off
 				return p.query(e, hist, off, page, budget)
 			}
@@ -303,7 +317,10 @@ func (p *Pathfinder) Advise(a trace.Access, budget int) []uint64 {
 	case p.cfg.ColdPage && e.broken == 0:
 		// Partial history: zeros move to the front so the SNN can tell
 		// an offset pattern from a delta pattern (§3.4).
-		hist := make([]int, p.cfg.History)
+		hist := p.histBuf
+		for i := range hist {
+			hist[i] = 0
+		}
 		k := len(e.Deltas())
 		copy(hist[p.cfg.History-k:], e.Deltas())
 		return p.query(e, hist, off, page, budget)
@@ -320,16 +337,18 @@ func (p *Pathfinder) query(e *TrainingEntry, hist []int, off int, page uint64, b
 	p.stats.Queries++
 	learn := p.stdpEnabled()
 
-	var res snn.Result
+	// p.res is reused across queries (PresentInto recycles its Spikes
+	// buffer), keeping the SNN query allocation-free at steady state.
+	res := &p.res
 	var err error
 	if p.cfg.OneTick {
-		res, err = p.net.PresentOneTick(p.pixels, learn)
+		err = p.net.PresentOneTickInto(res, p.pixels, learn)
 	} else {
 		oneTick := -1
 		if p.cfg.CompareOneTick {
 			oneTick, _ = p.net.OneTickWinner(p.pixels)
 		}
-		res, err = p.net.Present(p.pixels, learn)
+		err = p.net.PresentInto(res, p.pixels, learn)
 		if err == nil && p.cfg.CompareOneTick && res.Winner >= 0 {
 			p.stats.OneTickQueries++
 			if oneTick == res.Winner {
@@ -347,15 +366,17 @@ func (p *Pathfinder) query(e *TrainingEntry, hist []int, off int, page uint64, b
 	return out
 }
 
-func (p *Pathfinder) issue(e *TrainingEntry, res snn.Result, off int, page uint64, budget int) []uint64 {
+func (p *Pathfinder) issue(e *TrainingEntry, res *snn.Result, off int, page uint64, budget int) []uint64 {
 	e.SetLastNeuron(res.Winner)
 	if res.Winner < 0 {
 		return nil
 	}
-	fired := []int{res.Winner}
 	if p.cfg.MultiFire {
-		fired = res.FiredNeurons()
+		p.firedBuf = res.AppendFiredNeurons(p.firedBuf[:0])
+	} else {
+		p.firedBuf = append(p.firedBuf[:0], res.Winner)
 	}
+	fired := p.firedBuf
 	limit := p.cfg.Degree
 	if budget < limit {
 		limit = budget

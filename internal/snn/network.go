@@ -7,6 +7,14 @@
 // Poisson rate encoding of inputs, adaptive firing thresholds, lateral
 // inhibition, per-sample weight normalisation, and the low-cost 1-tick
 // approximation of §3.4.
+//
+// The tick loop is the per-access hot path of the whole reproduction (one
+// Present per SNN query per trace miss), so it is engineered as an
+// event-driven, allocation-free engine — see docs/performance.md for the
+// hot-path map and the invariants the fast paths rely on. Every
+// optimisation preserves the exact floating-point operation sequence and
+// RNG draw order of the straightforward per-tick reference loop, so
+// results are bit-identical (pinned by core's TestSNNPathGolden).
 package snn
 
 import (
@@ -131,17 +139,58 @@ type Network struct {
 	xPost    []float64 // post-synaptic traces
 
 	decayE, decayI, decayTrace, decayTheta float64
+	// tracePow caches math.Pow(decayTrace, dt) for dt in [0, Ticks);
+	// within an interval a pre-trace is never staler than that (older
+	// traces take the lazy-reset path in decayPreTrace).
+	tracePow []float64
 
 	rand *rng
 
 	// spikeCounts accumulates excitatory spikes within the current
-	// interval.
+	// interval. Results copy it out (never alias it): see PresentInto.
 	spikeCounts []int
 
-	// monitor, when non-nil, records per-tick state.
+	// monitor, when non-nil, records per-tick state. A monitor disables
+	// quiescence fast-forwarding so every tick is observable.
 	monitor *Monitor
 
 	tick int
+
+	// fastOK reports that the configuration satisfies the resting-state
+	// invariants the event-driven fast paths rely on: with no input
+	// drive, potentials decay towards rest strictly below threshold, so
+	// a tick with no pending input spikes, no live refractory counters
+	// and no inhibition hold reduces to three exponential decays. Exotic
+	// configs (reset above threshold, negative theta increments) fall
+	// back to the always-tick reference behaviour. Computed once in New.
+	fastOK bool
+	// monoInh reports Inh >= 0: a fire can only lower the other
+	// potentials, so the above-threshold candidate list of the
+	// winner-take-all loop can only shrink within a tick.
+	monoInh bool
+
+	// Scratch buffers reused across Present calls so the steady-state
+	// hot path performs zero heap allocations. All of this is
+	// per-interval transient state: it is reset or rebuilt by every
+	// Present and deliberately NOT serialized (see serialize.go — only
+	// learned state persists).
+	scrActive   []int  // lit-pixel indices of the current input
+	scrTickOf   []int  // temporal coding: spike tick per active pixel
+	scrSched    []int  // concatenated per-tick input spike schedule
+	scrSchedOff []int  // scrSched offsets; tick t spans [off[t-1], off[t])
+	scrInhHold  []int  // remaining suppression ticks per inhibitory neuron
+	scrSpiked   []bool // excitatory neurons that fired this tick
+	scrFired    []int  // distinct neurons fired this interval, in fire order
+	scrTickFire []int  // neurons fired within the current tick, in fire order
+	scrCand     []int  // above-threshold candidates within a tick
+	scrThr      []float64 // cached ThreshE + theta[j], refreshed on fire
+	scrPot      []float64
+
+	// lastReset is the tick at which resetState last ran. Pre-synaptic
+	// traces are zeroed lazily against it: any xPreTick at or before it
+	// means the trace belongs to a previous interval and reads as zero,
+	// sparing resetState a full InputSize-wide wipe per Present.
+	lastReset int
 }
 
 // New constructs a network with uniform-random initial weights in
@@ -176,9 +225,27 @@ func New(cfg Config) (*Network, error) {
 		decayTrace:  math.Exp(-1 / cfg.TraceTC),
 		decayTheta:  1,
 		rand:        newRNG(cfg.Seed),
+
+		fastOK: cfg.RestE < cfg.ThreshE && cfg.ResetE < cfg.ThreshE &&
+			cfg.RestI < cfg.ThreshI && cfg.ResetI < cfg.ThreshI &&
+			cfg.ThetaPlus >= 0 && cfg.TCDecayE > 0 && cfg.TCDecayI > 0,
+		monoInh: cfg.Inh >= 0,
+
+		scrSchedOff: make([]int, cfg.Ticks+1),
+		scrInhHold:  make([]int, cfg.Neurons),
+		scrSpiked:   make([]bool, cfg.Neurons),
+		scrFired:    make([]int, 0, 8),
+		scrTickFire: make([]int, 0, 8),
+		scrCand:     make([]int, 0, 8),
+		scrThr:      make([]float64, cfg.Neurons),
+		scrPot:      make([]float64, cfg.Neurons),
 	}
 	if cfg.TCTheta > 0 {
 		n.decayTheta = math.Exp(-float64(cfg.Ticks) / cfg.TCTheta)
+	}
+	n.tracePow = make([]float64, cfg.Ticks)
+	for dt := range n.tracePow {
+		n.tracePow[dt] = math.Pow(n.decayTrace, float64(dt))
 	}
 	for i := range n.w {
 		n.w[i] = 0.3 * cfg.WMax * n.rand.float64()
@@ -206,6 +273,8 @@ func (n *Network) SetMonitor(m *Monitor) { n.monitor = m }
 // Result summarises one presented input interval.
 type Result struct {
 	// Spikes is the per-excitatory-neuron spike count over the interval.
+	// It is a copy owned by the Result's holder: it stays valid across
+	// subsequent Present calls on the same network.
 	Spikes []int
 	// Winner is the index of the most-firing neuron, or -1 if no neuron
 	// fired.
@@ -219,15 +288,22 @@ type Result struct {
 // descending spike count (ties by lower index). PATHFINDER uses this for
 // multi-degree prefetching with lowered inhibition (§3.4).
 func (r Result) FiredNeurons() []int {
-	var fired []int
+	return r.AppendFiredNeurons(nil)
+}
+
+// AppendFiredNeurons is FiredNeurons appending into dst (which may be a
+// reused scratch slice with dst[:0]) to avoid the per-query allocation on
+// the multi-degree hot path.
+func (r Result) AppendFiredNeurons(dst []int) []int {
+	fired := dst
 	for j, c := range r.Spikes {
 		if c > 0 {
 			fired = append(fired, j)
 		}
 	}
 	// Insertion sort by count descending: the list is tiny.
-	for i := 1; i < len(fired); i++ {
-		for k := i; k > 0 && r.Spikes[fired[k]] > r.Spikes[fired[k-1]]; k-- {
+	for i := len(dst) + 1; i < len(fired); i++ {
+		for k := i; k > len(dst) && r.Spikes[fired[k]] > r.Spikes[fired[k-1]]; k-- {
 			fired[k], fired[k-1] = fired[k-1], fired[k]
 		}
 	}
@@ -241,139 +317,255 @@ func (r Result) FiredNeurons() []int {
 // per-neuron weight sums are re-normalised afterwards. State variables
 // (potentials, refractory counters, traces) are reset before the interval,
 // as BindsNet does between samples; adaptive thresholds and weights persist.
+//
+// Present allocates a fresh Result.Spikes per call; hot callers that reuse
+// a Result across queries should use PresentInto, which is allocation-free
+// at steady state.
 func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
+	var res Result
+	err := n.PresentInto(&res, pixels, learn)
+	return res, err
+}
+
+// PresentInto is Present writing its outcome into *res. res.Spikes is
+// grown once to the neuron count and then reused, so presenting into the
+// same Result repeatedly performs zero heap allocations at steady state.
+// The spike counts are copied out of the network's internal accumulator —
+// a Result retained across later Present calls keeps its values.
+func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 	if len(pixels) != n.cfg.InputSize {
-		return Result{}, fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
+		return fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
 	}
 	n.resetState()
 	for j := range n.theta {
 		n.theta[j] *= n.decayTheta
 	}
+	res.Winner = -1
+	res.FirstFireTick = 0
 
 	// Gather the active pixels once; typical PATHFINDER inputs are very
 	// sparse (a handful of lit pixels out of hundreds).
-	active := make([]int, 0, 32)
+	active := n.scrActive[:0]
 	for i, p := range pixels {
 		if p > 0 {
 			active = append(active, i)
 		}
 	}
+	n.scrActive = active
 
-	res := Result{Spikes: n.spikeCounts, Winner: -1}
-	inhHold := make([]int, n.cfg.Neurons) // remaining suppression ticks per inh neuron
-	excSpiked := make([]bool, n.cfg.Neurons)
-	preSpikes := make([]int, 0, len(active))
+	// Pre-draw the whole interval's input spike schedule. Temporal
+	// coding knows every spike tick exactly; rate coding draws its
+	// per-tick Poisson spikes up front in the same tick-major,
+	// active-pixel order the reference loop used, so the RNG stream is
+	// consumed identically. Knowing future spike ticks is what lets the
+	// tick loop below fast-forward through quiescent stretches.
+	n.buildSchedule(pixels, active)
+
+	nn := n.cfg.Neurons
+	ticks := n.cfg.Ticks
+	gain := n.cfg.InputGain
+	if n.cfg.Temporal {
+		// A temporal spike carries the whole interval's charge at
+		// once (rate coding delivers ~Ticks × FireProb spikes).
+		gain *= float64(n.cfg.Ticks) * n.cfg.FireProb
+	}
+	restE, dE := n.cfg.RestE, n.decayE
+	restI, dI := n.cfg.RestI, n.decayI
+	dX := n.decayTrace
+	threshE, resetE := n.cfg.ThreshE, n.cfg.ResetE
+	threshI, resetI := n.cfg.ThreshI, n.cfg.ResetI
+	inh := n.cfg.Inh
+	// Re-slicing every per-neuron array to [:nn] lets the compiler prove
+	// the j < nn loops in bounds and drop the checks.
+	vE, vI, xPost := n.vE[:nn], n.vI[:nn], n.xPost[:nn]
+	refracE, refracI := n.refracE[:nn], n.refracI[:nn]
+
+	// Cache each neuron's effective firing threshold; the sum only
+	// changes when a fire bumps theta.
+	thr := n.scrThr[:nn]
+	for j := 0; j < nn; j++ {
+		thr[j] = threshE + n.theta[j]
+	}
+
+	inhHold := n.scrInhHold[:nn]
+	excSpiked := n.scrSpiked[:nn]
+	for j := 0; j < nn; j++ {
+		inhHold[j] = 0
+		excSpiked[j] = false
+	}
 	// firedList accumulates the distinct neurons that fired this interval;
 	// only their input weights (and post traces) can be non-zero, which
 	// lets STDP depression and re-normalisation touch only those columns.
-	firedList := make([]int, 0, 8)
+	firedList := n.scrFired[:0]
 
-	for t := 1; t <= n.cfg.Ticks; t++ {
+	// Live occupancy counters: how many neurons currently hold a non-zero
+	// refractory or inhibition-hold countdown. They gate both the
+	// quiescence fast-forward and the per-tick bookkeeping loops.
+	refracCntE, refracCntI, holdCnt := 0, 0, 0
+
+	// A monitor must observe every tick, so it disables fast-forwarding.
+	fastOK := n.fastOK && n.monitor == nil
+
+	for t := 1; t <= ticks; {
+		// Event-driven quiescence skip: with no pending input spikes, no
+		// live refractory counter on either layer and no inhibition
+		// hold, a tick is exactly three exponential decays (vE, vI,
+		// xPost) — the winner-take-all loop left every non-refractory
+		// neuron below threshold, and under fastOK decay cannot carry a
+		// potential back above it. Advance all decays to the next event
+		// tick in one pass, replaying the per-tick FP operations so the
+		// state stays bit-identical to ticking through.
+		if fastOK && refracCntE == 0 && refracCntI == 0 && holdCnt == 0 {
+			if next := n.nextSpikeTick(t); next > t {
+				n.fastForward(next - t)
+				t = next
+				continue
+			}
+		}
+
 		n.tick++
-		// 1. Input spikes for this tick: Poisson rate coding by default,
-		// or one deterministic spike per pixel under temporal coding
-		// (brighter pixels spike earlier).
-		preSpikes = preSpikes[:0]
-		if n.cfg.Temporal {
-			for _, i := range active {
-				spikeTick := 1 + int((1-pixels[i])*float64(n.cfg.Ticks-1))
-				if spikeTick == t {
-					preSpikes = append(preSpikes, i)
-				}
-			}
-		} else {
-			for _, i := range active {
-				if n.rand.float64() < n.cfg.FireProb*pixels[i] {
-					preSpikes = append(preSpikes, i)
-				}
-			}
-		}
+		// 1. This tick's input spikes, cut from the prebuilt schedule.
+		preSpikes := n.scrSched[n.scrSchedOff[t-1]:n.scrSchedOff[t]]
 
-		// 2. Excitatory layer: leak, integrate, inhibit, fire.
-		nn := n.cfg.Neurons
+		// 2. Excitatory layer: leak, integrate, inhibit, fire. The three
+		// per-neuron decay/housekeeping passes of the reference loop
+		// (vE leak, xPost trace decay, vI leak, spike-flag clear) are
+		// fused into one; the per-element operations and their order
+		// are unchanged, so the arithmetic is bit-identical.
 		for j := 0; j < nn; j++ {
-			n.vE[j] = n.cfg.RestE + (n.vE[j]-n.cfg.RestE)*n.decayE
-			n.xPost[j] *= n.decayTrace
-		}
-		gain := n.cfg.InputGain
-		if n.cfg.Temporal {
-			// A temporal spike carries the whole interval's charge at
-			// once (rate coding delivers ~Ticks × FireProb spikes).
-			gain *= float64(n.cfg.Ticks) * n.cfg.FireProb
+			vE[j] = restE + (vE[j]-restE)*dE
+			xPost[j] *= dX
+			vI[j] = restI + (vI[j]-restI)*dI
+			excSpiked[j] = false
 		}
 		for _, i := range preSpikes {
-			row := n.w[i*nn : (i+1)*nn]
-			for j := 0; j < nn; j++ {
-				n.vE[j] += gain * row[j]
+			row := n.w[i*nn : i*nn+nn]
+			// 4-way unrolled integrate over the row-major weight matrix.
+			// Each vE[j] still receives exactly one add per spike, in
+			// spike order, so the FP sum order per element is unchanged.
+			j := 0
+			for ; j+4 <= nn; j += 4 {
+				vE[j] += gain * row[j]
+				vE[j+1] += gain * row[j+1]
+				vE[j+2] += gain * row[j+2]
+				vE[j+3] += gain * row[j+3]
+			}
+			for ; j < nn; j++ {
+				vE[j] += gain * row[j]
 			}
 		}
-		// Sustained lateral inhibition from inhibitory neurons that fired
-		// within the last InhHold ticks. A neuron is not inhibited by its
-		// own inhibitory partner.
-		holdCount := 0
-		for k := 0; k < nn; k++ {
-			if inhHold[k] > 0 {
-				holdCount++
-			}
-		}
-		if holdCount > 0 {
+		// Sustained lateral inhibition (from inhibitory neurons that
+		// fired within the last InhHold ticks; a neuron is not inhibited
+		// by its own partner), refractory handling, and the
+		// above-threshold scan, fused into a single pass per neuron.
+		// holdCnt and refracCntE track the live countdowns incrementally,
+		// replacing the reference loop's per-tick rescans and selecting
+		// the cheapest variant of the pass.
+		cand := n.scrCand[:0]
+		if holdCnt > 0 {
 			for j := 0; j < nn; j++ {
-				others := holdCount
+				others := holdCnt
 				if inhHold[j] > 0 {
 					others--
 				}
-				n.vE[j] -= n.cfg.Inh * float64(others)
+				v := vE[j] - inh*float64(others)
+				if refracE[j] > 0 {
+					if refracE[j]--; refracE[j] == 0 {
+						refracCntE--
+					}
+					vE[j] = resetE
+					continue
+				}
+				vE[j] = v
+				if v >= thr[j] {
+					cand = append(cand, j)
+				}
 			}
-		}
-		for k := 0; k < nn; k++ {
-			if inhHold[k] > 0 {
-				inhHold[k]--
+			for k := 0; k < nn; k++ {
+				if inhHold[k] > 0 {
+					if inhHold[k]--; inhHold[k] == 0 {
+						holdCnt--
+					}
+				}
+			}
+		} else if refracCntE > 0 {
+			for j := 0; j < nn; j++ {
+				if refracE[j] > 0 {
+					if refracE[j]--; refracE[j] == 0 {
+						refracCntE--
+					}
+					vE[j] = resetE
+					continue
+				}
+				if vE[j] >= thr[j] {
+					cand = append(cand, j)
+				}
+			}
+		} else {
+			for j := 0; j < nn; j++ {
+				if vE[j] >= thr[j] {
+					cand = append(cand, j)
+				}
 			}
 		}
 		// Fire, with immediate same-tick lateral inhibition: the neuron
 		// with the highest potential fires first and suppresses the rest
 		// before they are examined, giving winner-take-all dynamics
-		// within a tick.
-		for j := 0; j < nn; j++ {
-			excSpiked[j] = false
-			if n.refracE[j] > 0 {
-				n.refracE[j]--
-				n.vE[j] = n.cfg.ResetE
-			}
-		}
-		for {
-			best := -1
-			for j := 0; j < nn; j++ {
-				if excSpiked[j] || n.refracE[j] > 0 {
-					continue
+		// within a tick. With monoInh each fire can only shrink the
+		// candidate set (inhibition only lowers potentials), so
+		// subsequent iterations filter the survivors instead of
+		// rescanning all neurons.
+		tickFired := n.scrTickFire[:0]
+		for len(cand) > 0 {
+			best := cand[0]
+			for _, j := range cand[1:] {
+				if vE[j] > vE[best] {
+					best = j
 				}
-				if n.vE[j] >= n.cfg.ThreshE+n.theta[j] {
-					if best < 0 || n.vE[j] > n.vE[best] {
-						best = j
-					}
-				}
-			}
-			if best < 0 {
-				break
 			}
 			excSpiked[best] = true
-			n.vE[best] = n.cfg.ResetE
-			n.refracE[best] = n.cfg.RefracE
+			vE[best] = resetE
+			refracE[best] = n.cfg.RefracE
+			if n.cfg.RefracE > 0 {
+				refracCntE++
+			}
 			n.theta[best] += n.cfg.ThetaPlus
+			thr[best] = threshE + n.theta[best]
 			if n.spikeCounts[best] == 0 {
 				firedList = append(firedList, best)
 			}
 			n.spikeCounts[best]++
-			n.xPost[best] = 1
+			xPost[best] = 1
+			tickFired = append(tickFired, best)
 			if res.FirstFireTick == 0 {
 				res.FirstFireTick = t
 			}
 			for j := 0; j < nn; j++ {
 				if j != best && !excSpiked[j] {
-					n.vE[j] -= n.cfg.Inh
+					vE[j] -= inh
+				}
+			}
+			if n.monoInh {
+				kept := cand[:0]
+				for _, j := range cand {
+					if j != best && !excSpiked[j] && refracE[j] == 0 && vE[j] >= thr[j] {
+						kept = append(kept, j)
+					}
+				}
+				cand = kept
+			} else {
+				// Negative inhibition can push new neurons above
+				// threshold mid-tick; rescan like the reference loop.
+				cand = cand[:0]
+				for j := 0; j < nn; j++ {
+					if !excSpiked[j] && refracE[j] == 0 && vE[j] >= thr[j] {
+						cand = append(cand, j)
+					}
 				}
 			}
 		}
+		n.scrCand = cand
+		n.scrTickFire = tickFired
 
 		// 3. STDP: depress on pre spikes (against post traces), potentiate
 		// on post spikes (against pre traces). Post traces are non-zero
@@ -383,7 +575,7 @@ func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
 			for _, i := range preSpikes {
 				row := n.w[i*nn : (i+1)*nn]
 				for _, j := range firedList {
-					dep := n.cfg.NuPre * n.xPost[j]
+					dep := n.cfg.NuPre * xPost[j]
 					if n.cfg.WeightDependent {
 						dep *= row[j] / n.cfg.WMax
 					}
@@ -400,11 +592,12 @@ func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
 			n.decayPreTrace(i)
 			n.xPre[i] = 1
 		}
-		if learn {
-			for j := 0; j < nn; j++ {
-				if !excSpiked[j] {
-					continue
-				}
+		// Potentiate only this tick's firing neurons. Their weight columns
+		// are disjoint and decayPreTrace is idempotent after its first
+		// call in a tick, so visiting them in fire order instead of the
+		// reference loop's index order yields bit-identical weights.
+		if learn && len(tickFired) > 0 {
+			for _, j := range tickFired {
 				for _, i := range active {
 					n.decayPreTrace(i)
 					idx := i*nn + j
@@ -423,34 +616,48 @@ func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
 
 		// 4. Inhibitory layer, driven one-to-one by excitatory spikes. An
 		// inhibitory spike suppresses the other excitatory neurons for
-		// the next InhHold ticks.
-		for j := 0; j < nn; j++ {
-			n.vI[j] = n.cfg.RestI + (n.vI[j]-n.cfg.RestI)*n.decayI
-			if excSpiked[j] {
-				n.vI[j] += n.cfg.Exc
-			}
-			if n.refracI[j] > 0 {
-				n.refracI[j]--
-				n.vI[j] = n.cfg.ResetI
-				continue
-			}
-			if n.vI[j] >= n.cfg.ThreshI {
-				n.vI[j] = n.cfg.ResetI
-				n.refracI[j] = n.cfg.RefracI
-				if n.cfg.InhHold > inhHold[j] {
-					inhHold[j] = n.cfg.InhHold
+		// the next InhHold ticks. Its leak already ran in the fused decay
+		// pass; with no excitatory spike this tick and no refractory
+		// counter live, no inhibitory potential can reach threshold
+		// (fastOK invariant), so the whole pass is skipped.
+		if len(tickFired) > 0 || refracCntI > 0 || !n.fastOK {
+			for j := 0; j < nn; j++ {
+				if excSpiked[j] {
+					vI[j] += n.cfg.Exc
+				}
+				if refracI[j] > 0 {
+					if refracI[j]--; refracI[j] == 0 {
+						refracCntI--
+					}
+					vI[j] = resetI
+					continue
+				}
+				if vI[j] >= threshI {
+					vI[j] = resetI
+					refracI[j] = n.cfg.RefracI
+					if n.cfg.RefracI > 0 {
+						refracCntI++
+					}
+					if n.cfg.InhHold > inhHold[j] {
+						if inhHold[j] == 0 {
+							holdCnt++
+						}
+						inhHold[j] = n.cfg.InhHold
+					}
 				}
 			}
 		}
 
 		if n.monitor != nil {
-			n.monitor.record(t, n.vE, excSpiked)
+			n.monitor.record(t, vE, excSpiked)
 		}
+		t++
 	}
 
 	if learn && len(firedList) > 0 {
 		n.normalizeNeurons(firedList)
 	}
+	n.scrFired = firedList[:0]
 
 	best := -1
 	for j, c := range n.spikeCounts {
@@ -459,10 +666,106 @@ func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
 		}
 	}
 	res.Winner = best
-	out := make([]int, len(n.spikeCounts))
-	copy(out, n.spikeCounts)
-	res.Spikes = out
-	return res, nil
+	if cap(res.Spikes) < nn {
+		res.Spikes = make([]int, nn)
+	}
+	res.Spikes = res.Spikes[:nn]
+	copy(res.Spikes, n.spikeCounts)
+	return nil
+}
+
+// buildSchedule fills scrSched/scrSchedOff with the interval's input
+// spikes: tick t's spiking pixels occupy scrSched[off[t-1]:off[t]], in
+// ascending pixel order within a tick — exactly the order the reference
+// per-tick loop generated them in (and, for rate coding, drawing from the
+// RNG in the identical sequence).
+func (n *Network) buildSchedule(pixels []float64, active []int) {
+	ticks := n.cfg.Ticks
+	off := n.scrSchedOff
+	sched := n.scrSched[:0]
+	// ticks × active is the hard upper bound on interval spikes; sizing
+	// once up front keeps the appends below allocation-free.
+	if want := ticks * len(active); cap(sched) < want {
+		sched = make([]int, 0, want)
+	}
+	off[0] = 0
+	if n.cfg.Temporal {
+		tickOf := n.scrTickOf[:0]
+		for _, i := range active {
+			tickOf = append(tickOf, 1+int((1-pixels[i])*float64(ticks-1)))
+		}
+		n.scrTickOf = tickOf
+		for t := 1; t <= ticks; t++ {
+			for ai, i := range active {
+				if tickOf[ai] == t {
+					sched = append(sched, i)
+				}
+			}
+			off[t] = len(sched)
+		}
+	} else {
+		fp := n.cfg.FireProb
+		for t := 1; t <= ticks; t++ {
+			for _, i := range active {
+				if n.rand.float64() < fp*pixels[i] {
+					sched = append(sched, i)
+				}
+			}
+			off[t] = len(sched)
+		}
+	}
+	n.scrSched = sched
+}
+
+// nextSpikeTick returns the first tick >= t with a scheduled input spike,
+// or Ticks+1 if the rest of the interval is input-silent.
+func (n *Network) nextSpikeTick(t int) int {
+	off := n.scrSchedOff
+	ticks := n.cfg.Ticks
+	base := off[t-1]
+	if off[ticks] == base {
+		return ticks + 1
+	}
+	for ; t <= ticks; t++ {
+		if off[t] > base {
+			return t
+		}
+	}
+	return ticks + 1
+}
+
+// fastForward advances the network through k quiescent ticks: only the
+// three exponential decays act, so each neuron's trajectory is replayed
+// with the exact per-tick floating-point operations (no closed-form pow,
+// which would round differently). Values already at their fixed point
+// (rest potential, zero trace) are skipped — the per-tick update maps them
+// to themselves exactly.
+func (n *Network) fastForward(k int) {
+	restE, dE := n.cfg.RestE, n.decayE
+	restI, dI := n.cfg.RestI, n.decayI
+	dX := n.decayTrace
+	vE, vI, xPost := n.vE, n.vI, n.xPost
+	for j := range vE {
+		if v := vE[j]; v != restE {
+			for s := 0; s < k; s++ {
+				v = restE + (v-restE)*dE
+			}
+			vE[j] = v
+		}
+		if v := vI[j]; v != restI {
+			for s := 0; s < k; s++ {
+				v = restI + (v-restI)*dI
+			}
+			vI[j] = v
+		}
+		if x := xPost[j]; x != 0 {
+			for s := 0; s < k; s++ {
+				x *= dX
+			}
+			xPost[j] = x
+		}
+	}
+	n.tick += k
 }
 
 // PresentOneTick is the low-cost approximation of §3.4 ("Lowering Time
@@ -474,15 +777,31 @@ func (n *Network) Present(pixels []float64, learn bool) (Result, error) {
 // mode applies the net effect of STDP — potentiation of the winner's active
 // synapses — followed by the usual normalisation.
 func (n *Network) PresentOneTick(pixels []float64, learn bool) (Result, error) {
+	var res Result
+	err := n.PresentOneTickInto(&res, pixels, learn)
+	return res, err
+}
+
+// PresentOneTickInto is PresentOneTick writing into *res, reusing
+// res.Spikes like PresentInto does.
+func (n *Network) PresentOneTickInto(res *Result, pixels []float64, learn bool) error {
 	if len(pixels) != n.cfg.InputSize {
-		return Result{}, fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
+		return fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
 	}
 	nn := n.cfg.Neurons
 	for j := range n.theta {
 		n.theta[j] *= n.decayTheta
 	}
 	best, _ := n.rankOneTick(pixels)
-	res := Result{Spikes: make([]int, nn), Winner: best, FirstFireTick: 1}
+	res.Winner = best
+	res.FirstFireTick = 1
+	if cap(res.Spikes) < nn {
+		res.Spikes = make([]int, nn)
+	}
+	res.Spikes = res.Spikes[:nn]
+	for j := range res.Spikes {
+		res.Spikes[j] = 0
+	}
 	if best >= 0 {
 		res.Spikes[best] = 1
 	}
@@ -499,17 +818,21 @@ func (n *Network) PresentOneTick(pixels []float64, learn bool) (Result, error) {
 			}
 			n.w[idx] = w
 		}
-		n.normalizeNeurons([]int{best})
+		n.scrCand = append(n.scrCand[:0], best)
+		n.normalizeNeurons(n.scrCand)
 	}
-	return res, nil
+	return nil
 }
 
 // rankOneTick computes the expected single-tick potentials and returns the
 // neuron with the highest potential-over-threshold margin. It does not
-// mutate network state.
+// mutate network state (beyond the reused scratch the potentials live in).
 func (n *Network) rankOneTick(pixels []float64) (best int, pot []float64) {
 	nn := n.cfg.Neurons
-	pot = make([]float64, nn)
+	pot = n.scrPot[:nn]
+	for j := range pot {
+		pot[j] = 0
+	}
 	for i, p := range pixels {
 		if p <= 0 {
 			continue
@@ -556,9 +879,20 @@ func (n *Network) Potentials() []float64 {
 }
 
 func (n *Network) decayPreTrace(i int) {
+	if n.xPreTick[i] <= n.lastReset {
+		// Trace last touched in a previous interval: resetState zeroed
+		// it (lazily — see lastReset).
+		n.xPre[i] = 0
+		n.xPreTick[i] = n.tick
+		return
+	}
 	dt := n.tick - n.xPreTick[i]
 	if dt > 0 && n.xPre[i] != 0 {
-		n.xPre[i] *= math.Pow(n.decayTrace, float64(dt))
+		if dt < len(n.tracePow) {
+			n.xPre[i] *= n.tracePow[dt]
+		} else {
+			n.xPre[i] *= math.Pow(n.decayTrace, float64(dt))
+		}
 		if n.xPre[i] < 1e-12 {
 			n.xPre[i] = 0
 		}
@@ -568,6 +902,8 @@ func (n *Network) decayPreTrace(i int) {
 
 // resetState restores per-sample state (potentials, refractory counters,
 // traces, interval spike counts) while preserving weights and thetas.
+// Pre-synaptic traces are not wiped here: bumping lastReset makes every
+// xPre whose last touch is at or before it read as zero on next access.
 func (n *Network) resetState() {
 	for j := range n.vE {
 		n.vE[j] = n.cfg.RestE
@@ -577,10 +913,7 @@ func (n *Network) resetState() {
 		n.xPost[j] = 0
 		n.spikeCounts[j] = 0
 	}
-	for i := range n.xPre {
-		n.xPre[i] = 0
-		n.xPreTick[i] = n.tick
-	}
+	n.lastReset = n.tick
 }
 
 // normalize rescales every excitatory neuron's input weights so they sum to
@@ -618,7 +951,9 @@ func (n *Network) normalizeNeurons(neurons []int) {
 }
 
 // Monitor records per-tick excitatory potentials and spikes for
-// visualisation (Figure 3) and the §3.6 walkthrough (Table 2).
+// visualisation (Figure 3) and the §3.6 walkthrough (Table 2). Attaching a
+// monitor turns off quiescence fast-forwarding (every tick must be
+// recorded) but does not change the simulated dynamics.
 type Monitor struct {
 	// Ticks holds one snapshot per simulated tick since the monitor was
 	// attached.

@@ -382,34 +382,6 @@ func TestRNGUniformish(t *testing.T) {
 	}
 }
 
-func BenchmarkPresent(b *testing.B) {
-	n, err := New(testConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := pattern(1, 2, 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := n.Present(p, true); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkPresentOneTick(b *testing.B) {
-	n, err := New(testConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	p := pattern(1, 2, 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := n.PresentOneTick(p, true); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func TestOneTickWinnerPure(t *testing.T) {
 	n, err := New(testConfig())
 	if err != nil {

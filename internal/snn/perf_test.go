@@ -1,0 +1,226 @@
+package snn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Performance tests for the event-driven tick engine: micro-benchmarks for
+// BENCH_snn.json (`make bench-micro`), the allocation-regression guard, and
+// equivalence tests pinning the fast paths to the always-tick reference
+// behaviour. Headline before/after numbers live in docs/performance.md.
+
+// BenchmarkPresent measures one full input interval on the Table 4
+// configuration across coding scheme × learning mode, through the
+// zero-allocation PresentInto path.
+func BenchmarkPresent(b *testing.B) {
+	for _, coding := range []struct {
+		name     string
+		temporal bool
+	}{{"rate", false}, {"temporal", true}} {
+		for _, learn := range []struct {
+			name string
+			on   bool
+		}{{"learn", true}, {"infer", false}} {
+			b.Run(coding.name+"/"+learn.name, func(b *testing.B) {
+				cfg := testConfig()
+				cfg.Temporal = coding.temporal
+				n, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := pattern(1, 2, 4)
+				var res Result
+				if err := n.PresentInto(&res, p, learn.on); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := n.PresentInto(&res, p, learn.on); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPresentOneTick(b *testing.B) {
+	n, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pattern(1, 2, 4)
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.PresentOneTickInto(&res, p, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPresentSteadyStateZeroAlloc is the allocation-regression guard: once
+// the scratch buffers have warmed up, PresentInto must not touch the heap.
+func TestPresentSteadyStateZeroAlloc(t *testing.T) {
+	for _, temporal := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Temporal = temporal
+		n, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := pattern(1, 2, 4)
+		var res Result
+		for i := 0; i < 20; i++ {
+			if err := n.PresentInto(&res, p, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			if err := n.PresentInto(&res, p, true); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("temporal=%v: steady-state PresentInto allocates %v per run, want 0", temporal, avg)
+		}
+	}
+}
+
+func TestPresentOneTickSteadyStateZeroAlloc(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern(1, 2, 4)
+	var res Result
+	if err := n.PresentOneTickInto(&res, p, true); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := n.PresentOneTickInto(&res, p, true); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state PresentOneTickInto allocates %v per run, want 0", avg)
+	}
+}
+
+// TestResultSpikesRetained is the regression test for the Result.Spikes
+// aliasing bug: a Result held across later Present calls must keep its
+// spike counts instead of being zeroed by the next interval's state reset.
+func TestResultSpikesRetained(t *testing.T) {
+	n, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := pattern(1, 2, 4), pattern(3, 5, 7)
+	first, err := n.Present(p1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]int(nil), first.Spikes...)
+	for i := 0; i < 5; i++ {
+		if _, err := n.Present(p2, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(first.Spikes, saved) {
+		t.Errorf("retained Result.Spikes clobbered by later Present: got %v, want %v", first.Spikes, saved)
+	}
+}
+
+// TestPresentIntoMatchesPresent pins the wrapper and the reusing path to
+// each other, including Spikes reuse across differing inputs.
+func TestPresentIntoMatchesPresent(t *testing.T) {
+	cfg := testConfig()
+	na, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	for i := 0; i < 10; i++ {
+		p := pattern(1+i%3, 4, 6+i%2)
+		a, err := na.Present(p, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nb.PresentInto(&res, p, true); err != nil {
+			t.Fatal(err)
+		}
+		if a.Winner != res.Winner || a.FirstFireTick != res.FirstFireTick || !reflect.DeepEqual(a.Spikes, res.Spikes) {
+			t.Fatalf("iteration %d: Present %+v != PresentInto %+v", i, a, res)
+		}
+	}
+}
+
+// TestMonitorDoesNotChangeDynamics runs identical networks with and without
+// a monitor attached. A monitor forces the engine through every tick
+// (quiescence fast-forwarding off), so this pins the fast-forward path to
+// the tick-by-tick reference trajectory — including rate-coded RNG state,
+// which must advance identically for the later intervals to agree.
+func TestMonitorDoesNotChangeDynamics(t *testing.T) {
+	for _, temporal := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Temporal = temporal
+		plain, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		monitored, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Monitor
+		monitored.SetMonitor(&m)
+		for i := 0; i < 30; i++ {
+			p := pattern(1+i%4, 5, 8+i%3)
+			a, err := plain.Present(p, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := monitored.Present(p, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("temporal=%v interval %d: fast path %+v != monitored path %+v", temporal, i, a, b)
+			}
+		}
+		for j := 0; j < cfg.Neurons; j++ {
+			if plain.Theta(j) != monitored.Theta(j) {
+				t.Fatalf("temporal=%v: theta[%d] diverged", temporal, j)
+			}
+		}
+		for i := 0; i < cfg.InputSize; i++ {
+			for j := 0; j < cfg.Neurons; j++ {
+				if plain.Weight(i, j) != monitored.Weight(i, j) {
+					t.Fatalf("temporal=%v: weight[%d,%d] diverged", temporal, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendFiredNeurons checks the scratch-reusing variant against the
+// allocating one, including appending after existing elements.
+func TestAppendFiredNeurons(t *testing.T) {
+	r := Result{Spikes: []int{0, 3, 1, 0, 3, 2}}
+	want := r.FiredNeurons()
+	scratch := make([]int, 0, 8)
+	got := r.AppendFiredNeurons(scratch)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AppendFiredNeurons = %v, want %v", got, want)
+	}
+	pre := []int{99}
+	got = r.AppendFiredNeurons(pre)
+	if got[0] != 99 || !reflect.DeepEqual(got[1:], want) {
+		t.Errorf("AppendFiredNeurons with prefix = %v, want [99]+%v", got, want)
+	}
+}

@@ -14,7 +14,10 @@ import (
 // of §3.5's hardware across power states, and the practical way to ship a
 // pre-warmed prefetcher. Only learned state (weights, adaptive thresholds)
 // and the configuration are stored; per-interval state (potentials,
-// traces) is transient by design and resets every sample anyway.
+// traces) is transient by design and resets every sample anyway. The
+// engine's scratch buffers and derived fast-path state (scr*, tracePow,
+// fastOK, monoInh — see network.go) are likewise never serialized:
+// LoadNetwork rebuilds them through New from the stored configuration.
 
 var snnMagic = [4]byte{'S', 'N', 'N', '1'}
 
