@@ -1,11 +1,15 @@
 # Verify flow. `make verify` is the tier-1 gate (see ROADMAP.md); `make race`
-# runs the race detector over the parallel evaluation engine and the
-# experiment harness that drives it. `make bench-micro` records the SNN
-# hot-path micro-benchmarks into BENCH_snn.json (see docs/performance.md).
+# runs the race detector over the parallel evaluation engine, the experiment
+# harness that drives it, and (in short mode) the two hot engines. `make
+# pfdebug` re-runs the suite with the invariant assertions compiled in (see
+# docs/testing.md), and `make fuzz-short` gives each native fuzz target a
+# brief budget. `make bench-micro` records the SNN hot-path micro-benchmarks
+# into BENCH_snn.json (see docs/performance.md).
 
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: build test vet race bench bench-micro verify
+.PHONY: build test vet race pfdebug fuzz-short bench bench-micro verify
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,18 @@ vet:
 
 race:
 	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/...
+
+# Run the tests with the pfdebug invariant assertions enabled (LRU stack
+# property, DRAM bank legality, membrane/trace ranges, weight normalization).
+pfdebug:
+	$(GO) test -tags pfdebug ./...
+
+# Give each native fuzz target a short budget, with invariant assertions on.
+# Go runs one -fuzz pattern per package invocation, so targets run in turn.
+fuzz-short:
+	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzPresent -fuzztime $(FUZZTIME)
+	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -30,4 +46,4 @@ bench-micro:
 	  $(GO) run ./cmd/benchjson -o BENCH_snn.json
 	@cat BENCH_snn.json
 
-verify: build test vet race
+verify: build test vet race pfdebug

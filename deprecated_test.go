@@ -1,0 +1,121 @@
+package pathfinder
+
+import (
+	"context"
+	"testing"
+)
+
+// The deprecated Evaluate* entry points are kept as thin wrappers over Eval.
+// These tests pin that equivalence: each wrapper must return Metrics
+// bit-identical to the corresponding explicit EvalJob, so the wrappers can
+// never drift from the engine they delegate to.
+
+func deprecatedTestTrace(t *testing.T) ([]Access, SimConfig) {
+	t.Helper()
+	accs, err := GenerateTrace("cc-5", 4000, 7)
+	if err != nil {
+		t.Fatalf("GenerateTrace: %v", err)
+	}
+	cfg := ScaledSimConfig()
+	cfg.Warmup = 400
+	return accs, cfg
+}
+
+func TestEvaluateMatchesEval(t *testing.T) {
+	accs, cfg := deprecatedTestTrace(t)
+	cfg.Warmup = 0 // Evaluate ignores cfg.Warmup and lets Eval default it
+
+	got, err := Evaluate(NewNextLine(2), accs, cfg)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	want, err := Eval(context.Background(), EvalJob{
+		Prefetcher: NewNextLine(2), Accs: accs, Sim: &cfg,
+	})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got != want {
+		t.Errorf("Evaluate diverged from Eval:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestEvaluateAgainstBaselineMatchesEval(t *testing.T) {
+	accs, cfg := deprecatedTestTrace(t)
+
+	// Derive the shared baseline miss count the way callers of the
+	// deprecated API did: from a plain no-prefetch simulation.
+	base, err := Simulate(cfg, accs, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	got, err := EvaluateAgainstBaseline(NewNextLine(1), accs, cfg, base.LLCLoadMisses)
+	if err != nil {
+		t.Fatalf("EvaluateAgainstBaseline: %v", err)
+	}
+	misses := base.LLCLoadMisses
+	want, err := Eval(context.Background(), EvalJob{
+		Prefetcher: NewNextLine(1), Accs: accs, Sim: &cfg,
+		Baseline: &misses, Warmup: cfg.Warmup,
+	})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got != want {
+		t.Errorf("EvaluateAgainstBaseline diverged from Eval:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+func TestEvaluateFileMatchesEval(t *testing.T) {
+	accs, cfg := deprecatedTestTrace(t)
+	pfs := GeneratePrefetches(NewNextLine(2), accs, 0)
+	base, err := Simulate(cfg, accs, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	got, err := EvaluateFile("nextline-file", accs, pfs, cfg, base.LLCLoadMisses)
+	if err != nil {
+		t.Fatalf("EvaluateFile: %v", err)
+	}
+	misses := base.LLCLoadMisses
+	want, err := Eval(context.Background(), EvalJob{
+		Label: "nextline-file", Accs: accs, File: pfs, Sim: &cfg,
+		Baseline: &misses, Warmup: cfg.Warmup,
+	})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got != want {
+		t.Errorf("EvaluateFile diverged from Eval:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestEvaluateZeroWarmupPinned pins the subtle legacy semantics: a caller
+// who explicitly set cfg.Warmup = 0 on the baseline-taking entry points got
+// no warmup at all, which explicitWarmup encodes as the -1 override.
+func TestEvaluateZeroWarmupPinned(t *testing.T) {
+	accs, cfg := deprecatedTestTrace(t)
+	cfg.Warmup = 0
+	base, err := Simulate(cfg, accs, nil)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+
+	got, err := EvaluateAgainstBaseline(NewNextLine(1), accs, cfg, base.LLCLoadMisses)
+	if err != nil {
+		t.Fatalf("EvaluateAgainstBaseline: %v", err)
+	}
+	misses := base.LLCLoadMisses
+	want, err := Eval(context.Background(), EvalJob{
+		Prefetcher: NewNextLine(1), Accs: accs, Sim: &cfg,
+		Baseline: &misses, Warmup: -1,
+	})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got != want {
+		t.Errorf("zero-warmup semantics drifted:\n got  %+v\n want %+v", got, want)
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestBuildGate exists so `go test ./examples/...` compiles and links this
+// example; a bit-rotted example fails here (and in CI) instead of silently
+// decaying. main itself is exercised manually — it prints a full demo.
+func TestBuildGate(t *testing.T) {
+	accs := twoPhaseTrace(1000)
+	if len(accs) == 0 {
+		t.Fatal("twoPhaseTrace returned no accesses")
+	}
+	for i := 1; i < len(accs); i++ {
+		if accs[i].ID <= accs[i-1].ID {
+			t.Fatalf("access %d has non-increasing ID", i)
+		}
+	}
+}

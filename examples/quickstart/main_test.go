@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestBuildGate exists so `go test ./examples/...` compiles and links this
+// example; a bit-rotted example fails here (and in CI) instead of silently
+// decaying. main itself is exercised manually — it prints a full demo.
+func TestBuildGate(t *testing.T) {}

@@ -217,11 +217,11 @@ func New(cfg Config) (*Pathfinder, error) {
 		return nil, err
 	}
 	return &Pathfinder{
-		cfg:    cfg,
-		enc:    enc,
-		net:    net,
-		tt:     NewTrainingTable(cfg.TrainingTableSize, cfg.History),
-		it:     NewInferenceTable(cfg.Neurons, cfg.LabelsPerNeuron),
+		cfg:     cfg,
+		enc:     enc,
+		net:     net,
+		tt:      NewTrainingTable(cfg.TrainingTableSize, cfg.History),
+		it:      NewInferenceTable(cfg.Neurons, cfg.LabelsPerNeuron),
 		pixels:  make([]float64, inputSize),
 		histBuf: make([]int, cfg.History),
 	}, nil

@@ -1,0 +1,170 @@
+package refmodel
+
+import "pathfinder/internal/sim"
+
+// Cache is the reference set-associative cache: the same lookup/fill/stats
+// surface as sim.Cache, implemented with an explicit per-set recency list
+// instead of monotonic tick stamps. Physical way slots are modelled
+// directly because sim's victim scans (first invalid slot, SRRIP's
+// first-distant-way scan) are defined in slot order.
+type Cache struct {
+	sets   int
+	ways   int
+	policy sim.Policy
+
+	slots   [][]refLine // [set][way], physical slot order
+	recency [][]int     // [set] -> way indices, most recently used first
+
+	// Hits and Misses count demand lookups, exactly as sim.Cache does.
+	Hits   uint64
+	Misses uint64
+}
+
+type refLine struct {
+	tag        uint64
+	rrpv       uint8
+	valid      bool
+	prefetched bool
+}
+
+const srripMax = 3 // sim's "distant" re-reference value
+
+// NewCache returns a reference LRU cache.
+func NewCache(sets, ways int) *Cache {
+	return NewCacheWithPolicy(sets, ways, sim.PolicyLRU)
+}
+
+// NewCacheWithPolicy returns a reference cache with the given policy.
+func NewCacheWithPolicy(sets, ways int, policy sim.Policy) *Cache {
+	if sets <= 0 || ways <= 0 {
+		panic("refmodel: cache sets and ways must be positive")
+	}
+	c := &Cache{sets: sets, ways: ways, policy: policy}
+	c.slots = make([][]refLine, sets)
+	c.recency = make([][]int, sets)
+	for s := range c.slots {
+		c.slots[s] = make([]refLine, ways)
+		c.recency[s] = make([]int, 0, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setIndex(block uint64) int { return int(block % uint64(c.sets)) }
+
+// touch moves way to the front (MRU position) of set s's recency list,
+// inserting it if absent.
+func (c *Cache) touch(s, way int) {
+	rec := c.recency[s]
+	for i, w := range rec {
+		if w == way {
+			copy(rec[1:i+1], rec[:i])
+			rec[0] = way
+			return
+		}
+	}
+	rec = append(rec, 0)
+	copy(rec[1:], rec)
+	rec[0] = way
+	c.recency[s] = rec
+}
+
+// Lookup performs a demand access; semantics match sim.Cache.Lookup.
+func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
+	s := c.setIndex(block)
+	for way := range c.slots[s] {
+		l := &c.slots[s][way]
+		if l.valid && l.tag == block {
+			c.touch(s, way)
+			l.rrpv = 0
+			pf := l.prefetched
+			l.prefetched = false
+			c.Hits++
+			return true, pf
+		}
+	}
+	c.Misses++
+	return false, false
+}
+
+// Contains reports residency without touching recency or counters.
+func (c *Cache) Contains(block uint64) bool {
+	s := c.setIndex(block)
+	for _, l := range c.slots[s] {
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts block; semantics match sim.Cache.Fill: a resident block is
+// refreshed (prefetch bit only ever set, never cleared, by fills), an
+// invalid slot is used first (lowest way), and otherwise the policy picks
+// the victim — the recency list's tail for LRU, the first distant way
+// (ageing all ways until one exists) for SRRIP.
+func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction bool) {
+	s := c.setIndex(block)
+	victim := -1
+	for way := range c.slots[s] {
+		l := &c.slots[s][way]
+		if l.valid && l.tag == block {
+			c.touch(s, way)
+			l.rrpv = 0
+			if prefetched {
+				l.prefetched = true
+			}
+			return 0, false
+		}
+		if victim < 0 && !l.valid {
+			victim = way
+		}
+	}
+	if victim < 0 {
+		victim = c.pickVictim(s)
+	}
+	evicted, hadEviction = c.slots[s][victim].tag, c.slots[s][victim].valid
+	rrpv := uint8(srripMax - 1)
+	if prefetched {
+		rrpv = srripMax
+	}
+	c.slots[s][victim] = refLine{tag: block, rrpv: rrpv, valid: true, prefetched: prefetched}
+	c.touch(s, victim)
+	return evicted, hadEviction
+}
+
+func (c *Cache) pickVictim(s int) int {
+	if c.policy == sim.PolicyLRU {
+		rec := c.recency[s]
+		return rec[len(rec)-1]
+	}
+	for {
+		for way := range c.slots[s] {
+			if c.slots[s][way].rrpv >= srripMax {
+				return way
+			}
+		}
+		for way := range c.slots[s] {
+			c.slots[s][way].rrpv++
+		}
+	}
+}
+
+// Reset invalidates every line and clears the statistics counters.
+func (c *Cache) Reset() {
+	for s := range c.slots {
+		for way := range c.slots[s] {
+			c.slots[s][way] = refLine{}
+		}
+		c.recency[s] = c.recency[s][:0]
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+// ResetStats clears only the hit/miss counters.
+func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }

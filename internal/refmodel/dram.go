@@ -1,0 +1,111 @@
+package refmodel
+
+import "pathfinder/internal/sim"
+
+// DRAM is the reference main-memory model: the same FCFS open-row
+// semantics as sim.DRAM, with the read-queue occupancy kept in a plain
+// slice scanned linearly instead of a heap. Bank mapping, row-hit/row-miss
+// latency composition and queue-full stalling follow sim.DRAM.Access
+// operation for operation.
+type DRAM struct {
+	cfg         sim.DRAMConfig
+	banks       []refBank
+	outstanding []uint64 // completion cycles of in-flight reads, unordered
+
+	// Reads counts all requests; RowHits counts open-row hits.
+	Reads   uint64
+	RowHits uint64
+}
+
+type refBank struct {
+	readyAt uint64
+	openRow uint64
+	hasRow  bool
+}
+
+// NewDRAM returns a reference DRAM model.
+func NewDRAM(cfg sim.DRAMConfig) *DRAM {
+	n := cfg.Channels * cfg.Ranks * cfg.Banks
+	if n <= 0 {
+		panic("refmodel: DRAM must have at least one bank")
+	}
+	if cfg.ReadQueue <= 0 {
+		panic("refmodel: DRAM read queue must be positive")
+	}
+	return &DRAM{cfg: cfg, banks: make([]refBank, n)}
+}
+
+// drain removes every outstanding completion at or before cycle t.
+func (d *DRAM) drain(t uint64) {
+	kept := d.outstanding[:0]
+	for _, c := range d.outstanding {
+		if c > t {
+			kept = append(kept, c)
+		}
+	}
+	d.outstanding = kept
+}
+
+// minOutstanding returns the earliest outstanding completion cycle.
+func (d *DRAM) minOutstanding() uint64 {
+	min := d.outstanding[0]
+	for _, c := range d.outstanding[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Access issues a read for block at time now and returns its completion
+// cycle; semantics match sim.DRAM.Access.
+func (d *DRAM) Access(block uint64, now uint64) uint64 {
+	d.Reads++
+	d.drain(now)
+	start := now
+	if len(d.outstanding) >= d.cfg.ReadQueue {
+		start = d.minOutstanding()
+		d.drain(start)
+	}
+
+	row := block / uint64(d.cfg.RowBlocks)
+	bank := &d.banks[row%uint64(len(d.banks))]
+	if bank.readyAt > start {
+		start = bank.readyAt
+	}
+	var lat, busy int
+	if bank.hasRow && bank.openRow == row {
+		lat = d.cfg.TCAS
+		busy = d.cfg.BusCycles
+		d.RowHits++
+	} else {
+		lat = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCAS
+		busy = d.cfg.TRP + d.cfg.TRCD + d.cfg.BusCycles
+		bank.openRow = row
+		bank.hasRow = true
+	}
+	done := start + uint64(lat)
+	bank.readyAt = start + uint64(busy)
+	d.outstanding = append(d.outstanding, done)
+	return done
+}
+
+// QueueDepth returns the number of requests still outstanding at time now.
+func (d *DRAM) QueueDepth(now uint64) int {
+	n := 0
+	for _, c := range d.outstanding {
+		if c > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all bank state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.banks {
+		d.banks[i] = refBank{}
+	}
+	d.outstanding = d.outstanding[:0]
+	d.Reads, d.RowHits = 0, 0
+}

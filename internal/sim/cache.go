@@ -85,10 +85,16 @@ func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
 			pf := set[i].prefetched
 			set[i].prefetched = false
 			c.Hits++
+			if pfdebugEnabled {
+				c.debugCheckSet(block)
+			}
 			return true, pf
 		}
 	}
 	c.Misses++
+	if pfdebugEnabled {
+		c.debugCheckSet(block)
+	}
 	return false, false
 }
 
@@ -119,6 +125,9 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 			if prefetched {
 				set[i].prefetched = true
 			}
+			if pfdebugEnabled {
+				c.debugCheckSet(block)
+			}
 			return 0, false
 		}
 		if victim < 0 && !set[i].valid {
@@ -134,6 +143,9 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 		rrpv = srripMax // prefetch-aware insertion: distant re-reference
 	}
 	set[victim] = cacheLine{tag: block, lru: c.tick, rrpv: rrpv, valid: true, prefetched: prefetched}
+	if pfdebugEnabled {
+		c.debugCheckSet(block)
+	}
 	return evicted, hadEviction
 }
 

@@ -1,0 +1,15 @@
+//go:build !pfdebug
+
+package sim
+
+// pfdebugEnabled gates the invariant assertions of debug_pfdebug.go. In
+// normal builds it is a false constant, so every `if pfdebugEnabled { ... }`
+// block and the stub bodies below compile away entirely; `go test -tags
+// pfdebug ./...` (the make verify pfdebug target) turns them on.
+const pfdebugEnabled = false
+
+func (c *Cache) debugCheckSet(block uint64) {}
+
+func (d *DRAM) debugCheckAccess(now, start, done, prevReadyAt uint64, bank *dramBank, row uint64) {}
+
+func (s *sharedMemory) debugCheck() {}

@@ -1,0 +1,104 @@
+//go:build pfdebug
+
+package sim
+
+import "fmt"
+
+// pfdebug build: the simulator self-checks its structural invariants after
+// cache and DRAM operations, panicking with a description on the first
+// violation. See docs/testing.md.
+const pfdebugEnabled = true
+
+// debugCheckSet verifies the touched set's replacement-state invariants:
+// at most one valid line holds any given tag, every recency stamp is
+// distinct and no newer than the cache's clock (the LRU stack property —
+// stamps induce a strict total recency order), and re-reference counters
+// stay within SRRIP's 2-bit range.
+func (c *Cache) debugCheckSet(block uint64) {
+	set := c.set(block)
+	matches := 0
+	for i := range set {
+		if !set[i].valid {
+			continue
+		}
+		if set[i].tag == block {
+			matches++
+		}
+		if set[i].lru > c.tick {
+			panic(fmt.Sprintf("sim pfdebug: line lru stamp %d ahead of cache clock %d", set[i].lru, c.tick))
+		}
+		if set[i].rrpv > srripMax {
+			panic(fmt.Sprintf("sim pfdebug: rrpv %d exceeds %d", set[i].rrpv, srripMax))
+		}
+		for k := i + 1; k < len(set); k++ {
+			if set[k].valid && set[k].lru == set[i].lru {
+				panic(fmt.Sprintf("sim pfdebug: duplicate lru stamp %d in set (ways %d and %d)", set[i].lru, i, k))
+			}
+		}
+	}
+	if matches > 1 {
+		panic(fmt.Sprintf("sim pfdebug: block %d resident in %d ways of one set", block, matches))
+	}
+}
+
+// debugCheckAccess verifies one DRAM access's timing legality: the request
+// starts no earlier than it was issued, completes after it starts, the bank
+// only moves forward in time and holds the row it just served, and the
+// read-queue occupancy respects its capacity.
+func (d *DRAM) debugCheckAccess(now, start, done, prevReadyAt uint64, bank *dramBank, row uint64) {
+	if start < now {
+		panic(fmt.Sprintf("sim pfdebug: DRAM access started at %d before issue at %d", start, now))
+	}
+	if done <= start {
+		panic(fmt.Sprintf("sim pfdebug: DRAM access done at %d not after start %d", done, start))
+	}
+	if bank.readyAt < prevReadyAt {
+		panic(fmt.Sprintf("sim pfdebug: bank readyAt moved backwards %d -> %d", prevReadyAt, bank.readyAt))
+	}
+	if bank.readyAt < start {
+		panic(fmt.Sprintf("sim pfdebug: bank readyAt %d before access start %d", bank.readyAt, start))
+	}
+	if !bank.hasRow || bank.openRow != row {
+		panic(fmt.Sprintf("sim pfdebug: bank does not hold row %d it just served (hasRow %v openRow %d)", row, bank.hasRow, bank.openRow))
+	}
+	if len(d.outstanding) > d.cfg.ReadQueue {
+		panic(fmt.Sprintf("sim pfdebug: read queue holds %d > capacity %d", len(d.outstanding), d.cfg.ReadQueue))
+	}
+	for i := range d.outstanding {
+		for _, k := range [2]int{2*i + 1, 2*i + 2} {
+			if k < len(d.outstanding) && d.outstanding[k] < d.outstanding[i] {
+				panic(fmt.Sprintf("sim pfdebug: completion heap property violated at %d/%d", i, k))
+			}
+		}
+	}
+}
+
+// debugCheck verifies the shared-memory prefetch bookkeeping: every
+// in-flight map entry is backed by a heap fill with the same block and
+// ready cycle (the heap may additionally hold stale, superseded fills), and
+// the fill heap is a valid min-heap under its (ready, seq) order.
+func (s *sharedMemory) debugCheck() {
+	type key struct {
+		block uint64
+		ready uint64
+	}
+	have := make(map[key]bool, len(s.fills))
+	for _, f := range s.fills {
+		have[key{f.block, f.ready}] = true
+	}
+	for block, ready := range s.inflight {
+		if !have[key{block, ready}] {
+			panic(fmt.Sprintf("sim pfdebug: inflight block %d (ready %d) has no matching fill-heap entry", block, ready))
+		}
+	}
+	if len(s.inflight) > len(s.fills) {
+		panic(fmt.Sprintf("sim pfdebug: %d inflight entries exceed %d heap fills", len(s.inflight), len(s.fills)))
+	}
+	for i := range s.fills {
+		for _, k := range [2]int{2*i + 1, 2*i + 2} {
+			if k < len(s.fills) && s.fills.Less(k, i) {
+				panic(fmt.Sprintf("sim pfdebug: fill heap property violated at %d/%d", i, k))
+			}
+		}
+	}
+}

@@ -112,6 +112,7 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 
 	row := block / uint64(d.cfg.RowBlocks)
 	bank := &d.banks[row%uint64(len(d.banks))]
+	prevReadyAt := bank.readyAt
 	if bank.readyAt > start {
 		start = bank.readyAt
 	}
@@ -132,6 +133,9 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 	done := start + uint64(lat)
 	bank.readyAt = start + uint64(busy)
 	heap.Push(&d.outstanding, done)
+	if pfdebugEnabled {
+		d.debugCheckAccess(now, start, done, prevReadyAt, bank, row)
+	}
 	return done
 }
 

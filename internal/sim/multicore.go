@@ -17,6 +17,7 @@ type sharedMemory struct {
 	dram     *DRAM
 	inflight map[uint64]uint64 // block -> fill-ready cycle
 	fills    inflightHeap
+	fillSeq  uint64 // issue counter for FCFS tie-breaking of fills
 }
 
 func (s *sharedMemory) drainFills(now uint64) {
@@ -213,7 +214,8 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		}
 		done := mem.dram.Access(pb, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
 		mem.inflight[pb] = done
-		heap.Push(&mem.fills, inflightFill{ready: done, block: pb})
+		heap.Push(&mem.fills, inflightFill{ready: done, block: pb, seq: mem.fillSeq})
+		mem.fillSeq++
 		if c.measuring {
 			c.res.PrefFetched++
 		}
@@ -297,6 +299,9 @@ func RunMultiCtx(ctx context.Context, cfg Config, cores [][]trace.Access, pfs []
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+		}
+		if pfdebugEnabled && steps&1023 == 0 {
+			mem.debugCheck()
 		}
 		steps++
 		best := -1

@@ -117,16 +117,24 @@ func (r Result) Coverage(baselineMisses uint64) float64 {
 	return float64(r.PrefUseful) / float64(baselineMisses)
 }
 
-// inflightHeap orders in-flight prefetch fills by completion cycle.
+// inflightHeap orders in-flight prefetch fills by completion cycle, ties
+// broken by issue order (seq) so fills that complete on the same cycle
+// install FCFS — a well-defined order the refmodel oracle can reproduce.
 type inflightHeap []inflightFill
 
 type inflightFill struct {
 	ready uint64
 	block uint64
+	seq   uint64
 }
 
-func (h inflightHeap) Len() int            { return len(h) }
-func (h inflightHeap) Less(i, j int) bool  { return h[i].ready < h[j].ready }
+func (h inflightHeap) Len() int { return len(h) }
+func (h inflightHeap) Less(i, j int) bool {
+	if h[i].ready != h[j].ready {
+		return h[i].ready < h[j].ready
+	}
+	return h[i].seq < h[j].seq
+}
 func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflightFill)) }
 func (h *inflightHeap) Pop() interface{} {

@@ -1,0 +1,13 @@
+//go:build !pfdebug
+
+package snn
+
+// pfdebugEnabled gates the invariant assertions of debug_pfdebug.go. In
+// normal builds it is a false constant, so every `if pfdebugEnabled { ... }`
+// block and the stub bodies below compile away entirely; `go test -tags
+// pfdebug ./...` (the make verify pfdebug target) turns them on.
+const pfdebugEnabled = false
+
+func (n *Network) debugCheckInterval(maxSpikes int) {}
+
+func (n *Network) debugCheckNormalized(neurons []int) {}

@@ -174,15 +174,15 @@ type Network struct {
 	// per-interval transient state: it is reset or rebuilt by every
 	// Present and deliberately NOT serialized (see serialize.go — only
 	// learned state persists).
-	scrActive   []int  // lit-pixel indices of the current input
-	scrTickOf   []int  // temporal coding: spike tick per active pixel
-	scrSched    []int  // concatenated per-tick input spike schedule
-	scrSchedOff []int  // scrSched offsets; tick t spans [off[t-1], off[t])
-	scrInhHold  []int  // remaining suppression ticks per inhibitory neuron
-	scrSpiked   []bool // excitatory neurons that fired this tick
-	scrFired    []int  // distinct neurons fired this interval, in fire order
-	scrTickFire []int  // neurons fired within the current tick, in fire order
-	scrCand     []int  // above-threshold candidates within a tick
+	scrActive   []int     // lit-pixel indices of the current input
+	scrTickOf   []int     // temporal coding: spike tick per active pixel
+	scrSched    []int     // concatenated per-tick input spike schedule
+	scrSchedOff []int     // scrSched offsets; tick t spans [off[t-1], off[t])
+	scrInhHold  []int     // remaining suppression ticks per inhibitory neuron
+	scrSpiked   []bool    // excitatory neurons that fired this tick
+	scrFired    []int     // distinct neurons fired this interval, in fire order
+	scrTickFire []int     // neurons fired within the current tick, in fire order
+	scrCand     []int     // above-threshold candidates within a tick
 	scrThr      []float64 // cached ThreshE + theta[j], refreshed on fire
 	scrPot      []float64
 
@@ -474,6 +474,13 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 						refracCntE--
 					}
 					vE[j] = resetE
+					// A neuron leaving refractory joins this tick's scan
+					// at its reset potential (the reference loop decrements
+					// before the threshold scan); only exotic configs with
+					// ResetE above threshold can actually fire from here.
+					if refracE[j] == 0 && resetE >= thr[j] {
+						cand = append(cand, j)
+					}
 					continue
 				}
 				vE[j] = v
@@ -495,6 +502,9 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 						refracCntE--
 					}
 					vE[j] = resetE
+					if refracE[j] == 0 && resetE >= thr[j] {
+						cand = append(cand, j)
+					}
 					continue
 				}
 				if vE[j] >= thr[j] {
@@ -671,6 +681,9 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 	}
 	res.Spikes = res.Spikes[:nn]
 	copy(res.Spikes, n.spikeCounts)
+	if pfdebugEnabled {
+		n.debugCheckInterval(ticks)
+	}
 	return nil
 }
 
@@ -821,6 +834,11 @@ func (n *Network) PresentOneTickInto(res *Result, pixels []float64, learn bool) 
 		n.scrCand = append(n.scrCand[:0], best)
 		n.normalizeNeurons(n.scrCand)
 	}
+	if pfdebugEnabled {
+		// The internal spike accumulator is untouched in 1-tick mode and
+		// may hold a previous full interval's counts, hence the Ticks bound.
+		n.debugCheckInterval(n.cfg.Ticks)
+	}
 	return nil
 }
 
@@ -947,6 +965,9 @@ func (n *Network) normalizeNeurons(neurons []int) {
 			}
 			n.w[i*nn+j] = w
 		}
+	}
+	if pfdebugEnabled {
+		n.debugCheckNormalized(neurons)
 	}
 }
 
