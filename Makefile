@@ -3,13 +3,14 @@
 # harness that drives it, and (in short mode) the two hot engines. `make
 # pfdebug` re-runs the suite with the invariant assertions compiled in (see
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
-# brief budget. `make bench-micro` records the SNN hot-path micro-benchmarks
-# into BENCH_snn.json (see docs/performance.md).
+# brief budget. `make chaos` runs the fault-injection suite under the race
+# detector (see docs/resilience.md). `make bench-micro` records the SNN
+# hot-path micro-benchmarks into BENCH_snn.json (see docs/performance.md).
 
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet race pfdebug fuzz-short bench bench-micro verify
+.PHONY: build test vet race pfdebug chaos fuzz-short bench bench-micro verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +29,13 @@ race:
 # property, DRAM bank legality, membrane/trace ranges, weight normalization).
 pfdebug:
 	$(GO) test -tags pfdebug ./...
+
+# The chaos suite: the evaluation engine under injected panics, transient
+# failures, hangs and trace corruption, plus the fault framework itself,
+# all with the race detector on.
+chaos:
+	$(GO) test -race -run 'Chaos|Journal|Flight|Progress' ./internal/runner/...
+	$(GO) test -race ./internal/fault/...
 
 # Give each native fuzz target a short budget, with invariant assertions on.
 # Go runs one -fuzz pattern per package invocation, so targets run in turn.

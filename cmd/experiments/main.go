@@ -14,6 +14,12 @@
 // Grids fan out across GOMAXPROCS workers (override with -par); Ctrl-C
 // cancels the run mid-grid. A live progress line is written to stderr when
 // it is a terminal (-progress to force it on or off).
+//
+// Long runs can checkpoint with -journal run.journal and, after a crash or
+// Ctrl-C, continue with -journal run.journal -resume: cells already
+// journaled are served from disk instead of re-simulated. -retries and
+// -job-timeout bound transient failures and hung cells (see
+// docs/resilience.md).
 package main
 
 import (
@@ -75,6 +81,10 @@ func main() {
 		fullSim     = flag.Bool("fullsim", false, "use the full Table 3 hierarchy instead of the trace-scaled one")
 		seeds       = flag.Int("seeds", 3, "seeds for the seed-variance study (-run seeds)")
 		par         = flag.Int("par", 0, "evaluation workers (0 = GOMAXPROCS; 1 = serial)")
+		retries     = flag.Int("retries", 1, "attempts per evaluation cell (transient failures only)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "deadline per evaluation attempt (0 = none)")
+		journalPath = flag.String("journal", "", "record completed cells to this JSONL journal")
+		resume      = flag.Bool("resume", false, "resume from an existing -journal instead of starting fresh")
 		progress    = flag.Bool("progress", stderrIsTerminal(), "render a live progress line on stderr")
 		jsonDir     = flag.String("json", "", "also write each experiment's structured result as <dir>/<name>.json")
 		list        = flag.Bool("list", false, "list experiments and exit")
@@ -126,6 +136,31 @@ func main() {
 		experiments.WithSeed(*seed),
 		experiments.WithSkipOffline(*skipOffline),
 		experiments.WithParallelism(*par),
+		experiments.WithRetries(*retries),
+		experiments.WithJobTimeout(*jobTimeout),
+	}
+	if *journalPath != "" {
+		// Without -resume a leftover journal would silently replay a previous
+		// run's cells, so start it fresh.
+		if !*resume {
+			if err := os.Remove(*journalPath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "removing stale journal: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		j, err := pathfinder.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if *resume && j.Completed() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d cells already journaled in %s\n", j.Completed(), *journalPath)
+		}
+		opts = append(opts, experiments.WithJournal(j))
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "-resume requires -journal")
+		os.Exit(2)
 	}
 	if *traces != "" {
 		opts = append(opts, experiments.WithTraces(strings.Split(*traces, ",")...))

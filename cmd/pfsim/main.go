@@ -40,6 +40,10 @@ func main() {
 		pfOut     = flag.String("prefetch-out", "", "also write the generated prefetch file here (PFP1 format)")
 		pfIn      = flag.String("prefetch-in", "", "replay this prefetch file instead of generating one (the artifact's two-step flow)")
 		coRunner  = flag.String("corunner", "", "also run this benchmark on a second core sharing the LLC (multi-core mode)")
+		retries   = flag.Int("retries", 1, "attempts for the evaluation (transient failures only)")
+		timeout   = flag.Duration("job-timeout", 0, "deadline per evaluation attempt (0 = none)")
+		journalF  = flag.String("journal", "", "record the completed evaluation to this JSONL journal")
+		resume    = flag.Bool("resume", false, "resume from an existing -journal instead of starting fresh")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile here (inspect with `go tool pprof`)")
 		memProf   = flag.String("memprofile", "", "write a pprof heap (allocs) profile here at exit")
@@ -132,11 +136,28 @@ func main() {
 		return
 	}
 
+	var journal *pathfinder.RunJournal
+	if *journalF != "" {
+		if !*resume {
+			if err := os.Remove(*journalF); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		journal, err = pathfinder.OpenJournal(*journalF)
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	} else if *resume {
+		fatal(fmt.Errorf("-resume requires -journal"))
+	}
+
 	// The single-benchmark path goes through the evaluation engine: the
 	// no-prefetch baseline and the prefetch replay are one EvalJob, and the
 	// engine's progress sink reports simulation throughput on stderr.
 	r := pathfinder.NewRunner(pathfinder.RunnerConfig{
 		Loads: len(accs), Seed: *seed, Sim: cfg, Parallelism: 1,
+		MaxAttempts: *retries, JobTimeout: *timeout, Journal: journal,
 		Progress: func(p pathfinder.RunnerProgress) {
 			rate := 0.0
 			if p.Wall > 0 {

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/runner"
@@ -44,6 +45,9 @@ type options struct {
 	skipOffline bool
 	parallelism int
 	progress    runner.ProgressFunc
+	maxAttempts int
+	jobTimeout  time.Duration
+	journal     *runner.Journal
 }
 
 // newOptions applies the options over the defaults: 50 K loads, seed 1,
@@ -121,6 +125,26 @@ func WithContext(ctx context.Context) Option {
 	}
 }
 
+// WithRetries sets the per-cell attempt budget of the evaluation engine
+// (default 1, i.e. no retries). Only transient failures and per-attempt
+// deadline expiries are retried; see the runner package.
+func WithRetries(attempts int) Option {
+	return func(o *options) { o.maxAttempts = attempts }
+}
+
+// WithJobTimeout bounds each evaluation attempt with a context deadline
+// (default: no limit).
+func WithJobTimeout(d time.Duration) Option {
+	return func(o *options) { o.jobTimeout = d }
+}
+
+// WithJournal records every completed cell to an on-disk journal and
+// resumes from it: cells already present are served from the journal
+// instead of being re-simulated. See runner.OpenJournal.
+func WithJournal(j *runner.Journal) Option {
+	return func(o *options) { o.journal = j }
+}
+
 // newRunner builds the evaluation engine for this run's configuration.
 func (o options) newRunner() *runner.Runner {
 	return runner.New(runner.Config{
@@ -129,6 +153,9 @@ func (o options) newRunner() *runner.Runner {
 		Sim:         o.sim,
 		Parallelism: o.parallelism,
 		Progress:    o.progress,
+		MaxAttempts: o.maxAttempts,
+		JobTimeout:  o.jobTimeout,
+		Journal:     o.journal,
 	})
 }
 

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSeededDeterminism checks that decisions depend only on (seed, kind,
+// key): two injectors with the same seed agree everywhere, a different
+// seed disagrees somewhere, and repeated calls never flip.
+func TestSeededDeterminism(t *testing.T) {
+	a := NewSeeded(Chaos{Seed: 42, Panic: 0.3, Flaky: 0.3, Hang: 0.3, TraceError: 0.3})
+	b := NewSeeded(Chaos{Seed: 42, Panic: 0.3, Flaky: 0.3, Hang: 0.3, TraceError: 0.3})
+	c := NewSeeded(Chaos{Seed: 43, Panic: 0.3, Flaky: 0.3, Hang: 0.3, TraceError: 0.3})
+	diff := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("%d|trace-%d|pf", i, i%7)
+		if a.WillPanic(key) != b.WillPanic(key) ||
+			a.WillHang(key) != b.WillHang(key) ||
+			a.TraceFails(key) != b.TraceFails(key) ||
+			a.FlakyFailures(key) != b.FlakyFailures(key) {
+			t.Fatalf("same-seed injectors disagree on %q", key)
+		}
+		if a.WillPanic(key) != a.WillPanic(key) {
+			t.Fatalf("decision for %q is not stable", key)
+		}
+		if a.WillPanic(key) != c.WillPanic(key) || a.WillHang(key) != c.WillHang(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed 42 and 43 injectors made identical decisions on 200 keys")
+	}
+}
+
+// TestSeededRates sanity-checks that the uniform draw tracks the
+// configured probability (a broken hash would collapse to 0% or 100%).
+func TestSeededRates(t *testing.T) {
+	s := NewSeeded(Chaos{Seed: 7, Panic: 0.25})
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if s.WillPanic(fmt.Sprintf("key-%d", i)) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("panic rate = %.3f, want ~0.25", got)
+	}
+}
+
+// TestTransientMarking checks Transient/IsTransient through wrapping.
+func TestTransientMarking(t *testing.T) {
+	base := errors.New("disk hiccup")
+	te := Transient(base)
+	if !IsTransient(te) {
+		t.Error("Transient error not recognised")
+	}
+	if !IsTransient(fmt.Errorf("job 3: %w", te)) {
+		t.Error("wrapped transient error not recognised")
+	}
+	if !errors.Is(te, base) {
+		t.Error("Transient broke the error chain")
+	}
+	if IsTransient(base) {
+		t.Error("plain error reported transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil reported transient")
+	}
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+}
+
+// TestInjectFlakyClears checks the flaky schedule: failures on leading
+// attempts, success after.
+func TestInjectFlakyClears(t *testing.T) {
+	s := NewSeeded(Chaos{Seed: 1, Flaky: 1, FlakyAttempts: 2})
+	ctx := context.Background()
+	for attempt := 0; attempt < 2; attempt++ {
+		err := s.Inject(ctx, SiteJobStart, "cell", attempt)
+		if err == nil || !IsTransient(err) {
+			t.Fatalf("attempt %d: err = %v, want transient", attempt, err)
+		}
+	}
+	if err := s.Inject(ctx, SiteJobStart, "cell", 2); err != nil {
+		t.Fatalf("attempt 2: err = %v, want success", err)
+	}
+}
+
+// TestInjectPanics checks the panic site actually panics.
+func TestInjectPanics(t *testing.T) {
+	s := NewSeeded(Chaos{Seed: 1, Panic: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Inject did not panic with Panic: 1")
+		}
+	}()
+	s.Inject(context.Background(), SiteJobStart, "cell", 0)
+}
+
+// TestInjectHangHonoursContext checks an injected hang unblocks on
+// deadline and reports the context error.
+func TestInjectHangHonoursContext(t *testing.T) {
+	s := NewSeeded(Chaos{Seed: 1, Hang: 1, HangFor: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Inject(ctx, SiteSimulate, "cell", 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang did not unblock on context deadline")
+	}
+}
+
+// TestSiteStrings pins the site names used in error messages.
+func TestSiteStrings(t *testing.T) {
+	for site, want := range map[Site]string{
+		SiteJobStart:    "job-start",
+		SiteTraceDecode: "trace-decode",
+		SiteBaseline:    "baseline",
+		SitePrefetchGen: "prefetch-gen",
+		SiteSimulate:    "simulate",
+		Site(99):        "site(99)",
+	} {
+		if got := site.String(); got != want {
+			t.Errorf("Site(%d).String() = %q, want %q", site, got, want)
+		}
+	}
+}

@@ -1,0 +1,596 @@
+package runner
+
+// The chaos suite: seeded fault injection against the hardened engine.
+// Everything here runs under `make chaos` (-race) and asserts the two
+// headline properties: surviving results are bit-identical to a
+// fault-free run at any parallelism, and every failed cell is attributed
+// in the RunReport.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/workload"
+)
+
+// chaosJobs builds a cheap (trace × {BO, Stride}) grid: rule-based
+// prefetchers only, so the suite stays fast enough to hammer repeatedly.
+func chaosJobs(traces []string) []Job {
+	var jobs []Job
+	for _, tr := range traces {
+		jobs = append(jobs,
+			Job{Trace: tr, Label: "BO", New: func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil }},
+			Job{Trace: tr, Label: "Stride", New: func() (prefetch.Prefetcher, error) { return prefetch.NewStride(), nil }},
+		)
+	}
+	return jobs
+}
+
+// sameCell compares everything deterministic about a result (Wall is host
+// timing and legitimately differs).
+func sameCell(a, b Result) bool {
+	return a.Metrics == b.Metrics && a.BaselineIPC == b.BaselineIPC && a.Cycles == b.Cycles
+}
+
+// TestChaosDeterminism is the acceptance test: a seeded grid with
+// injected panics, transient failures, hangs (killed by the per-job
+// deadline), permanent trace faults, and benign latency must complete,
+// attribute every failed cell, fail the exact cell set the injector's
+// predicates predict, and leave every surviving result bit-identical to
+// the fault-free run — at any parallelism.
+func TestChaosDeterminism(t *testing.T) {
+	traces := workload.Names()
+	if len(traces) > 6 {
+		traces = traces[:6]
+	}
+	jobs := chaosJobs(traces)
+	const loads, seed = 600, 1
+
+	// Fault-free reference.
+	ref, err := New(Config{Loads: loads, Seed: seed, Parallelism: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := fault.Chaos{
+		Seed:       7,
+		Panic:      0.2,
+		Flaky:      0.4,
+		Hang:       0.15,
+		TraceError: 0.15,
+		Latency:    0.3,
+		LatencyFor: time.Millisecond,
+	}
+	// Predict the failure set from the injector's pure decision
+	// functions: panics and hangs are per-cell, trace faults take out
+	// every cell of the trace; flaky cells clear within MaxAttempts.
+	inj := fault.NewSeeded(chaos)
+	keyer := New(Config{Loads: loads, Seed: seed})
+	wantFailed := map[int]bool{}
+	for i, job := range jobs {
+		cellKey := keyer.cellKey(i, job)
+		traceKey := fmt.Sprintf("%s\x00%d\x00%d", job.Trace, loads, seed)
+		if inj.WillPanic(cellKey) || inj.WillHang(cellKey) || inj.TraceFails(traceKey) {
+			wantFailed[i] = true
+		}
+	}
+	if len(wantFailed) == 0 || len(wantFailed) == len(jobs) {
+		t.Fatalf("chaos seed predicts %d/%d failures — pick a seed that exercises both outcomes", len(wantFailed), len(jobs))
+	}
+
+	for _, parallelism := range []int{1, 4, 8} {
+		parallelism := parallelism
+		t.Run(fmt.Sprintf("par=%d", parallelism), func(t *testing.T) {
+			r := New(Config{
+				Loads: loads, Seed: seed, Parallelism: parallelism,
+				MaxAttempts:  2,
+				RetryBackoff: time.Millisecond,
+				// Generous against -race slowdown for legitimate cells
+				// (~ms at 600 loads), still bounding each hung attempt.
+				JobTimeout: time.Second,
+				Fault:      fault.NewSeeded(chaos),
+			})
+			results, report, err := r.RunWithReport(context.Background(), jobs)
+			if err != nil {
+				t.Fatalf("RunWithReport: %v", err)
+			}
+			gotFailed := map[int]bool{}
+			for _, je := range report.Failed {
+				gotFailed[je.Index] = true
+				if je.Trace == "" {
+					t.Errorf("job %d: JobError lost its trace identity", je.Index)
+				}
+			}
+			for i := range jobs {
+				if wantFailed[i] != gotFailed[i] {
+					t.Errorf("job %d (%s/%s): failed=%v, predicted %v",
+						i, jobs[i].Trace, jobs[i].Label, gotFailed[i], wantFailed[i])
+				}
+				if !gotFailed[i] && !sameCell(results[i], ref[i]) {
+					t.Errorf("job %d (%s/%s): surviving result diverged from fault-free run:\n  got  %+v\n  want %+v",
+						i, jobs[i].Trace, jobs[i].Label, results[i].Metrics, ref[i].Metrics)
+				}
+			}
+			if got := report.Completed + report.Resumed + len(report.Failed); got != report.Total || report.Total != len(jobs) {
+				t.Errorf("report does not account for the grid: completed %d + resumed %d + failed %d != total %d",
+					report.Completed, report.Resumed, len(report.Failed), report.Total)
+			}
+			if report.Retries == 0 {
+				t.Error("no retries recorded despite flaky injection")
+			}
+			if report.Err() == nil {
+				t.Error("report.Err() = nil with failed cells")
+			}
+		})
+	}
+}
+
+// TestChaosPanicsBecomeJobErrors checks panic containment: with every job
+// panicking, the process survives, every cell is attributed with a typed
+// PanicError carrying a stack, and nothing is retried (a panic from the
+// same seed panics again).
+func TestChaosPanicsBecomeJobErrors(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5"})
+	r := New(Config{
+		Loads: 1000, Parallelism: 2, MaxAttempts: 3, RetryBackoff: time.Millisecond,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Panic: 1}),
+	})
+	results, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != len(jobs) || report.Completed != 0 {
+		t.Fatalf("failed %d / completed %d, want %d / 0", len(report.Failed), report.Completed, len(jobs))
+	}
+	for _, je := range report.Failed {
+		var pe *PanicError
+		if !errors.As(je.Err, &pe) {
+			t.Fatalf("job %d: cause %T is not a PanicError: %v", je.Index, je.Err, je.Err)
+		}
+		if len(je.Stack) == 0 || !strings.Contains(string(je.Stack), "goroutine") {
+			t.Errorf("job %d: missing panic stack", je.Index)
+		}
+		if je.Attempts != 1 {
+			t.Errorf("job %d: panic was retried (%d attempts)", je.Index, je.Attempts)
+		}
+		if (results[je.Index] != Result{}) {
+			t.Errorf("job %d: failed cell left a non-zero result", je.Index)
+		}
+	}
+	if report.Retries != 0 {
+		t.Errorf("report.Retries = %d for deterministic panics", report.Retries)
+	}
+}
+
+// TestChaosTransientFailuresRetrySucceed checks the retry policy end to
+// end: every job fails once with a transient error, every job succeeds on
+// the retry, and the results are bit-identical to a fault-free run.
+func TestChaosTransientFailuresRetrySucceed(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5", "bfs-10"})
+	ref, err := New(Config{Loads: 1000, Parallelism: 2}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Loads: 1000, Parallelism: 2, MaxAttempts: 2, RetryBackoff: time.Millisecond,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Flaky: 1, FlakyAttempts: 1}),
+	})
+	results, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 0 {
+		t.Fatalf("failures with retries available: %v", report.Err())
+	}
+	if report.Retries != len(jobs) {
+		t.Errorf("Retries = %d, want %d (one per cell)", report.Retries, len(jobs))
+	}
+	for i := range jobs {
+		if !sameCell(results[i], ref[i]) {
+			t.Errorf("job %d: retried result diverged from fault-free run", i)
+		}
+	}
+}
+
+// TestChaosRetryBudgetExhausted checks that a fault outliving the retry
+// budget surfaces as a transient-marked JobError with the attempt count.
+func TestChaosRetryBudgetExhausted(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5"})[:1]
+	r := New(Config{
+		Loads: 1000, MaxAttempts: 2, RetryBackoff: time.Millisecond,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Flaky: 1, FlakyAttempts: 5}),
+	})
+	_, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 1 {
+		t.Fatalf("failed = %d, want 1", len(report.Failed))
+	}
+	je := report.Failed[0]
+	if je.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", je.Attempts)
+	}
+	if !fault.IsTransient(je.Err) {
+		t.Errorf("exhausted transient failure lost its marking: %v", je.Err)
+	}
+	if report.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", report.Retries)
+	}
+}
+
+// TestChaosTimeoutKillsHungCells checks the per-job deadline: a stalled
+// replay cannot hang the pool; the cell fails with DeadlineExceeded after
+// its attempts, within bounded wall time.
+func TestChaosTimeoutKillsHungCells(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5"})
+	r := New(Config{
+		Loads: 1000, Parallelism: 2,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		JobTimeout:   100 * time.Millisecond,
+		Fault:        fault.NewSeeded(fault.Chaos{Seed: 1, Hang: 1, HangFor: time.Hour}),
+	})
+	start := time.Now()
+	_, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hung grid took %v — the deadline did not fire", elapsed)
+	}
+	if len(report.Failed) != len(jobs) {
+		t.Fatalf("failed = %d, want %d", len(report.Failed), len(jobs))
+	}
+	for _, je := range report.Failed {
+		if !errors.Is(je.Err, context.DeadlineExceeded) {
+			t.Errorf("job %d: err = %v, want DeadlineExceeded", je.Index, je.Err)
+		}
+		if je.Attempts != 2 {
+			t.Errorf("job %d: attempts = %d, want 2 (deadline expiries are retried)", je.Index, je.Attempts)
+		}
+	}
+}
+
+// TestChaosTraceFaultFailsWholeTrace checks the shared-build fault site:
+// a permanently corrupt trace fails every cell that needs it (whoever
+// builds it) and no other trace's cells.
+func TestChaosTraceFaultFailsWholeTrace(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5", "bfs-10"})
+	const loads, seed = 1000, 1
+	// Find a chaos seed that kills exactly one of the two traces.
+	var chosen fault.Chaos
+	for s := int64(1); ; s++ {
+		c := fault.Chaos{Seed: s, TraceError: 0.5}
+		inj := fault.NewSeeded(c)
+		k5 := inj.TraceFails(fmt.Sprintf("cc-5\x00%d\x00%d", loads, seed))
+		k10 := inj.TraceFails(fmt.Sprintf("bfs-10\x00%d\x00%d", loads, seed))
+		if k5 != k10 {
+			chosen = c
+			break
+		}
+	}
+	for _, parallelism := range []int{1, 4} {
+		r := New(Config{Loads: loads, Seed: seed, Parallelism: parallelism, Fault: fault.NewSeeded(chosen)})
+		results, report, err := r.RunWithReport(context.Background(), jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(report.Failed) != 2 || report.Completed != 2 {
+			t.Fatalf("par %d: failed %d / completed %d, want 2 / 2", parallelism, len(report.Failed), report.Completed)
+		}
+		failedTrace := report.Failed[0].Trace
+		for _, je := range report.Failed {
+			if je.Trace != failedTrace {
+				t.Errorf("par %d: failures span traces %s and %s, want one trace", parallelism, failedTrace, je.Trace)
+			}
+			if !strings.Contains(je.Err.Error(), "injected trace failure") {
+				t.Errorf("par %d: job %d cause %v does not name the trace fault", parallelism, je.Index, je.Err)
+			}
+		}
+		for i, res := range results {
+			if jobs[i].Trace != failedTrace && res.IPC <= 0 {
+				t.Errorf("par %d: healthy trace cell %d has no result", parallelism, i)
+			}
+		}
+	}
+}
+
+// TestChaosLatencyIsBenign checks that injected latency slows cells
+// without changing a single bit of their results.
+func TestChaosLatencyIsBenign(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5", "bfs-10"})
+	ref, err := New(Config{Loads: 1000, Parallelism: 4}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Loads: 1000, Parallelism: 4,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 3, Latency: 1, LatencyFor: 2 * time.Millisecond}),
+	})
+	results, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 0 {
+		t.Fatalf("latency injection failed cells: %v", report.Err())
+	}
+	for i := range jobs {
+		if !sameCell(results[i], ref[i]) {
+			t.Errorf("job %d: latency changed the result", i)
+		}
+	}
+}
+
+// TestRunFailFastStillAborts pins Run's all-or-nothing contract: under
+// injection without RunWithReport, the first permanent failure aborts the
+// grid with a typed JobError.
+func TestRunFailFastStillAborts(t *testing.T) {
+	jobs := chaosJobs([]string{"cc-5"})
+	r := New(Config{
+		Loads: 1000, Parallelism: 2,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Panic: 1}),
+	})
+	results, err := r.Run(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("Run succeeded under universal panic injection")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("Run error %T is not a JobError: %v", err, err)
+	}
+	if results != nil {
+		t.Error("failed Run returned results")
+	}
+}
+
+// TestProgressMonotonicUnderFailures is the progress-sink contract under
+// the full resilience stack: with failing cells, retried cells, and
+// journal-resumed cells in one grid, Done increments by exactly one per
+// event and reaches Total.
+func TestProgressMonotonicUnderFailures(t *testing.T) {
+	traces := workload.Names()
+	if len(traces) > 4 {
+		traces = traces[:4]
+	}
+	jobs := chaosJobs(traces)
+	journal, err := OpenJournal(filepath.Join(t.TempDir(), "run.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+
+	// Pre-complete the first two cells so the main run resumes them.
+	pre := New(Config{Loads: 1000, Parallelism: 2, Journal: journal})
+	if _, err := pre.Run(context.Background(), jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		dones   []int
+		resumed int
+		failed  int
+	)
+	r := New(Config{
+		Loads: 1000, Parallelism: 4,
+		MaxAttempts:  2,
+		RetryBackoff: time.Millisecond,
+		Journal:      journal,
+		Fault:        fault.NewSeeded(fault.Chaos{Seed: 11, Panic: 0.25, Flaky: 0.5}),
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			dones = append(dones, p.Done)
+			if p.Total != len(jobs) {
+				t.Errorf("Total = %d, want %d", p.Total, len(jobs))
+			}
+			if p.Resumed {
+				resumed++
+			}
+			if p.Err != nil {
+				failed++
+			}
+		},
+	})
+	_, report, err := r.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != len(jobs) {
+		t.Fatalf("got %d progress events, want %d", len(dones), len(jobs))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("Done sequence %v is not 1..%d", dones, len(jobs))
+		}
+	}
+	if resumed != 2 {
+		t.Errorf("resumed events = %d, want 2", resumed)
+	}
+	if failed != len(report.Failed) {
+		t.Errorf("failure events = %d, report says %d", failed, len(report.Failed))
+	}
+	if failed == 0 {
+		t.Error("chaos seed produced no failures; progress-under-failure path untested")
+	}
+}
+
+// TestJournalKillAndResume is the checkpoint/resume acceptance test: a
+// journaled run cancelled mid-grid and resumed re-executes only the
+// unfinished cells and converges to the same final result set as an
+// uninterrupted run.
+func TestJournalKillAndResume(t *testing.T) {
+	traces := workload.Names()
+	if len(traces) > 3 {
+		traces = traces[:3]
+	}
+	jobs := chaosJobs(traces)
+	const loads = 1500
+	path := filepath.Join(t.TempDir(), "run.journal")
+
+	// Uninterrupted reference.
+	ref, err := New(Config{Loads: loads, Parallelism: 2}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: kill it after two cells complete.
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	r1 := New(Config{
+		Loads: loads, Parallelism: 2, Journal: j1,
+		Progress: func(p Progress) {
+			if p.Done == 2 {
+				cancel()
+			}
+		},
+	})
+	if _, err := r1.Run(ctx, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	j1.Close()
+
+	// Resume: a fresh process (fresh Runner, reopened journal) must skip
+	// exactly the journaled cells and finish the rest.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	checkpointed := j2.Completed()
+	if checkpointed < 2 || checkpointed >= len(jobs) {
+		t.Fatalf("journal holds %d cells after the kill, want a strict mid-grid subset (≥2)", checkpointed)
+	}
+	var mu sync.Mutex
+	executed, resumed := 0, 0
+	r2 := New(Config{
+		Loads: loads, Parallelism: 2, Journal: j2,
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Resumed {
+				resumed++
+			} else {
+				executed++
+			}
+		},
+	})
+	results, report, err := r2.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != checkpointed || report.Resumed != checkpointed {
+		t.Errorf("resumed %d cells (report %d), journal held %d", resumed, report.Resumed, checkpointed)
+	}
+	if executed != len(jobs)-checkpointed {
+		t.Errorf("re-executed %d cells, want only the %d unfinished", executed, len(jobs)-checkpointed)
+	}
+	if len(report.Failed) != 0 {
+		t.Fatalf("resumed run failed cells: %v", report.Err())
+	}
+	for i := range jobs {
+		if !sameCell(results[i], ref[i]) {
+			t.Errorf("job %d (%s/%s): resumed result diverged from uninterrupted run:\n  got  %+v\n  want %+v",
+				i, jobs[i].Trace, jobs[i].Label, results[i].Metrics, ref[i].Metrics)
+		}
+	}
+
+	// The journal now covers the whole grid: one more run resumes
+	// everything and simulates nothing.
+	r3 := New(Config{Loads: loads, Parallelism: 2, Journal: j2})
+	again, report3, err := r3.RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report3.Resumed != len(jobs) || report3.Completed != 0 {
+		t.Errorf("third run resumed %d / completed %d, want %d / 0", report3.Resumed, report3.Completed, len(jobs))
+	}
+	if got := r3.BaselineSims(); got != 0 {
+		t.Errorf("fully resumed run simulated %d baselines", got)
+	}
+	for i := range jobs {
+		if !sameCell(again[i], ref[i]) {
+			t.Errorf("job %d: fully resumed result diverged", i)
+		}
+	}
+}
+
+// TestEvalUsesJournalAndRetries covers the single-job path: Eval journals
+// its cell, resumes it, and applies the retry policy.
+func TestEvalUsesJournalAndRetries(t *testing.T) {
+	journal, err := OpenJournal(filepath.Join(t.TempDir(), "eval.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer journal.Close()
+	job := Job{Trace: "cc-5", Label: "BO", New: func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil }}
+
+	r := New(Config{
+		Loads: 1000, Journal: journal,
+		MaxAttempts: 2, RetryBackoff: time.Millisecond,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Flaky: 1, FlakyAttempts: 1}),
+	})
+	res, err := r.Eval(context.Background(), job)
+	if err != nil {
+		t.Fatalf("Eval with one transient failure and one retry: %v", err)
+	}
+	if journal.Completed() != 1 {
+		t.Fatalf("journal holds %d cells after Eval, want 1", journal.Completed())
+	}
+
+	// A second Eval — even on a runner whose injector would fail every
+	// attempt — resumes from the journal.
+	r2 := New(Config{
+		Loads: 1000, Journal: journal,
+		Fault: fault.NewSeeded(fault.Chaos{Seed: 1, Panic: 1}),
+	})
+	var sawResume bool
+	r2.cfg.Progress = func(p Progress) { sawResume = sawResume || p.Resumed }
+	res2, err := r2.Eval(context.Background(), job)
+	if err != nil {
+		t.Fatalf("resumed Eval: %v", err)
+	}
+	if !sawResume {
+		t.Error("resumed Eval did not mark its progress event Resumed")
+	}
+	if !sameCell(res, res2) {
+		t.Error("resumed Eval result diverged")
+	}
+}
+
+// TestBackoffDeterministic pins the retry schedule: pure in its inputs,
+// exponential, jittered below 50%, capped.
+func TestBackoffDeterministic(t *testing.T) {
+	base := 50 * time.Millisecond
+	if a, b := backoffDelay(base, "k", 1), backoffDelay(base, "k", 1); a != b {
+		t.Errorf("same inputs gave %v and %v", a, b)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := backoffDelay(base, "k", attempt)
+		lo := base << (attempt - 1)
+		if d < lo || d >= lo+lo/2+1 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, lo+lo/2)
+		}
+	}
+	if d := backoffDelay(base, "k", 60); d > 5*time.Second+5*time.Second/2 {
+		t.Errorf("capped delay = %v, want ≤ 7.5s", d)
+	}
+	if backoffDelay(base, "cell-a", 1) == backoffDelay(base, "cell-b", 1) &&
+		backoffDelay(base, "cell-a", 2) == backoffDelay(base, "cell-b", 2) &&
+		backoffDelay(base, "cell-a", 3) == backoffDelay(base, "cell-b", 3) {
+		t.Error("jitter does not depend on the cell key")
+	}
+}

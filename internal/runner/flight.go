@@ -2,6 +2,8 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -13,6 +15,12 @@ const flightShards = 16
 // flight is a sharded single-flight cache: for each key the value is built
 // exactly once, concurrent callers block until the builder finishes, and
 // failed builds are evicted so a later caller may retry.
+//
+// Cancellation is never cached: a build that fails because the *builder's*
+// context was cancelled (or its per-job deadline expired) is evicted
+// before waiters wake, and a waiter whose own context is still live
+// re-enters and rebuilds rather than inheriting an unrelated caller's
+// cancellation as the key's permanent error.
 type flight[T any] struct {
 	shards [flightShards]flightShard[T]
 }
@@ -23,45 +31,75 @@ type flightShard[T any] struct {
 }
 
 type flightCall[T any] struct {
-	done chan struct{}
-	val  T
-	err  error
+	done     chan struct{}
+	val      T
+	err      error
+	panicked any
 }
 
 // Do returns the cached value for key, building it with fn if absent. The
 // build runs on the first caller's goroutine; waiters give up (without
-// cancelling the build) when their own ctx is cancelled.
+// cancelling the build) when their own ctx is cancelled, and take over the
+// build when the previous builder was cancelled.
 func (f *flight[T]) Do(ctx context.Context, key string, fn func() (T, error)) (T, error) {
 	sh := &f.shards[fnv1a(key)%flightShards]
-	sh.mu.Lock()
-	if sh.m == nil {
-		sh.m = make(map[string]*flightCall[T])
-	}
-	if c, ok := sh.m[key]; ok {
-		sh.mu.Unlock()
-		select {
-		case <-c.done:
-			return c.val, c.err
-		case <-ctx.Done():
-			var zero T
-			return zero, ctx.Err()
-		}
-	}
-	c := &flightCall[T]{done: make(chan struct{})}
-	sh.m[key] = c
-	sh.mu.Unlock()
-
-	c.val, c.err = fn()
-	close(c.done)
-	if c.err != nil {
-		// Evict so a retry with a live context can rebuild.
+	for {
 		sh.mu.Lock()
-		if sh.m[key] == c {
-			delete(sh.m, key)
+		if sh.m == nil {
+			sh.m = make(map[string]*flightCall[T])
 		}
+		if c, ok := sh.m[key]; ok {
+			sh.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
+					// The builder died of its own cancellation, not a
+					// property of the key; this caller is live, so try
+					// the build again (the entry is already evicted).
+					continue
+				}
+				return c.val, c.err
+			case <-ctx.Done():
+				var zero T
+				return zero, ctx.Err()
+			}
+		}
+		c := &flightCall[T]{done: make(chan struct{})}
+		sh.m[key] = c
 		sh.mu.Unlock()
+
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					// Record the panic as a build failure so waiters are
+					// released, then re-raise it on the builder below.
+					c.panicked = p
+					c.err = fmt.Errorf("flight: builder for %q panicked: %v", key, p)
+				}
+				if c.err != nil {
+					// Evict before waking waiters so a retrying waiter
+					// finds the slot free instead of the dead call.
+					sh.mu.Lock()
+					if sh.m[key] == c {
+						delete(sh.m, key)
+					}
+					sh.mu.Unlock()
+				}
+				close(c.done)
+			}()
+			c.val, c.err = fn()
+		}()
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+		return c.val, c.err
 	}
-	return c.val, c.err
+}
+
+// isCancellation reports whether a build error is a context verdict
+// rather than a property of the key being built.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // fnv1a hashes a key for shard selection.

@@ -1,0 +1,263 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightCancelledBuilderNotCached is the regression test for the
+// cancellation-poisoning bug: caller A starts a build, A's context is
+// cancelled mid-build, and racing caller B — whose context is live — must
+// not receive A's cancellation as the key's permanent error; B retries
+// the build and succeeds.
+func TestFlightCancelledBuilderNotCached(t *testing.T) {
+	var f flight[int]
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+
+	building := make(chan struct{})
+	var builds atomic.Int32
+
+	// Caller A: builder whose fn blocks until its own ctx is cancelled
+	// and then reports the cancellation, as a real ctx-threaded build
+	// (trace generation, baseline sim) does.
+	errA := make(chan error, 1)
+	go func() {
+		_, err := f.Do(ctxA, "k", func() (int, error) {
+			builds.Add(1)
+			close(building)
+			<-ctxA.Done()
+			return 0, ctxA.Err()
+		})
+		errA <- err
+	}()
+
+	// Caller B races in once A holds the build, with a live context.
+	<-building
+	errB := make(chan error, 1)
+	valB := make(chan int, 1)
+	go func() {
+		v, err := f.Do(context.Background(), "k", func() (int, error) {
+			builds.Add(1)
+			return 42, nil
+		})
+		valB <- v
+		errB <- err
+	}()
+
+	// Give B time to park on the in-flight call, then kill A.
+	time.Sleep(20 * time.Millisecond)
+	cancelA()
+
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller A err = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-errB:
+		if err != nil {
+			t.Fatalf("caller B err = %v — inherited the builder's cancellation", err)
+		}
+		if v := <-valB; v != 42 {
+			t.Fatalf("caller B value = %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller B never completed")
+	}
+	if got := builds.Load(); got != 2 {
+		t.Errorf("builds = %d, want 2 (A's cancelled build + B's retry)", got)
+	}
+}
+
+// TestFlightDeadlineExpiredBuilderNotCached repeats the regression with a
+// deadline expiry (the per-job timeout path) instead of an explicit
+// cancel.
+func TestFlightDeadlineExpiredBuilderNotCached(t *testing.T) {
+	var f flight[int]
+	ctxA, cancelA := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelA()
+
+	building := make(chan struct{})
+	go f.Do(ctxA, "k", func() (int, error) {
+		close(building)
+		<-ctxA.Done()
+		return 0, ctxA.Err()
+	})
+
+	<-building
+	v, err := f.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("live caller after deadline-expired builder: %d, %v; want 7, nil", v, err)
+	}
+}
+
+// TestFlightCancelledWaiterStillGivesUp checks the other direction: a
+// waiter whose own context dies leaves with its own ctx error without
+// waiting for the build.
+func TestFlightCancelledWaiterStillGivesUp(t *testing.T) {
+	var f flight[int]
+	release := make(chan struct{})
+	building := make(chan struct{})
+	go f.Do(context.Background(), "k", func() (int, error) {
+		close(building)
+		<-release
+		return 1, nil
+	})
+	<-building
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Do(ctx, "k", func() (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFlightRealErrorsAreShared checks that genuine build failures (not
+// cancellation) still reach every concurrent waiter.
+func TestFlightRealErrorsAreShared(t *testing.T) {
+	var f flight[int]
+	wantErr := errors.New("corrupt trace")
+	release := make(chan struct{})
+	building := make(chan struct{})
+
+	errA := make(chan error, 1)
+	go func() {
+		_, err := f.Do(context.Background(), "k", func() (int, error) {
+			close(building)
+			<-release
+			return 0, wantErr
+		})
+		errA <- err
+	}()
+	<-building
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Do(context.Background(), "k", func() (int, error) {
+				// If a waiter retries it must see the same failure, not
+				// hang — return the error again.
+				return 0, wantErr
+			})
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if err := <-errA; !errors.Is(err, wantErr) {
+		t.Fatalf("builder err = %v", err)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Errorf("waiter %d err = %v, want the build failure", i, err)
+		}
+	}
+}
+
+// TestFlightBuilderPanicReleasesWaiters checks that a panicking builder
+// re-raises on its own goroutine but still closes the call so waiters do
+// not block forever, and the key is evicted for retry.
+func TestFlightBuilderPanicReleasesWaiters(t *testing.T) {
+	var f flight[int]
+	building := make(chan struct{})
+	release := make(chan struct{})
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		f.Do(context.Background(), "k", func() (int, error) {
+			close(building)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-building
+
+	done := make(chan struct{})
+	var v int
+	var err error
+	go func() {
+		defer close(done)
+		v, err = f.Do(context.Background(), "k", func() (int, error) { return 9, nil })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter blocked forever behind a panicked builder")
+	}
+	if p := <-panicked; p == nil {
+		t.Error("builder's panic was swallowed")
+	}
+	// The waiter either saw the failure and retried (v==9) or received
+	// the panic-shaped error; both are acceptable, blocking is not.
+	if err != nil {
+		t.Logf("waiter observed builder panic as error: %v", err)
+	} else if v != 9 {
+		t.Errorf("waiter value = %d, want 9", v)
+	}
+}
+
+// TestFlightManyRacingCancellations hammers one key with a mix of doomed
+// and live callers; every live caller must end with the value.
+func TestFlightManyRacingCancellations(t *testing.T) {
+	var f flight[int]
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			doomed := i%2 == 0
+			if doomed {
+				c, cancel := context.WithTimeout(ctx, time.Duration(i)*100*time.Microsecond)
+				defer cancel()
+				ctx = c
+			}
+			v, err := f.Do(ctx, "k", func() (int, error) {
+				select {
+				case <-time.After(2 * time.Millisecond):
+					return 11, nil
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				}
+			})
+			if doomed {
+				return // either outcome is legal for a doomed caller
+			}
+			if err != nil || v != 11 {
+				t.Errorf("live caller %d: %d, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestFlightDistinctKeysIndependent is a guard that the retry loop never
+// crosses keys.
+func TestFlightDistinctKeysIndependent(t *testing.T) {
+	var f flight[string]
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, err := f.Do(context.Background(), key, func() (string, error) { return key, nil })
+			if err != nil || v != key {
+				t.Errorf("key %s: %q, %v", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

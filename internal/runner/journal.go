@@ -1,0 +1,187 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// journalFormat/journalVersion identify the journal container. The header
+// is the file's first line; every later line is one journalEntry.
+const (
+	journalFormat  = "pathfinder-journal"
+	journalVersion = 1
+)
+
+type journalHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+}
+
+type journalEntry struct {
+	// Key is the cell key (index | trace | label | loads | seed): stable
+	// across runs of the same grid, so a restarted sweep can match
+	// journaled cells to its jobs.
+	Key string `json:"key"`
+	// Result is the cell's full evaluation result.
+	Result Result `json:"result"`
+}
+
+// Journal is an append-only JSONL checkpoint of completed evaluation
+// cells. Attach one to a Runner via Config.Journal (or the WithJournal
+// helper): every successfully evaluated cell is appended as it completes,
+// and cells already present are resumed — returned from the journal
+// without re-execution. A journal is safe for concurrent use by one
+// process; it is not a lock file and must not be shared between
+// simultaneously running sweeps.
+//
+// Crash safety: entries are written as whole lines and the loader ignores
+// (and truncates away) a torn final line, so a run killed mid-write
+// resumes from the last fully recorded cell.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	seen map[string]Result
+}
+
+// OpenJournal opens the journal at path, creating it (with a header line)
+// if absent, and loads the already-completed cells for resume. The caller
+// must Close it to release the file handle.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, seen: make(map[string]Result)}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load parses the existing file, records complete entries, and truncates
+// any torn tail so appends continue from a clean line boundary.
+func (j *Journal) load() error {
+	br := bufio.NewReader(j.f)
+	var good int64 // offset just past the last fully parsed line
+	first := true
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+		complete := err == nil && len(line) > 0
+		if first {
+			if len(line) == 0 && err == io.EOF {
+				// Fresh file: stamp the header.
+				hdr, _ := json.Marshal(journalHeader{Format: journalFormat, Version: journalVersion})
+				if _, werr := j.f.Write(append(hdr, '\n')); werr != nil {
+					return fmt.Errorf("journal %s: writing header: %w", j.path, werr)
+				}
+				return nil
+			}
+			var hdr journalHeader
+			if json.Unmarshal(line, &hdr) != nil || hdr.Format != journalFormat {
+				return fmt.Errorf("journal %s: not a %s file", j.path, journalFormat)
+			}
+			if hdr.Version != journalVersion {
+				return fmt.Errorf("journal %s: unsupported version %d", j.path, hdr.Version)
+			}
+			if !complete {
+				// A header without a newline: rewrite it cleanly.
+				break
+			}
+			good += int64(len(line))
+			first = false
+			if err == io.EOF {
+				break
+			}
+			continue
+		}
+		var e journalEntry
+		if !complete || json.Unmarshal(line, &e) != nil || e.Key == "" {
+			// Torn or corrupt tail: resume from the last good entry.
+			break
+		}
+		j.seen[e.Key] = e.Result
+		good += int64(len(line))
+		if err == io.EOF {
+			break
+		}
+	}
+	if first {
+		// The header itself was torn; start the file over.
+		if err := j.f.Truncate(0); err != nil {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+		if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("journal %s: %w", j.path, err)
+		}
+		hdr, _ := json.Marshal(journalHeader{Format: journalFormat, Version: journalVersion})
+		if _, err := j.f.Write(append(hdr, '\n')); err != nil {
+			return fmt.Errorf("journal %s: writing header: %w", j.path, err)
+		}
+		return nil
+	}
+	if err := j.f.Truncate(good); err != nil {
+		return fmt.Errorf("journal %s: truncating torn tail: %w", j.path, err)
+	}
+	if _, err := j.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Completed reports how many cells the journal holds.
+func (j *Journal) Completed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle. Recording to a closed journal errors.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// lookup returns the journaled result for a cell key, if present.
+func (j *Journal) lookup(key string) (Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	res, ok := j.seen[key]
+	return res, ok
+}
+
+// record appends one completed cell. Lines are written whole under the
+// journal lock, so concurrent workers cannot interleave entries.
+func (j *Journal) record(key string, res Result) error {
+	data, err := json.Marshal(journalEntry{Key: key, Result: res})
+	if err != nil {
+		return fmt.Errorf("journal: encoding %s: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal %s: closed", j.path)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("journal %s: appending %s: %w", j.path, key, err)
+	}
+	j.seen[key] = res
+	return nil
+}

@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testResult(traceName, pf string) Result {
+	return Result{
+		Metrics: Metrics{
+			Prefetcher: pf, Trace: traceName,
+			IPC: 1.25, Accuracy: 0.5, Coverage: 0.25,
+			Issued: 100, Useful: 50, BaselineMisses: 200,
+		},
+		BaselineIPC: 1.0,
+		Cycles:      12345,
+		Wall:        42 * time.Millisecond,
+	}
+}
+
+// TestJournalRoundTrip records cells, reopens the file, and checks the
+// loaded state is identical.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Result{
+		"0|cc-5|BO|1000|1":   testResult("cc-5", "BO"),
+		"1|cc-5|PF|1000|1":   testResult("cc-5", "PF"),
+		"2|bfs-10|BO|1000|1": testResult("bfs-10", "BO"),
+	}
+	for k, res := range want {
+		if err := j.record(k, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Completed() != len(want) {
+		t.Fatalf("Completed = %d, want %d", j.Completed(), len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Completed() != len(want) {
+		t.Fatalf("reloaded Completed = %d, want %d", j2.Completed(), len(want))
+	}
+	for k, res := range want {
+		got, ok := j2.lookup(k)
+		if !ok {
+			t.Fatalf("key %q missing after reload", k)
+		}
+		if got != res {
+			t.Errorf("key %q: reloaded %+v != recorded %+v", k, got, res)
+		}
+	}
+	if _, ok := j2.lookup("9|zz|zz|1|1"); ok {
+		t.Error("lookup of unknown key succeeded")
+	}
+}
+
+// TestJournalTornTail simulates a crash mid-append: the torn final line is
+// dropped, the complete entries survive, and recording continues cleanly.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Append a torn (newline-less, truncated) entry, as a kill -9 would.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"1|cc-5|PF|1000|1","result":{"IPC":1.`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if j2.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1 (torn entry dropped)", j2.Completed())
+	}
+	if _, ok := j2.lookup("0|cc-5|BO|1000|1"); !ok {
+		t.Fatal("intact entry lost with the torn tail")
+	}
+	// The file must be clean again: record and reload.
+	if err := j2.record("1|cc-5|PF|1000|1", testResult("cc-5", "PF")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Completed() != 2 {
+		t.Fatalf("after re-record Completed = %d, want 2", j3.Completed())
+	}
+}
+
+// TestJournalRejectsForeignFile checks that a non-journal file errors
+// instead of being silently truncated or treated as empty.
+func TestJournalRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "notes.txt")
+	if err := os.WriteFile(path, []byte("just some notes\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "not a pathfinder-journal") {
+		t.Fatalf("OpenJournal on a foreign file: err = %v, want format rejection", err)
+	}
+}
+
+// TestJournalHeaderFormat pins the on-disk format: a JSON header line then
+// one JSON entry per line, so external tooling can rely on it.
+func TestJournalHeaderFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2 (header + entry)", len(lines))
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Format != journalFormat || hdr.Version != journalVersion {
+		t.Fatalf("header line %q: %+v, %v", lines[0], hdr, err)
+	}
+	var e journalEntry
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil || e.Key == "" || e.Result.IPC != 1.25 {
+		t.Fatalf("entry line %q: %+v, %v", lines[1], e, err)
+	}
+}
+
+// TestJournalRecordAfterClose checks the error path rather than a crash.
+func TestJournalRecordAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.record("k", Result{}); err == nil {
+		t.Error("record on a closed journal succeeded")
+	}
+}

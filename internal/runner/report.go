@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PanicError is the cause recorded in a JobError when a job panicked: the
+// recovered value plus the goroutine stack at the panic site.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured by the recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// JobError attributes one failed evaluation cell: which job, after how
+// many attempts, and why. Panics carry the captured stack. A JobError is
+// always a permanent verdict — transient errors that cleared on retry
+// never surface as one.
+type JobError struct {
+	// Index is the job's position in the submitted grid.
+	Index int
+	// Trace and Label identify the cell (Label may be empty when the
+	// prefetcher was never constructed).
+	Trace, Label string
+	// Attempts is how many evaluation attempts were made.
+	Attempts int
+	// Err is the final cause; a *PanicError when the job panicked.
+	Err error
+	// Stack is the panic stack, non-nil only for panicking jobs.
+	Stack []byte
+}
+
+func (e *JobError) Error() string {
+	s := fmt.Sprintf("runner: job %d (%s/%s)", e.Index, e.Trace, e.Label)
+	if e.Attempts > 1 {
+		s += fmt.Sprintf(" after %d attempts", e.Attempts)
+	}
+	return s + ": " + e.Err.Error()
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
+
+// newJobError builds the typed per-cell error, lifting a panic's stack up
+// for direct access.
+func newJobError(idx int, job Job, attempts int, cause error) *JobError {
+	je := &JobError{Index: idx, Trace: job.Trace, Label: job.Label, Attempts: attempts, Err: cause}
+	var pe *PanicError
+	if errors.As(cause, &pe) {
+		je.Stack = pe.Stack
+	}
+	return je
+}
+
+// RunReport summarises one RunWithReport call: how the grid fared, cell by
+// cell. When the run was not cancelled, Completed + Resumed + len(Failed)
+// equals Total.
+type RunReport struct {
+	// Total is the submitted grid size.
+	Total int
+	// Completed counts cells evaluated successfully in this run.
+	Completed int
+	// Resumed counts cells satisfied from the journal without
+	// re-execution.
+	Resumed int
+	// Retries counts extra evaluation attempts beyond each cell's first.
+	Retries int
+	// Wall is the whole run's wall-clock time.
+	Wall time.Duration
+	// Failed holds one JobError per permanently failed cell, sorted by
+	// job index.
+	Failed []*JobError
+}
+
+// Err returns nil when every cell succeeded, and a summary error naming
+// the first failure otherwise — a convenience for callers that want
+// all-or-nothing semantics on top of a graceful run.
+func (r *RunReport) Err() error {
+	if len(r.Failed) == 0 {
+		return nil
+	}
+	return fmt.Errorf("runner: %d of %d cells failed (first: %w)", len(r.Failed), r.Total, r.Failed[0])
+}

@@ -9,16 +9,28 @@
 // the job's deterministic seed, and the simulator shares no mutable state
 // between jobs — so Run returns bit-identical Metrics for any Parallelism,
 // in the submitted job order.
+//
+// Resilience: the engine converts per-job panics into typed JobErrors,
+// retries transient failures with exponential backoff and deterministic
+// jitter, bounds each attempt with an optional deadline, and — via
+// RunWithReport — degrades gracefully, returning every surviving Result
+// plus a RunReport attributing the failures instead of discarding the
+// grid. An optional append-only Journal checkpoints completed cells so an
+// interrupted sweep resumes where it stopped. See docs/resilience.md.
 package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pathfinder/internal/fault"
 	"pathfinder/internal/prefetch"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/trace"
@@ -52,9 +64,12 @@ type Result struct {
 	Wall time.Duration
 }
 
-// Progress is one progress event, emitted after each job completes.
+// Progress is one progress event, emitted after each job reaches a
+// terminal state: success, journal resume, or (under RunWithReport)
+// permanent failure.
 type Progress struct {
-	// Done jobs out of Total in this Run call.
+	// Done jobs out of Total in this Run call. Done is strictly monotonic
+	// and reaches Total even when cells fail or are retried.
 	Done, Total int
 	// Trace and Prefetcher identify the finished job.
 	Trace, Prefetcher string
@@ -62,6 +77,12 @@ type Progress struct {
 	// sinks can derive simulated-cycles-per-second throughput.
 	Wall   time.Duration
 	Cycles uint64
+	// Err is the cell's permanent failure, nil on success. Failed cells
+	// only reach the sink under RunWithReport; Run aborts instead.
+	Err error
+	// Resumed marks a cell satisfied from the journal without
+	// re-execution.
+	Resumed bool
 }
 
 // ProgressFunc receives progress events. Calls are serialised and ordered
@@ -70,7 +91,8 @@ type Progress struct {
 type ProgressFunc func(Progress)
 
 // Config configures a Runner. The zero value is usable: 50 K-load traces,
-// seed 1, the scaled Table 3 machine, and GOMAXPROCS workers.
+// seed 1, the scaled Table 3 machine, and GOMAXPROCS workers, with the
+// whole resilience stack off (no retries, no deadlines, no injection).
 type Config struct {
 	// Loads is the default trace length for jobs that name a workload.
 	Loads int
@@ -82,6 +104,31 @@ type Config struct {
 	Parallelism int
 	// Progress, if set, receives one event per completed job.
 	Progress ProgressFunc
+	// MaxAttempts caps evaluation attempts per job (default 1: no
+	// retries). Only transient errors (fault.IsTransient) and per-attempt
+	// deadline expiries are retried; panics and other deterministic
+	// failures are not — the same seed would fail the same way again.
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry (default 50ms);
+	// it doubles per further attempt, capped at 5s, plus a deterministic
+	// jitter derived from the cell key so identical sweeps retry on an
+	// identical schedule.
+	RetryBackoff time.Duration
+	// JobTimeout bounds each evaluation attempt via a context deadline
+	// (0: unbounded), so one hung cell cannot stall the pool forever.
+	JobTimeout time.Duration
+	// Fault, if non-nil, injects faults at the engine's fault sites; the
+	// default nil costs one pointer check per site. Chaos testing only.
+	Fault fault.Injector
+	// Journal, if non-nil, records each completed cell and resumes cells
+	// it already holds (see OpenJournal).
+	Journal *Journal
+}
+
+// WithJournal returns a copy of the config with the journal attached.
+func (c Config) WithJournal(j *Journal) Config {
+	c.Journal = j
+	return c
 }
 
 // Job is one evaluation cell: a trace and exactly one source of
@@ -160,6 +207,12 @@ func New(cfg Config) *Runner {
 	if cfg.Parallelism <= 0 {
 		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
 	return &Runner{cfg: cfg}
 }
 
@@ -168,14 +221,54 @@ func New(cfg Config) *Runner {
 // at one per distinct trace regardless of grid size or parallelism.
 func (r *Runner) BaselineSims() int64 { return r.baselineSims.Load() }
 
+// cell threads a job's grid identity through an evaluation attempt, for
+// journal keys, fault-site keys, and error attribution.
+type cell struct {
+	index   int
+	key     string
+	attempt int
+}
+
+// cellKey is the stable identity of a grid cell across runs of the same
+// sweep: position, trace, label, and the effective loads/seed. It is the
+// journal key and the fault-injection key.
+func (r *Runner) cellKey(i int, job Job) string {
+	loads, seed, _ := r.effective(job)
+	return fmt.Sprintf("%d|%s|%s|%d|%d", i, job.Trace, job.Label, loads, seed)
+}
+
 // Run evaluates the jobs across the worker pool and returns one Result
-// per job, in job order. On error (including cancellation) it waits for
-// in-flight workers to wind down — no goroutines outlive the call — and
-// the returned results must be discarded.
+// per job, in job order. It is all-or-nothing: the first permanent job
+// failure (or cancellation) aborts the grid, waits for in-flight workers
+// to wind down — no goroutines outlive the call — and the returned
+// results must be discarded. Retries, deadlines, and the journal still
+// apply; use RunWithReport to keep going past failed cells instead.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
-	if len(jobs) == 0 {
-		return nil, nil
+	results, _, err := r.run(ctx, jobs, true)
+	if err != nil {
+		return nil, err
 	}
+	return results, nil
+}
+
+// RunWithReport evaluates the jobs with graceful degradation: permanently
+// failed cells are recorded in the report (and left zero-valued in the
+// results) while the rest of the grid completes. The error is non-nil
+// only for whole-run failures — cancellation or a journal write error —
+// in which case the results must be discarded. Surviving results are
+// bit-identical to the same cells of a fault-free run.
+func (r *Runner) RunWithReport(ctx context.Context, jobs []Job) ([]Result, *RunReport, error) {
+	return r.run(ctx, jobs, false)
+}
+
+// run is the shared grid loop. failFast selects Run's all-or-nothing
+// contract; otherwise failures degrade into the report.
+func (r *Runner) run(ctx context.Context, jobs []Job, failFast bool) ([]Result, *RunReport, error) {
+	report := &RunReport{Total: len(jobs)}
+	if len(jobs) == 0 {
+		return nil, report, nil
+	}
+	start := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -198,28 +291,75 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}
 		mu.Unlock()
 	}
+	// finish publishes a cell's terminal state under the bookkeeping lock:
+	// report counters, then the serialised progress event.
+	finish := func(p Progress, retries int, jobErr *JobError) {
+		mu.Lock()
+		done++
+		p.Done, p.Total = done, len(jobs)
+		report.Retries += retries
+		switch {
+		case jobErr != nil:
+			report.Failed = append(report.Failed, jobErr)
+		case p.Resumed:
+			report.Resumed++
+		default:
+			report.Completed++
+		}
+		if r.cfg.Progress != nil {
+			r.cfg.Progress(p)
+		}
+		mu.Unlock()
+	}
 	idxc := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxc {
-				res, err := r.eval(ctx, jobs[i])
+				job := jobs[i]
+				key := r.cellKey(i, job)
+				if r.cfg.Journal != nil {
+					if res, ok := r.cfg.Journal.lookup(key); ok {
+						results[i] = res
+						finish(Progress{
+							Trace: res.Trace, Prefetcher: res.Prefetcher,
+							Wall: res.Wall, Cycles: res.Cycles, Resumed: true,
+						}, 0, nil)
+						continue
+					}
+				}
+				res, attempts, err := r.runCell(ctx, i, job, key)
 				if err != nil {
-					fail(fmt.Errorf("runner: job %d (%s/%s): %w", i, jobs[i].Trace, jobs[i].Label, err))
-					return
+					if ctx.Err() != nil {
+						// The run was cancelled out from under the cell;
+						// that is not the cell's failure.
+						fail(ctx.Err())
+						return
+					}
+					jobErr := newJobError(i, job, attempts, err)
+					if failFast {
+						fail(jobErr)
+						return
+					}
+					finish(Progress{
+						Trace: job.Trace, Prefetcher: job.Label, Err: jobErr,
+					}, attempts-1, jobErr)
+					continue
+				}
+				if r.cfg.Journal != nil {
+					if jerr := r.cfg.Journal.record(key, res); jerr != nil {
+						// Losing checkpoints is a whole-run failure: a
+						// resume would silently repeat finished work.
+						fail(jerr)
+						return
+					}
 				}
 				results[i] = res
-				mu.Lock()
-				done++
-				if r.cfg.Progress != nil {
-					r.cfg.Progress(Progress{
-						Done: done, Total: len(jobs),
-						Trace: res.Trace, Prefetcher: res.Prefetcher,
-						Wall: res.Wall, Cycles: res.Cycles,
-					})
-				}
-				mu.Unlock()
+				finish(Progress{
+					Trace: res.Trace, Prefetcher: res.Prefetcher,
+					Wall: res.Wall, Cycles: res.Cycles,
+				}, attempts-1, nil)
 			}
 		}()
 	}
@@ -234,32 +374,146 @@ feed:
 	close(idxc)
 	wg.Wait()
 
+	report.Wall = time.Since(start)
+	sort.Slice(report.Failed, func(a, b int) bool { return report.Failed[a].Index < report.Failed[b].Index })
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, report, err
 	}
-	return results, nil
+	return results, report, nil
+}
+
+// runCell evaluates one cell with the retry policy: up to MaxAttempts
+// attempts, each optionally deadline-bounded, retrying only transient
+// errors and attempt-deadline expiries with exponential backoff and
+// deterministic jitter. It returns the attempts consumed alongside the
+// result or final error.
+func (r *Runner) runCell(ctx context.Context, idx int, job Job, key string) (Result, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoffDelay(r.cfg.RetryBackoff, key, attempt)); err != nil {
+				return Result{}, attempt, err
+			}
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if r.cfg.JobTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, r.cfg.JobTimeout)
+		}
+		res, err := r.safeEval(attemptCtx, job, cell{index: idx, key: key, attempt: attempt})
+		cancel()
+		if err == nil {
+			return res, attempt + 1, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The parent context died: cancellation, not a cell verdict.
+			return Result{}, attempt + 1, ctx.Err()
+		}
+		if !retryable(err) {
+			return Result{}, attempt + 1, err
+		}
+	}
+	return Result{}, r.cfg.MaxAttempts, lastErr
+}
+
+// retryable reports whether an attempt error may clear on retry: errors
+// marked transient, and attempt-deadline expiries (the parent context is
+// known live when this is called).
+func retryable(err error) bool {
+	return fault.IsTransient(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// backoffDelay is the pre-retry delay: RetryBackoff doubled per attempt
+// (capped at 5s) plus up to 50% deterministic jitter hashed from the cell
+// key, so a thundering herd of retries decorrelates identically on every
+// run.
+func backoffDelay(base time.Duration, key string, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	h := fnv1a(fmt.Sprintf("%s\x00%d", key, attempt))
+	return d + time.Duration(uint64(d/2)*uint64(h)/(1<<32))
+}
+
+// sleepCtx blocks for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// safeEval runs one evaluation attempt with panic containment: a
+// panicking job (or prefetcher, or simulator) becomes a typed PanicError
+// carrying the stack instead of killing the whole process.
+func (r *Runner) safeEval(ctx context.Context, job Job, c cell) (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return r.eval(ctx, job, c)
+}
+
+// inject fires a fault site; the nil Injector default is one pointer
+// check.
+func (r *Runner) inject(ctx context.Context, site fault.Site, key string, attempt int) error {
+	if r.cfg.Fault == nil {
+		return nil
+	}
+	return r.cfg.Fault.Inject(ctx, site, key, attempt)
 }
 
 // Eval evaluates a single job on the calling goroutine (no pool), still
-// sharing the runner's caches and emitting a 1/1 progress event.
+// sharing the runner's caches, retry policy, and journal, and emitting a
+// 1/1 progress event.
 func (r *Runner) Eval(ctx context.Context, job Job) (Result, error) {
-	res, err := r.eval(ctx, job)
+	key := r.cellKey(0, job)
+	progress := func(res Result, resumed bool) {
+		if r.cfg.Progress != nil {
+			r.cfg.Progress(Progress{
+				Done: 1, Total: 1,
+				Trace: res.Trace, Prefetcher: res.Prefetcher,
+				Wall: res.Wall, Cycles: res.Cycles, Resumed: resumed,
+			})
+		}
+	}
+	if r.cfg.Journal != nil {
+		if res, ok := r.cfg.Journal.lookup(key); ok {
+			progress(res, true)
+			return res, nil
+		}
+	}
+	res, attempts, err := r.runCell(ctx, 0, job, key)
 	if err != nil {
-		return Result{}, err
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{}, newJobError(0, job, attempts, err)
 	}
-	if r.cfg.Progress != nil {
-		r.cfg.Progress(Progress{
-			Done: 1, Total: 1,
-			Trace: res.Trace, Prefetcher: res.Prefetcher,
-			Wall: res.Wall, Cycles: res.Cycles,
-		})
+	if r.cfg.Journal != nil {
+		if jerr := r.cfg.Journal.record(key, res); jerr != nil {
+			return Result{}, jerr
+		}
 	}
+	progress(res, false)
 	return res, nil
 }
 
@@ -294,9 +548,12 @@ func resolveWarmup(jobWarmup, simWarmup, n int) int {
 
 // eval runs one job end to end: trace, baseline, prefetch file, timed
 // replay.
-func (r *Runner) eval(ctx context.Context, job Job) (Result, error) {
+func (r *Runner) eval(ctx context.Context, job Job, c cell) (Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := r.inject(ctx, fault.SiteJobStart, c.key, c.attempt); err != nil {
 		return Result{}, err
 	}
 	loads, seed, cfg := r.effective(job)
@@ -309,6 +566,9 @@ func (r *Runner) eval(ctx context.Context, job Job) (Result, error) {
 		key := fmt.Sprintf("%s\x00%d\x00%d", job.Trace, loads, seed)
 		var err error
 		accs, err = r.traces.Do(ctx, key, func() ([]trace.Access, error) {
+			if err := r.inject(ctx, fault.SiteTraceDecode, key, c.attempt); err != nil {
+				return nil, err
+			}
 			return workload.GenerateCtx(ctx, job.Trace, loads, seed)
 		})
 		if err != nil {
@@ -325,14 +585,17 @@ func (r *Runner) eval(ctx context.Context, job Job) (Result, error) {
 		base.misses = *job.Baseline
 	} else {
 		var err error
-		base, err = r.baseline(ctx, job, cfg, accs)
+		base, err = r.baseline(ctx, job, cfg, accs, c)
 		if err != nil {
 			return Result{}, err
 		}
 	}
 
-	pfs, label, err := r.prefetchFile(ctx, job, accs)
+	pfs, label, err := r.prefetchFile(ctx, job, accs, c)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := r.inject(ctx, fault.SiteSimulate, c.key, c.attempt); err != nil {
 		return Result{}, err
 	}
 	res, err := sim.RunCtx(ctx, cfg, accs, pfs)
@@ -359,8 +622,11 @@ func (r *Runner) eval(ctx context.Context, job Job) (Result, error) {
 // baseline returns the trace's no-prefetch simulation, through the
 // single-flight cache when the job runs on the shared machine
 // configuration.
-func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []trace.Access) (baselineInfo, error) {
+func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []trace.Access, c cell) (baselineInfo, error) {
 	run := func() (baselineInfo, error) {
+		if err := r.inject(ctx, fault.SiteBaseline, c.key, c.attempt); err != nil {
+			return baselineInfo{}, err
+		}
 		r.baselineSims.Add(1)
 		res, err := sim.RunCtx(ctx, cfg, accs, nil)
 		if err != nil {
@@ -379,7 +645,7 @@ func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []t
 }
 
 // prefetchFile produces the job's prefetch file and result label.
-func (r *Runner) prefetchFile(ctx context.Context, job Job, accs []trace.Access) ([]trace.Prefetch, string, error) {
+func (r *Runner) prefetchFile(ctx context.Context, job Job, accs []trace.Access, c cell) ([]trace.Prefetch, string, error) {
 	label := job.Label
 	switch {
 	case job.File != nil:
@@ -391,9 +657,15 @@ func (r *Runner) prefetchFile(ctx context.Context, job Job, accs []trace.Access)
 		if label == "" {
 			return nil, "", fmt.Errorf("GenFile job needs a Label")
 		}
+		if err := r.inject(ctx, fault.SitePrefetchGen, c.key, c.attempt); err != nil {
+			return nil, "", err
+		}
 		pfs, err := job.GenFile(ctx, accs)
 		return pfs, label, err
 	case job.New != nil, job.Prefetcher != nil:
+		if err := r.inject(ctx, fault.SitePrefetchGen, c.key, c.attempt); err != nil {
+			return nil, "", err
+		}
 		p := job.Prefetcher
 		if job.New != nil {
 			var err error

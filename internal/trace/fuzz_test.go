@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -15,6 +16,14 @@ func FuzzRead(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("PFT2"))
 	f.Add([]byte{})
+	// Corrupt-record seeds steering the fuzzer at the decoder's validation
+	// paths: out-of-range pc/addr, id-delta overflow, chain overflow, and a
+	// record truncated mid-field.
+	f.Add(corruptTrace(1, 0, MaxAddr+1, 0, 0))
+	f.Add(corruptTrace(1, 0, 0, MaxAddr+1, 0))
+	f.Add(corruptTrace(2, 5, 0, 0, 0, ^uint64(0), 0, 0, 0))
+	f.Add(corruptTrace(1, 0, 0, 0, 1<<32))
+	f.Add(seed.Bytes()[:seed.Len()-2])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		accs, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -27,6 +36,40 @@ func FuzzRead(f *testing.F) {
 			t.Fatalf("Write of decoded trace failed: %v", err)
 		}
 		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(accs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(accs))
+		}
+	})
+}
+
+// FuzzReadText checks the text decoder never panics on arbitrary input
+// and that whatever it accepts round-trips through WriteText.
+func FuzzReadText(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteText(&seed, []Access{{ID: 1, PC: 2, Addr: 192, Chain: 3}, {ID: 9, PC: 4, Addr: 4096}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("1 0x400100 NaN")
+	f.Add("1 Inf 4096")
+	f.Add("1 0x400100 40.96")
+	f.Add("1 0x400100 0x1000000000000")
+	f.Add("5 1 4096\n3 1 8192")
+	f.Add("# comment only\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		accs, err := ReadText(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, accs); err != nil {
+			t.Fatalf("WriteText of decoded trace failed: %v", err)
+		}
+		again, err := ReadText(&buf)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}

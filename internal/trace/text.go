@@ -1,0 +1,119 @@
+// Text form of the trace container, for interop with external tooling
+// (spreadsheet exports, ChampSim-style CSV dumps, hand-written test
+// traces). One record per line, `id pc addr [chain]`, fields separated by
+// whitespace or commas, decimal or 0x-hex, with `#` comments and blank
+// lines ignored. The decoder is strict: every field must be a finite
+// unsigned integer — floats, NaN, and ±Inf (which numeric exporters love
+// to emit for missing values) are rejected with the record's position
+// rather than silently folded into addresses.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText encodes accesses to w in the text trace form, one
+// `id pc addr chain` record per line (addresses in hex for legibility).
+func WriteText(w io.Writer, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# pathfinder trace: id pc addr chain"); err != nil {
+		return err
+	}
+	prevID := uint64(0)
+	for i, a := range accs {
+		if i > 0 && a.ID < prevID {
+			return fmt.Errorf("trace: access %d has ID %d < previous ID %d", i, a.ID, prevID)
+		}
+		prevID = a.ID
+		if a.PC > MaxAddr || a.Addr > MaxAddr {
+			return fmt.Errorf("trace: access %d has a field beyond the canonical address space", i)
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0x%x 0x%x %d\n", a.ID, a.PC, a.Addr, a.Chain); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes the text trace form written by WriteText (or by
+// external tooling following the same shape). Errors carry the record
+// number of the offending line, counted over records — comments and blank
+// lines do not shift it.
+func ReadText(r io.Reader) ([]Access, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var accs []Access
+	rec := 0
+	prevID := uint64(0)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 3 || len(fields) > 4 {
+			return nil, fmt.Errorf("trace: record %d: %d fields, want `id pc addr [chain]`", rec, len(fields))
+		}
+		id, err := parseTextField(rec, "id", fields[0], ^uint64(0))
+		if err != nil {
+			return nil, err
+		}
+		if rec > 0 && id < prevID {
+			return nil, fmt.Errorf("trace: record %d: id %d < previous id %d", rec, id, prevID)
+		}
+		prevID = id
+		pc, err := parseTextField(rec, "pc", fields[1], MaxAddr)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := parseTextField(rec, "addr", fields[2], MaxAddr)
+		if err != nil {
+			return nil, err
+		}
+		chain := uint64(0)
+		if len(fields) == 4 {
+			if chain, err = parseTextField(rec, "chain", fields[3], 1<<32-1); err != nil {
+				return nil, err
+			}
+		}
+		accs = append(accs, Access{ID: id, PC: pc, Addr: addr, Chain: uint32(chain)})
+		rec++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: record %d: %w", rec, err)
+	}
+	return accs, nil
+}
+
+// parseTextField parses one text-form field as a finite unsigned integer
+// no larger than max, with positioned errors. NaN, ±Inf, and float
+// notation get targeted messages: they are what corrupt numeric exports
+// actually contain.
+func parseTextField(rec int, name, s string, max uint64) (uint64, error) {
+	switch strings.ToLower(strings.TrimLeft(s, "+-")) {
+	case "nan":
+		return 0, fmt.Errorf("trace: record %d: %s is NaN, want a finite unsigned integer", rec, name)
+	case "inf", "infinity":
+		return 0, fmt.Errorf("trace: record %d: %s is %s, want a finite unsigned integer", rec, name, s)
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		if _, ferr := strconv.ParseFloat(s, 64); ferr == nil {
+			return 0, fmt.Errorf("trace: record %d: %s %q is not an unsigned integer", rec, name, s)
+		}
+		return 0, fmt.Errorf("trace: record %d: bad %s %q", rec, name, s)
+	}
+	if v > max {
+		return 0, fmt.Errorf("trace: record %d: %s %#x out of range (max %#x)", rec, name, v, max)
+	}
+	return v, nil
+}

@@ -30,6 +30,13 @@ const (
 	MaxDelta = BlocksPerPage - 1
 	// MinDelta is the smallest possible within-page block delta (-63).
 	MinDelta = -MaxDelta
+
+	// MaxAddr is the largest virtual byte address a trace record may
+	// carry: the canonical 48-bit user address space of the x86-64/RISC-V
+	// machines the paper models. Decoders reject addresses and PCs above
+	// it — a field up there is a corrupt record, not a real load — and
+	// encoders refuse to produce them, keeping the container closed.
+	MaxAddr = 1<<48 - 1
 )
 
 // Access is one load in a memory trace.
@@ -121,6 +128,12 @@ func Write(w io.Writer, accs []Access) error {
 		if a.ID < prevID {
 			return fmt.Errorf("trace: access %d has ID %d < previous ID %d", i, a.ID, prevID)
 		}
+		if a.PC > MaxAddr {
+			return fmt.Errorf("trace: access %d has pc %#x beyond the canonical address space", i, a.PC)
+		}
+		if a.Addr > MaxAddr {
+			return fmt.Errorf("trace: access %d has addr %#x beyond the canonical address space", i, a.Addr)
+		}
 		if err := put(a.ID - prevID); err != nil {
 			return err
 		}
@@ -163,14 +176,23 @@ func Read(r io.Reader) ([]Access, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d id: %w", i, err)
 		}
+		if d > ^uint64(0)-id {
+			return nil, fmt.Errorf("trace: record %d: id delta %d overflows the id sequence", i, d)
+		}
 		id += d
 		pc, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
 		}
+		if pc > MaxAddr {
+			return nil, fmt.Errorf("trace: record %d: pc %#x beyond the canonical address space", i, pc)
+		}
 		addr, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		if addr > MaxAddr {
+			return nil, fmt.Errorf("trace: record %d: addr %#x beyond the canonical address space", i, addr)
 		}
 		chain, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -205,6 +227,9 @@ func WritePrefetches(w io.Writer, pfs []Prefetch) error {
 	for i, p := range pfs {
 		if p.ID < prevID {
 			return fmt.Errorf("trace: prefetch %d has ID %d < previous ID %d", i, p.ID, prevID)
+		}
+		if p.Addr > MaxAddr {
+			return fmt.Errorf("trace: prefetch %d has addr %#x beyond the canonical address space", i, p.Addr)
 		}
 		if err := put(p.ID - prevID); err != nil {
 			return err
@@ -242,10 +267,16 @@ func ReadPrefetches(r io.Reader) ([]Prefetch, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d id: %w", i, err)
 		}
+		if d > ^uint64(0)-id {
+			return nil, fmt.Errorf("trace: record %d: id delta %d overflows the id sequence", i, d)
+		}
 		id += d
 		addr, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
+		}
+		if addr > MaxAddr {
+			return nil, fmt.Errorf("trace: record %d: addr %#x beyond the canonical address space", i, addr)
 		}
 		pfs = append(pfs, Prefetch{ID: id, Addr: addr})
 	}

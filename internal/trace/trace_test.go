@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -81,7 +82,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	id := uint64(0)
 	for i := range accs {
 		id += uint64(rng.Intn(50))
-		accs[i] = Access{ID: id, PC: rng.Uint64() >> 16, Addr: rng.Uint64() >> 8}
+		accs[i] = Access{ID: id, PC: rng.Uint64() & MaxAddr, Addr: rng.Uint64() & MaxAddr}
 	}
 	var buf bytes.Buffer
 	if err := Write(&buf, accs); err != nil {
@@ -177,7 +178,7 @@ func TestTraceRoundTripProperty(t *testing.T) {
 		id := uint64(0)
 		for i := 0; i < n; i++ {
 			id += uint64(ids[i])
-			accs[i] = Access{ID: id, PC: uint64(pcs[i]), Addr: addrs[i]}
+			accs[i] = Access{ID: id, PC: uint64(pcs[i]), Addr: addrs[i] & MaxAddr}
 		}
 		var buf bytes.Buffer
 		if err := Write(&buf, accs); err != nil {
@@ -199,6 +200,78 @@ func TestTraceRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWriteRejectsOutOfRangeFields(t *testing.T) {
+	for _, accs := range [][]Access{
+		{{ID: 1, PC: MaxAddr + 1, Addr: 0}},
+		{{ID: 1, PC: 0, Addr: MaxAddr + 1}},
+	} {
+		if err := Write(&bytes.Buffer{}, accs); err == nil {
+			t.Errorf("Write accepted out-of-range record %+v", accs[0])
+		}
+	}
+	if err := WritePrefetches(&bytes.Buffer{}, []Prefetch{{ID: 1, Addr: MaxAddr + 1}}); err == nil {
+		t.Error("WritePrefetches accepted out-of-range addr")
+	}
+}
+
+// corruptTrace hand-encodes a PFT2 body (count then raw uvarint fields),
+// bypassing Write's validation to reach the decoder's reject paths.
+func corruptTrace(fields ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range fields {
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	return buf.Bytes()
+}
+
+func TestReadRejectsCorruptRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"pc beyond address space", corruptTrace(1, 0, MaxAddr+1, 0, 0), "beyond the canonical address space"},
+		{"addr beyond address space", corruptTrace(1, 0, 0, MaxAddr+1, 0), "beyond the canonical address space"},
+		{"id delta overflow", corruptTrace(2, 5, 0, 0, 0, ^uint64(0), 0, 0, 0), "overflows the id sequence"},
+		{"chain overflow", corruptTrace(1, 0, 0, 0, 1<<32), "overflows uint32"},
+	}
+	for _, tc := range cases {
+		_, err := Read(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: Read accepted corrupt record", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "record ") {
+			t.Errorf("%s: err %q lacks the record position", tc.name, err)
+		}
+	}
+}
+
+func TestReadPrefetchesRejectsCorruptRecords(t *testing.T) {
+	enc := func(fields ...uint64) []byte {
+		var buf bytes.Buffer
+		buf.WriteString("PFP1")
+		var tmp [binary.MaxVarintLen64]byte
+		for _, v := range fields {
+			buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+		}
+		return buf.Bytes()
+	}
+	for name, data := range map[string][]byte{
+		"addr beyond address space": enc(1, 0, MaxAddr+1),
+		"id delta overflow":         enc(2, 5, 0, ^uint64(0), 0),
+	} {
+		if _, err := ReadPrefetches(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadPrefetches accepted corrupt record", name)
+		}
 	}
 }
 

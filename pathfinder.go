@@ -281,12 +281,29 @@ type (
 	// RunnerProgress is one progress event (jobs done, wall clock,
 	// simulated cycles) delivered to RunnerConfig.Progress.
 	RunnerProgress = runner.Progress
+	// RunReport summarises a graceful-degradation run (see
+	// Runner.RunWithReport): completed/resumed/retried counts and one
+	// JobError per failed cell.
+	RunReport = runner.RunReport
+	// JobError attributes one evaluation-cell failure: job identity, the
+	// attempt count, the cause, and a stack trace when the cause was a
+	// panic.
+	JobError = runner.JobError
+	// RunJournal is an append-only on-disk record of completed evaluation
+	// cells, enabling checkpoint/resume across process restarts (see
+	// OpenJournal and RunnerConfig.Journal).
+	RunJournal = runner.Journal
 )
 
 // NewRunner builds a parallel evaluation engine. Zero-value config fields
 // take defaults: 50 K-load traces, seed 1, the scaled Table 3 machine,
 // GOMAXPROCS workers.
 func NewRunner(cfg RunnerConfig) *Runner { return runner.New(cfg) }
+
+// OpenJournal opens (creating if absent) an on-disk journal of completed
+// evaluation cells at path. Attach it via RunnerConfig.Journal to
+// checkpoint a run and resume it after a crash; see docs/resilience.md.
+func OpenJournal(path string) (*RunJournal, error) { return runner.OpenJournal(path) }
 
 // Eval runs the complete two-phase evaluation described by one EvalJob:
 // trace acquisition, the no-prefetch baseline (unless job.Baseline is
