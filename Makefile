@@ -4,8 +4,9 @@
 # pfdebug` re-runs the suite with the invariant assertions compiled in (see
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
 # brief budget. `make chaos` runs the fault-injection suite under the race
-# detector (see docs/resilience.md). `make bench-micro` records the SNN
-# hot-path micro-benchmarks into BENCH_snn.json (see docs/performance.md).
+# detector (see docs/resilience.md). `make bench-micro` records the SNN,
+# simulator and evaluation-engine benchmarks into BENCH_snn.json,
+# BENCH_sim.json and BENCH_runner.json (see docs/performance.md).
 
 GO ?= go
 FUZZTIME ?= 15s
@@ -47,11 +48,17 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # SNN hot-path micro-benchmarks (5 repetitions, alloc counts) plus the
-# end-to-end BenchmarkSimulate, aggregated into BENCH_snn.json.
+# end-to-end BenchmarkSimulate, aggregated into BENCH_snn.json; the
+# simulator and evaluation-engine benchmarks split per package (benchjson
+# -by-pkg) into BENCH_sim.json and BENCH_runner.json.
+BENCHCOUNT ?= 5
+
 bench-micro:
-	{ $(GO) test ./internal/snn -run '^$$' -bench 'BenchmarkPresent' -benchmem -count=5 -timeout 30m && \
-	  $(GO) test . -run '^$$' -bench 'BenchmarkSimulate$$' -benchmem -count=5 -timeout 30m ; } | \
+	{ $(GO) test ./internal/snn -run '^$$' -bench 'BenchmarkPresent' -benchmem -count=$(BENCHCOUNT) -timeout 30m && \
+	  $(GO) test . -run '^$$' -bench 'BenchmarkSimulate$$' -benchmem -count=$(BENCHCOUNT) -timeout 30m ; } | \
 	  $(GO) run ./cmd/benchjson -o BENCH_snn.json
-	@cat BENCH_snn.json
+	$(GO) test ./internal/sim ./internal/runner -run '^$$' -bench 'BenchmarkRun|BenchmarkEval' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchjson -by-pkg .
+	@cat BENCH_snn.json BENCH_sim.json BENCH_runner.json
 
 verify: build test vet race pfdebug

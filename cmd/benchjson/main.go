@@ -7,6 +7,11 @@
 // reported as both the minimum (the least-noise estimate conventionally
 // quoted for comparisons) and the mean; allocs/op and B/op must be stable
 // across runs and are carried through as-is.
+//
+// With -by-pkg <dir>, a multi-package `go test` run is split on its `pkg:`
+// headers and each package's benchmarks land in <dir>/BENCH_<name>.json
+// (name = last path element) — how `make bench-micro` produces
+// BENCH_sim.json and BENCH_runner.json from one invocation.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,26 +85,47 @@ func parseLine(line string) (name string, s sample, ok bool) {
 	return name, s, found
 }
 
+// parsePkg extracts the package path from a `pkg: <path>` header line that
+// `go test` prints before each package's benchmarks (ok=false otherwise).
+func parsePkg(line string) (string, bool) {
+	rest, found := strings.CutPrefix(line, "pkg:")
+	if !found {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// key groups samples: the benchmark name plus the package it ran in, so a
+// multi-package stream keeps same-named benchmarks apart.
+type key struct{ pkg, name string }
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	byPkg := flag.String("by-pkg", "", "split a multi-package run on its pkg: headers, writing <dir>/BENCH_<pkgname>.json each (overrides -o)")
 	flag.Parse()
 
-	byName := map[string][]sample{}
-	var order []string
+	byName := map[key][]sample{}
+	var order []key
+	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		// Echo the raw output through so the run stays visible when piped.
 		fmt.Fprintln(os.Stderr, line)
+		if p, ok := parsePkg(line); ok {
+			pkg = p
+			continue
+		}
 		name, s, ok := parseLine(line)
 		if !ok {
 			continue
 		}
-		if _, seen := byName[name]; !seen {
-			order = append(order, name)
+		k := key{pkg, name}
+		if _, seen := byName[k]; !seen {
+			order = append(order, k)
 		}
-		byName[name] = append(byName[name], s)
+		byName[k] = append(byName[k], s)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -108,10 +136,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	entries := make([]Entry, 0, len(order))
-	for _, name := range order {
-		runs := byName[name]
-		e := Entry{Name: name, Runs: len(runs), NsPerOpMin: runs[0].nsPerOp}
+	entries := make(map[string][]Entry) // package -> its entries
+	var pkgs []string
+	for _, k := range order {
+		runs := byName[k]
+		e := Entry{Name: k.name, Runs: len(runs), NsPerOpMin: runs[0].nsPerOp}
 		sum := 0.0
 		for _, r := range runs {
 			sum += r.nsPerOp
@@ -124,21 +153,45 @@ func main() {
 			}
 		}
 		e.NsPerOpMean = sum / float64(len(runs))
-		entries = append(entries, e)
+		if _, seen := entries[k.pkg]; !seen {
+			pkgs = append(pkgs, k.pkg)
+		}
+		entries[k.pkg] = append(entries[k.pkg], e)
 	}
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 
+	if *byPkg != "" {
+		for _, p := range pkgs {
+			name := path.Base(p)
+			if name == "." || name == "/" || name == "" {
+				name = "unknown"
+			}
+			writeEntries(filepath.Join(*byPkg, "BENCH_"+name+".json"), entries[p])
+		}
+		return
+	}
+
+	// Flat mode: one list across every package (the original behaviour).
+	var all []Entry
+	for _, p := range pkgs {
+		all = append(all, entries[p]...)
+	}
+	writeEntries(*out, all)
+}
+
+// writeEntries sorts and writes one JSON record (stdout when path is "").
+func writeEntries(path string, entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if path == "" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -27,3 +27,16 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("plain line: name=%q s=%+v ok=%v", name, s, ok)
 	}
 }
+
+func TestParsePkg(t *testing.T) {
+	p, ok := parsePkg("pkg: pathfinder/internal/sim")
+	if !ok || p != "pathfinder/internal/sim" {
+		t.Errorf("parsePkg = %q, %v", p, ok)
+	}
+	if _, ok := parsePkg("BenchmarkRunNoPrefetch-8   10   100 ns/op"); ok {
+		t.Error("benchmark line parsed as pkg header")
+	}
+	if _, ok := parsePkg("PASS"); ok {
+		t.Error("PASS parsed as pkg header")
+	}
+}

@@ -50,6 +50,50 @@ func writeJSON(dir, name string, v any) error {
 	return os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644)
 }
 
+// setupTelemetry wires the -metrics family of flags: it enables telemetry
+// across the stack, optionally serves the live endpoints and streams JSONL
+// samples, and returns a cleanup that stops the sinks and (with -metrics)
+// prints the final snapshot on stderr.
+func setupTelemetry(print bool, addr, jsonl string) (func(), error) {
+	if !print && addr == "" && jsonl == "" {
+		return func() {}, nil
+	}
+	pathfinder.EnableTelemetry()
+	cleanup := []func(){}
+	if addr != "" {
+		bound, shutdown, err := pathfinder.ServeTelemetry(addr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: serving telemetry on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", bound)
+		cleanup = append(cleanup, shutdown)
+	}
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return nil, err
+		}
+		s := pathfinder.StartTelemetrySampler(f, time.Second)
+		cleanup = append(cleanup, func() {
+			s.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+		if print {
+			if snap := pathfinder.TelemetrySnapshotNow(); snap != nil {
+				data, err := json.MarshalIndent(snap, "", "  ")
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "experiments: telemetry:\n%s\n", data)
+				}
+			}
+		}
+	}, nil
+}
+
 // stderrIsTerminal reports whether stderr is a character device, i.e. a
 // live terminal rather than a pipe or file.
 func stderrIsTerminal() bool {
@@ -90,6 +134,9 @@ func main() {
 		list        = flag.Bool("list", false, "list experiments and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile here (inspect with `go tool pprof`)")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap (allocs) profile here at exit")
+		metrics     = flag.Bool("metrics", false, "enable telemetry and print the final metric snapshot on stderr")
+		metrAddr    = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this host:port (implies -metrics)")
+		metrJSONL   = flag.String("metrics-jsonl", "", "stream periodic telemetry snapshots to this JSONL file (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -99,6 +146,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProfiles()
+
+	stopMetrics, err := setupTelemetry(*metrics, *metrAddr, *metrJSONL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopMetrics()
 
 	if *list {
 		for _, e := range [][2]string{

@@ -14,11 +14,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"pathfinder"
 	"pathfinder/internal/profiling"
@@ -47,6 +49,9 @@ func main() {
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile here (inspect with `go tool pprof`)")
 		memProf   = flag.String("memprofile", "", "write a pprof heap (allocs) profile here at exit")
+		metrics   = flag.Bool("metrics", false, "enable telemetry and print the final metric snapshot on stderr")
+		metrAddr  = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this host:port (implies -metrics)")
+		metrJSONL = flag.String("metrics-jsonl", "", "stream periodic telemetry snapshots to this JSONL file (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -56,6 +61,12 @@ func main() {
 	}
 	stopProfiles = sp
 	defer stopProfiles()
+
+	stopMetrics, err := setupTelemetry(*metrics, *metrAddr, *metrJSONL)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopMetrics()
 
 	if *list {
 		for _, n := range pathfinder.Workloads() {
@@ -274,6 +285,50 @@ func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.P
 		return pfs, "Voyager", err
 	}
 	return nil, "", fmt.Errorf("unknown prefetcher %q", name)
+}
+
+// setupTelemetry wires the -metrics family of flags: it enables telemetry
+// across the stack, optionally serves the live endpoints and streams JSONL
+// samples, and returns a cleanup that stops the sinks and (with -metrics)
+// prints the final snapshot on stderr.
+func setupTelemetry(print bool, addr, jsonl string) (func(), error) {
+	if !print && addr == "" && jsonl == "" {
+		return func() {}, nil
+	}
+	pathfinder.EnableTelemetry()
+	cleanup := []func(){}
+	if addr != "" {
+		bound, shutdown, err := pathfinder.ServeTelemetry(addr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pfsim: serving telemetry on http://%s/metrics (expvar at /debug/vars, pprof at /debug/pprof)\n", bound)
+		cleanup = append(cleanup, shutdown)
+	}
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			return nil, err
+		}
+		s := pathfinder.StartTelemetrySampler(f, time.Second)
+		cleanup = append(cleanup, func() {
+			s.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+		if print {
+			if snap := pathfinder.TelemetrySnapshotNow(); snap != nil {
+				data, err := json.MarshalIndent(snap, "", "  ")
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "pfsim: telemetry:\n%s\n", data)
+				}
+			}
+		}
+	}, nil
 }
 
 func fatal(err error) {

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -22,43 +23,52 @@ import (
 )
 
 func main() {
-	var (
-		traceName = flag.String("trace", "cc-5", "benchmark to train on (ignored with -state)")
-		loads     = flag.Int("loads", 40_000, "loads to train on")
-		seed      = flag.Int64("seed", 1, "random seed")
-		state     = flag.String("state", "", "load a saved prefetcher instead of training")
-		save      = flag.String("save", "", "save the trained prefetcher here")
-		top       = flag.Int("top", 8, "how many labelled neurons to heatmap")
-	)
-	flag.Parse()
-
-	pf, err := obtain(*state, *traceName, *loads, *seed)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pfviz:", err)
 		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a flag.NewFlagSet, so tests can drive it
+// end to end with an argv and capture stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pfviz", flag.ContinueOnError)
+	var (
+		traceName = fs.String("trace", "cc-5", "benchmark to train on (ignored with -state)")
+		loads     = fs.Int("loads", 40_000, "loads to train on")
+		seed      = fs.Int64("seed", 1, "random seed")
+		state     = fs.String("state", "", "load a saved prefetcher instead of training")
+		save      = fs.String("save", "", "save the trained prefetcher here")
+		top       = fs.Int("top", 8, "how many labelled neurons to heatmap")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pf, err := obtain(stdout, *state, *traceName, *loads, *seed)
+	if err != nil {
+		return err
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pfviz:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := pf.Save(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "pfviz:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "pfviz:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("saved prefetcher state to %s\n", *save)
+		fmt.Fprintf(stdout, "saved prefetcher state to %s\n", *save)
 	}
 
-	dump(pf, *top)
+	dump(stdout, pf, *top)
+	return nil
 }
 
-func obtain(state, traceName string, loads int, seed int64) (*pathfinder.Prefetcher, error) {
+func obtain(stdout io.Writer, state, traceName string, loads int, seed int64) (*pathfinder.Prefetcher, error) {
 	if state != "" {
 		f, err := os.Open(state)
 		if err != nil {
@@ -80,18 +90,18 @@ func obtain(state, traceName string, loads int, seed int64) (*pathfinder.Prefetc
 	for _, a := range accs {
 		pf.Advise(a, pathfinder.Budget)
 	}
-	fmt.Printf("trained on %s (%d loads): %d SNN queries, %d prefetches issued\n\n",
+	fmt.Fprintf(stdout, "trained on %s (%d loads): %d SNN queries, %d prefetches issued\n\n",
 		traceName, loads, pf.Stats().Queries, pf.Stats().Issued)
 	return pf, nil
 }
 
-func dump(pf *pathfinder.Prefetcher, top int) {
+func dump(w io.Writer, pf *pathfinder.Prefetcher, top int) {
 	cfg := pf.Config()
 	net := pf.Network()
 	labels := pf.Labels()
 
 	// 1. Inference table.
-	fmt.Println("Inference Table (neuron -> labels):")
+	fmt.Fprintln(w, "Inference Table (neuron -> labels):")
 	labelled := 0
 	for n, ls := range labels {
 		if len(ls) == 0 {
@@ -102,9 +112,9 @@ func dump(pf *pathfinder.Prefetcher, top int) {
 		for i, l := range ls {
 			parts[i] = fmt.Sprintf("delta %+d (conf %d/7)", l.Delta, l.Conf)
 		}
-		fmt.Printf("  neuron %2d: %s\n", n, strings.Join(parts, ", "))
+		fmt.Fprintf(w, "  neuron %2d: %s\n", n, strings.Join(parts, ", "))
 	}
-	fmt.Printf("%d of %d neurons labelled\n\n", labelled, cfg.Neurons)
+	fmt.Fprintf(w, "%d of %d neurons labelled\n\n", labelled, cfg.Neurons)
 
 	// 2. Theta distribution.
 	thetas := make([]float64, cfg.Neurons)
@@ -115,15 +125,15 @@ func dump(pf *pathfinder.Prefetcher, top int) {
 			maxTheta = thetas[j]
 		}
 	}
-	fmt.Println("Adaptive thresholds (theta; taller bar = fires more):")
+	fmt.Fprintln(w, "Adaptive thresholds (theta; taller bar = fires more):")
 	for j, th := range thetas {
 		if th == 0 {
 			continue
 		}
 		bar := int(th / (maxTheta + 1e-9) * 40)
-		fmt.Printf("  neuron %2d %-40s %.2f\n", j, strings.Repeat("#", bar), th)
+		fmt.Fprintf(w, "  neuron %2d %-40s %.2f\n", j, strings.Repeat("#", bar), th)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	// 3. Weight heatmaps of the hottest labelled neurons.
 	type hot struct {
@@ -141,7 +151,7 @@ func dump(pf *pathfinder.Prefetcher, top int) {
 		top = len(hots)
 	}
 	shades := []byte(" .:-=+*#%@")
-	fmt.Printf("Weight heatmaps (rows = history positions, columns = delta %+d..%+d):\n",
+	fmt.Fprintf(w, "Weight heatmaps (rows = history positions, columns = delta %+d..%+d):\n",
 		-(cfg.DeltaRange-1)/2, (cfg.DeltaRange-1)/2)
 	for _, h := range hots[:top] {
 		// Find the neuron's max weight for scaling.
@@ -151,14 +161,14 @@ func dump(pf *pathfinder.Prefetcher, top int) {
 				maxW = w
 			}
 		}
-		fmt.Printf("  neuron %d (labels %v):\n", h.n, labels[h.n])
+		fmt.Fprintf(w, "  neuron %d (labels %v):\n", h.n, labels[h.n])
 		for row := 0; row < cfg.History; row++ {
 			line := make([]byte, cfg.DeltaRange)
 			for col := 0; col < cfg.DeltaRange; col++ {
 				w := net.Weight(row*cfg.DeltaRange+col, h.n)
 				line[col] = shades[int(w/maxW*float64(len(shades)-1))]
 			}
-			fmt.Printf("    |%s|\n", line)
+			fmt.Fprintf(w, "    |%s|\n", line)
 		}
 	}
 }

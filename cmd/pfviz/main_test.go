@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTrainAndDump smoke-tests the train-then-dump path on a tiny trace:
+// the dump must include every section (inference table, thetas, heatmaps).
+func TestRunTrainAndDump(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trace", "cc-5", "-loads", "3000", "-top", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trained on cc-5 (3000 loads)",
+		"Inference Table",
+		"neurons labelled",
+		"Adaptive thresholds",
+		"Weight heatmaps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSaveAndReload smoke-tests persistence round-tripping through a temp
+// dir: train+save, then dump the saved state without retraining.
+func TestRunSaveAndReload(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "trained.pfs")
+	var buf strings.Builder
+	if err := run([]string{"-trace", "cc-5", "-loads", "3000", "-save", state}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "saved prefetcher state to") {
+		t.Errorf("no save confirmation in output: %q", buf.String())
+	}
+
+	var buf2 strings.Builder
+	if err := run([]string{"-state", state}, &buf2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf2.String()
+	if strings.Contains(out, "trained on") {
+		t.Error("-state path retrained instead of loading")
+	}
+	if !strings.Contains(out, "Inference Table") {
+		t.Errorf("reloaded dump missing the inference table:\n%s", out)
+	}
+}
+
+// TestRunBadStateErrors pins the error path for an unreadable state file.
+func TestRunBadStateErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-state", filepath.Join(t.TempDir(), "missing.pfs")}, &buf); err == nil {
+		t.Fatal("run with a missing -state file succeeded, want an error")
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -19,16 +20,28 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a flag.NewFlagSet, so tests can drive it
+// end to end with an argv and capture stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	var (
-		name  = flag.String("trace", "", "benchmark name to generate")
-		all   = flag.Bool("all", false, "generate every benchmark of the suite")
-		loads = flag.Int("loads", 100_000, "loads per trace")
-		seed  = flag.Int64("seed", 1, "random seed")
-		out   = flag.String("o", "", "output file (single trace)")
-		dir   = flag.String("dir", ".", "output directory (with -all)")
-		stats = flag.Bool("stats", false, "also print Table 7/8-style delta statistics")
+		name  = fs.String("trace", "", "benchmark name to generate")
+		all   = fs.Bool("all", false, "generate every benchmark of the suite")
+		loads = fs.Int("loads", 100_000, "loads per trace")
+		seed  = fs.Int64("seed", 1, "random seed")
+		out   = fs.String("o", "", "output file (single trace)")
+		dir   = fs.String("dir", ".", "output directory (with -all)")
+		stats = fs.Bool("stats", false, "also print Table 7/8-style delta statistics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var names []string
 	switch {
@@ -37,14 +50,13 @@ func main() {
 	case *name != "":
 		names = []string{*name}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: need -trace <name> or -all")
-		os.Exit(2)
+		return fmt.Errorf("need -trace <name> or -all")
 	}
 
 	for _, n := range names {
 		accs, err := pathfinder.GenerateTrace(n, *loads, *seed)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		path := *out
 		if path == "" || *all {
@@ -52,26 +64,22 @@ func main() {
 		}
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := trace.Write(f, accs); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%s: %d loads -> %s\n", n, len(accs), path)
+		fmt.Fprintf(stdout, "%s: %d loads -> %s\n", n, len(accs), path)
 		if *stats {
 			st := workload.ComputeDeltaStats(accs, 31, 15)
-			fmt.Printf("  deltas %d, in(-31,31) %d, in(-15,15) %d; per-1K: %.0f deltas, %.0f distinct, top5 %.0f\n",
+			fmt.Fprintf(stdout, "  deltas %d, in(-31,31) %d, in(-15,15) %d; per-1K: %.0f deltas, %.0f distinct, top5 %.0f\n",
 				st.Deltas, st.InRange[31], st.InRange[15],
 				st.PerWindow.AvgDeltas, st.PerWindow.AvgDistinct, st.PerWindow.AvgTop5)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+// TestRunSingleTrace smoke-tests the single-benchmark path end to end: the
+// written file must be a valid PFT2 trace with exactly the requested loads.
+func TestRunSingleTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "cc5.pft")
+	var buf strings.Builder
+	if err := run([]string{"-trace", "cc-5", "-loads", "500", "-o", out, "-stats"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cc-5: 500 loads") {
+		t.Errorf("stdout missing summary line: %q", buf.String())
+	}
+	if !strings.Contains(buf.String(), "deltas") {
+		t.Errorf("-stats printed no delta statistics: %q", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	accs, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("written file is not a readable PFT2 trace: %v", err)
+	}
+	if len(accs) != 500 {
+		t.Errorf("trace holds %d loads, want 500", len(accs))
+	}
+}
+
+// TestRunAll smoke-tests -all into a temp dir: one valid file per benchmark.
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-all", "-loads", "200", "-dir", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.pft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("-all wrote no trace files")
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: unreadable: %v", filepath.Base(path), err)
+			continue
+		}
+		if len(accs) != 200 {
+			t.Errorf("%s: %d loads, want 200", filepath.Base(path), len(accs))
+		}
+	}
+}
+
+// TestRunNoArgsErrors pins the usage error instead of a silent no-op.
+func TestRunNoArgsErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("run with no -trace/-all succeeded, want an error")
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"pathfinder/internal/snn"
+	"pathfinder/internal/telemetry"
+)
+
+// TestSNNPathGoldenTelemetryOn pins the observation-never-perturbs contract:
+// with SNN telemetry recording, the golden path hash must match the
+// telemetry-off constant bit for bit (counters are plain integers — no
+// floating-point op, RNG draw, or allocation differs).
+func TestSNNPathGoldenTelemetryOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden replay is slow")
+	}
+	reg := telemetry.NewRegistry()
+	snn.EnableTelemetry(reg)
+	defer snn.EnableTelemetry(nil)
+
+	const want = 0x007eb9e6747127d8 // rate-cc5 from TestSNNPathGolden
+	if got := snnPathHash(t, DefaultConfig(), "cc-5", 12000); got != want {
+		t.Errorf("SNN path hash changed with telemetry enabled: %#016x, want %#016x", got, want)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["snn.presents"] == 0 || snap.Counters["snn.spikes"] == 0 {
+		t.Errorf("telemetry recorded nothing during the golden replay: %+v", snap.Counters)
+	}
+}

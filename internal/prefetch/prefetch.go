@@ -46,6 +46,10 @@ func GenerateFileCtx(ctx context.Context, p Prefetcher, accs []trace.Access, bud
 		budget = Budget
 	}
 	out := make([]trace.Prefetch, 0, len(accs)*budget)
+	// Telemetry accumulators: per-access degrees land in a small local
+	// bucket array (degree is budget-bounded) flushed once at the end.
+	var truncations uint64
+	var degCounts [16]uint64
 	for i, a := range accs {
 		if i&2047 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -55,9 +59,24 @@ func GenerateFileCtx(ctx context.Context, p Prefetcher, accs []trace.Access, bud
 		addrs := p.Advise(a, budget)
 		if len(addrs) > budget {
 			addrs = addrs[:budget]
+			truncations++
 		}
+		d := len(addrs)
+		if d >= len(degCounts) {
+			d = len(degCounts) - 1
+		}
+		degCounts[d]++
 		for _, addr := range addrs {
 			out = append(out, trace.Prefetch{ID: a.ID, Addr: addr &^ (trace.BlockBytes - 1)})
+		}
+	}
+	if m := prefetchTele.Load(); m != nil {
+		m.generations.Inc()
+		m.advises.Add(uint64(len(accs)))
+		m.issued.Add(uint64(len(out)))
+		m.truncated.Add(truncations)
+		for d, n := range degCounts {
+			m.degree.ObserveN(uint64(d), n)
 		}
 	}
 	return out, nil

@@ -15,9 +15,11 @@ type Cache struct {
 	slots   [][]refLine // [set][way], physical slot order
 	recency [][]int     // [set] -> way indices, most recently used first
 
-	// Hits and Misses count demand lookups, exactly as sim.Cache does.
-	Hits   uint64
-	Misses uint64
+	// CacheStats is sim's counter block, embedded by type so the
+	// differential harness can compare the two engines' statistics as one
+	// struct — a counter added to sim automatically becomes part of the
+	// reference contract.
+	sim.CacheStats
 }
 
 type refLine struct {
@@ -76,6 +78,12 @@ func (c *Cache) touch(s, way int) {
 
 // Lookup performs a demand access; semantics match sim.Cache.Lookup.
 func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
+	return c.LookupGated(block, true)
+}
+
+// LookupGated is Lookup with gated statistics; semantics match
+// sim.Cache.LookupGated.
+func (c *Cache) LookupGated(block uint64, count bool) (hit, prefetchedFirstTouch bool) {
 	s := c.setIndex(block)
 	for way := range c.slots[s] {
 		l := &c.slots[s][way]
@@ -84,11 +92,15 @@ func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
 			l.rrpv = 0
 			pf := l.prefetched
 			l.prefetched = false
-			c.Hits++
+			if count {
+				c.Hits++
+			}
 			return true, pf
 		}
 	}
-	c.Misses++
+	if count {
+		c.Misses++
+	}
 	return false, false
 }
 
@@ -129,6 +141,13 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 		victim = c.pickVictim(s)
 	}
 	evicted, hadEviction = c.slots[s][victim].tag, c.slots[s][victim].valid
+	c.Fills++
+	if prefetched {
+		c.PrefetchFills++
+	}
+	if hadEviction {
+		c.Evictions++
+	}
 	rrpv := uint8(srripMax - 1)
 	if prefetched {
 		rrpv = srripMax
@@ -163,8 +182,8 @@ func (c *Cache) Reset() {
 		}
 		c.recency[s] = c.recency[s][:0]
 	}
-	c.Hits, c.Misses = 0, 0
+	c.ResetStats()
 }
 
-// ResetStats clears only the hit/miss counters.
-func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }
+// ResetStats clears every statistics counter, like sim.Cache.ResetStats.
+func (c *Cache) ResetStats() { c.CacheStats = sim.CacheStats{} }

@@ -168,9 +168,9 @@ func DiffCache(sets, ways int, policy sim.Policy, ops []CacheOp) error {
 			opt.Reset()
 			ref.Reset()
 		}
-		if opt.Hits != ref.Hits || opt.Misses != ref.Misses {
-			return fmt.Errorf("%s: hits/misses %d/%d, reference %d/%d",
-				where, opt.Hits, opt.Misses, ref.Hits, ref.Misses)
+		if opt.CacheStats != ref.CacheStats {
+			return fmt.Errorf("%s: stats %+v, reference %+v",
+				where, opt.CacheStats, ref.CacheStats)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"pathfinder/internal/prefetch"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/snn"
+	"pathfinder/internal/telemetry"
 	"pathfinder/internal/trace"
 	"pathfinder/internal/workload"
 )
@@ -356,4 +357,52 @@ func TestDiffSNNRealConfig(t *testing.T) {
 
 func caseName(i int) string {
 	return "case-" + string(rune('0'+i/100%10)) + string(rune('0'+i/10%10)) + string(rune('0'+i%10))
+}
+
+// TestDiffRunEmptyMeasuredWindowAgrees pins the empty-measured-window
+// error path: both engines must reject a warmup that eats essentially the
+// whole trace (one cheap L1-hitting access left), not fabricate an IPC.
+func TestDiffRunEmptyMeasuredWindowAgrees(t *testing.T) {
+	accs := make([]trace.Access, 100)
+	for i := range accs {
+		accs[i] = trace.Access{ID: uint64(i + 1), PC: 1, Addr: 0}
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Warmup = len(accs) - 1
+	if _, err := sim.RunMulti(cfg, [][]trace.Access{accs}, nil); err == nil {
+		t.Fatal("sim accepted an empty measured window")
+	}
+	if err := DiffRun(cfg, [][]trace.Access{accs}, nil); err != nil {
+		t.Fatalf("engines disagree on the empty-window error: %v", err)
+	}
+}
+
+// TestDiffRunTelemetryOn re-runs the real-workload oracle with the
+// simulator's telemetry recording. The reference model is deliberately
+// uninstrumented, so any way telemetry could perturb the optimized engine —
+// an extra allocation shifting GC, a miscounted stat leaking into Result —
+// shows up as a divergence here.
+func TestDiffRunTelemetryOn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sim.EnableTelemetry(reg)
+	defer sim.EnableTelemetry(nil)
+
+	loads := 8000
+	if testing.Short() {
+		loads = 2000
+	}
+	accs, err := workload.Generate("cc-5", loads, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := prefetch.GenerateFile(&prefetch.NextLine{}, accs, 2)
+	cfg := sim.ScaledConfig()
+	cfg.Warmup = loads / 10
+	if err := DiffRun(cfg, [][]trace.Access{accs}, [][]trace.Prefetch{file}); err != nil {
+		t.Fatalf("telemetry-on run diverged from reference: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sim.runs"] == 0 || snap.Counters["sim.demand_loads"] == 0 {
+		t.Errorf("telemetry recorded nothing during the differential run: %+v", snap.Counters)
+	}
 }

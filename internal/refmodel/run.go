@@ -157,7 +157,9 @@ func (c *refCore) step(mem *refSharedMemory) error {
 			lat = uint64(cfg.L1Lat + cfg.L2Lat)
 			c.l1.Fill(block, false)
 		} else {
-			hit, pfTouch := mem.llc.Lookup(block)
+			// Mirror of sim: the shared LLC's counters are gated on this
+			// core's measurement window.
+			hit, pfTouch := mem.llc.LookupGated(block, c.measuring)
 			if c.measuring {
 				c.res.LLCLoadAccesses++
 			}
@@ -252,7 +254,9 @@ func (c *refCore) step(mem *refSharedMemory) error {
 	return nil
 }
 
-func (c *refCore) finish() sim.Result {
+// finish mirrors corePipeline.finish, including the empty-measured-window
+// error for non-empty traces.
+func (c *refCore) finish() (sim.Result, error) {
 	totalInstr := uint64(0)
 	if len(c.accs) > 0 {
 		totalInstr = c.accs[len(c.accs)-1].ID - c.firstID
@@ -260,11 +264,15 @@ func (c *refCore) finish() sim.Result {
 	c.res.Instructions = totalInstr - c.warmInstr
 	cycles := c.retire - c.warmCycles
 	if cycles < 1 {
+		if len(c.accs) > 0 {
+			return sim.Result{}, fmt.Errorf("measured window is empty (%.3f cycles for %d instructions after warmup %d); shorten Warmup or lengthen the trace",
+				cycles, c.res.Instructions, c.cfg.Warmup)
+		}
 		cycles = 1
 	}
 	c.res.Cycles = uint64(cycles)
 	c.res.IPC = float64(c.res.Instructions) / cycles
-	return c.res
+	return c.res, nil
 }
 
 // Run replays one core's trace and prefetch file; the reference counterpart
@@ -329,7 +337,11 @@ func RunMulti(cfg sim.Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([
 
 	out := make([]sim.Result, len(pipes))
 	for i, p := range pipes {
-		out[i] = p.finish()
+		res, err := p.finish()
+		if err != nil {
+			return nil, fmt.Errorf("refmodel: core %d: %w", i, err)
+		}
+		out[i] = res
 		out[i].DRAMReads = mem.dram.Reads
 		out[i].DRAMRowHits = mem.dram.RowHits
 	}

@@ -50,6 +50,9 @@ func (f *flight[T]) Do(ctx context.Context, key string, fn func() (T, error)) (T
 		}
 		if c, ok := sh.m[key]; ok {
 			sh.mu.Unlock()
+			if m := runnerTele.Load(); m != nil {
+				m.flightHits.Inc()
+			}
 			select {
 			case <-c.done:
 				if c.err != nil && isCancellation(c.err) && ctx.Err() == nil {
@@ -67,6 +70,9 @@ func (f *flight[T]) Do(ctx context.Context, key string, fn func() (T, error)) (T
 		c := &flightCall[T]{done: make(chan struct{})}
 		sh.m[key] = c
 		sh.mu.Unlock()
+		if m := runnerTele.Load(); m != nil {
+			m.flightMisses.Inc()
+		}
 
 		func() {
 			defer func() {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"pathfinder/internal/telemetry"
 )
 
 // PanicError is the cause recorded in a JobError when a job panicked: the
@@ -74,6 +76,12 @@ type RunReport struct {
 	// Failed holds one JobError per permanently failed cell, sorted by
 	// job index.
 	Failed []*JobError
+	// Telemetry is a snapshot of the process-wide telemetry registry taken
+	// when the run finished — nil unless telemetry was enabled (see
+	// docs/observability.md). Counters are cumulative across Run calls in
+	// the process, so a resumed sweep's block includes the original run's
+	// activity recorded by this process.
+	Telemetry *telemetry.Snapshot
 }
 
 // Err returns nil when every cell succeeded, and a summary error naming

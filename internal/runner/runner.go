@@ -33,6 +33,7 @@ import (
 	"pathfinder/internal/fault"
 	"pathfinder/internal/prefetch"
 	"pathfinder/internal/sim"
+	"pathfinder/internal/telemetry"
 	"pathfinder/internal/trace"
 	"pathfinder/internal/workload"
 )
@@ -294,6 +295,7 @@ func (r *Runner) run(ctx context.Context, jobs []Job, failFast bool) ([]Result, 
 	// finish publishes a cell's terminal state under the bookkeeping lock:
 	// report counters, then the serialised progress event.
 	finish := func(p Progress, retries int, jobErr *JobError) {
+		observeTerminal(int64(p.Wall), retries, jobErr != nil, p.Resumed)
 		mu.Lock()
 		done++
 		p.Done, p.Total = done, len(jobs)
@@ -375,6 +377,10 @@ feed:
 	wg.Wait()
 
 	report.Wall = time.Since(start)
+	// The final telemetry block: a snapshot of the process-wide registry
+	// (nil when telemetry is off). Cumulative across Run calls, so a
+	// resumed sweep's report covers the fresh run plus the resume.
+	report.Telemetry = telemetry.GlobalSnapshot()
 	sort.Slice(report.Failed, func(a, b int) bool { return report.Failed[a].Index < report.Failed[b].Index })
 	mu.Lock()
 	err := firstErr
@@ -487,6 +493,7 @@ func (r *Runner) inject(ctx context.Context, site fault.Site, key string, attemp
 func (r *Runner) Eval(ctx context.Context, job Job) (Result, error) {
 	key := r.cellKey(0, job)
 	progress := func(res Result, resumed bool) {
+		observeTerminal(int64(res.Wall), 0, false, resumed)
 		if r.cfg.Progress != nil {
 			r.cfg.Progress(Progress{
 				Done: 1, Total: 1,
@@ -628,6 +635,9 @@ func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []t
 			return baselineInfo{}, err
 		}
 		r.baselineSims.Add(1)
+		if m := runnerTele.Load(); m != nil {
+			m.baselineSims.Inc()
+		}
 		res, err := sim.RunCtx(ctx, cfg, accs, nil)
 		if err != nil {
 			return baselineInfo{}, fmt.Errorf("baseline simulation: %w", err)

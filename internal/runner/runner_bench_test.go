@@ -1,0 +1,37 @@
+package runner
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRunGrid is the evaluation engine's end-to-end macro-benchmark
+// for BENCH_runner.json (`make bench-micro`): a small trace × prefetcher
+// grid through the full pipeline — trace generation and baselines behind
+// the single-flight caches, prefetch-file generation, and the timed
+// replays — at a fixed parallelism so runs compare across machines.
+func BenchmarkRunGrid(b *testing.B) {
+	jobs := chaosJobs([]string{"cc-5", "605-mcf-s1"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh Runner each iteration: the per-Runner caches must not
+		// carry over, or every iteration after the first measures nothing.
+		r := New(Config{Loads: 5000, Parallelism: 2})
+		if _, err := r.Run(context.Background(), jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalSingle is the single-cell path: one Best-Offset evaluation
+// end to end, the unit of work every grid cell pays.
+func BenchmarkEvalSingle(b *testing.B) {
+	jobs := chaosJobs([]string{"cc-5"})[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := New(Config{Loads: 5000, Parallelism: 1})
+		if _, err := r.Eval(context.Background(), jobs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,22 @@ const (
 	PolicySRRIP
 )
 
+// CacheStats is every statistics counter a Cache carries, grouped in one
+// struct so ResetStats can clear the whole block at once — a counter added
+// later cannot silently survive the warmup reset.
+type CacheStats struct {
+	// Hits and Misses count demand lookups.
+	Hits   uint64
+	Misses uint64
+	// Fills counts lines actually inserted (refreshes of already-resident
+	// lines are excluded); PrefetchFills is the subset inserted by
+	// prefetch rather than demand.
+	Fills         uint64
+	PrefetchFills uint64
+	// Evictions counts valid lines displaced by fills.
+	Evictions uint64
+}
+
 // Cache is a set-associative cache operating on block addresses, with a
 // selectable replacement policy (LRU by default). Lines filled by prefetch
 // carry a prefetch bit that is cleared (and reported) on their first demand
@@ -30,9 +46,7 @@ type Cache struct {
 	lines  []cacheLine // sets × ways, row-major
 	tick   uint64
 
-	// Hits and Misses count demand lookups.
-	Hits   uint64
-	Misses uint64
+	CacheStats
 }
 
 type cacheLine struct {
@@ -76,6 +90,17 @@ func (c *Cache) set(block uint64) []cacheLine {
 // hit, and if so whether this was the first demand touch of a prefetched
 // line. Hit lines are promoted to MRU.
 func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
+	return c.LookupGated(block, true)
+}
+
+// LookupGated is Lookup with the statistics gated: when count is false the
+// access behaves identically — LRU promotion, prefetch-bit clear — but the
+// Hits/Misses counters stay untouched. The multi-core simulator uses this
+// for the shared LLC, whose counters must only reflect cores inside their
+// measurement window; since each core crosses its warmup boundary at a
+// different time, a boundary reset (as used for the private caches) cannot
+// express that.
+func (c *Cache) LookupGated(block uint64, count bool) (hit, prefetchedFirstTouch bool) {
 	c.tick++
 	set := c.set(block)
 	for i := range set {
@@ -84,14 +109,18 @@ func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
 			set[i].rrpv = 0
 			pf := set[i].prefetched
 			set[i].prefetched = false
-			c.Hits++
+			if count {
+				c.Hits++
+			}
 			if pfdebugEnabled {
 				c.debugCheckSet(block)
 			}
 			return true, pf
 		}
 	}
-	c.Misses++
+	if count {
+		c.Misses++
+	}
 	if pfdebugEnabled {
 		c.debugCheckSet(block)
 	}
@@ -138,6 +167,13 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 		victim = c.pickVictim(set)
 	}
 	evicted, hadEviction = set[victim].tag, set[victim].valid
+	c.Fills++
+	if prefetched {
+		c.PrefetchFills++
+	}
+	if hadEviction {
+		c.Evictions++
+	}
 	rrpv := uint8(srripMax - 1)
 	if prefetched {
 		rrpv = srripMax // prefetch-aware insertion: distant re-reference
@@ -179,9 +215,12 @@ func (c *Cache) Reset() {
 	for i := range c.lines {
 		c.lines[i] = cacheLine{}
 	}
-	c.tick, c.Hits, c.Misses = 0, 0, 0
+	c.tick = 0
+	c.ResetStats()
 }
 
-// ResetStats clears only the hit/miss counters, preserving cache contents.
-// The simulator uses this at the end of the warmup window.
-func (c *Cache) ResetStats() { c.Hits, c.Misses = 0, 0 }
+// ResetStats clears every statistics counter, preserving cache contents.
+// The simulator uses this at the end of the warmup window; because it
+// clears the whole CacheStats block, every current and future counter is
+// covered (see TestResetStatsClearsEveryCounter).
+func (c *Cache) ResetStats() { c.CacheStats = CacheStats{} }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -174,5 +175,79 @@ func TestRunWithSRRIPLLC(t *testing.T) {
 	}
 	if res.IPC <= 0 {
 		t.Errorf("IPC %v", res.IPC)
+	}
+}
+
+func TestCacheFillCounters(t *testing.T) {
+	c := NewCache(1, 2)
+	c.Fill(1, false)
+	c.Fill(2, true)
+	c.Fill(2, true)  // resident refresh: not a fill
+	c.Fill(3, false) // evicts
+	if c.Fills != 3 || c.PrefetchFills != 1 || c.Evictions != 1 {
+		t.Errorf("fills/prefetchFills/evictions = %d/%d/%d, want 3/1/1",
+			c.Fills, c.PrefetchFills, c.Evictions)
+	}
+}
+
+func TestResetStatsClearsEveryCounter(t *testing.T) {
+	// Reflect over the CacheStats block so a counter added later cannot
+	// silently survive the warmup reset: every field must be a uint64 and
+	// both Reset and ResetStats must zero all of them.
+	c := NewCache(4, 2)
+	set := func() {
+		v := reflect.ValueOf(&c.CacheStats).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() != reflect.Uint64 {
+				t.Fatalf("CacheStats field %s is %s, want uint64 (extend this test)",
+					v.Type().Field(i).Name, f.Kind())
+			}
+			f.SetUint(uint64(i + 1))
+		}
+	}
+	check := func(op string) {
+		v := reflect.ValueOf(c.CacheStats)
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).Uint() != 0 {
+				t.Errorf("%s left CacheStats.%s = %d, want 0",
+					op, v.Type().Field(i).Name, v.Field(i).Uint())
+			}
+		}
+	}
+	set()
+	c.ResetStats()
+	check("ResetStats")
+	set()
+	c.Reset()
+	check("Reset")
+}
+
+func TestLookupGatedSkipsCountersOnly(t *testing.T) {
+	a := NewCache(4, 2)
+	b := NewCache(4, 2)
+	blocks := []uint64{1, 5, 9, 1, 13, 5, 1}
+	for _, blk := range blocks {
+		a.Fill(blk, false)
+		b.Fill(blk, false)
+		h1, p1 := a.Lookup(blk)
+		h2, p2 := b.LookupGated(blk, false)
+		if h1 != h2 || p1 != p2 {
+			t.Fatalf("block %d: gated lookup diverged: (%v,%v) vs (%v,%v)", blk, h1, p1, h2, p2)
+		}
+	}
+	if a.Hits == 0 {
+		t.Fatal("counted cache saw no hits")
+	}
+	if b.Hits != 0 || b.Misses != 0 {
+		t.Errorf("gated lookups counted: hits/misses %d/%d", b.Hits, b.Misses)
+	}
+	// Replacement state must be identical: same evictions from here on.
+	for blk := uint64(20); blk < 40; blk++ {
+		e1, v1 := a.Fill(blk, false)
+		e2, v2 := b.Fill(blk, false)
+		if e1 != e2 || v1 != v2 {
+			t.Fatalf("fill %d: evictions diverged (%d,%v) vs (%d,%v)", blk, e1, v1, e2, v2)
+		}
 	}
 }

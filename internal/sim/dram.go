@@ -78,6 +78,14 @@ type DRAM struct {
 	// Reads counts all requests; RowHits counts those that hit an open row.
 	Reads   uint64
 	RowHits uint64
+
+	// Telemetry accumulators: plain locals (a DRAM instance is
+	// single-threaded within a run) flushed to the registry once per run by
+	// flushTelemetry, so the per-access cost is a couple of integer adds
+	// whether telemetry is on or off.
+	teleBankConflicts uint64
+	teleQueueStalls   uint64
+	teleDepthCounts   []uint64 // index = read-queue depth at issue
 }
 
 // NewDRAM returns a DRAM model for the given configuration.
@@ -89,7 +97,11 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 	if cfg.ReadQueue <= 0 {
 		panic("sim: DRAM read queue must be positive")
 	}
-	return &DRAM{cfg: cfg, banks: make([]dramBank, n)}
+	return &DRAM{
+		cfg:             cfg,
+		banks:           make([]dramBank, n),
+		teleDepthCounts: make([]uint64, cfg.ReadQueue+1),
+	}
 }
 
 // Access issues a read for block at time now and returns its completion
@@ -101,8 +113,10 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 	for len(d.outstanding) > 0 && d.outstanding[0] <= now {
 		heap.Pop(&d.outstanding)
 	}
+	d.teleDepthCounts[len(d.outstanding)]++
 	start := now
 	if len(d.outstanding) >= d.cfg.ReadQueue {
+		d.teleQueueStalls++
 		// Queue full: wait for the earliest outstanding completion.
 		start = d.outstanding[0]
 		for len(d.outstanding) > 0 && d.outstanding[0] <= start {
@@ -114,6 +128,7 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 	bank := &d.banks[row%uint64(len(d.banks))]
 	prevReadyAt := bank.readyAt
 	if bank.readyAt > start {
+		d.teleBankConflicts++
 		start = bank.readyAt
 	}
 	var lat, busy int
@@ -150,6 +165,18 @@ func (d *DRAM) QueueDepth(now uint64) int {
 	return n
 }
 
+// flushTelemetry drains the accumulated counters into the bound metric
+// handles and rearms them, so a reused DRAM never double-reports.
+func (d *DRAM) flushTelemetry(m *simMetrics) {
+	m.dramBankConflicts.Add(d.teleBankConflicts)
+	m.dramQueueStalls.Add(d.teleQueueStalls)
+	for depth, n := range d.teleDepthCounts {
+		m.dramQueueDepth.ObserveN(uint64(depth), n)
+		d.teleDepthCounts[depth] = 0
+	}
+	d.teleBankConflicts, d.teleQueueStalls = 0, 0
+}
+
 // Reset clears all bank state and statistics.
 func (d *DRAM) Reset() {
 	for i := range d.banks {
@@ -157,4 +184,8 @@ func (d *DRAM) Reset() {
 	}
 	d.outstanding = d.outstanding[:0]
 	d.Reads, d.RowHits = 0, 0
+	d.teleBankConflicts, d.teleQueueStalls = 0, 0
+	for i := range d.teleDepthCounts {
+		d.teleDepthCounts[i] = 0
+	}
 }

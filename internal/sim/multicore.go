@@ -18,6 +18,10 @@ type sharedMemory struct {
 	inflight map[uint64]uint64 // block -> fill-ready cycle
 	fills    inflightHeap
 	fillSeq  uint64 // issue counter for FCFS tie-breaking of fills
+
+	// fillsPeak is the in-flight fill heap's high-water mark, flushed to
+	// telemetry at end of run (a plain int so the hot loop stays atomic-free).
+	fillsPeak int
 }
 
 func (s *sharedMemory) drainFills(now uint64) {
@@ -132,7 +136,11 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		lat = uint64(cfg.L1Lat + cfg.L2Lat)
 		c.l1.Fill(block, false)
 	default:
-		hit, pfTouch := mem.llc.Lookup(block)
+		// The shared LLC's own counters are gated on this core's
+		// measurement window (private L1/L2 instead reset at the boundary;
+		// the LLC cannot, because cores cross their boundaries at
+		// different times and would wipe each other's counts).
+		hit, pfTouch := mem.llc.LookupGated(block, c.measuring)
 		if c.measuring {
 			c.res.LLCLoadAccesses++
 		}
@@ -215,6 +223,9 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		done := mem.dram.Access(pb, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
 		mem.inflight[pb] = done
 		heap.Push(&mem.fills, inflightFill{ready: done, block: pb, seq: mem.fillSeq})
+		if len(mem.fills) > mem.fillsPeak {
+			mem.fillsPeak = len(mem.fills)
+		}
 		mem.fillSeq++
 		if c.measuring {
 			c.res.PrefFetched++
@@ -228,12 +239,21 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		c.warmInstr = acc.ID - c.firstID
 		c.l1.ResetStats()
 		c.l2.ResetStats()
+		// A live marker (not an end-of-run flush) so a dashboard watching
+		// /metrics can see cores leave warmup mid-run.
+		if m := simTele.Load(); m != nil {
+			m.warmupBoundaries.Inc()
+		}
 	}
 	return nil
 }
 
-// finish computes the core's final metrics.
-func (c *corePipeline) finish() Result {
+// finish computes the core's final metrics. A measured window shorter than
+// one cycle on a non-empty trace is a degenerate configuration (warmup ate
+// essentially the whole trace); it is reported as an error rather than
+// silently clamped, which used to fabricate IPC values off by orders of
+// magnitude. An idle core (empty trace) keeps its zero Result.
+func (c *corePipeline) finish() (Result, error) {
 	totalInstr := uint64(0)
 	if len(c.accs) > 0 {
 		totalInstr = c.accs[len(c.accs)-1].ID - c.firstID
@@ -241,11 +261,15 @@ func (c *corePipeline) finish() Result {
 	c.res.Instructions = totalInstr - c.warmInstr
 	cycles := c.retire - c.warmCycles
 	if cycles < 1 {
-		cycles = 1
+		if len(c.accs) > 0 {
+			return Result{}, fmt.Errorf("measured window is empty (%.3f cycles for %d instructions after warmup %d); shorten Warmup or lengthen the trace",
+				cycles, c.res.Instructions, c.cfg.Warmup)
+		}
+		cycles = 1 // idle core: zero instructions over a defined window
 	}
 	c.res.Cycles = uint64(cycles)
 	c.res.IPC = float64(c.res.Instructions) / cycles
-	return c.res
+	return c.res, nil
 }
 
 // RunMulti simulates several cores with private L1/L2 hierarchies sharing
@@ -323,9 +347,32 @@ func RunMultiCtx(ctx context.Context, cfg Config, cores [][]trace.Access, pfs []
 
 	out := make([]Result, len(pipes))
 	for i, p := range pipes {
-		out[i] = p.finish()
+		res, err := p.finish()
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", i, err)
+		}
+		out[i] = res
 		out[i].DRAMReads = mem.dram.Reads
 		out[i].DRAMRowHits = mem.dram.RowHits
+	}
+	if m := simTele.Load(); m != nil {
+		// One flush per run: the per-level cache statistics come straight
+		// from the caches' own (warmup-gated) counters.
+		m.runs.Inc()
+		m.cores.Add(uint64(len(pipes)))
+		for _, p := range pipes {
+			m.demands.Add(uint64(len(p.accs)))
+			m.l1Hits.Add(p.l1.Hits)
+			m.l1Misses.Add(p.l1.Misses)
+			m.l2Hits.Add(p.l2.Hits)
+			m.l2Misses.Add(p.l2.Misses)
+		}
+		m.llcHits.Add(mem.llc.Hits)
+		m.llcMisses.Add(mem.llc.Misses)
+		m.llcPrefetchFills.Add(mem.llc.PrefetchFills)
+		m.llcEvictions.Add(mem.llc.Evictions)
+		m.inflightPeak.SetMax(int64(mem.fillsPeak))
+		mem.dram.flushTelemetry(m)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"pathfinder/internal/trace"
@@ -134,5 +135,68 @@ func TestRunMultiPerCoreResults(t *testing.T) {
 	}
 	if res[0].IPC <= res[1].IPC {
 		t.Errorf("cache-resident core IPC %.3f <= streaming core %.3f", res[0].IPC, res[1].IPC)
+	}
+}
+
+func TestRunMultiWarmupExcludesLLCStats(t *testing.T) {
+	// Mirror of TestRunWarmupExcludesStats for the multicore path: the
+	// shared LLC's own counters must cover the measured window only. The
+	// private L1/L2 get a ResetStats at the warmup boundary, but the LLC
+	// is gated per lookup — before the fix its Hits/Misses also counted
+	// every warmup access.
+	accs := seqTrace(2000, 10)
+	cfg := DefaultConfig()
+	cfg.Warmup = 1000
+	mem := &sharedMemory{
+		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
+		dram:     NewDRAM(cfg.DRAM),
+		inflight: make(map[uint64]uint64),
+	}
+	p := newCorePipeline(cfg, accs, nil)
+	for !p.done() {
+		if err := p.step(mem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := p.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LLCLoadMisses != 1000 {
+		t.Errorf("post-warmup LLCLoadMisses = %d, want 1000", res.LLCLoadMisses)
+	}
+	// With no prefetch file every measured LLC access is a plain lookup,
+	// so the cache's counters must equal the per-core measured counters.
+	if mem.llc.Hits != res.LLCLoadHits || mem.llc.Misses != res.LLCLoadMisses {
+		t.Errorf("shared LLC counters %d/%d include warmup accesses; measured window saw %d/%d",
+			mem.llc.Hits, mem.llc.Misses, res.LLCLoadHits, res.LLCLoadMisses)
+	}
+}
+
+func TestRunEmptyMeasuredWindowErrors(t *testing.T) {
+	// Warmup == len(accs)-1 leaves one cheap L1-hitting access in the
+	// measured window — under a cycle of retirement. The old code clamped
+	// the window to one cycle and reported a fabricated IPC; now it is a
+	// positioned error naming the core.
+	accs := make([]trace.Access, 100)
+	for i := range accs {
+		accs[i] = trace.Access{ID: uint64(i + 1), PC: 1, Addr: 0}
+	}
+	cfg := DefaultConfig()
+	cfg.Warmup = len(accs) - 1
+	_, err := Run(cfg, accs, nil)
+	if err == nil {
+		t.Fatal("Run accepted an empty measured window")
+	}
+	if !strings.Contains(err.Error(), "core 0") {
+		t.Errorf("error not positioned on the core: %v", err)
+	}
+	// An idle core (empty trace) sharing the machine is still fine.
+	res, err := RunMulti(DefaultConfig(), [][]trace.Access{seqTrace(100, 10), nil}, nil)
+	if err != nil {
+		t.Fatalf("idle co-runner: %v", err)
+	}
+	if res[1].Instructions != 0 || res[1].IPC != 0 {
+		t.Errorf("idle core result: %+v", res[1])
 	}
 }

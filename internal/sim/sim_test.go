@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"pathfinder/internal/telemetry"
 	"pathfinder/internal/trace"
 )
 
@@ -333,5 +334,54 @@ func TestRunLongerDRAMLatencyLowersIPC(t *testing.T) {
 	}
 	if sRes.IPC >= fRes.IPC {
 		t.Errorf("slower DRAM IPC %.3f >= faster %.3f", sRes.IPC, fRes.IPC)
+	}
+}
+
+// BenchmarkRunWithPrefetch replays the same stream with a perfect next-use
+// prefetch file — the late-prefetch/inflight-fill machinery on its hot path.
+func BenchmarkRunWithPrefetch(b *testing.B) {
+	accs := seqTrace(100_000, 30)
+	pfs := make([]trace.Prefetch, 0, len(accs))
+	for i := 0; i+1 < len(accs); i++ {
+		pfs = append(pfs, trace.Prefetch{ID: accs[i].ID, Addr: accs[i+1].Addr})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(DefaultConfig(), accs, pfs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMultiShared exercises the shared-LLC contention path: two
+// cores with disjoint streams through one LLC and memory controller.
+func BenchmarkRunMultiShared(b *testing.B) {
+	a := seqTrace(50_000, 30)
+	c := seqTrace(50_000, 30)
+	for i := range c {
+		c[i].Addr += 1 << 42
+	}
+	cores := [][]trace.Access{a, c}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunMulti(DefaultConfig(), cores, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetry is BenchmarkRunNoPrefetch with the metric handles
+// bound, documenting the enabled-telemetry overhead of the simulator (the
+// per-access cost is one pointer load in the DRAM path plus an end-of-run
+// flush; the acceptance bar is <5%).
+func BenchmarkRunTelemetry(b *testing.B) {
+	EnableTelemetry(telemetry.NewRegistry())
+	defer EnableTelemetry(nil)
+	accs := seqTrace(100_000, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(DefaultConfig(), accs, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -406,6 +406,9 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 	// A monitor must observe every tick, so it disables fast-forwarding.
 	fastOK := n.fastOK && n.monitor == nil
 
+	// Telemetry accumulators: plain locals flushed once after the loop.
+	var mTicks, mFfwd, mFfwdTicks, mCand, mDep, mPot uint64
+
 	for t := 1; t <= ticks; {
 		// Event-driven quiescence skip: with no pending input spikes, no
 		// live refractory counter on either layer and no inhibition
@@ -418,12 +421,15 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		if fastOK && refracCntE == 0 && refracCntI == 0 && holdCnt == 0 {
 			if next := n.nextSpikeTick(t); next > t {
 				n.fastForward(next - t)
+				mFfwd++
+				mFfwdTicks += uint64(next - t)
 				t = next
 				continue
 			}
 		}
 
 		n.tick++
+		mTicks++
 		// 1. This tick's input spikes, cut from the prebuilt schedule.
 		preSpikes := n.scrSched[n.scrSchedOff[t-1]:n.scrSchedOff[t]]
 
@@ -526,6 +532,7 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// subsequent iterations filter the survivors instead of
 		// rescanning all neurons.
 		tickFired := n.scrTickFire[:0]
+		mCand += uint64(len(cand))
 		for len(cand) > 0 {
 			best := cand[0]
 			for _, j := range cand[1:] {
@@ -582,6 +589,7 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// only for neurons that fired this interval, so depression visits
 		// only those columns.
 		if learn && len(firedList) > 0 {
+			mDep += uint64(len(preSpikes)) * uint64(len(firedList))
 			for _, i := range preSpikes {
 				row := n.w[i*nn : (i+1)*nn]
 				for _, j := range firedList {
@@ -607,6 +615,7 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// call in a tick, so visiting them in fire order instead of the
 		// reference loop's index order yields bit-identical weights.
 		if learn && len(tickFired) > 0 {
+			mPot += uint64(len(tickFired)) * uint64(len(active))
 			for _, j := range tickFired {
 				for _, i := range active {
 					n.decayPreTrace(i)
@@ -670,7 +679,9 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 	n.scrFired = firedList[:0]
 
 	best := -1
+	var mSpikes uint64
 	for j, c := range n.spikeCounts {
+		mSpikes += uint64(c)
 		if c > 0 && (best < 0 || c > n.spikeCounts[best]) {
 			best = j
 		}
@@ -681,6 +692,16 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 	}
 	res.Spikes = res.Spikes[:nn]
 	copy(res.Spikes, n.spikeCounts)
+	if m := snnTele.Load(); m != nil {
+		m.presents.Inc()
+		m.ticks.Add(mTicks)
+		m.spikes.Add(mSpikes)
+		m.fastForwards.Add(mFfwd)
+		m.fastForwardTicks.Add(mFfwdTicks)
+		m.wtaCandidates.Add(mCand)
+		m.stdpDepressions.Add(mDep)
+		m.stdpPotentiation.Add(mPot)
+	}
 	if pfdebugEnabled {
 		n.debugCheckInterval(ticks)
 	}
@@ -833,6 +854,22 @@ func (n *Network) PresentOneTickInto(res *Result, pixels []float64, learn bool) 
 		}
 		n.scrCand = append(n.scrCand[:0], best)
 		n.normalizeNeurons(n.scrCand)
+	}
+	if m := snnTele.Load(); m != nil {
+		m.oneTickPresents.Inc()
+		m.ticks.Inc()
+		if best >= 0 {
+			m.spikes.Inc()
+			if learn {
+				var act uint64
+				for _, p := range pixels {
+					if p > 0 {
+						act++
+					}
+				}
+				m.stdpPotentiation.Add(act)
+			}
+		}
 	}
 	if pfdebugEnabled {
 		// The internal spike accumulator is untouched in 1-tick mode and

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests (or a re-Enable) may call Serve repeatedly in
+// one process. The published Func reads the *current* global registry, so
+// re-enabling telemetry is reflected without re-publishing.
+var publishOnce sync.Once
+
+// Serve starts an HTTP listener on addr exposing:
+//
+//	/metrics     — JSON Snapshot of the registry
+//	/debug/vars  — standard expvar (includes a "pathfinder" var with the
+//	               same snapshot, plus Go runtime memstats/cmdline)
+//	/debug/pprof — the full net/http/pprof suite
+//
+// addr may use port 0 to pick a free port. Serve returns the bound
+// address and a shutdown func; it never blocks. The handlers are mounted
+// on a private mux so importing this package does not pollute
+// http.DefaultServeMux.
+func Serve(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+
+	publishOnce.Do(func() {
+		expvar.Publish("pathfinder", expvar.Func(func() any {
+			return Get().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := reg.Snapshot()
+		if snap == nil {
+			snap = &Snapshot{}
+		}
+		snap.TSNanos = time.Now().UnixNano()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

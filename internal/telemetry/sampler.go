@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sampler periodically snapshots a registry and appends each snapshot as
+// one JSON line (JSONL) to a writer — a cheap time series for a live grid
+// run. The sampler runs on its own goroutine and never touches engine
+// state beyond atomic loads, so it cannot perturb simulation dynamics.
+type Sampler struct {
+	reg      *Registry
+	w        io.Writer
+	interval time.Duration
+
+	mu     sync.Mutex // serialises writes with the final Stop flush
+	stop   chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+// NewSampler starts a sampler streaming snapshots of reg to w every
+// interval (minimum 10ms). Call Stop to flush a final snapshot and halt.
+func NewSampler(reg *Registry, w io.Writer, interval time.Duration) *Sampler {
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &Sampler{
+		reg:      reg,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample writes one snapshot line; errors on the writer are dropped (the
+// sampler is best-effort observability, never a failure source).
+func (s *Sampler) sample() {
+	snap := s.reg.Snapshot()
+	if snap == nil {
+		return
+	}
+	snap.TSNanos = time.Now().UnixNano()
+	line, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	if !s.closed {
+		s.w.Write(line)
+	}
+	s.mu.Unlock()
+}
+
+// Stop halts the sampling loop, writes one final snapshot, and marks the
+// sampler closed. Safe to call more than once.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	close(s.stop)
+	<-s.done
+	s.sample()
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+package pathfinder
+
+import (
+	"io"
+	"time"
+
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
+	"pathfinder/internal/sim"
+	"pathfinder/internal/snn"
+	"pathfinder/internal/telemetry"
+)
+
+// Telemetry types, exposed for programmatic access to the metrics the
+// instrumented layers record; see docs/observability.md for the catalogue.
+type (
+	// TelemetryRegistry holds the process's live counters, gauges and
+	// histograms while telemetry is enabled.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every metric, as
+	// embedded in RunReport.Telemetry and streamed by the JSONL sampler.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySampler periodically writes registry snapshots as JSON
+	// lines; see StartTelemetrySampler.
+	TelemetrySampler = telemetry.Sampler
+)
+
+// EnableTelemetry switches on metric recording across the whole stack —
+// the SNN, the timing simulator, the evaluation engine and the prefetch
+// drivers — and returns the fresh registry the layers now record into.
+// With telemetry off (the default) every record site costs a single
+// predictable branch and the hot paths stay allocation-free; enabling it
+// never changes simulated results, only observes them.
+func EnableTelemetry() *TelemetryRegistry {
+	r := telemetry.Enable()
+	snn.EnableTelemetry(r)
+	sim.EnableTelemetry(r)
+	runner.EnableTelemetry(r)
+	prefetch.EnableTelemetry(r)
+	return r
+}
+
+// DisableTelemetry unbinds every layer and discards the global registry,
+// returning the stack to its zero-overhead default.
+func DisableTelemetry() {
+	snn.EnableTelemetry(nil)
+	sim.EnableTelemetry(nil)
+	runner.EnableTelemetry(nil)
+	prefetch.EnableTelemetry(nil)
+	telemetry.Disable()
+}
+
+// TelemetrySnapshotNow returns a copy of the current metric values, or nil
+// when telemetry is disabled.
+func TelemetrySnapshotNow() *TelemetrySnapshot { return telemetry.GlobalSnapshot() }
+
+// ServeTelemetry starts an HTTP server on addr (host:port; port 0 picks a
+// free one) exposing /metrics (JSON snapshot), /debug/vars (expvar) and
+// /debug/pprof. It returns the bound address and a shutdown function.
+// Call EnableTelemetry first; with telemetry off the endpoints serve empty
+// snapshots.
+func ServeTelemetry(addr string) (string, func(), error) {
+	return telemetry.Serve(addr, telemetry.Get())
+}
+
+// StartTelemetrySampler streams one registry snapshot to w as a JSON line
+// every interval (floored at 10 ms) until Stop is called. Call
+// EnableTelemetry first.
+func StartTelemetrySampler(w io.Writer, interval time.Duration) *TelemetrySampler {
+	return telemetry.NewSampler(telemetry.Get(), w, interval)
+}
