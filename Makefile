@@ -5,8 +5,10 @@
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
 # brief budget. `make chaos` runs the fault-injection suite under the race
 # detector (see docs/resilience.md). `make bench-micro` records the SNN,
-# simulator and evaluation-engine benchmarks into BENCH_snn.json,
-# BENCH_sim.json and BENCH_runner.json (see docs/performance.md).
+# simulator, evaluation-engine and trace-codec benchmarks into
+# BENCH_snn.json, BENCH_sim.json, BENCH_runner.json and BENCH_trace.json
+# (see docs/performance.md; the streaming-replay benchmark lands in
+# BENCH_sim.json, the decoder/encoder ones in BENCH_trace.json).
 
 GO ?= go
 FUZZTIME ?= 15s
@@ -24,7 +26,7 @@ vet:
 
 race:
 	$(GO) test -race ./internal/runner/... ./internal/experiments/...
-	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/...
+	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/... ./internal/trace/...
 
 # Run the tests with the pfdebug invariant assertions enabled (LRU stack
 # property, DRAM bank legality, membrane/trace ranges, weight normalization).
@@ -43,6 +45,7 @@ chaos:
 fuzz-short:
 	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzPresent -fuzztime $(FUZZTIME)
 	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME)
+	$(GO) test -tags pfdebug ./internal/trace/ -run '^$$' -fuzz FuzzStreamRead -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -59,6 +62,8 @@ bench-micro:
 	  $(GO) run ./cmd/benchjson -o BENCH_snn.json
 	$(GO) test ./internal/sim ./internal/runner -run '^$$' -bench 'BenchmarkRun|BenchmarkEval' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
 	  $(GO) run ./cmd/benchjson -by-pkg .
-	@cat BENCH_snn.json BENCH_sim.json BENCH_runner.json
+	$(GO) test ./internal/trace -run '^$$' -bench 'BenchmarkReaderNext|BenchmarkRead$$|BenchmarkStreamEncode' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchjson -o BENCH_trace.json
+	@cat BENCH_snn.json BENCH_sim.json BENCH_runner.json BENCH_trace.json
 
 verify: build test vet race pfdebug

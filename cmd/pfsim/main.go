@@ -6,6 +6,14 @@
 //	pfsim -trace cc-5 -prefetcher pathfinder
 //	pfsim -trace 605-mcf-s1 -prefetcher pythia -loads 200000
 //	pfsim -trace-file my.pft -prefetcher bo
+//	tracegen -trace cc-5 -o - | pfsim -trace-file -
+//
+// Traces are never materialized: generated benchmarks stream from the
+// workload generator and trace files stream through the constant-memory
+// decoder (any container: PFT2, PFT3, or text). `-trace-file -` reads the
+// trace from stdin, spooling it to a temporary file so the evaluation's
+// baseline/generation/replay passes can each re-stream it; the evaluation
+// is cached under a content digest of the records (see docs/streaming.md).
 //
 // Prefetchers: none, nextline, bo, bo-throttled, stride, vldp, sms, spp,
 // sisb, isb, nextpage, pythia, pathfinder, pathfinder-1tick, ensemble
@@ -17,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,10 +40,14 @@ import (
 // so profiles survive error exits.
 var stopProfiles = func() {}
 
+// removeSpool deletes the stdin spool file, if any; fatal routes through it
+// so `-trace-file -` never leaks a temp file on error exits.
+var removeSpool = func() {}
+
 func main() {
 	var (
 		traceName = flag.String("trace", "cc-5", "benchmark name (see -list)")
-		traceFile = flag.String("trace-file", "", "read a PFT2 trace file instead of generating one")
+		traceFile = flag.String("trace-file", "", "stream a trace file (PFT2/PFT3/text) instead of generating one; - reads stdin")
 		pfName    = flag.String("prefetcher", "pathfinder", "prefetcher to evaluate")
 		loads     = flag.Int("loads", 100_000, "loads to generate")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -78,15 +91,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	accs, err := loadTrace(*traceFile, *traceName, *loads, *seed)
+	ti, err := resolveTrace(*traceFile, *traceName, *loads, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	defer removeSpool()
+	if ti.loads == 0 {
+		fatal(fmt.Errorf("empty trace"))
 	}
 	cfg := pathfinder.ScaledSimConfig()
 	if *fullSim {
 		cfg = pathfinder.DefaultSimConfig()
 	}
-	cfg.Warmup = len(accs) / 10
+	cfg.Warmup = ti.loads / 10
 
 	var pfs []pathfinder.PrefetchEntry
 	label := *pfName
@@ -103,7 +120,7 @@ func main() {
 		label = "file:" + *pfIn
 	} else {
 		var err error
-		pfs, label, err = generate(*pfName, accs, *seed)
+		pfs, label, err = generate(ctx, *pfName, ti.open, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,6 +139,17 @@ func main() {
 		}
 	}
 	if *coRunner != "" {
+		// Multi-core mode needs the primary trace twice (solo baseline and
+		// shared run) and mutates the co-runner's addresses, so both are
+		// materialized; everything else in pfsim streams.
+		src, err := ti.open(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		accs, err := pathfinder.CollectTrace(src)
+		if err != nil {
+			fatal(err)
+		}
 		base, err := pathfinder.Simulate(cfg, accs, nil)
 		if err != nil {
 			fatal(err)
@@ -167,7 +195,7 @@ func main() {
 	// no-prefetch baseline and the prefetch replay are one EvalJob, and the
 	// engine's progress sink reports simulation throughput on stderr.
 	r := pathfinder.NewRunner(pathfinder.RunnerConfig{
-		Loads: len(accs), Seed: *seed, Sim: cfg, Parallelism: 1,
+		Loads: ti.loads, Seed: *seed, Sim: cfg, Parallelism: 1,
 		MaxAttempts: *retries, JobTimeout: *timeout, Journal: journal,
 		Progress: func(p pathfinder.RunnerProgress) {
 			rate := 0.0
@@ -182,13 +210,13 @@ func main() {
 		pfs = []pathfinder.PrefetchEntry{} // an explicitly empty prefetch file
 	}
 	res, err := r.Eval(ctx, pathfinder.EvalJob{
-		Trace: *traceName, Accs: accs, Label: label, File: pfs,
+		Trace: *traceName, Source: ti.open, SourceKey: ti.key, Label: label, File: pfs,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("trace            %s (%d loads)\n", *traceName, len(accs))
+	fmt.Printf("trace            %s (%d loads)\n", *traceName, ti.loads)
 	fmt.Printf("prefetcher       %s\n", label)
 	fmt.Printf("baseline IPC     %.3f (LLC misses %d)\n", res.BaselineIPC, res.BaselineMisses)
 	fmt.Printf("IPC              %.3f (%+.1f%%)\n", res.IPC, 100*(res.IPC/res.BaselineIPC-1))
@@ -197,22 +225,117 @@ func main() {
 	fmt.Printf("issued / useful  %d / %d\n", res.Issued, res.Useful)
 }
 
-func loadTrace(file, name string, loads int, seed int64) ([]pathfinder.Access, error) {
-	if file == "" {
-		return pathfinder.GenerateTrace(name, loads, seed)
-	}
-	f, err := os.Open(file)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return trace.Read(f)
+// traceInput is the evaluation's view of the trace: a known length, a
+// cache identity, and a factory that opens a fresh stream over the same
+// records for each of the evaluation's replays.
+type traceInput struct {
+	loads int
+	key   string
+	open  func(context.Context) (pathfinder.TraceSource, error)
 }
 
-// generate builds the named prefetcher's prefetch file for the trace.
-func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.PrefetchEntry, string, error) {
+// resolveTrace builds the streaming trace input. Generated benchmarks
+// stream straight from the workload generator, keyed by their generator
+// spec; trace files re-stream from disk, keyed by a content digest pinned
+// in one up-front pass (which also fixes the length the warmup is derived
+// from). `-trace-file -` first spools stdin to a temporary file so the
+// evaluation's baseline/generation/replay passes can each re-open it.
+func resolveTrace(file, name string, loads int, seed int64) (traceInput, error) {
+	if file == "" {
+		return traceInput{
+			loads: loads,
+			key:   fmt.Sprintf("gen:%s:%d:%d", name, loads, seed),
+			open: func(context.Context) (pathfinder.TraceSource, error) {
+				return pathfinder.GenerateTraceSource(name, loads, seed)
+			},
+		}, nil
+	}
+	if file == "-" {
+		spool, err := spoolStdin()
+		if err != nil {
+			return traceInput{}, err
+		}
+		file = spool
+	}
+	hash, n, err := digestTrace(file)
+	if err != nil {
+		return traceInput{}, err
+	}
+	return traceInput{
+		loads: int(n),
+		key:   fmt.Sprintf("pft:%016x:%d", hash, n),
+		open: func(context.Context) (pathfinder.TraceSource, error) {
+			tf, err := pathfinder.OpenTraceFile(file)
+			if err != nil {
+				return nil, err
+			}
+			return fileSource{tf}, nil
+		},
+	}, nil
+}
+
+// spoolStdin copies stdin to a temporary file and arms removeSpool to
+// delete it on exit.
+func spoolStdin() (string, error) {
+	f, err := os.CreateTemp("", "pfsim-stdin-*.pft")
+	if err != nil {
+		return "", err
+	}
+	removeSpool = func() { os.Remove(f.Name()) }
+	if _, err := io.Copy(f, os.Stdin); err != nil {
+		f.Close()
+		return "", fmt.Errorf("spooling stdin: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// digestTrace streams the file once through the decoder and returns the
+// FNV-1a content hash and record count — the evaluation's cache identity.
+func digestTrace(path string) (uint64, uint64, error) {
+	tf, err := pathfinder.OpenTraceFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tf.Close()
+	return pathfinder.HashTraceSource(tf)
+}
+
+// fileSource closes the underlying trace file once the stream reaches its
+// terminal state (EOF or a decode error), so the evaluation's repeated
+// re-opens do not leak descriptors.
+type fileSource struct{ tf *pathfinder.TraceFile }
+
+func (s fileSource) Next(a *pathfinder.Access) error {
+	err := s.tf.Next(a)
+	if err != nil {
+		s.tf.Close()
+	}
+	return err
+}
+
+func (s fileSource) Remaining() (uint64, bool) { return s.tf.Remaining() }
+
+// generate builds the named prefetcher's prefetch file by streaming the
+// trace from a fresh source; open is called once per generation (the
+// offline learners collect the records they need a full slice of).
+func generate(ctx context.Context, name string, open func(context.Context) (pathfinder.TraceSource, error), seed int64) ([]pathfinder.PrefetchEntry, string, error) {
 	online := func(p pathfinder.OnlinePrefetcher) ([]pathfinder.PrefetchEntry, string, error) {
-		return pathfinder.GeneratePrefetches(p, accs, pathfinder.Budget), p.Name(), nil
+		src, err := open(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		pfs, err := pathfinder.GeneratePrefetchesStream(ctx, p, src, pathfinder.Budget)
+		return pfs, p.Name(), err
+	}
+	collect := func() ([]pathfinder.Access, error) {
+		src, err := open(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return pathfinder.CollectTrace(src)
 	}
 	switch strings.ToLower(name) {
 	case "none":
@@ -263,8 +386,12 @@ func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.P
 		if err != nil {
 			return nil, "", err
 		}
-		pfs := pathfinder.GeneratePrefetches(pf, accs, pathfinder.Budget)
-		return pfs, "Pathfinder-1tick", nil
+		src, err := open(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		pfs, err := pathfinder.GeneratePrefetchesStream(ctx, pf, src, pathfinder.Budget)
+		return pfs, "Pathfinder-1tick", err
 	case "ensemble":
 		cfg := pathfinder.DefaultConfig()
 		cfg.Seed = seed
@@ -276,11 +403,19 @@ func generate(name string, accs []pathfinder.Access, seed int64) ([]pathfinder.P
 	case "deltalstm":
 		cfg := pathfinder.DefaultDeltaLSTMConfig()
 		cfg.Seed = seed
+		accs, err := collect()
+		if err != nil {
+			return nil, "", err
+		}
 		pfs, err := pathfinder.GenerateDeltaLSTM(cfg, accs, pathfinder.Budget)
 		return pfs, "DeltaLSTM", err
 	case "voyager":
 		cfg := pathfinder.DefaultVoyagerConfig()
 		cfg.Seed = seed
+		accs, err := collect()
+		if err != nil {
+			return nil, "", err
+		}
 		pfs, err := pathfinder.GenerateVoyager(cfg, accs, pathfinder.Budget)
 		return pfs, "Voyager", err
 	}
@@ -334,5 +469,6 @@ func setupTelemetry(print bool, addr, jsonl string) (func(), error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pfsim:", err)
 	stopProfiles()
+	removeSpool()
 	os.Exit(1)
 }

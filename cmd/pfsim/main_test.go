@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathfinder"
+	"pathfinder/internal/trace"
+)
+
+// TestResolveTraceGenerated pins the generated-benchmark path: the input
+// streams from the workload generator and is keyed by its generator spec.
+func TestResolveTraceGenerated(t *testing.T) {
+	ti, err := resolveTrace("", "cc-5", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.loads != 500 {
+		t.Fatalf("loads = %d, want 500", ti.loads)
+	}
+	if ti.key != "gen:cc-5:500:3" {
+		t.Fatalf("key = %q", ti.key)
+	}
+	src, err := ti.open(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pathfinder.CollectTrace(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pathfinder.GenerateTrace("cc-5", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed generated trace differs from GenerateTrace")
+	}
+}
+
+// TestResolveTraceFile pins the file path: the length and content-digest
+// key come from one up-front pass, and open re-streams the same records
+// each time it is called.
+func TestResolveTraceFile(t *testing.T) {
+	want, err := pathfinder.GenerateTrace("cc-5", 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cc5.pft")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ti, err := resolveTrace(path, "ignored", 123, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.loads != 400 {
+		t.Fatalf("loads = %d, want 400", ti.loads)
+	}
+	if !strings.HasPrefix(ti.key, "pft:") || !strings.HasSuffix(ti.key, ":400") {
+		t.Fatalf("key = %q, want pft:<hash>:400", ti.key)
+	}
+	// The evaluation opens the source several times; each open must yield
+	// the identical stream.
+	for i := 0; i < 2; i++ {
+		src, err := ti.open(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pathfinder.CollectTrace(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("open %d: streamed file differs from written records", i)
+		}
+	}
+}
+
+// TestResolveTraceFileMissing pins the error for a nonexistent file.
+func TestResolveTraceFileMissing(t *testing.T) {
+	if _, err := resolveTrace(filepath.Join(t.TempDir(), "nope.pft"), "", 0, 1); err == nil {
+		t.Fatal("want error for missing trace file")
+	}
+}
+
+// TestGenerateStream pins that the source-factory generate matches the
+// slice-based prefetch generation for an online prefetcher.
+func TestGenerateStream(t *testing.T) {
+	accs, err := pathfinder.GenerateTrace("cc-5", 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func(context.Context) (pathfinder.TraceSource, error) {
+		return pathfinder.NewSliceTraceSource(accs), nil
+	}
+	got, label, err := generate(context.Background(), "bo", open, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "BO" {
+		t.Fatalf("label = %q, want BO", label)
+	}
+	want := pathfinder.GeneratePrefetches(pathfinder.NewBestOffset(), accs, pathfinder.Budget)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("streamed generation differs from slice generation")
+	}
+}

@@ -7,8 +7,13 @@
 // Usage:
 //
 //	pfviz -trace cc-5 -loads 40000          # train on a benchmark, then dump
+//	pfviz -trace-file my.pft                # train by streaming a trace file
 //	pfviz -state trained.pfs                # dump a saved prefetcher
 //	pfviz -trace cc-5 -save trained.pfs     # train and persist
+//
+// Training streams the trace — generated benchmarks come straight from the
+// workload generator and files go through the constant-memory decoder — so
+// the training set is never materialized.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pfviz", flag.ContinueOnError)
 	var (
 		traceName = fs.String("trace", "cc-5", "benchmark to train on (ignored with -state)")
+		traceFile = fs.String("trace-file", "", "stream a trace file (PFT2/PFT3/text) to train on instead of generating one")
 		loads     = fs.Int("loads", 40_000, "loads to train on")
 		seed      = fs.Int64("seed", 1, "random seed")
 		state     = fs.String("state", "", "load a saved prefetcher instead of training")
@@ -45,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	pf, err := obtain(stdout, *state, *traceName, *loads, *seed)
+	pf, err := obtain(stdout, *state, *traceFile, *traceName, *loads, *seed)
 	if err != nil {
 		return err
 	}
@@ -68,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-func obtain(stdout io.Writer, state, traceName string, loads int, seed int64) (*pathfinder.Prefetcher, error) {
+func obtain(stdout io.Writer, state, traceFile, traceName string, loads int, seed int64) (*pathfinder.Prefetcher, error) {
 	if state != "" {
 		f, err := os.Open(state)
 		if err != nil {
@@ -77,9 +83,20 @@ func obtain(stdout io.Writer, state, traceName string, loads int, seed int64) (*
 		defer f.Close()
 		return pathfinder.LoadPrefetcher(f)
 	}
-	accs, err := pathfinder.GenerateTrace(traceName, loads, seed)
-	if err != nil {
-		return nil, err
+	var src pathfinder.TraceSource
+	label := traceName
+	if traceFile != "" {
+		tf, err := pathfinder.OpenTraceFile(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer tf.Close()
+		src, label = tf, traceFile
+	} else {
+		var err error
+		if src, err = pathfinder.GenerateTraceSource(traceName, loads, seed); err != nil {
+			return nil, err
+		}
 	}
 	cfg := pathfinder.DefaultConfig()
 	cfg.Seed = seed
@@ -87,11 +104,20 @@ func obtain(stdout io.Writer, state, traceName string, loads int, seed int64) (*
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range accs {
+	var a pathfinder.Access
+	n := 0
+	for {
+		if err := src.Next(&a); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
 		pf.Advise(a, pathfinder.Budget)
+		n++
 	}
 	fmt.Fprintf(stdout, "trained on %s (%d loads): %d SNN queries, %d prefetches issued\n\n",
-		traceName, loads, pf.Stats().Queries, pf.Stats().Issued)
+		label, n, pf.Stats().Queries, pf.Stats().Issued)
 	return pf, nil
 }
 

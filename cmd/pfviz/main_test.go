@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pathfinder"
+	"pathfinder/internal/trace"
 )
 
 // TestRunTrainAndDump smoke-tests the train-then-dump path on a tiny trace:
@@ -49,6 +53,42 @@ func TestRunSaveAndReload(t *testing.T) {
 	}
 	if !strings.Contains(out, "Inference Table") {
 		t.Errorf("reloaded dump missing the inference table:\n%s", out)
+	}
+}
+
+// TestRunTraceFile pins -trace-file training: streaming an encoded trace
+// file must train the identical prefetcher as generating the benchmark,
+// proven by comparing the two dumps verbatim.
+func TestRunTraceFile(t *testing.T) {
+	accs, err := pathfinder.GenerateTrace("cc-5", 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cc5.pft")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, accs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromFile, fromGen strings.Builder
+	if err := run([]string{"-trace-file", path, "-top", "2"}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace", "cc-5", "-loads", "3000", "-top", "2"}, &fromGen); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(fromFile.String(), path, "cc-5")
+	if got != fromGen.String() {
+		t.Error("-trace-file dump differs from generated-trace dump on the same records")
+	}
+	if !strings.Contains(fromFile.String(), "trained on "+path+" (3000 loads)") {
+		t.Errorf("missing streamed-training header:\n%s", fromFile.String())
 	}
 }
 

@@ -1,10 +1,12 @@
-// Command tracegen writes synthetic benchmark traces to disk in the PFT2
-// binary format, for use with pfsim -trace-file or external tooling.
-//
-// Usage:
+// Command tracegen writes synthetic benchmark traces in the streaming
+// PFT3 binary format, for use with pfsim -trace-file or external tooling.
+// Records are encoded as they are generated — peak memory is the
+// generator state, not the trace — so -loads can exceed RAM, and `-o -`
+// pipes the trace to stdout for composition:
 //
 //	tracegen -trace cc-5 -loads 1000000 -o cc5.pft
 //	tracegen -all -loads 100000 -dir traces/
+//	tracegen -trace cc-5 -o - | pfsim -trace-file -
 package main
 
 import (
@@ -35,9 +37,9 @@ func run(args []string, stdout io.Writer) error {
 		all   = fs.Bool("all", false, "generate every benchmark of the suite")
 		loads = fs.Int("loads", 100_000, "loads per trace")
 		seed  = fs.Int64("seed", 1, "random seed")
-		out   = fs.String("o", "", "output file (single trace)")
+		out   = fs.String("o", "", "output file for a single trace; - streams to stdout")
 		dir   = fs.String("dir", ".", "output directory (with -all)")
-		stats = fs.Bool("stats", false, "also print Table 7/8-style delta statistics")
+		stats = fs.Bool("stats", false, "also print Table 7/8-style delta statistics (materializes the trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	for _, n := range names {
-		accs, err := pathfinder.GenerateTrace(n, *loads, *seed)
+		src, err := pathfinder.GenerateTraceSource(n, *loads, *seed)
 		if err != nil {
 			return err
 		}
@@ -62,24 +64,60 @@ func run(args []string, stdout io.Writer) error {
 		if path == "" || *all {
 			path = filepath.Join(*dir, n+".pft")
 		}
-		f, err := os.Create(path)
+		// With the trace on stdout, the summary moves to stderr.
+		status := stdout
+		var w io.Writer
+		var f *os.File
+		if path == "-" {
+			w, status = stdout, os.Stderr
+		} else {
+			if f, err = os.Create(path); err != nil {
+				return err
+			}
+			w = f
+		}
+		count, accs, err := encode(w, src, *stats)
+		if err == nil && f != nil {
+			err = f.Close()
+		} else if f != nil {
+			f.Close()
+		}
 		if err != nil {
 			return err
 		}
-		if err := trace.Write(f, accs); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "%s: %d loads -> %s\n", n, len(accs), path)
+		fmt.Fprintf(status, "%s: %d loads -> %s\n", n, count, path)
 		if *stats {
 			st := workload.ComputeDeltaStats(accs, 31, 15)
-			fmt.Fprintf(stdout, "  deltas %d, in(-31,31) %d, in(-15,15) %d; per-1K: %.0f deltas, %.0f distinct, top5 %.0f\n",
+			fmt.Fprintf(status, "  deltas %d, in(-31,31) %d, in(-15,15) %d; per-1K: %.0f deltas, %.0f distinct, top5 %.0f\n",
 				st.Deltas, st.InRange[31], st.InRange[15],
 				st.PerWindow.AvgDeltas, st.PerWindow.AvgDistinct, st.PerWindow.AvgTop5)
 		}
 	}
 	return nil
+}
+
+// encode streams src through the incremental PFT3 encoder into w,
+// returning the record count. The records themselves are retained only
+// when keep is set (the -stats path, which needs the full slice).
+func encode(w io.Writer, src pathfinder.TraceSource, keep bool) (int, []pathfinder.Access, error) {
+	enc := trace.NewWriter(w)
+	var accs []pathfinder.Access
+	var a pathfinder.Access
+	n := 0
+	for {
+		if err := src.Next(&a); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return n, nil, err
+		}
+		if err := enc.Write(a); err != nil {
+			return n, nil, err
+		}
+		if keep {
+			accs = append(accs, a)
+		}
+		n++
+	}
+	return n, accs, enc.Flush()
 }

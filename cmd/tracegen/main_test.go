@@ -1,11 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"pathfinder"
 	"pathfinder/internal/trace"
 )
 
@@ -74,5 +77,25 @@ func TestRunNoArgsErrors(t *testing.T) {
 	var buf strings.Builder
 	if err := run(nil, &buf); err == nil {
 		t.Fatal("run with no -trace/-all succeeded, want an error")
+	}
+}
+
+// TestRunStdout pins the `-o -` piping mode: the binary stream goes to
+// stdout and must decode to exactly the records a file run would write.
+func TestRunStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "cc-5", "-loads", "300", "-o", "-"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	accs, err := trace.Read(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("stdout is not a decodable trace stream: %v", err)
+	}
+	want, err := pathfinder.GenerateTrace("cc-5", 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(accs, want) {
+		t.Fatal("piped trace differs from the generated records")
 	}
 }

@@ -2,6 +2,7 @@ package pathfinder
 
 import (
 	"context"
+	"reflect"
 	"testing"
 )
 
@@ -117,5 +118,43 @@ func TestEvaluateZeroWarmupPinned(t *testing.T) {
 	}
 	if got != want {
 		t.Errorf("zero-warmup semantics drifted:\n got  %+v\n want %+v", got, want)
+	}
+}
+
+// TestGenerateTraceMatchesSource pins the deprecated materializing
+// generator against the streaming one: for both a synthetic spec and an
+// executed graph kernel, GenerateTrace must return exactly the records
+// GenerateTraceSource streams.
+func TestGenerateTraceMatchesSource(t *testing.T) {
+	for _, name := range []string{"cc-5", "605-mcf-s1", "bfs-csr"} {
+		want, err := GenerateTrace(name, 3000, 11)
+		if err != nil {
+			t.Fatalf("GenerateTrace(%s): %v", name, err)
+		}
+		src, err := GenerateTraceSource(name, 3000, 11)
+		if err != nil {
+			t.Fatalf("GenerateTraceSource(%s): %v", name, err)
+		}
+		got, err := CollectTrace(src)
+		if err != nil {
+			t.Fatalf("CollectTrace(%s): %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streamed trace differs from GenerateTrace", name)
+		}
+	}
+}
+
+// TestGeneratePrefetchesMatchesStream pins the deprecated slice-driven
+// generation against the streaming driver.
+func TestGeneratePrefetchesMatchesStream(t *testing.T) {
+	accs, _ := deprecatedTestTrace(t)
+	want := GeneratePrefetches(NewBestOffset(), accs, 2)
+	got, err := GeneratePrefetchesStream(context.Background(), NewBestOffset(), NewSliceTraceSource(accs), 2)
+	if err != nil {
+		t.Fatalf("GeneratePrefetchesStream: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed prefetch file differs: %d vs %d entries", len(got), len(want))
 	}
 }

@@ -7,6 +7,7 @@ package prefetch
 
 import (
 	"context"
+	"io"
 
 	"pathfinder/internal/trace"
 )
@@ -37,25 +38,50 @@ func GenerateFile(p Prefetcher, accs []trace.Access, budget int) []trace.Prefetc
 }
 
 // GenerateFileCtx is GenerateFile with cancellation: it polls ctx every
-// few thousand accesses and returns ctx.Err() when cancelled. It is on
-// every evaluation's hot path, so the output is allocated once at the
-// budget-implied capacity (len(accs)*budget entries) and the per-access
-// advice slice is truncated in place rather than copied.
+// few thousand accesses and returns ctx.Err() when cancelled. It is the
+// materialized entry to GenerateFileStreamCtx — the slice's known length
+// pre-sizes the output at the budget-implied capacity, and the streaming
+// path does all the work, so the two cannot drift.
 func GenerateFileCtx(ctx context.Context, p Prefetcher, accs []trace.Access, budget int) ([]trace.Prefetch, error) {
+	return GenerateFileStreamCtx(ctx, p, trace.NewSliceSource(accs), budget)
+}
+
+// GenerateFileStreamCtx drives a Prefetcher over a trace.Source, one
+// access at a time, collecting its suggestions into a prefetch file. Only
+// the prefetch file is materialized — it is what the simulator replays —
+// so generation over an arbitrarily long trace holds one Access at a time
+// plus the file itself. Sources exposing Remaining() (uint64, bool) get a
+// pre-sized output; the per-access advice slice is truncated in place
+// rather than copied.
+func GenerateFileStreamCtx(ctx context.Context, p Prefetcher, src trace.Source, budget int) ([]trace.Prefetch, error) {
 	if budget <= 0 {
 		budget = Budget
 	}
-	out := make([]trace.Prefetch, 0, len(accs)*budget)
+	var out []trace.Prefetch
+	if s, ok := src.(interface{ Remaining() (uint64, bool) }); ok {
+		if n, known := s.Remaining(); known {
+			out = make([]trace.Prefetch, 0, n*uint64(budget))
+		}
+	}
 	// Telemetry accumulators: per-access degrees land in a small local
 	// bucket array (degree is budget-bounded) flushed once at the end.
 	var truncations uint64
 	var degCounts [16]uint64
-	for i, a := range accs {
+	var consumed uint64
+	var a trace.Access
+	for i := 0; ; i++ {
 		if i&2047 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
+		if err := src.Next(&a); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		consumed++
 		addrs := p.Advise(a, budget)
 		if len(addrs) > budget {
 			addrs = addrs[:budget]
@@ -72,7 +98,7 @@ func GenerateFileCtx(ctx context.Context, p Prefetcher, accs []trace.Access, bud
 	}
 	if m := prefetchTele.Load(); m != nil {
 		m.generations.Inc()
-		m.advises.Add(uint64(len(accs)))
+		m.advises.Add(consumed)
 		m.issued.Add(uint64(len(out)))
 		m.truncated.Add(truncations)
 		for d, n := range degCounts {

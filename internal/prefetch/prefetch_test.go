@@ -1,6 +1,9 @@
 package prefetch
 
 import (
+	"bytes"
+	"context"
+	"reflect"
 	"testing"
 
 	"pathfinder/internal/trace"
@@ -302,5 +305,51 @@ func BenchmarkPythia(b *testing.B) {
 	p := NewPythia(1)
 	for i := 0; i < b.N; i++ {
 		p.Advise(acc(uint64(i+1), 1, uint64(i)), 2)
+	}
+}
+
+// TestGenerateFileStreamParity checks generation over a decoder-backed
+// stream (encode -> stream-decode -> generate) is bit-identical to
+// generation over the slice, including for a stateful learner.
+func TestGenerateFileStreamParity(t *testing.T) {
+	var accs []trace.Access
+	for i := uint64(0); i < 4000; i++ {
+		accs = append(accs, acc(i+1, i%7, i*3))
+	}
+	want, err := GenerateFileCtx(context.Background(), NewBestOffset(), accs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, trace.NewSliceSource(accs)); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateFileStreamCtx(context.Background(), NewBestOffset(), rd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed prefetch file differs: %d vs %d prefetches", len(got), len(want))
+	}
+}
+
+// TestGenerateFileStreamPropagatesError checks a mid-stream decode error
+// aborts generation with the positioned error.
+func TestGenerateFileStreamPropagatesError(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf, trace.NewSliceSource([]trace.Access{acc(1, 1, 10), acc(2, 1, 20)})); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-1]
+	rd, err := trace.NewReader(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateFileStreamCtx(context.Background(), &NextLine{}, rd, 2); err == nil {
+		t.Fatal("generation swallowed a truncated stream")
 	}
 }

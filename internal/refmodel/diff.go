@@ -1,6 +1,7 @@
 package refmodel
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 
@@ -224,6 +225,45 @@ func DiffRun(cfg sim.Config, cores [][]trace.Access, pfs [][]trace.Prefetch) err
 	for i := range r1 {
 		if r1[i] != r2[i] {
 			return fmt.Errorf("core %d: result %+v, reference %+v", i, r1[i], r2[i])
+		}
+	}
+	return nil
+}
+
+// DiffRunStream is DiffRun over the streaming replay pipeline end to end:
+// each core's trace is encoded to the unbounded binary container, decoded
+// back through the streaming trace.Reader, and replayed by
+// sim.RunMultiStream, with the reference model still fed the slices. Any
+// divergence anywhere in encode → stream-decode → windowed replay — a
+// record mangled by the codec, a window-boundary artifact in the
+// scheduler — shows up as a Result mismatch.
+func DiffRunStream(cfg sim.Config, cores [][]trace.Access, pfs [][]trace.Prefetch) error {
+	srcs := make([]trace.Source, len(cores))
+	for i, accs := range cores {
+		var buf bytes.Buffer
+		if err := trace.Encode(&buf, trace.NewSliceSource(accs)); err != nil {
+			return fmt.Errorf("core %d: encoding trace stream: %w", i, err)
+		}
+		rd, err := trace.NewReader(&buf)
+		if err != nil {
+			return fmt.Errorf("core %d: opening trace stream: %w", i, err)
+		}
+		srcs[i] = rd
+	}
+	r1, e1 := sim.RunMultiStream(cfg, srcs, pfs)
+	r2, e2 := RunMulti(cfg, cores, pfs)
+	if (e1 == nil) != (e2 == nil) {
+		return fmt.Errorf("error divergence: sim stream %v, refmodel %v", e1, e2)
+	}
+	if e1 != nil {
+		return nil
+	}
+	if len(r1) != len(r2) {
+		return fmt.Errorf("%d results, reference %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			return fmt.Errorf("core %d: streamed result %+v, reference %+v", i, r1[i], r2[i])
 		}
 	}
 	return nil

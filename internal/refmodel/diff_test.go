@@ -310,6 +310,81 @@ func TestDiffRun(t *testing.T) {
 	}
 }
 
+// TestDiffRunStream drives the streaming replay pipeline (encode →
+// trace.Reader → sim.RunMultiStream) against the reference model over the
+// same randomized machine/workload grid as TestDiffRun — the oracle's
+// proof that windowed replay is bit-identical to slice replay.
+func TestDiffRunStream(t *testing.T) {
+	cases := 30
+	loads := 1500
+	if testing.Short() {
+		cases = 12
+		loads = 600
+	}
+	for i := 0; i < cases; i++ {
+		i := i
+		t.Run(caseName(i), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(9000 + i)))
+			cfg := randomMachine(r)
+			nCores := 1 + r.Intn(3)
+			cores := make([][]trace.Access, nCores)
+			pfs := make([][]trace.Prefetch, nCores)
+			for c := range cores {
+				n := loads/2 + r.Intn(loads/2)
+				if r.Intn(20) == 0 {
+					n = 0 // an idle core must not perturb the others
+				}
+				cores[c] = randomTrace(r, n)
+				switch r.Intn(3) {
+				case 0: // no prefetching
+				default:
+					pfs[c] = randomPrefetchFile(r, cores[c])
+				}
+			}
+			if r.Intn(2) == 0 {
+				min := len(cores[0])
+				for _, c := range cores[1:] {
+					if len(c) < min {
+						min = len(c)
+					}
+				}
+				if min > 10 {
+					cfg.Warmup = 1 + r.Intn(min/2)
+				}
+			}
+			if err := DiffRunStream(cfg, cores, pfs); err != nil {
+				t.Fatalf("cfg %+v cores=%d: %v", cfg, nCores, err)
+			}
+		})
+	}
+}
+
+// TestDiffRunStreamRealWorkload pins the streaming oracle on the actual
+// evaluation flow, mirroring TestDiffRunRealWorkload.
+func TestDiffRunStreamRealWorkload(t *testing.T) {
+	loads := 8000
+	if testing.Short() {
+		loads = 2000
+	}
+	for _, name := range []string{"cc-5", "605-mcf-s1"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			accs, err := workload.Generate(name, loads, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file := prefetch.GenerateFile(&prefetch.NextLine{}, accs, 2)
+			cfg := sim.ScaledConfig()
+			cfg.Warmup = loads / 10
+			if err := DiffRunStream(cfg, [][]trace.Access{accs}, [][]trace.Prefetch{file}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+}
+
 // TestDiffRunRealWorkload pins the oracle against the actual evaluation
 // flow: a generated benchmark trace with a real prefetcher's file, replayed
 // on the scaled Table 3 machine.

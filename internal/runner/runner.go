@@ -137,11 +137,28 @@ func (c Config) WithJournal(j *Journal) Config {
 // prefetch-file generator, or a precomputed file.
 type Job struct {
 	// Trace names a workload (generated with the effective Loads/Seed and
-	// cached across jobs). Optional when Accs is set, but still used as
-	// the result label and the baseline-cache key.
+	// cached across jobs). Optional when Accs or Source is set, but still
+	// used as the result label and the baseline-cache key.
 	Trace string
 	// Accs, if non-nil, is the trace to replay (bypasses generation).
 	Accs []trace.Access
+	// Source, if non-nil, supplies the job's trace as a stream instead of
+	// a slice — the constant-memory path for traces too large to
+	// materialize. It is a factory, not a stream: the evaluation replays
+	// the trace up to three times (baseline, offline generation, timed
+	// run), calling Source once per replay, so every call must return a
+	// fresh Source positioned at the first record with identical records.
+	// Source supersedes Accs and Trace-generation; Trace remains the
+	// result label. When the stream's length is unknown (no Remaining),
+	// the default 10%-of-trace warmup is unavailable — warmup falls back
+	// to Job.Warmup, then Sim.Warmup, then zero.
+	Source func(ctx context.Context) (trace.Source, error)
+	// SourceKey is the cache identity of Source's records — a content
+	// digest (trace.HashSource), a file digest, or a generator spec
+	// string. It extends the journal cell key and keys the shared
+	// no-prefetch baseline cache; when empty the baseline is recomputed
+	// per cell and the journal key stays purely positional.
+	SourceKey string
 	// Label overrides the result's Prefetcher name.
 	Label string
 
@@ -232,10 +249,16 @@ type cell struct {
 
 // cellKey is the stable identity of a grid cell across runs of the same
 // sweep: position, trace, label, and the effective loads/seed. It is the
-// journal key and the fault-injection key.
+// journal key and the fault-injection key. A Source job's SourceKey is
+// appended only when present, so journals written before streaming jobs
+// existed resume under unchanged keys.
 func (r *Runner) cellKey(i int, job Job) string {
 	loads, seed, _ := r.effective(job)
-	return fmt.Sprintf("%d|%s|%s|%d|%d", i, job.Trace, job.Label, loads, seed)
+	key := fmt.Sprintf("%d|%s|%s|%d|%d", i, job.Trace, job.Label, loads, seed)
+	if job.SourceKey != "" {
+		key += "|" + job.SourceKey
+	}
+	return key
 }
 
 // Run evaluates the jobs across the worker pool and returns one Result
@@ -556,6 +579,9 @@ func resolveWarmup(jobWarmup, simWarmup, n int) int {
 // eval runs one job end to end: trace, baseline, prefetch file, timed
 // replay.
 func (r *Runner) eval(ctx context.Context, job Job, c cell) (Result, error) {
+	if job.Source != nil {
+		return r.evalStream(ctx, job, c)
+	}
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -624,6 +650,178 @@ func (r *Runner) eval(ctx context.Context, job Job, c cell) (Result, error) {
 		Cycles:      res.Cycles,
 		Wall:        time.Since(start),
 	}, nil
+}
+
+// evalStream is eval for Source jobs: the trace is never materialized —
+// each stage (baseline, generation, timed replay) streams its own fresh
+// resolution of the job's Source through the simulator's bounded replay
+// window, so the cell's heap usage is independent of trace length.
+func (r *Runner) evalStream(ctx context.Context, job Job, c cell) (Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	if err := r.inject(ctx, fault.SiteJobStart, c.key, c.attempt); err != nil {
+		return Result{}, err
+	}
+	_, _, cfg := r.effective(job)
+
+	// First resolution: probe the length (when the source knows it) for
+	// the warmup default, then feed the baseline replay. Sources with an
+	// unknown length default to zero warmup — there is no trace length to
+	// take 10% of.
+	if err := r.inject(ctx, fault.SiteTraceDecode, c.key, c.attempt); err != nil {
+		return Result{}, err
+	}
+	src, err := job.Source(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	n := 0
+	if s, ok := src.(interface{ Remaining() (uint64, bool) }); ok {
+		if rem, known := s.Remaining(); known {
+			if rem == 0 {
+				return Result{}, fmt.Errorf("empty trace")
+			}
+			n = int(rem)
+		}
+	}
+	cfg.Warmup = resolveWarmup(job.Warmup, cfg.Warmup, n)
+
+	var base baselineInfo
+	if job.Baseline != nil {
+		base.misses = *job.Baseline
+	} else {
+		base, err = r.baselineStream(ctx, job, cfg, src, c)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	pfs, label, err := r.prefetchFileStream(ctx, job, c)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := r.inject(ctx, fault.SiteSimulate, c.key, c.attempt); err != nil {
+		return Result{}, err
+	}
+	timed, err := job.Source(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.RunStreamCtx(ctx, cfg, timed, pfs)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Metrics: Metrics{
+			Prefetcher:     label,
+			Trace:          job.Trace,
+			IPC:            res.IPC,
+			Accuracy:       res.Accuracy(),
+			Coverage:       res.Coverage(base.misses),
+			Issued:         res.PrefIssued,
+			Useful:         res.PrefUseful,
+			BaselineMisses: base.misses,
+		},
+		BaselineIPC: base.ipc,
+		Cycles:      res.Cycles,
+		Wall:        time.Since(start),
+	}, nil
+}
+
+// baselineStream is baseline for Source jobs. src is the caller's already
+// resolved stream; the single-flight leader consumes it, and when the
+// cache already holds the entry (or another cell is computing it) the
+// unread stream is simply discarded. Caching requires a SourceKey — the
+// records have no other stable identity — and, as on the slice path, the
+// shared machine configuration.
+func (r *Runner) baselineStream(ctx context.Context, job Job, cfg sim.Config, src trace.Source, c cell) (baselineInfo, error) {
+	run := func() (baselineInfo, error) {
+		if err := r.inject(ctx, fault.SiteBaseline, c.key, c.attempt); err != nil {
+			return baselineInfo{}, err
+		}
+		if src == nil {
+			var err error
+			if src, err = job.Source(ctx); err != nil {
+				return baselineInfo{}, err
+			}
+		}
+		r.baselineSims.Add(1)
+		if m := runnerTele.Load(); m != nil {
+			m.baselineSims.Inc()
+		}
+		res, err := sim.RunStreamCtx(ctx, cfg, src, nil)
+		if err != nil {
+			return baselineInfo{}, fmt.Errorf("baseline simulation: %w", err)
+		}
+		return baselineInfo{ipc: res.IPC, misses: res.LLCLoadMisses}, nil
+	}
+	if job.Sim != nil || job.SourceKey == "" {
+		return run()
+	}
+	key := fmt.Sprintf("src\x00%s\x00%d", job.SourceKey, cfg.Warmup)
+	return r.baselines.Do(ctx, key, run)
+}
+
+// prefetchFileStream produces a Source job's prefetch file and result
+// label. Online prefetchers advise over the stream directly; GenFile
+// generators take a slice by signature, so a GenFile job collects the
+// stream first — offline trainers need the materialized trace anyway.
+func (r *Runner) prefetchFileStream(ctx context.Context, job Job, c cell) ([]trace.Prefetch, string, error) {
+	label := job.Label
+	switch {
+	case job.File != nil:
+		if label == "" {
+			label = "file"
+		}
+		return job.File, label, nil
+	case job.GenFile != nil:
+		if label == "" {
+			return nil, "", fmt.Errorf("GenFile job needs a Label")
+		}
+		if err := r.inject(ctx, fault.SitePrefetchGen, c.key, c.attempt); err != nil {
+			return nil, "", err
+		}
+		src, err := job.Source(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		accs, err := trace.Collect(src)
+		if err != nil {
+			return nil, "", err
+		}
+		pfs, err := job.GenFile(ctx, accs)
+		return pfs, label, err
+	case job.New != nil, job.Prefetcher != nil:
+		if err := r.inject(ctx, fault.SitePrefetchGen, c.key, c.attempt); err != nil {
+			return nil, "", err
+		}
+		p := job.Prefetcher
+		if job.New != nil {
+			var err error
+			if p, err = job.New(); err != nil {
+				return nil, "", err
+			}
+		}
+		budget := job.Budget
+		if budget <= 0 {
+			budget = prefetch.Budget
+		}
+		src, err := job.Source(ctx)
+		if err != nil {
+			return nil, "", err
+		}
+		pfs, err := prefetch.GenerateFileStreamCtx(ctx, p, src, budget)
+		if err != nil {
+			return nil, "", err
+		}
+		if label == "" {
+			label = p.Name()
+		}
+		return pfs, label, nil
+	}
+	return nil, "", fmt.Errorf("job has no prefetcher, generator, or file")
 }
 
 // baseline returns the trace's no-prefetch simulation, through the

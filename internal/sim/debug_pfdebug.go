@@ -96,7 +96,7 @@ func (s *sharedMemory) debugCheck() {
 	}
 	for i := range s.fills {
 		for _, k := range [2]int{2*i + 1, 2*i + 2} {
-			if k < len(s.fills) && s.fills.Less(k, i) {
+			if k < len(s.fills) && s.fills[k].before(s.fills[i]) {
 				panic(fmt.Sprintf("sim pfdebug: fill heap property violated at %d/%d", i, k))
 			}
 		}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // DRAMConfig describes the main-memory timing model (Table 3 of the paper:
 // one channel, 8 ranks × 8 banks, tRP = tRCD = tCAS = 12.5 ns, read queue
 // of 64 entries). Timings are expressed in core cycles; at the 4 GHz core
@@ -49,19 +47,47 @@ type dramBank struct {
 }
 
 // completionHeap is a min-heap of outstanding-request completion times used
-// to model read-queue occupancy.
+// to model read-queue occupancy. The sift operations are hand-rolled
+// rather than going through container/heap: the interface indirection
+// boxes every uint64, which put two allocations on the per-access hot
+// path and broke the streaming replay's constant-memory contract.
 type completionHeap []uint64
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *completionHeap) push(v uint64) {
+	s := append(*h, v)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *completionHeap) pop() uint64 {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s[r] < s[child] {
+			child = r
+		}
+		if s[i] <= s[child] {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
 }
 
 // DRAM models a bank-partitioned main memory with open-row policy and a
@@ -111,7 +137,7 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 	d.Reads++
 	// Drain completed requests from the queue-occupancy heap.
 	for len(d.outstanding) > 0 && d.outstanding[0] <= now {
-		heap.Pop(&d.outstanding)
+		d.outstanding.pop()
 	}
 	d.teleDepthCounts[len(d.outstanding)]++
 	start := now
@@ -120,7 +146,7 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 		// Queue full: wait for the earliest outstanding completion.
 		start = d.outstanding[0]
 		for len(d.outstanding) > 0 && d.outstanding[0] <= start {
-			heap.Pop(&d.outstanding)
+			d.outstanding.pop()
 		}
 	}
 
@@ -147,7 +173,7 @@ func (d *DRAM) Access(block uint64, now uint64) uint64 {
 	}
 	done := start + uint64(lat)
 	bank.readyAt = start + uint64(busy)
-	heap.Push(&d.outstanding, done)
+	d.outstanding.push(done)
 	if pfdebugEnabled {
 		d.debugCheckAccess(now, start, done, prevReadyAt, bank, row)
 	}

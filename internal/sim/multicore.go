@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -26,7 +25,7 @@ type sharedMemory struct {
 
 func (s *sharedMemory) drainFills(now uint64) {
 	for len(s.fills) > 0 && s.fills[0].ready <= now {
-		f := heap.Pop(&s.fills).(inflightFill)
+		f := s.fills.pop()
 		// The map entry may have been superseded (a demand consumed the
 		// in-flight fill); only fill if it still matches.
 		if r, ok := s.inflight[f.block]; ok && r == f.ready {
@@ -37,23 +36,25 @@ func (s *sharedMemory) drainFills(now uint64) {
 }
 
 // corePipeline is one core's private state: L1/L2, the retire/dispatch
-// model, its dependence chains, and its share of the prefetch file.
+// model, its dependence chains, and its share of the prefetch file. It
+// pulls accesses from a bounded replayWindow over a trace.Source, so a
+// core's heap footprint is independent of its trace length.
 type corePipeline struct {
-	cfg  Config
-	l1   *Cache
-	l2   *Cache
-	accs []trace.Access
-	pfs  []trace.Prefetch
+	cfg Config
+	l1  *Cache
+	l2  *Cache
+	win *replayWindow
+	pfs []trace.Prefetch
 
-	idx     int
-	retire  float64
-	ring    [512]retirePoint
-	ringLen int
-	ringPos int
-	chains  map[uint32]float64
-	pfIdx   int
-	prevID  uint64
-	firstID uint64
+	consumed int // accesses replayed so far
+	retire   float64
+	ring     [512]retirePoint
+	ringLen  int
+	ringPos  int
+	chains   map[uint32]float64
+	pfIdx    int
+	prevID   uint64
+	firstID  uint64
 
 	measuring  bool
 	warmCycles float64
@@ -61,18 +62,18 @@ type corePipeline struct {
 	res        Result
 }
 
-func newCorePipeline(cfg Config, accs []trace.Access, pfs []trace.Prefetch) *corePipeline {
+func newCorePipeline(cfg Config, win *replayWindow, pfs []trace.Prefetch) *corePipeline {
 	c := &corePipeline{
 		cfg:       cfg,
 		l1:        NewCache(cfg.L1Sets, cfg.L1Ways),
 		l2:        NewCache(cfg.L2Sets, cfg.L2Ways),
-		accs:      accs,
+		win:       win,
 		pfs:       pfs,
 		chains:    make(map[uint32]float64),
 		measuring: cfg.Warmup == 0,
 	}
-	if len(accs) > 0 {
-		c.prevID = accs[0].ID
+	if first, ok := win.peek(); ok {
+		c.prevID = first.ID
 		if c.prevID > 0 {
 			c.prevID--
 		}
@@ -97,14 +98,17 @@ func (c *corePipeline) dispatchTime(targetID uint64) float64 {
 }
 
 // done reports whether the core has consumed its whole trace.
-func (c *corePipeline) done() bool { return c.idx >= len(c.accs) }
+func (c *corePipeline) done() bool { return c.win.drained() }
 
 // step processes the core's next access against the shared memory system.
 func (c *corePipeline) step(mem *sharedMemory) error {
 	cfg := c.cfg
-	acc := c.accs[c.idx]
+	acc, ok := c.win.peek()
+	if !ok {
+		return fmt.Errorf("sim: step on a drained trace")
+	}
 	if acc.ID <= c.prevID {
-		return fmt.Errorf("sim: access %d has non-increasing ID %d (prev %d)", c.idx, acc.ID, c.prevID)
+		return fmt.Errorf("sim: access %d has non-increasing ID %d (prev %d)", c.consumed, acc.ID, c.prevID)
 	}
 	gap := acc.ID - c.prevID // instructions retired including this load
 	c.prevID = acc.ID
@@ -222,7 +226,7 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		}
 		done := mem.dram.Access(pb, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
 		mem.inflight[pb] = done
-		heap.Push(&mem.fills, inflightFill{ready: done, block: pb, seq: mem.fillSeq})
+		mem.fills.push(inflightFill{ready: done, block: pb, seq: mem.fillSeq})
 		if len(mem.fills) > mem.fillsPeak {
 			mem.fillsPeak = len(mem.fills)
 		}
@@ -232,8 +236,9 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		}
 	}
 
-	c.idx++
-	if !c.measuring && c.idx == cfg.Warmup {
+	c.win.pop()
+	c.consumed++
+	if !c.measuring && c.consumed == cfg.Warmup {
 		c.measuring = true
 		c.warmCycles = c.retire
 		c.warmInstr = acc.ID - c.firstID
@@ -254,14 +259,23 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 // silently clamped, which used to fabricate IPC values off by orders of
 // magnitude. An idle core (empty trace) keeps its zero Result.
 func (c *corePipeline) finish() (Result, error) {
+	// An unbounded source cannot be length-checked against Warmup up
+	// front the way slices are; detect a warmup that swallowed the whole
+	// stream here instead. (Unreachable on the slice path, which rejects
+	// warmup >= length before replay begins.)
+	if c.cfg.Warmup > 0 && c.consumed > 0 && !c.measuring {
+		return Result{}, fmt.Errorf("warmup %d >= trace length %d; shorten Warmup or lengthen the trace",
+			c.cfg.Warmup, c.consumed)
+	}
 	totalInstr := uint64(0)
-	if len(c.accs) > 0 {
-		totalInstr = c.accs[len(c.accs)-1].ID - c.firstID
+	if c.consumed > 0 {
+		// prevID is the ID of the last access replayed.
+		totalInstr = c.prevID - c.firstID
 	}
 	c.res.Instructions = totalInstr - c.warmInstr
 	cycles := c.retire - c.warmCycles
 	if cycles < 1 {
-		if len(c.accs) > 0 {
+		if c.consumed > 0 {
 			return Result{}, fmt.Errorf("measured window is empty (%.3f cycles for %d instructions after warmup %d); shorten Warmup or lengthen the trace",
 				cycles, c.res.Instructions, c.cfg.Warmup)
 		}
@@ -285,94 +299,15 @@ func RunMulti(cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Res
 
 // RunMultiCtx is RunMulti with cancellation: the scheduling loop polls ctx
 // every few thousand steps and returns ctx.Err() when cancelled.
+//
+// It is the materialized entry to the streaming scheduler: each core's
+// slice is wrapped in a trace.SliceSource and replayed by
+// RunMultiStreamCtx, so the two paths are bit-identical by construction
+// (SliceSource's known length preserves the up-front warmup rejection).
 func RunMultiCtx(ctx context.Context, cfg Config, cores [][]trace.Access, pfs [][]trace.Prefetch) ([]Result, error) {
-	if cfg.Width <= 0 || cfg.ROB <= 0 {
-		return nil, fmt.Errorf("sim: invalid core config (width %d, ROB %d)", cfg.Width, cfg.ROB)
-	}
-	if len(cores) == 0 {
-		return nil, fmt.Errorf("sim: no cores")
-	}
-	if pfs != nil && len(pfs) != len(cores) {
-		return nil, fmt.Errorf("sim: %d prefetch files for %d cores", len(pfs), len(cores))
-	}
+	srcs := make([]trace.Source, len(cores))
 	for i, accs := range cores {
-		if cfg.Warmup >= len(accs) && len(accs) > 0 {
-			return nil, fmt.Errorf("sim: warmup %d >= core %d trace length %d", cfg.Warmup, i, len(accs))
-		}
+		srcs[i] = trace.NewSliceSource(accs)
 	}
-
-	mem := &sharedMemory{
-		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
-		dram:     NewDRAM(cfg.DRAM),
-		inflight: make(map[uint64]uint64),
-	}
-	pipes := make([]*corePipeline, len(cores))
-	for i, accs := range cores {
-		var p []trace.Prefetch
-		if pfs != nil {
-			p = pfs[i]
-		}
-		pipes[i] = newCorePipeline(cfg, accs, p)
-	}
-
-	// Advance the core with the smallest local retire time; this keeps
-	// the shared-resource access order consistent with wall-clock time.
-	steps := 0
-	for {
-		if steps&4095 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if pfdebugEnabled && steps&1023 == 0 {
-			mem.debugCheck()
-		}
-		steps++
-		best := -1
-		for i, p := range pipes {
-			if p.done() {
-				continue
-			}
-			if best < 0 || p.retire < pipes[best].retire {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if err := pipes[best].step(mem); err != nil {
-			return nil, fmt.Errorf("sim: core %d: %w", best, err)
-		}
-	}
-
-	out := make([]Result, len(pipes))
-	for i, p := range pipes {
-		res, err := p.finish()
-		if err != nil {
-			return nil, fmt.Errorf("sim: core %d: %w", i, err)
-		}
-		out[i] = res
-		out[i].DRAMReads = mem.dram.Reads
-		out[i].DRAMRowHits = mem.dram.RowHits
-	}
-	if m := simTele.Load(); m != nil {
-		// One flush per run: the per-level cache statistics come straight
-		// from the caches' own (warmup-gated) counters.
-		m.runs.Inc()
-		m.cores.Add(uint64(len(pipes)))
-		for _, p := range pipes {
-			m.demands.Add(uint64(len(p.accs)))
-			m.l1Hits.Add(p.l1.Hits)
-			m.l1Misses.Add(p.l1.Misses)
-			m.l2Hits.Add(p.l2.Hits)
-			m.l2Misses.Add(p.l2.Misses)
-		}
-		m.llcHits.Add(mem.llc.Hits)
-		m.llcMisses.Add(mem.llc.Misses)
-		m.llcPrefetchFills.Add(mem.llc.PrefetchFills)
-		m.llcEvictions.Add(mem.llc.Evictions)
-		m.inflightPeak.SetMax(int64(mem.fillsPeak))
-		mem.dram.flushTelemetry(m)
-	}
-	return out, nil
+	return RunMultiStreamCtx(ctx, cfg, srcs, pfs)
 }

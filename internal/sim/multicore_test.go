@@ -152,7 +152,7 @@ func TestRunMultiWarmupExcludesLLCStats(t *testing.T) {
 		dram:     NewDRAM(cfg.DRAM),
 		inflight: make(map[uint64]uint64),
 	}
-	p := newCorePipeline(cfg, accs, nil)
+	p := newCorePipeline(cfg, newReplayWindow(trace.NewSliceSource(accs)), nil)
 	for !p.done() {
 		if err := p.step(mem); err != nil {
 			t.Fatal(err)

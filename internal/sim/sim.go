@@ -120,6 +120,8 @@ func (r Result) Coverage(baselineMisses uint64) float64 {
 // inflightHeap orders in-flight prefetch fills by completion cycle, ties
 // broken by issue order (seq) so fills that complete on the same cycle
 // install FCFS — a well-defined order the refmodel oracle can reproduce.
+// Like completionHeap, the sift operations are typed rather than routed
+// through container/heap, keeping the replay hot path allocation-free.
 type inflightHeap []inflightFill
 
 type inflightFill struct {
@@ -128,21 +130,50 @@ type inflightFill struct {
 	seq   uint64
 }
 
-func (h inflightHeap) Len() int { return len(h) }
-func (h inflightHeap) Less(i, j int) bool {
-	if h[i].ready != h[j].ready {
-		return h[i].ready < h[j].ready
+// before is the heap's strict total order: completion cycle, then issue
+// order. seq is unique, so no two fills compare equal.
+func (f inflightFill) before(g inflightFill) bool {
+	if f.ready != g.ready {
+		return f.ready < g.ready
 	}
-	return h[i].seq < h[j].seq
+	return f.seq < g.seq
 }
-func (h inflightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *inflightHeap) Push(x interface{}) { *h = append(*h, x.(inflightFill)) }
-func (h *inflightHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *inflightHeap) push(f inflightFill) {
+	s := append(*h, f)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *inflightHeap) pop() inflightFill {
+	s := *h
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s[r].before(s[child]) {
+			child = r
+		}
+		if !s[child].before(s[i]) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return min
 }
 
 // retirePoint records when a known instruction id retired, letting the

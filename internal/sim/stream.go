@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pathfinder/internal/trace"
+)
+
+// replayWindowSize is the capacity of each core's lookahead buffer between
+// its trace.Source and the pipeline. The pipeline consumes accesses
+// strictly in order, so correctness needs no lookahead at all; the window
+// exists to batch decoder pulls (amortizing the Source indirection) while
+// keeping replay heap usage bounded regardless of trace length.
+const replayWindowSize = 256
+
+// replayWindow is the bounded lookahead buffer feeding one core pipeline
+// from a trace.Source. It refills in whole batches when it runs dry and
+// hands records out in order. The source's terminal state (io.EOF or a
+// decode error) is latched and delivered only after every buffered record
+// has been replayed, so a stream that fails mid-decode still replays its
+// valid prefix before the run reports the error.
+type replayWindow struct {
+	src  trace.Source
+	buf  [replayWindowSize]trace.Access
+	head int
+	n    int
+	err  error // terminal source state; nil while the source is live
+	peak int   // occupancy high-water mark, flushed to telemetry
+}
+
+func newReplayWindow(src trace.Source) *replayWindow {
+	return &replayWindow{src: src}
+}
+
+// refill tops the window up from the source until it is full or the source
+// reaches its terminal state.
+func (w *replayWindow) refill() {
+	for w.n < len(w.buf) && w.err == nil {
+		if err := w.src.Next(&w.buf[(w.head+w.n)%len(w.buf)]); err != nil {
+			w.err = err
+			break
+		}
+		w.n++
+	}
+	if w.n > w.peak {
+		w.peak = w.n
+	}
+}
+
+// peek returns the next record without consuming it, refilling from the
+// source if the window ran dry. ok is false once the window is drained and
+// the source terminal.
+func (w *replayWindow) peek() (trace.Access, bool) {
+	if w.n == 0 {
+		if w.err != nil {
+			return trace.Access{}, false
+		}
+		w.refill()
+		if w.n == 0 {
+			return trace.Access{}, false
+		}
+	}
+	return w.buf[w.head], true
+}
+
+// pop consumes the record peek returned.
+func (w *replayWindow) pop() {
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+}
+
+// drained reports whether every record has been replayed and the source is
+// terminal.
+func (w *replayWindow) drained() bool {
+	_, ok := w.peek()
+	return !ok
+}
+
+// srcErr returns the source's terminal error: io.EOF for a clean end, the
+// decode error otherwise, nil while the source is live.
+func (w *replayWindow) srcErr() error { return w.err }
+
+// RunStream is Run fed by a trace.Source instead of a materialized slice:
+// the replay holds at most replayWindowSize accesses at a time, so heap
+// usage is bounded regardless of trace length. Results are bit-identical
+// to Run over the same records — Run is implemented on this path.
+//
+// A Source has no length, so Warmup semantics shift at one edge: a warmup
+// that consumes the entire stream is detected at end of run (the slice
+// path rejects it up front). Sources exposing Remaining() (uint64, bool)
+// — SliceSource, counted trace files — keep the up-front rejection.
+func RunStream(cfg Config, src trace.Source, pfs []trace.Prefetch) (Result, error) {
+	return RunStreamCtx(context.Background(), cfg, src, pfs)
+}
+
+// RunStreamCtx is RunStream with cancellation.
+func RunStreamCtx(ctx context.Context, cfg Config, src trace.Source, pfs []trace.Prefetch) (Result, error) {
+	res, err := RunMultiStreamCtx(ctx, cfg, []trace.Source{src}, [][]trace.Prefetch{pfs})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// RunMultiStream is RunMulti fed by one trace.Source per core.
+func RunMultiStream(cfg Config, srcs []trace.Source, pfs [][]trace.Prefetch) ([]Result, error) {
+	return RunMultiStreamCtx(context.Background(), cfg, srcs, pfs)
+}
+
+// RunMultiStreamCtx is RunMultiStream with cancellation: the scheduling
+// loop polls ctx every few thousand steps and returns ctx.Err() when
+// cancelled.
+func RunMultiStreamCtx(ctx context.Context, cfg Config, srcs []trace.Source, pfs [][]trace.Prefetch) ([]Result, error) {
+	if cfg.Width <= 0 || cfg.ROB <= 0 {
+		return nil, fmt.Errorf("sim: invalid core config (width %d, ROB %d)", cfg.Width, cfg.ROB)
+	}
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("sim: no cores")
+	}
+	if pfs != nil && len(pfs) != len(srcs) {
+		return nil, fmt.Errorf("sim: %d prefetch files for %d cores", len(pfs), len(srcs))
+	}
+	// Sources with a known length keep the slice path's up-front rejection
+	// of a warmup that swallows the whole trace; unbounded sources are
+	// checked at end of run instead (corePipeline.finish).
+	for i, src := range srcs {
+		if s, ok := src.(interface{ Remaining() (uint64, bool) }); ok {
+			if n, known := s.Remaining(); known && n > 0 && cfg.Warmup >= 0 && uint64(cfg.Warmup) >= n {
+				return nil, fmt.Errorf("sim: warmup %d >= core %d trace length %d", cfg.Warmup, i, n)
+			}
+		}
+	}
+
+	mem := &sharedMemory{
+		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
+		dram:     NewDRAM(cfg.DRAM),
+		inflight: make(map[uint64]uint64),
+	}
+	pipes := make([]*corePipeline, len(srcs))
+	for i, src := range srcs {
+		var p []trace.Prefetch
+		if pfs != nil {
+			p = pfs[i]
+		}
+		pipes[i] = newCorePipeline(cfg, newReplayWindow(src), p)
+	}
+
+	// Advance the core with the smallest local retire time; this keeps
+	// the shared-resource access order consistent with wall-clock time.
+	steps := 0
+	for {
+		if steps&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if pfdebugEnabled && steps&1023 == 0 {
+			mem.debugCheck()
+		}
+		steps++
+		best := -1
+		for i, p := range pipes {
+			if p.done() {
+				continue
+			}
+			if best < 0 || p.retire < pipes[best].retire {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := pipes[best].step(mem); err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", best, err)
+		}
+	}
+
+	// Every window is drained; a terminal state other than io.EOF is a
+	// decode error in that core's trace stream.
+	for i, p := range pipes {
+		if err := p.win.srcErr(); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("sim: core %d trace: %w", i, err)
+		}
+	}
+
+	out := make([]Result, len(pipes))
+	for i, p := range pipes {
+		res, err := p.finish()
+		if err != nil {
+			return nil, fmt.Errorf("sim: core %d: %w", i, err)
+		}
+		out[i] = res
+		out[i].DRAMReads = mem.dram.Reads
+		out[i].DRAMRowHits = mem.dram.RowHits
+	}
+	if m := simTele.Load(); m != nil {
+		// One flush per run: the per-level cache statistics come straight
+		// from the caches' own (warmup-gated) counters.
+		m.runs.Inc()
+		m.cores.Add(uint64(len(pipes)))
+		for _, p := range pipes {
+			m.demands.Add(uint64(p.consumed))
+			m.l1Hits.Add(p.l1.Hits)
+			m.l1Misses.Add(p.l1.Misses)
+			m.l2Hits.Add(p.l2.Hits)
+			m.l2Misses.Add(p.l2.Misses)
+			m.replayWindowPeak.SetMax(int64(p.win.peak))
+		}
+		m.llcHits.Add(mem.llc.Hits)
+		m.llcMisses.Add(mem.llc.Misses)
+		m.llcPrefetchFills.Add(mem.llc.PrefetchFills)
+		m.llcEvictions.Add(mem.llc.Evictions)
+		m.inflightPeak.SetMax(int64(mem.fillsPeak))
+		mem.dram.flushTelemetry(m)
+	}
+	return out, nil
+}

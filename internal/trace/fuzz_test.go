@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,72 @@ func FuzzRead(f *testing.F) {
 		}
 		if len(again) != len(accs) {
 			t.Fatalf("round trip changed length: %d vs %d", len(again), len(accs))
+		}
+	})
+}
+
+// FuzzStreamRead drives the streaming decoder over arbitrary input and
+// checks it agrees with the slice path record-for-record and
+// error-for-error — the fuzzing form of the differential parity test.
+// Seeds include both container formats plus the corrupt-record corpus.
+func FuzzStreamRead(f *testing.F) {
+	var counted bytes.Buffer
+	accs := []Access{{ID: 1, PC: 2, Addr: 192, Chain: 3}, {ID: 9, PC: 4, Addr: 4096}}
+	if err := Write(&counted, accs); err != nil {
+		f.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if err := Encode(&stream, NewSliceSource(accs)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(counted.Bytes())
+	f.Add(stream.Bytes())
+	f.Add([]byte("PFT2"))
+	f.Add([]byte("PFT3"))
+	f.Add([]byte{})
+	f.Add(corruptTrace(1, 0, MaxAddr+1, 0, 0))
+	f.Add(corruptTrace(1, 0, 0, MaxAddr+1, 0))
+	f.Add(corruptTrace(2, 5, 0, 0, 0, ^uint64(0), 0, 0, 0))
+	f.Add(corruptTrace(1, 0, 0, 0, 1<<32))
+	f.Add(counted.Bytes()[:counted.Len()-2])
+	f.Add(stream.Bytes()[:stream.Len()-2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sliceAccs, sliceErr := Read(bytes.NewReader(data))
+
+		var streamAccs []Access
+		var streamErr error
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			streamErr = err
+		} else {
+			var a Access
+			for {
+				if err := rd.Next(&a); err != nil {
+					if err != io.EOF {
+						streamErr = err
+					}
+					break
+				}
+				streamAccs = append(streamAccs, a)
+			}
+		}
+
+		if (sliceErr == nil) != (streamErr == nil) {
+			t.Fatalf("slice err %v vs stream err %v", sliceErr, streamErr)
+		}
+		if sliceErr != nil {
+			if sliceErr.Error() != streamErr.Error() {
+				t.Fatalf("positioned errors differ:\n  slice:  %v\n  stream: %v", sliceErr, streamErr)
+			}
+			return
+		}
+		if len(sliceAccs) != len(streamAccs) {
+			t.Fatalf("%d slice records vs %d stream records", len(sliceAccs), len(streamAccs))
+		}
+		for i := range sliceAccs {
+			if sliceAccs[i] != streamAccs[i] {
+				t.Fatalf("record %d differs: %+v vs %+v", i, sliceAccs[i], streamAccs[i])
+			}
 		}
 	})
 }

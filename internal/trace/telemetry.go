@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"sync/atomic"
+
+	"pathfinder/internal/telemetry"
+)
+
+// traceMetrics is the package's bound telemetry handles. Decoders
+// accumulate locally (a plain record counter inside Reader/TextReader) and
+// flush once when the stream reaches its terminal state, so the per-record
+// hot path stays free of atomics and the 0 allocs/op steady state holds
+// with telemetry on.
+type traceMetrics struct {
+	recordsDecoded *telemetry.Counter // trace records decoded (binary + text)
+	decodeErrors   *telemetry.Counter // streams that ended in a decode error
+}
+
+var traceTele atomic.Pointer[traceMetrics]
+
+// EnableTelemetry binds the package's metrics to r (pass nil to unbind).
+func EnableTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		traceTele.Store(nil)
+		return
+	}
+	traceTele.Store(&traceMetrics{
+		recordsDecoded: r.Counter("trace.records_decoded"),
+		decodeErrors:   r.Counter("trace.decode_errors"),
+	})
+}

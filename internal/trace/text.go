@@ -6,6 +6,10 @@
 // unsigned integer — floats, NaN, and ±Inf (which numeric exporters love
 // to emit for missing values) are rejected with the record's position
 // rather than silently folded into addresses.
+//
+// TextReader and TextWriter are the streaming forms; ReadText and
+// WriteText are the materializing conveniences built on them, so both
+// paths parse and validate identically by construction.
 package trace
 
 import (
@@ -16,41 +20,130 @@ import (
 	"strings"
 )
 
+// TextWriter is the streaming text trace encoder: one record per Write
+// call, validated incrementally with the same positioned errors as
+// WriteText. The header comment is emitted with the first record (or
+// Flush), so construction performs no I/O.
+type TextWriter struct {
+	bw      *bufio.Writer
+	i       int // records written (error positions)
+	prevID  uint64
+	started bool
+	err     error
+}
+
+// NewTextWriter returns a streaming encoder writing the text trace form
+// to w.
+func NewTextWriter(w io.Writer) *TextWriter { return &TextWriter{bw: bufio.NewWriter(w)} }
+
+func (t *TextWriter) start() error {
+	if t.started {
+		return nil
+	}
+	t.started = true
+	_, err := fmt.Fprintln(t.bw, "# pathfinder trace: id pc addr chain")
+	return err
+}
+
+// Write validates and encodes one record.
+func (t *TextWriter) Write(a Access) error {
+	if t.err != nil {
+		return t.err
+	}
+	fail := func(err error) error {
+		t.err = err
+		return err
+	}
+	if t.i > 0 && a.ID < t.prevID {
+		return fail(fmt.Errorf("trace: access %d has ID %d < previous ID %d", t.i, a.ID, t.prevID))
+	}
+	t.prevID = a.ID
+	if a.PC > MaxAddr || a.Addr > MaxAddr {
+		return fail(fmt.Errorf("trace: access %d has a field beyond the canonical address space", t.i))
+	}
+	if err := t.start(); err != nil {
+		return fail(err)
+	}
+	if _, err := fmt.Fprintf(t.bw, "%d 0x%x 0x%x %d\n", a.ID, a.PC, a.Addr, a.Chain); err != nil {
+		return fail(err)
+	}
+	t.i++
+	return nil
+}
+
+// Flush completes the stream: it emits the header if no record was
+// written and drains the buffer to the underlying writer.
+func (t *TextWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.start(); err != nil {
+		t.err = err
+		return err
+	}
+	if err := t.bw.Flush(); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
+}
+
 // WriteText encodes accesses to w in the text trace form, one
 // `id pc addr chain` record per line (addresses in hex for legibility).
 func WriteText(w io.Writer, accs []Access) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "# pathfinder trace: id pc addr chain"); err != nil {
-		return err
-	}
-	prevID := uint64(0)
-	for i, a := range accs {
-		if i > 0 && a.ID < prevID {
-			return fmt.Errorf("trace: access %d has ID %d < previous ID %d", i, a.ID, prevID)
-		}
-		prevID = a.ID
-		if a.PC > MaxAddr || a.Addr > MaxAddr {
-			return fmt.Errorf("trace: access %d has a field beyond the canonical address space", i)
-		}
-		if _, err := fmt.Fprintf(bw, "%d 0x%x 0x%x %d\n", a.ID, a.PC, a.Addr, a.Chain); err != nil {
+	tw := NewTextWriter(w)
+	for _, a := range accs {
+		if err := tw.Write(a); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return tw.Flush()
 }
 
-// ReadText decodes the text trace form written by WriteText (or by
-// external tooling following the same shape). Errors carry the record
-// number of the offending line, counted over records — comments and blank
-// lines do not shift it.
-func ReadText(r io.Reader) ([]Access, error) {
+// TextReader is the streaming text trace decoder: a Source yielding one
+// record per Next call with the same parsing, validation, and positioned
+// errors as ReadText (which is implemented on top of it). Errors carry the
+// record number of the offending line, counted over records — comments and
+// blank lines do not shift it. After a non-nil return the reader is
+// exhausted: further calls repeat the same error.
+type TextReader struct {
+	sc      *bufio.Scanner
+	rec     int
+	prevID  uint64
+	err     error
+	flushed bool
+}
+
+// NewTextReader returns a streaming decoder of the text trace form.
+func NewTextReader(r io.Reader) *TextReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var accs []Access
-	rec := 0
-	prevID := uint64(0)
-	for sc.Scan() {
-		line := sc.Text()
+	return &TextReader{sc: sc}
+}
+
+// finish latches the reader's terminal state and flushes the locally
+// accumulated telemetry exactly once.
+func (t *TextReader) finish(err error) error {
+	t.err = err
+	if !t.flushed {
+		t.flushed = true
+		if m := traceTele.Load(); m != nil {
+			m.recordsDecoded.Add(uint64(t.rec))
+			if err != io.EOF {
+				m.decodeErrors.Inc()
+			}
+		}
+	}
+	return err
+}
+
+// Next implements Source.
+func (t *TextReader) Next(a *Access) error {
+	if t.err != nil {
+		return t.err
+	}
+	for t.sc.Scan() {
+		line := t.sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
@@ -61,37 +154,44 @@ func ReadText(r io.Reader) ([]Access, error) {
 			continue
 		}
 		if len(fields) < 3 || len(fields) > 4 {
-			return nil, fmt.Errorf("trace: record %d: %d fields, want `id pc addr [chain]`", rec, len(fields))
+			return t.finish(fmt.Errorf("trace: record %d: %d fields, want `id pc addr [chain]`", t.rec, len(fields)))
 		}
-		id, err := parseTextField(rec, "id", fields[0], ^uint64(0))
+		id, err := parseTextField(t.rec, "id", fields[0], ^uint64(0))
 		if err != nil {
-			return nil, err
+			return t.finish(err)
 		}
-		if rec > 0 && id < prevID {
-			return nil, fmt.Errorf("trace: record %d: id %d < previous id %d", rec, id, prevID)
+		if t.rec > 0 && id < t.prevID {
+			return t.finish(fmt.Errorf("trace: record %d: id %d < previous id %d", t.rec, id, t.prevID))
 		}
-		prevID = id
-		pc, err := parseTextField(rec, "pc", fields[1], MaxAddr)
+		t.prevID = id
+		pc, err := parseTextField(t.rec, "pc", fields[1], MaxAddr)
 		if err != nil {
-			return nil, err
+			return t.finish(err)
 		}
-		addr, err := parseTextField(rec, "addr", fields[2], MaxAddr)
+		addr, err := parseTextField(t.rec, "addr", fields[2], MaxAddr)
 		if err != nil {
-			return nil, err
+			return t.finish(err)
 		}
 		chain := uint64(0)
 		if len(fields) == 4 {
-			if chain, err = parseTextField(rec, "chain", fields[3], 1<<32-1); err != nil {
-				return nil, err
+			if chain, err = parseTextField(t.rec, "chain", fields[3], 1<<32-1); err != nil {
+				return t.finish(err)
 			}
 		}
-		accs = append(accs, Access{ID: id, PC: pc, Addr: addr, Chain: uint32(chain)})
-		rec++
+		*a = Access{ID: id, PC: pc, Addr: addr, Chain: uint32(chain)}
+		t.rec++
+		return nil
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: record %d: %w", rec, err)
+	if err := t.sc.Err(); err != nil {
+		return t.finish(fmt.Errorf("trace: record %d: %w", t.rec, err))
 	}
-	return accs, nil
+	return t.finish(io.EOF)
+}
+
+// ReadText decodes the text trace form written by WriteText (or by
+// external tooling following the same shape).
+func ReadText(r io.Reader) ([]Access, error) {
+	return Collect(NewTextReader(r))
 }
 
 // parseTextField parses one text-form field as a finite unsigned integer

@@ -151,59 +151,16 @@ func Write(w io.Writer, accs []Access) error {
 	return bw.Flush()
 }
 
-// Read decodes a binary trace container previously written by Write.
+// Read decodes a binary trace container (counted PFT2 as written by Write,
+// or an unbounded PFT3 stream as written by Writer) into a slice. It is
+// the materializing convenience over NewReader: the streaming decoder does
+// all the work, so the two paths decode identically by construction.
 func Read(r io.Reader) ([]Access, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, errors.New("trace: bad magic; not a PFT2 trace file")
-	}
-	n, err := binary.ReadUvarint(br)
+	rd, err := NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, err
 	}
-	const sanityMax = 1 << 30
-	if n > sanityMax {
-		return nil, fmt.Errorf("trace: implausible record count %d", n)
-	}
-	accs := make([]Access, 0, n)
-	id := uint64(0)
-	for i := uint64(0); i < n; i++ {
-		d, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d id: %w", i, err)
-		}
-		if d > ^uint64(0)-id {
-			return nil, fmt.Errorf("trace: record %d: id delta %d overflows the id sequence", i, d)
-		}
-		id += d
-		pc, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d pc: %w", i, err)
-		}
-		if pc > MaxAddr {
-			return nil, fmt.Errorf("trace: record %d: pc %#x beyond the canonical address space", i, pc)
-		}
-		addr, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d addr: %w", i, err)
-		}
-		if addr > MaxAddr {
-			return nil, fmt.Errorf("trace: record %d: addr %#x beyond the canonical address space", i, addr)
-		}
-		chain, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: record %d chain: %w", i, err)
-		}
-		if chain > 1<<32-1 {
-			return nil, fmt.Errorf("trace: record %d chain %d overflows uint32", i, chain)
-		}
-		accs = append(accs, Access{ID: id, PC: pc, Addr: addr, Chain: uint32(chain)})
-	}
-	return accs, nil
+	return Collect(rd)
 }
 
 // WritePrefetches encodes a prefetch file to w. The format mirrors Write:

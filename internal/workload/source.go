@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+
+	"pathfinder/internal/trace"
+)
+
+// specSource is a trace.Source that synthesizes the spec's access stream
+// one record at a time. It performs exactly the RNG draws of
+// Spec.GenerateCtx in exactly the same order — component streams built up
+// front, then per record the gap draw, the component pick, and the
+// component's own draws — so the streamed trace is bit-identical to the
+// materialized one for the same (n, seed).
+type specSource struct {
+	rng     *rand.Rand
+	streams []stream
+	weights []int
+	total   int
+	idGap   int
+	n       int // records to emit; negative for an unbounded stream
+	i       int
+	id      uint64
+}
+
+// Source returns a trace.Source yielding the same n records Generate
+// would materialize for this seed, one at a time — the generator's heap
+// footprint is its component state, independent of n. A negative n yields
+// an unbounded stream that never terminates on its own: the live-capture
+// stand-in for daemon-style consumers, usable only with streaming sinks.
+func (s Spec) Source(n int, seed int64) trace.Source {
+	rng := rand.New(rand.NewSource(seed ^ int64(hashName(s.Name))))
+	src := &specSource{rng: rng, idGap: s.IDGap, n: n}
+	src.streams = make([]stream, len(s.Components))
+	src.weights = make([]int, len(s.Components))
+	for i, c := range s.Components {
+		src.streams[i] = newStream(c, i, rng)
+		src.total += c.Weight
+		src.weights[i] = src.total
+	}
+	if src.total == 0 {
+		src.n = 0 // a weightless mix generates nothing (Generate returns nil)
+	}
+	return src
+}
+
+// Remaining reports how many records are left; unknown for an unbounded
+// stream. Known lengths let collectors pre-size and let the simulator keep
+// its up-front warmup validation.
+func (s *specSource) Remaining() (uint64, bool) {
+	if s.n < 0 {
+		return 0, false
+	}
+	return uint64(s.n - s.i), true
+}
+
+// Next implements trace.Source.
+func (s *specSource) Next(a *trace.Access) error {
+	if s.n >= 0 && s.i >= s.n {
+		return io.EOF
+	}
+	// Geometric-ish instruction gap with the Table 5 mean.
+	gap := 1 + s.rng.Intn(2*s.idGap-1)
+	s.id += uint64(gap)
+	pick := s.rng.Intn(s.total)
+	j := sort.SearchInts(s.weights, pick+1)
+	pc, addr := s.streams[j].next(s.rng)
+	*a = trace.Access{ID: s.id, PC: pc, Addr: addr, Chain: s.streams[j].chain()}
+	s.i++
+	return nil
+}
+
+// NewSource returns a streaming generator for the named benchmark,
+// mirroring Generate's name resolution: Table 5 specs stream record by
+// record; the executed graph kernels (bfs-csr, cc-csr) run to completion
+// and are served from the materialized slice, since executing a kernel is
+// inherently a batch step. A negative n is only meaningful for spec
+// workloads (graph kernels need a concrete length).
+func NewSource(name string, n int, seed int64) (trace.Source, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		if accs, err2 := GenerateExecuted(name, n, seed); err2 == nil {
+			return trace.NewSliceSource(accs), nil
+		}
+		return nil, err
+	}
+	return spec.Source(n, seed), nil
+}

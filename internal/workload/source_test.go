@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"io"
+	"reflect"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+// TestSourceMatchesGenerate is the generator parity test: for every spec
+// in the suite, streaming n records must be bit-identical to
+// materializing them (same RNG draw order), pinned by record equality and
+// by the golden FNV stream hash.
+func TestSourceMatchesGenerate(t *testing.T) {
+	for _, spec := range Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			const n, seed = 5000, 3
+			want := spec.Generate(n, seed)
+			got, err := trace.Collect(spec.Source(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("streamed trace differs from materialized trace")
+			}
+			h1, c1, err := trace.HashSource(trace.NewSliceSource(want))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, c2, err := trace.HashSource(spec.Source(n, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 || c1 != c2 {
+				t.Fatalf("stream hash %#x/%d, slice hash %#x/%d", h2, c2, h1, c1)
+			}
+		})
+	}
+}
+
+func TestSourceRemaining(t *testing.T) {
+	spec := Suite()[0]
+	src := spec.Source(10, 1).(*specSource)
+	if n, ok := src.Remaining(); !ok || n != 10 {
+		t.Fatalf("Remaining = %d,%v; want 10,true", n, ok)
+	}
+	var a trace.Access
+	if err := src.Next(&a); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := src.Remaining(); n != 9 {
+		t.Fatalf("Remaining after one Next = %d, want 9", n)
+	}
+	for {
+		if err := src.Next(&a); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Next(&a); err != io.EOF {
+		t.Fatalf("Next past the end = %v, want io.EOF", err)
+	}
+}
+
+// TestSourceUnbounded checks a negative n streams indefinitely with an
+// unknown length — the daemon-ingestion mode — and that its prefix agrees
+// with the bounded stream.
+func TestSourceUnbounded(t *testing.T) {
+	spec := Suite()[0]
+	src := spec.Source(-1, 1)
+	if _, ok := src.(*specSource).Remaining(); ok {
+		t.Fatal("unbounded source claimed a known length")
+	}
+	bounded := spec.Source(2000, 1)
+	var a, b trace.Access
+	for i := 0; i < 2000; i++ {
+		if err := src.Next(&a); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if err := bounded.Next(&b); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if a != b {
+			t.Fatalf("record %d: unbounded %+v vs bounded %+v", i, a, b)
+		}
+	}
+	// The unbounded stream keeps going where the bounded one ended.
+	if err := bounded.Next(&b); err != io.EOF {
+		t.Fatalf("bounded stream did not end: %v", err)
+	}
+	if err := src.Next(&a); err != nil {
+		t.Fatalf("unbounded stream ended: %v", err)
+	}
+}
+
+func TestSourceWeightlessMix(t *testing.T) {
+	spec := Spec{Name: "empty", IDGap: 10}
+	got, err := trace.Collect(spec.Source(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("weightless mix streamed %d records, want 0", len(got))
+	}
+}
+
+// TestNewSourceResolution mirrors Generate's name handling: suite specs
+// stream, graph kernels materialize behind a SliceSource, unknown names
+// error.
+func TestNewSourceResolution(t *testing.T) {
+	src, err := NewSource("cc-5", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Generate("cc-5", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("NewSource(cc-5) differs from Generate")
+	}
+
+	src, err = NewSource("bfs-csr", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = Generate("bfs-csr", 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("NewSource(bfs-csr) differs from Generate")
+	}
+
+	if _, err := NewSource("no-such-benchmark", 10, 1); err == nil {
+		t.Fatal("NewSource accepted an unknown benchmark")
+	}
+}
+
+func BenchmarkSourceNext(b *testing.B) {
+	src := Suite()[0].Source(-1, 1)
+	var a trace.Access
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Next(&a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

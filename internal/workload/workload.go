@@ -19,7 +19,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"pathfinder/internal/trace"
 )
@@ -313,35 +312,25 @@ func (s Spec) Generate(n int, seed int64) []trace.Access {
 	return accs
 }
 
-// GenerateCtx is Spec.Generate with periodic cancellation checks.
+// GenerateCtx is Spec.Generate with periodic cancellation checks. It is
+// the materializing convenience over Spec.Source: the streaming generator
+// performs every RNG draw, so the two paths yield bit-identical traces by
+// construction.
 func (s Spec) GenerateCtx(ctx context.Context, n int, seed int64) ([]trace.Access, error) {
-	rng := rand.New(rand.NewSource(seed ^ int64(hashName(s.Name))))
-	streams := make([]stream, len(s.Components))
-	weights := make([]int, len(s.Components))
-	total := 0
-	for i, c := range s.Components {
-		streams[i] = newStream(c, i, rng)
-		total += c.Weight
-		weights[i] = total
-	}
-	if total == 0 {
+	src := s.Source(n, seed).(*specSource)
+	if src.total == 0 {
 		return nil, nil
 	}
 	accs := make([]trace.Access, n)
-	id := uint64(0)
 	for i := 0; i < n; i++ {
 		if i&8191 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		// Geometric-ish instruction gap with the Table 5 mean.
-		gap := 1 + rng.Intn(2*s.IDGap-1)
-		id += uint64(gap)
-		pick := rng.Intn(total)
-		j := sort.SearchInts(weights, pick+1)
-		pc, addr := streams[j].next(rng)
-		accs[i] = trace.Access{ID: id, PC: pc, Addr: addr, Chain: streams[j].chain()}
+		if err := src.Next(&accs[i]); err != nil {
+			return nil, err
+		}
 	}
 	return accs, nil
 }

@@ -11,7 +11,10 @@
 //     baselines Delta-LSTM and Voyager (GenerateDeltaLSTM,
 //     GenerateVoyager);
 //   - synthetic workload generators standing in for the paper's GAP /
-//     SPEC / CloudSuite traces (Workloads, GenerateTrace);
+//     SPEC / CloudSuite traces (Workloads, GenerateTraceSource);
+//   - the streaming trace surface: pull-based sources, constant-memory
+//     decoders and bounded-heap replay for traces of any length
+//     (TraceSource, OpenTraceFile, NewTraceReader, SimulateStream);
 //   - the trace-driven timing simulator that turns prefetch files into
 //     IPC, accuracy and coverage (Simulate, Eval);
 //   - the parallel evaluation engine that fans (trace × prefetcher) grids
@@ -29,6 +32,7 @@ package pathfinder
 import (
 	"context"
 	"io"
+	"os"
 
 	"pathfinder/internal/core"
 	"pathfinder/internal/hwcost"
@@ -57,6 +61,12 @@ type (
 	Access = trace.Access
 	// PrefetchEntry is one record of a prefetch file.
 	PrefetchEntry = trace.Prefetch
+	// TraceSource is the pull-based trace iterator the streaming stack is
+	// built on: Next fills the access and returns nil, io.EOF after the
+	// last record, or a positioned decode error. Sources additionally
+	// exposing Remaining() (uint64, bool) let consumers pre-size and keep
+	// up-front warmup validation.
+	TraceSource = trace.Source
 )
 
 // Simulation types.
@@ -201,9 +211,84 @@ func Workloads() []string { return workload.Names() }
 
 // GenerateTrace synthesises a deterministic trace of n loads for the named
 // benchmark (see DESIGN.md for the trace-substitution rationale).
+//
+// Deprecated: GenerateTrace materializes all n accesses up front. Use
+// GenerateTraceSource, which streams the identical records in constant
+// memory (and CollectTrace when a slice is genuinely needed).
 func GenerateTrace(name string, n int, seed int64) ([]Access, error) {
 	return workload.Generate(name, n, seed)
 }
+
+// GenerateTraceSource returns a streaming generator for the named
+// benchmark: the same deterministic records GenerateTrace materializes,
+// yielded one at a time, so the heap footprint is the generator state
+// rather than the trace. For the Table 5 synthetic specs a negative n
+// streams indefinitely (the live-capture stand-in for daemon consumers);
+// the executed graph kernels need a concrete length.
+func GenerateTraceSource(name string, n int, seed int64) (TraceSource, error) {
+	return workload.NewSource(name, n, seed)
+}
+
+// NewTraceReader returns a streaming decoder over any trace container —
+// the counted PFT2 file format, the unbounded PFT3 pipe format, or the
+// text form — sniffed from the first bytes. Decoding is allocation-free
+// in steady state and validates records incrementally with the same
+// positioned errors as the slice decoders; see docs/streaming.md.
+func NewTraceReader(r io.Reader) (TraceSource, error) { return trace.NewAutoReader(r) }
+
+// NewSliceTraceSource adapts an in-memory trace to the streaming surface.
+// The slice is not copied; do not mutate it while the source is read.
+func NewSliceTraceSource(accs []Access) TraceSource { return trace.NewSliceSource(accs) }
+
+// CollectTrace drains a source into a materialized slice — the bridge
+// back for consumers that genuinely need random access.
+func CollectTrace(src TraceSource) ([]Access, error) { return trace.Collect(src) }
+
+// HashTraceSource drains a source into a 64-bit FNV-1a content digest and
+// record count: two streams carry the same trace iff (hash, n) match. It
+// is the recommended way to derive an EvalJob.SourceKey for file-backed
+// streaming jobs.
+func HashTraceSource(src TraceSource) (hash uint64, n uint64, err error) {
+	return trace.HashSource(src)
+}
+
+// TraceFile is an open on-disk trace decoded as a stream. It implements
+// TraceSource (plus Remaining, for counted containers) and must be closed
+// after the last record.
+type TraceFile struct {
+	f   *os.File
+	src TraceSource
+}
+
+// OpenTraceFile opens path and returns a streaming decoder over it,
+// sniffing the container format like NewTraceReader.
+func OpenTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	src, err := trace.NewAutoReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &TraceFile{f: f, src: src}, nil
+}
+
+// Next implements TraceSource.
+func (t *TraceFile) Next(a *Access) error { return t.src.Next(a) }
+
+// Remaining reports the declared records left when the underlying
+// container is counted.
+func (t *TraceFile) Remaining() (uint64, bool) {
+	if s, ok := t.src.(interface{ Remaining() (uint64, bool) }); ok {
+		return s.Remaining()
+	}
+	return 0, false
+}
+
+// Close releases the underlying file.
+func (t *TraceFile) Close() error { return t.f.Close() }
 
 // DefaultSimConfig returns the Table 3 machine configuration, appropriate
 // for full-length (1 M load) traces.
@@ -219,6 +304,16 @@ func Simulate(cfg SimConfig, accs []Access, pfs []PrefetchEntry) (SimResult, err
 	return sim.Run(cfg, accs, pfs)
 }
 
+// SimulateStream is Simulate fed by a TraceSource: replay holds a bounded
+// window of accesses, so heap usage is independent of trace length, and
+// the result is bit-identical to Simulate over the same records (Simulate
+// is implemented on this path). A source of unknown length cannot default
+// the warmup to 10% of the trace — set cfg.Warmup explicitly, or leave it
+// zero to measure from the first record.
+func SimulateStream(cfg SimConfig, src TraceSource, pfs []PrefetchEntry) (SimResult, error) {
+	return sim.RunStream(cfg, src, pfs)
+}
+
 // SimulateMulti simulates several cores with private L1/L2 caches sharing
 // one LLC and memory controller — the co-scheduled-thread interference
 // scenario of §2.3. cores[i] is core i's trace; pfs may be nil, or one
@@ -230,8 +325,21 @@ func SimulateMulti(cfg SimConfig, cores [][]Access, pfs [][]PrefetchEntry) ([]Si
 
 // GeneratePrefetches drives an online prefetcher over a trace, producing
 // its prefetch file (phase one of the two-phase flow of §4.1).
+//
+// Deprecated: GeneratePrefetches takes the materialized trace. Use
+// GeneratePrefetchesStream, which drives the prefetcher over a
+// TraceSource one access at a time (and reports errors, which this
+// signature swallows).
 func GeneratePrefetches(p OnlinePrefetcher, accs []Access, budget int) []PrefetchEntry {
 	return prefetch.GenerateFile(p, accs, budget)
+}
+
+// GeneratePrefetchesStream drives an online prefetcher over a streaming
+// trace, producing its prefetch file. Only the prefetch file is
+// materialized — it is what the simulator replays — so generation over an
+// arbitrarily long trace holds one access at a time plus the file itself.
+func GeneratePrefetchesStream(ctx context.Context, p OnlinePrefetcher, src TraceSource, budget int) ([]PrefetchEntry, error) {
+	return prefetch.GenerateFileStreamCtx(ctx, p, src, budget)
 }
 
 // DefaultDeltaLSTMConfig returns the Delta-LSTM evaluation configuration.
@@ -261,11 +369,13 @@ func HardwareCost(cfg HWConfig) (HWCost, error) { return hwcost.Total(cfg) }
 type (
 	// Metrics summarises one prefetcher evaluation (§4.5).
 	Metrics = runner.Metrics
-	// EvalJob describes one evaluation: a trace (by name or as explicit
-	// accesses) and exactly one prefetch source — an online prefetcher
+	// EvalJob describes one evaluation: a trace (by name, as explicit
+	// accesses, or as a streaming Source factory with a SourceKey cache
+	// identity) and exactly one prefetch source — an online prefetcher
 	// (instance or factory), an offline file generator, or a precomputed
 	// file — plus optional baseline, warmup, budget, and machine
-	// overrides.
+	// overrides. Source jobs never materialize the trace: each stage
+	// streams a fresh resolution through the bounded replay window.
 	EvalJob = runner.Job
 	// EvalResult is one evaluated job: Metrics plus the trace's
 	// no-prefetch IPC and the job's wall-clock / simulated-cycle cost.

@@ -9,6 +9,7 @@ import (
 	"pathfinder/internal/sim"
 	"pathfinder/internal/snn"
 	"pathfinder/internal/telemetry"
+	"pathfinder/internal/trace"
 )
 
 // Telemetry types, exposed for programmatic access to the metrics the
@@ -26,8 +27,9 @@ type (
 )
 
 // EnableTelemetry switches on metric recording across the whole stack —
-// the SNN, the timing simulator, the evaluation engine and the prefetch
-// drivers — and returns the fresh registry the layers now record into.
+// the SNN, the timing simulator, the evaluation engine, the prefetch
+// drivers and the streaming trace decoders — and returns the fresh
+// registry the layers now record into.
 // With telemetry off (the default) every record site costs a single
 // predictable branch and the hot paths stay allocation-free; enabling it
 // never changes simulated results, only observes them.
@@ -37,6 +39,7 @@ func EnableTelemetry() *TelemetryRegistry {
 	sim.EnableTelemetry(r)
 	runner.EnableTelemetry(r)
 	prefetch.EnableTelemetry(r)
+	trace.EnableTelemetry(r)
 	return r
 }
 
@@ -47,6 +50,7 @@ func DisableTelemetry() {
 	sim.EnableTelemetry(nil)
 	runner.EnableTelemetry(nil)
 	prefetch.EnableTelemetry(nil)
+	trace.EnableTelemetry(nil)
 	telemetry.Disable()
 }
 
