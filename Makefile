@@ -5,15 +5,18 @@
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
 # brief budget. `make chaos` runs the fault-injection suite under the race
 # detector (see docs/resilience.md). `make bench-micro` records the SNN,
-# simulator, evaluation-engine and trace-codec benchmarks into
-# BENCH_snn.json, BENCH_sim.json, BENCH_runner.json and BENCH_trace.json
-# (see docs/performance.md; the streaming-replay benchmark lands in
-# BENCH_sim.json, the decoder/encoder ones in BENCH_trace.json).
+# simulator, evaluation-engine, prefetcher and trace-codec benchmarks into
+# BENCH_snn.json, BENCH_sim.json, BENCH_runner.json, BENCH_prefetch.json
+# and BENCH_trace.json (see docs/performance.md; the streaming-replay
+# benchmark lands in BENCH_sim.json, the decoder/encoder ones in
+# BENCH_trace.json). `make bench-check` re-runs the simulator, runner and
+# prefetcher benchmarks and compares them against the committed records,
+# failing on >25% ns/op or allocs/op regressions (cmd/benchdiff).
 
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet race pfdebug chaos fuzz-short bench bench-micro verify
+.PHONY: build test vet race pfdebug chaos fuzz-short bench bench-micro bench-check verify
 
 build:
 	$(GO) build ./...
@@ -62,8 +65,19 @@ bench-micro:
 	  $(GO) run ./cmd/benchjson -o BENCH_snn.json
 	$(GO) test ./internal/sim ./internal/runner -run '^$$' -bench 'BenchmarkRun|BenchmarkEval' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
 	  $(GO) run ./cmd/benchjson -by-pkg .
+	$(GO) test ./internal/prefetch -run '^$$' -bench 'BenchmarkAdvise' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchjson -o BENCH_prefetch.json
 	$(GO) test ./internal/trace -run '^$$' -bench 'BenchmarkReaderNext|BenchmarkRead$$|BenchmarkStreamEncode' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
 	  $(GO) run ./cmd/benchjson -o BENCH_trace.json
-	@cat BENCH_snn.json BENCH_sim.json BENCH_runner.json BENCH_trace.json
+	@cat BENCH_snn.json BENCH_sim.json BENCH_runner.json BENCH_prefetch.json BENCH_trace.json
+
+# Regression gate: rerun the hot-path benchmarks and diff against the
+# committed BENCH_*.json. A >25% ns/op slowdown (min of BENCHCOUNT runs)
+# or any allocs/op increase fails the target.
+bench-check:
+	$(GO) test ./internal/sim ./internal/runner -run '^$$' -bench 'BenchmarkRun|BenchmarkEval' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchdiff -pkg internal/sim=BENCH_sim.json -pkg internal/runner=BENCH_runner.json
+	$(GO) test ./internal/prefetch -run '^$$' -bench 'BenchmarkAdvise' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchdiff -pkg internal/prefetch=BENCH_prefetch.json
 
 verify: build test vet race pfdebug

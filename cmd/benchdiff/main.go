@@ -1,0 +1,135 @@
+// Command benchdiff compares a fresh `go test -bench` run (stdin) against
+// the committed BENCH_*.json perf records and exits non-zero on
+// regression, so CI catches a hot path getting slower before the numbers
+// are re-recorded. `make bench-check` wires it up.
+//
+// Usage:
+//
+//	go test ./internal/sim ./internal/prefetch -bench ... -benchmem -count 5 |
+//	  benchdiff -pkg internal/sim=BENCH_sim.json -pkg internal/prefetch=BENCH_prefetch.json
+//
+// Each -pkg flag maps a package (matched as a path suffix of the stream's
+// `pkg:` headers) to its committed baseline. A benchmark regresses when
+// its fresh min-of-runs ns/op exceeds the baseline's by more than
+// -threshold (default 0.25, i.e. 25% — wide enough to absorb shared-CI
+// noise, tight enough to catch real hot-path slips), or when its allocs/op
+// grows past baseline + baseline/50. The integer 2% slack is zero below 50
+// allocs/op, so the zero-alloc and counted-alloc contracts stay exact; it
+// only loosens the high-count parallel benchmarks (worker pools make their
+// counts wobble by a few allocations run to run).
+//
+// Benchmarks present on only one side are reported but are not failures:
+// new benchmarks have no baseline yet, and retired ones are the records'
+// concern, not the code's. Improvements beyond the threshold are flagged
+// as a reminder to re-record via `make bench-micro`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathfinder/internal/benchfmt"
+)
+
+// pkgBaselines collects repeated -pkg path=file flags.
+type pkgBaselines []struct{ pkg, file string }
+
+func (p *pkgBaselines) String() string { return fmt.Sprint(*p) }
+
+func (p *pkgBaselines) Set(v string) error {
+	pkg, file, ok := strings.Cut(v, "=")
+	if !ok || pkg == "" || file == "" {
+		return fmt.Errorf("want path=BENCH_file.json, got %q", v)
+	}
+	*p = append(*p, struct{ pkg, file string }{pkg, file})
+	return nil
+}
+
+func main() {
+	var baselines pkgBaselines
+	threshold := flag.Float64("threshold", 0.25, "max tolerated ns/op regression as a fraction of the baseline min")
+	flag.Var(&baselines, "pkg", "package=baseline.json mapping (repeatable); package matches pkg: headers by path suffix")
+	flag.Parse()
+	if len(baselines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no -pkg baselines given")
+		os.Exit(2)
+	}
+
+	set, err := benchfmt.Parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if set.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	failures := 0
+	for _, b := range baselines {
+		base, err := benchfmt.ReadFile(b.file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		baseByName := map[string]benchfmt.Entry{}
+		for _, e := range base {
+			baseByName[e.Name] = e
+		}
+
+		// Resolve the -pkg path against the stream's full package paths.
+		fresh := []benchfmt.Entry(nil)
+		for _, p := range set.Packages() {
+			if p == b.pkg || strings.HasSuffix(p, "/"+b.pkg) {
+				fresh = set.Entries(p)
+				break
+			}
+		}
+		if fresh == nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s: no benchmarks for this package on stdin\n", b.pkg)
+			failures++
+			continue
+		}
+
+		seen := map[string]bool{}
+		for _, e := range fresh {
+			seen[e.Name] = true
+			want, ok := baseByName[e.Name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: no baseline in %s (new benchmark? re-record with make bench-micro)\n",
+					b.pkg, e.Name, b.file)
+				continue
+			}
+			ratio := e.NsPerOpMin / want.NsPerOpMin
+			switch {
+			case ratio > 1+*threshold:
+				fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)\n",
+					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin, (ratio-1)*100, *threshold*100)
+				failures++
+			case ratio < 1-*threshold:
+				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% faster — re-record with make bench-micro)\n",
+					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin, (1-ratio)*100)
+			default:
+				fmt.Fprintf(os.Stderr, "benchdiff: ok %s/%s: %.0f ns/op vs baseline %.0f\n",
+					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin)
+			}
+			if e.AllocsPerOp > want.AllocsPerOp+want.AllocsPerOp/50 {
+				fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s/%s: %d allocs/op vs baseline %d — allocation regression\n",
+					b.pkg, e.Name, e.AllocsPerOp, want.AllocsPerOp)
+				failures++
+			}
+		}
+		for _, want := range base {
+			if !seen[want.Name] {
+				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: in %s but not in this run\n", b.pkg, want.Name, b.file)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchdiff: no regressions")
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestPkgBaselinesFlag(t *testing.T) {
+	var p pkgBaselines
+	if err := p.Set("internal/sim=BENCH_sim.json"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("internal/runner=BENCH_runner.json"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[0].pkg != "internal/sim" || p[0].file != "BENCH_sim.json" ||
+		p[1].pkg != "internal/runner" || p[1].file != "BENCH_runner.json" {
+		t.Errorf("parsed = %+v", p)
+	}
+	for _, bad := range []string{"", "nofile", "=x.json", "pkg="} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -12,181 +12,63 @@
 // headers and each package's benchmarks land in <dir>/BENCH_<name>.json
 // (name = last path element) — how `make bench-micro` produces
 // BENCH_sim.json and BENCH_runner.json from one invocation.
+//
+// Parsing and the record format live in internal/benchfmt, shared with
+// cmd/benchdiff so recording and regression-checking can never disagree.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path"
 	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
+
+	"pathfinder/internal/benchfmt"
 )
-
-// Entry is one benchmark's aggregated result.
-type Entry struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	NsPerOpMin  float64 `json:"ns_per_op_min"`
-	NsPerOpMean float64 `json:"ns_per_op_mean"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-type sample struct {
-	nsPerOp   float64
-	allocs    int64
-	bytes     int64
-	hasAllocs bool
-}
-
-// parseLine extracts one benchmark result line, e.g.
-//
-//	BenchmarkPresent/rate/learn-8   85840   13581 ns/op   0 B/op   0 allocs/op
-//
-// Returns ok=false for non-benchmark lines (headers, PASS, metrics-only).
-func parseLine(line string) (name string, s sample, ok bool) {
-	if !strings.HasPrefix(line, "Benchmark") {
-		return "", sample{}, false
-	}
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return "", sample{}, false
-	}
-	// Strip the -GOMAXPROCS suffix so runs on different machines compare.
-	name = fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	found := false
-	for i := 2; i+1 < len(fields); i += 2 {
-		val, unit := fields[i], fields[i+1]
-		switch unit {
-		case "ns/op":
-			v, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return "", sample{}, false
-			}
-			s.nsPerOp = v
-			found = true
-		case "B/op":
-			s.bytes, _ = strconv.ParseInt(val, 10, 64)
-		case "allocs/op":
-			s.allocs, _ = strconv.ParseInt(val, 10, 64)
-			s.hasAllocs = true
-		}
-	}
-	return name, s, found
-}
-
-// parsePkg extracts the package path from a `pkg: <path>` header line that
-// `go test` prints before each package's benchmarks (ok=false otherwise).
-func parsePkg(line string) (string, bool) {
-	rest, found := strings.CutPrefix(line, "pkg:")
-	if !found {
-		return "", false
-	}
-	return strings.TrimSpace(rest), true
-}
-
-// key groups samples: the benchmark name plus the package it ran in, so a
-// multi-package stream keeps same-named benchmarks apart.
-type key struct{ pkg, name string }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	byPkg := flag.String("by-pkg", "", "split a multi-package run on its pkg: headers, writing <dir>/BENCH_<pkgname>.json each (overrides -o)")
 	flag.Parse()
 
-	byName := map[key][]sample{}
-	var order []key
-	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		// Echo the raw output through so the run stays visible when piped.
-		fmt.Fprintln(os.Stderr, line)
-		if p, ok := parsePkg(line); ok {
-			pkg = p
-			continue
-		}
-		name, s, ok := parseLine(line)
-		if !ok {
-			continue
-		}
-		k := key{pkg, name}
-		if _, seen := byName[k]; !seen {
-			order = append(order, k)
-		}
-		byName[k] = append(byName[k], s)
-	}
-	if err := sc.Err(); err != nil {
+	// Echo the raw output through so the run stays visible when piped.
+	set, err := benchfmt.Parse(os.Stdin, os.Stderr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if len(order) == 0 {
+	if set.Len() == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
 
-	entries := make(map[string][]Entry) // package -> its entries
-	var pkgs []string
-	for _, k := range order {
-		runs := byName[k]
-		e := Entry{Name: k.name, Runs: len(runs), NsPerOpMin: runs[0].nsPerOp}
-		sum := 0.0
-		for _, r := range runs {
-			sum += r.nsPerOp
-			if r.nsPerOp < e.NsPerOpMin {
-				e.NsPerOpMin = r.nsPerOp
-			}
-			if r.hasAllocs {
-				e.AllocsPerOp = r.allocs
-				e.BytesPerOp = r.bytes
-			}
-		}
-		e.NsPerOpMean = sum / float64(len(runs))
-		if _, seen := entries[k.pkg]; !seen {
-			pkgs = append(pkgs, k.pkg)
-		}
-		entries[k.pkg] = append(entries[k.pkg], e)
-	}
-
 	if *byPkg != "" {
-		for _, p := range pkgs {
+		for _, p := range set.Packages() {
 			name := path.Base(p)
 			if name == "." || name == "/" || name == "" {
 				name = "unknown"
 			}
-			writeEntries(filepath.Join(*byPkg, "BENCH_"+name+".json"), entries[p])
+			writeEntries(filepath.Join(*byPkg, "BENCH_"+name+".json"), set.Entries(p))
 		}
 		return
 	}
 
 	// Flat mode: one list across every package (the original behaviour).
-	var all []Entry
-	for _, p := range pkgs {
-		all = append(all, entries[p]...)
+	var all []benchfmt.Entry
+	for _, p := range set.Packages() {
+		all = append(all, set.Entries(p)...)
 	}
 	writeEntries(*out, all)
 }
 
-// writeEntries sorts and writes one JSON record (stdout when path is "").
-func writeEntries(path string, entries []Entry) {
-	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
-	data, err := json.MarshalIndent(entries, "", "  ")
+// writeEntries writes one JSON record (stdout when path is "").
+func writeEntries(path string, entries []benchfmt.Entry) {
+	data, err := benchfmt.Marshal(entries)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	data = append(data, '\n')
 	if path == "" {
 		os.Stdout.Write(data)
 		return

@@ -1,0 +1,126 @@
+package prefetch
+
+import (
+	"fmt"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+// benchPrefetchers enumerates every prefetcher whose Advise path is pinned
+// zero-alloc in steady state and benchmarked into BENCH_prefetch.json. The
+// constructors run per benchmark/test, so iterations never share state.
+func benchPrefetchers() []struct {
+	name string
+	make func() Prefetcher
+} {
+	return []struct {
+		name string
+		make func() Prefetcher
+	}{
+		{"NextLine", func() Prefetcher { return &NextLine{} }},
+		{"Stride", func() Prefetcher { return NewStride() }},
+		{"NextPage", func() Prefetcher { return NewNextPage() }},
+		{"BestOffset", func() Prefetcher { return NewBestOffset() }},
+		{"SPP", func() Prefetcher { return NewSPP() }},
+		{"SMS", func() Prefetcher { return NewSMS() }},
+		{"VLDP", func() Prefetcher { return NewVLDP() }},
+		{"ISB", func() Prefetcher { return NewISB() }},
+		{"SISB", func() Prefetcher { return NewSISB() }},
+		{"Pythia", func() Prefetcher { return NewPythia(1) }},
+		{"Throttle", func() Prefetcher { return NewThrottle(NewBestOffset()) }},
+		{"Ensemble", func() Prefetcher { return NewEnsemble(NewStride(), NewNextPage()) }},
+		{"Dynamic", func() Prefetcher { return NewDynamicEnsemble(NewStride(), NewBestOffset()) }},
+	}
+}
+
+// benchAccesses is the shared Advise workload: a fixed working set mixing
+// strided streams, page-local re-references, and pointer-chase-like jumps
+// across a handful of PCs. The set is deliberately bounded (modular
+// indices) so every prefetcher's tables reach their steady-state size
+// during warmup and stop growing — the zero-alloc assertion depends on it.
+func benchAccesses(n int) []trace.Access {
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		var addr uint64
+		switch pc := i % 4; pc {
+		case 0: // stride-3 stream over 1024 blocks
+			addr = uint64(i/4%1024) * 3 * trace.BlockBytes
+		case 1: // dense page-local walk over 64 pages
+			addr = 1<<30 + uint64(i/4%64)*trace.PageBytes + uint64(i%64)*trace.BlockBytes
+		case 2: // stride-17 stream over 512 blocks
+			addr = 2<<30 + uint64(i/4%512)*17*trace.BlockBytes
+		default: // scrambled jumps over 2048 blocks
+			addr = 3<<30 + uint64(i*2654435761)%2048*trace.BlockBytes
+		}
+		accs[i] = trace.Access{ID: uint64(i+1) * 8, PC: 0x400000 + uint64(i%4)*4, Addr: addr}
+	}
+	return accs
+}
+
+// BenchmarkAdvise measures each prefetcher's per-access Advise cost over
+// the shared workload, after one full pass of warmup so growable tables
+// are at steady state. Recorded into BENCH_prefetch.json by
+// `make bench-micro`.
+func BenchmarkAdvise(b *testing.B) {
+	accs := benchAccesses(4096)
+	for _, bp := range benchPrefetchers() {
+		b.Run(bp.name, func(b *testing.B) {
+			p := bp.make()
+			for _, a := range accs {
+				p.Advise(a, Budget)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Advise(accs[i%len(accs)], Budget)
+			}
+		})
+	}
+}
+
+// TestAdviseSteadyStateZeroAlloc pins the flat-table contract: once a
+// prefetcher has seen its working set, Advise allocates nothing — no
+// per-call result slices, no map growth, no scratch rebuilds.
+func TestAdviseSteadyStateZeroAlloc(t *testing.T) {
+	accs := benchAccesses(4096)
+	for _, bp := range benchPrefetchers() {
+		t.Run(bp.name, func(t *testing.T) {
+			p := bp.make()
+			// Warm until every table has absorbed the full working set and
+			// periodic maintenance (decay, gc, epoch expiry) has fired.
+			for round := 0; round < 4; round++ {
+				for _, a := range accs {
+					p.Advise(a, Budget)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(400, func() {
+				p.Advise(accs[i%len(accs)], Budget)
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("%s: Advise allocates %.2f/op in steady state, want 0", bp.name, avg)
+			}
+		})
+	}
+}
+
+// TestBenchAccessesDeterministic keeps the shared workload stable: the
+// benchmark numbers in BENCH_prefetch.json are only comparable across
+// commits if the workload never drifts.
+func TestBenchAccessesDeterministic(t *testing.T) {
+	const h0 = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(h0)
+	for _, a := range benchAccesses(4096) {
+		for _, v := range [3]uint64{a.ID, a.PC, a.Addr} {
+			for s := 0; s < 64; s += 8 {
+				h = (h ^ (v >> s & 0xff)) * prime
+			}
+		}
+	}
+	if got := fmt.Sprintf("%016x", h); got != "4b8dc562aea58cbe" {
+		t.Errorf("benchAccesses drifted: fnv64 %s", got)
+	}
+}

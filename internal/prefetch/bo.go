@@ -22,6 +22,8 @@ type BestOffset struct {
 	maxRounds int
 	maxScore  int
 	badScore  int
+
+	advBuf []uint64
 }
 
 // boOffsetList is the classic Best-Offset candidate list: integers up to 64
@@ -70,7 +72,8 @@ func (b *BestOffset) rrHit(block uint64) bool {
 	return b.rr[block&b.rrMask] == block
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (b *BestOffset) Advise(a trace.Access, budget int) []uint64 {
 	block := a.Block()
 
@@ -96,10 +99,11 @@ func (b *BestOffset) Advise(a trace.Access, budget int) []uint64 {
 	// accesses can score offsets ("X-d was recently seen").
 	b.rrInsert(block)
 
-	out := make([]uint64, 0, budget)
+	out := b.advBuf[:0]
 	for i := 1; i <= budget; i++ {
 		out = append(out, trace.BlockAddr(block+uint64(i*b.best)))
 	}
+	b.advBuf = out
 	return out
 }
 

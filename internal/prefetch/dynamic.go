@@ -24,16 +24,23 @@ type DynamicEnsemble struct {
 
 	// scores hold exponentially-decayed usefulness credit per member.
 	scores []float64
-	// pending maps a suggested block to the members that suggested it and
-	// the access count at suggestion time.
-	pending map[uint64][]pendingSuggestion
+	// pending maps a suggested block to the head of its suggestion chain
+	// in the nodes arena; nodes are recycled through a free list.
+	pending *Table[int32]
+	nodes   []dynPendingNode
+	free    int32 // free-list head, -1 when empty
 	n       uint64
 	rotate  int
+
+	sugg   [][]uint64 // scratch: per-member suggestions for one access
+	order  []int      // scratch: member priority order
+	advBuf []uint64
 }
 
-type pendingSuggestion struct {
+type dynPendingNode struct {
 	member int
 	at     uint64
+	next   int32 // next node for the same block, -1 = end
 }
 
 // NewDynamicEnsemble builds a usefulness-scored ensemble.
@@ -43,7 +50,10 @@ func NewDynamicEnsemble(members ...Prefetcher) *DynamicEnsemble {
 		Window:  256,
 		Epsilon: 1.0 / 16,
 		scores:  make([]float64, len(members)),
-		pending: make(map[uint64][]pendingSuggestion),
+		pending: NewTable[int32](1024),
+		free:    -1,
+		sugg:    make([][]uint64, len(members)),
+		order:   make([]int, len(members)),
 	}
 }
 
@@ -70,19 +80,39 @@ func (d *DynamicEnsemble) Scores() []float64 {
 	return out
 }
 
-// Advise implements Prefetcher.
+func (d *DynamicEnsemble) allocNode(member int, at uint64, next int32) int32 {
+	if idx := d.free; idx >= 0 {
+		d.free = d.nodes[idx].next
+		d.nodes[idx] = dynPendingNode{member: member, at: at, next: next}
+		return idx
+	}
+	d.nodes = append(d.nodes, dynPendingNode{member: member, at: at, next: next})
+	return int32(len(d.nodes) - 1)
+}
+
+func (d *DynamicEnsemble) freeNode(idx int32) {
+	d.nodes[idx].next = d.free
+	d.free = idx
+}
+
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (d *DynamicEnsemble) Advise(a trace.Access, budget int) []uint64 {
 	d.n++
 
 	// Credit members whose outstanding suggestion covered this demand.
 	block := a.Block()
-	if ps, ok := d.pending[block]; ok {
-		for _, p := range ps {
-			if d.n-p.at <= uint64(d.Window) {
-				d.scores[p.member]++
+	if head := d.pending.Get(block); head != nil {
+		for idx := *head; idx >= 0; {
+			node := &d.nodes[idx]
+			if d.n-node.at <= uint64(d.Window) {
+				d.scores[node.member]++
 			}
+			next := node.next
+			d.freeNode(idx)
+			idx = next
 		}
-		delete(d.pending, block)
+		d.pending.Delete(block)
 	}
 	// Slow exponential decay keeps scores adaptive across phases.
 	if d.n%64 == 0 {
@@ -93,33 +123,49 @@ func (d *DynamicEnsemble) Advise(a trace.Access, budget int) []uint64 {
 	}
 
 	// Collect every member's suggestions (all keep learning).
-	sugg := make([][]uint64, len(d.Members))
+	sugg := d.sugg
 	for i, m := range d.Members {
 		sugg[i] = m.Advise(a, budget)
 	}
 
 	order := d.priorityOrder()
-	var out []uint64
-	seen := make(map[uint64]bool, budget)
+	out := d.advBuf[:0]
 	for _, i := range order {
+	suggest:
 		for _, addr := range sugg[i] {
 			b := addr / trace.BlockBytes
 			// Track usefulness for every member's suggestions, issued or
 			// not, so losing members can still earn their way up.
-			d.pending[b] = append(d.pending[b], pendingSuggestion{member: i, at: d.n})
-			if len(out) < budget && !seen[b] {
-				seen[b] = true
-				out = append(out, trace.BlockAddr(b))
+			var next int32 = -1
+			head, existed := d.pending.Insert(b)
+			if existed {
+				next = *head
 			}
+			*head = d.allocNode(i, d.n, next)
+			if len(out) >= budget {
+				continue
+			}
+			blockAddr := trace.BlockAddr(b)
+			for _, have := range out {
+				if have == blockAddr {
+					continue suggest
+				}
+			}
+			out = append(out, blockAddr)
 		}
+	}
+	d.advBuf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
 
 // priorityOrder returns member indexes sorted by descending score, with an
-// occasional rotation for exploration.
+// occasional rotation for exploration. The returned slice is scratch,
+// valid until the next call.
 func (d *DynamicEnsemble) priorityOrder() []int {
-	order := make([]int, len(d.Members))
+	order := d.order
 	for i := range order {
 		order[i] = i
 	}
@@ -135,19 +181,28 @@ func (d *DynamicEnsemble) priorityOrder() []int {
 	return order
 }
 
-// gc drops stale pending suggestions so the map stays bounded.
+// gc drops stale pending suggestions so the table stays bounded.
 func (d *DynamicEnsemble) gc() {
-	for b, ps := range d.pending {
-		live := ps[:0]
-		for _, p := range ps {
-			if d.n-p.at <= uint64(d.Window) {
-				live = append(live, p)
+	d.pending.DeleteIf(func(_ uint64, head *int32) bool {
+		idx := *head
+		for idx >= 0 && d.n-d.nodes[idx].at > uint64(d.Window) {
+			next := d.nodes[idx].next
+			d.freeNode(idx)
+			idx = next
+		}
+		if idx < 0 {
+			return true
+		}
+		*head = idx
+		for cur := idx; cur >= 0; {
+			next := d.nodes[cur].next
+			if next >= 0 && d.n-d.nodes[next].at > uint64(d.Window) {
+				d.nodes[cur].next = d.nodes[next].next
+				d.freeNode(next)
+				continue
 			}
+			cur = next
 		}
-		if len(live) == 0 {
-			delete(d.pending, b)
-		} else {
-			d.pending[b] = live
-		}
-	}
+		return false
+	})
 }

@@ -17,6 +17,8 @@ type Ensemble struct {
 	Members []Prefetcher
 	// Label overrides the derived name when non-empty.
 	Label string
+
+	advBuf []uint64
 }
 
 // NewEnsemble builds an ensemble over the given members.
@@ -37,27 +39,35 @@ func (e *Ensemble) Name() string {
 	return strings.Join(names, "+")
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (e *Ensemble) Advise(a trace.Access, budget int) []uint64 {
-	var out []uint64
-	seen := make(map[uint64]bool, budget)
+	out := e.advBuf[:0]
 	for _, m := range e.Members {
 		remaining := budget - len(out)
 		sugg := m.Advise(a, budget) // members always observe the access
 		if remaining <= 0 {
 			continue
 		}
+	suggest:
 		for _, addr := range sugg {
 			blockAddr := addr &^ (trace.BlockBytes - 1)
-			if seen[blockAddr] {
-				continue
+			// Budgets are tiny (typically 2), so a linear scan of the
+			// accepted set beats a dedup map.
+			for _, have := range out {
+				if have == blockAddr {
+					continue suggest
+				}
 			}
-			seen[blockAddr] = true
 			out = append(out, blockAddr)
 			if len(out) == budget {
 				break
 			}
 		}
+	}
+	e.advBuf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

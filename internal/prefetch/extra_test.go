@@ -9,9 +9,10 @@ import (
 func TestStrideLearnsPCStride(t *testing.T) {
 	p := NewStride()
 	// PC 1 strides by 4 blocks; PC 2 strides by 7. Predictions must not mix.
+	// Advise results are valid only until the next call, so copy got1.
 	var got1, got2 []uint64
 	for i := uint64(0); i < 20; i++ {
-		got1 = p.Advise(acc(2*i+1, 1, 100+4*i), 2)
+		got1 = append(got1[:0], p.Advise(acc(2*i+1, 1, 100+4*i), 2)...)
 		got2 = p.Advise(acc(2*i+2, 2, 5000+7*i), 2)
 	}
 	if len(got1) != 2 || got1[0] != trace.BlockAddr(100+4*19+4) || got1[1] != trace.BlockAddr(100+4*19+8) {
@@ -52,8 +53,8 @@ func TestStrideTableEviction(t *testing.T) {
 	for pc := uint64(0); pc < 20; pc++ {
 		p.Advise(acc(pc+1, pc, pc*100), 2)
 	}
-	if len(p.table) > 4 {
-		t.Errorf("table grew to %d entries, cap 4", len(p.table))
+	if p.table.Len() > 4 {
+		t.Errorf("table grew to %d entries, cap 4", p.table.Len())
 	}
 }
 
@@ -205,8 +206,8 @@ func TestDynamicEnsemblePendingBounded(t *testing.T) {
 	for i := uint64(0); i < 10_000; i++ {
 		d.Advise(acc(i+1, 1, i*17%(1<<22)), 2)
 	}
-	if len(d.pending) > 4*d.Window {
-		t.Errorf("pending map grew to %d entries", len(d.pending))
+	if d.pending.Len() > 4*d.Window {
+		t.Errorf("pending table grew to %d entries", d.pending.Len())
 	}
 }
 
@@ -283,8 +284,8 @@ func TestISBBoundedMetadata(t *testing.T) {
 	for i := uint64(0); i < 10_000; i++ {
 		p.Advise(acc(i+1, 1, i), 2)
 	}
-	if len(p.ps) > 64 || len(p.sp) > 64+1 {
-		t.Errorf("metadata grew beyond cap: ps=%d sp=%d", len(p.ps), len(p.sp))
+	if p.ps.Len() > 64 || p.sp.Len() > 64+1 {
+		t.Errorf("metadata grew beyond cap: ps=%d sp=%d", p.ps.Len(), p.sp.Len())
 	}
 }
 
@@ -294,16 +295,20 @@ func TestISBStructuralConsistency(t *testing.T) {
 	for i := uint64(0); i < 3000; i++ {
 		p.Advise(acc(i+1, i%4, (i*2654435761)%(1<<16)), 2)
 	}
-	for phys, str := range p.ps {
-		if back, ok := p.sp[str]; !ok || back != phys {
-			t.Fatalf("ps/sp inconsistent: phys %d -> str %d -> %d (%v)", phys, str, back, ok)
+	p.ps.Range(func(phys uint64, e *isbMapping) bool {
+		back := p.sp.Get(e.str)
+		if back == nil || *back != phys {
+			t.Fatalf("ps/sp inconsistent: phys %d -> str %d -> %v", phys, e.str, back)
 		}
-	}
-	for str, phys := range p.sp {
-		if fwd, ok := p.ps[phys]; !ok || fwd != str {
-			t.Fatalf("sp/ps inconsistent: str %d -> phys %d -> %d (%v)", str, phys, fwd, ok)
+		return true
+	})
+	p.sp.Range(func(str uint64, physp *uint64) bool {
+		fwd := p.ps.Get(*physp)
+		if fwd == nil || fwd.str != str {
+			t.Fatalf("sp/ps inconsistent: str %d -> phys %d -> %v", str, *physp, fwd)
 		}
-	}
+		return true
+	})
 }
 
 func TestISBWeakerThanSISBWhenBounded(t *testing.T) {
@@ -409,7 +414,7 @@ func TestThrottlePendingBounded(t *testing.T) {
 	for i := uint64(0); i < 20_000; i++ {
 		th.Advise(acc(i+1, 1, (i*2654435761)%(1<<24)), 2)
 	}
-	if len(th.pending) > 4096 {
-		t.Errorf("pending map grew to %d", len(th.pending))
+	if th.pending.Len() > 4096 {
+		t.Errorf("pending table grew to %d", th.pending.Len())
 	}
 }

@@ -12,14 +12,14 @@ import "pathfinder/internal/trace"
 // (PS) and structural → physical (SP). The idealized SISB corresponds to
 // unbounded mappings.
 type ISB struct {
-	ps    map[uint64]uint64 // physical block -> structural address
-	sp    map[uint64]uint64 // structural address -> physical block
-	psUse map[uint64]uint64 // physical block -> last-use tick for LRU
-	last  map[uint64]uint64 // pc -> previous physical block
+	ps *Table[isbMapping] // physical block -> structural address + LRU stamp
+	sp *Table[uint64]     // structural address -> physical block
+
+	last *Table[uint64] // pc -> previous physical block
 
 	// cursor is each PC stream's next free structural address; chunks
 	// counts allocated structural chunks.
-	cursor map[uint64]uint64
+	cursor *Table[uint64]
 	chunks uint64
 
 	// Cap bounds the PS/SP mappings (on-chip metadata).
@@ -28,18 +28,23 @@ type ISB struct {
 	// uses 256-entry structural pages).
 	StreamGranularity uint64
 
-	clock uint64
+	clock  uint64
+	advBuf []uint64
+}
+
+type isbMapping struct {
+	str uint64
+	use uint64
 }
 
 // NewISB returns an ISB with 8K mapping entries (a realistic on-chip
 // metadata budget).
 func NewISB() *ISB {
 	return &ISB{
-		ps:                make(map[uint64]uint64),
-		sp:                make(map[uint64]uint64),
-		psUse:             make(map[uint64]uint64),
-		last:              make(map[uint64]uint64),
-		cursor:            make(map[uint64]uint64),
+		ps:                NewTable[isbMapping](8192),
+		sp:                NewTable[uint64](8192),
+		last:              NewTable[uint64](256),
+		cursor:            NewTable[uint64](256),
 		Cap:               8192,
 		StreamGranularity: 256,
 	}
@@ -48,7 +53,8 @@ func NewISB() *ISB {
 // Name implements Prefetcher.
 func (b *ISB) Name() string { return "ISB" }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (b *ISB) Advise(a trace.Access, budget int) []uint64 {
 	b.clock++
 	block := a.Block()
@@ -58,17 +64,24 @@ func (b *ISB) Advise(a trace.Access, budget int) []uint64 {
 	// that already have a structural home keep it (re-linearising on
 	// every revisit would tear down the stream a loop just built); stale
 	// mappings leave through LRU eviction instead.
-	if prev, ok := b.last[a.PC]; ok && prev != block {
-		prevStr, hasPrev := b.ps[prev]
-		curStr, hasCur := b.ps[block]
+	if prevp := b.last.Get(a.PC); prevp != nil && *prevp != block {
+		prev := *prevp
+		var prevStr, curStr uint64
+		hasPrev, hasCur := false, false
+		if e := b.ps.Get(prev); e != nil {
+			prevStr, hasPrev = e.str, true
+		}
+		if e := b.ps.Get(block); e != nil {
+			curStr, hasCur = e.str, true
+		}
 		switch {
 		case hasPrev && !hasCur && (prevStr+1)%b.StreamGranularity != 0:
-			if _, taken := b.sp[prevStr+1]; !taken {
+			if b.sp.Get(prevStr+1) == nil {
 				b.assign(block, prevStr+1)
 			}
 		case !hasPrev && hasCur && curStr%b.StreamGranularity != 0:
 			// Splice prev in just before the already-placed block.
-			if _, taken := b.sp[curStr-1]; !taken {
+			if b.sp.Get(curStr-1) == nil {
 				b.assign(prev, curStr-1)
 			}
 		case !hasPrev && !hasCur:
@@ -79,21 +92,27 @@ func (b *ISB) Advise(a trace.Access, budget int) []uint64 {
 			b.assign(block, s2)
 		}
 	}
-	b.last[a.PC] = block
+	lastp, _ := b.last.Insert(a.PC)
+	*lastp = block
 	b.touch(block)
 
 	// Prediction: walk forward in structural space from this block.
-	str, ok := b.ps[block]
-	if !ok {
+	e := b.ps.Get(block)
+	if e == nil {
 		return nil
 	}
-	out := make([]uint64, 0, budget)
+	str := e.str
+	out := b.advBuf[:0]
 	for i := uint64(1); len(out) < budget; i++ {
-		phys, ok := b.sp[str+i]
-		if !ok {
+		phys := b.sp.Get(str + i)
+		if phys == nil {
 			break
 		}
-		out = append(out, trace.BlockAddr(phys))
+		out = append(out, trace.BlockAddr(*phys))
+	}
+	b.advBuf = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -101,35 +120,36 @@ func (b *ISB) Advise(a trace.Access, budget int) []uint64 {
 // alloc hands out the PC stream's next structural address, reserving a
 // fresh chunk when the current one is exhausted (or absent).
 func (b *ISB) alloc(pc uint64) uint64 {
-	cur, ok := b.cursor[pc]
-	if !ok || cur%b.StreamGranularity == 0 {
-		cur = b.chunks * b.StreamGranularity
+	cur, existed := b.cursor.Insert(pc)
+	if !existed || *cur%b.StreamGranularity == 0 {
+		*cur = b.chunks * b.StreamGranularity
 		b.chunks++
 	}
-	b.cursor[pc] = cur + 1
-	return cur
+	c := *cur
+	*cur = c + 1
+	return c
 }
 
 // assign records the physical<->structural pair, displacing stale mappings.
 func (b *ISB) assign(phys, str uint64) {
-	if old, ok := b.ps[phys]; ok {
-		delete(b.sp, old)
+	if old := b.ps.Get(phys); old != nil {
+		b.sp.Delete(old.str)
 	}
-	if old, ok := b.sp[str]; ok {
-		delete(b.ps, old)
-		delete(b.psUse, old)
+	if oldPhys := b.sp.Get(str); oldPhys != nil {
+		b.ps.Delete(*oldPhys)
 	}
-	if len(b.ps) >= b.Cap {
+	if b.ps.Len() >= b.Cap {
 		b.evict()
 	}
-	b.ps[phys] = str
-	b.sp[str] = phys
-	b.psUse[phys] = b.clock
+	e, _ := b.ps.Insert(phys)
+	*e = isbMapping{str: str, use: b.clock}
+	sp, _ := b.sp.Insert(str)
+	*sp = phys
 }
 
 func (b *ISB) touch(phys uint64) {
-	if _, ok := b.ps[phys]; ok {
-		b.psUse[phys] = b.clock
+	if e := b.ps.Get(phys); e != nil {
+		e.use = b.clock
 	}
 }
 
@@ -137,15 +157,15 @@ func (b *ISB) touch(phys uint64) {
 func (b *ISB) evict() {
 	var victim uint64
 	var oldest uint64 = ^uint64(0)
-	for phys, use := range b.psUse {
-		if use < oldest {
-			oldest = use
+	b.ps.Range(func(phys uint64, e *isbMapping) bool {
+		if e.use < oldest {
+			oldest = e.use
 			victim = phys
 		}
+		return true
+	})
+	if e := b.ps.Get(victim); e != nil {
+		b.sp.Delete(e.str)
 	}
-	if str, ok := b.ps[victim]; ok {
-		delete(b.sp, str)
-	}
-	delete(b.ps, victim)
-	delete(b.psUse, victim)
+	b.ps.Delete(victim)
 }

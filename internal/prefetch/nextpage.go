@@ -10,9 +10,11 @@ import "pathfinder/internal/trace"
 // the next page — bridging exactly the gap PATHFINDER's within-page model
 // cannot cover. It is designed to be ensembled with PATHFINDER.
 type NextPage struct {
-	table map[uint64]*nextPageEntry
+	table *Table[nextPageEntry]
 	cap   int
 	clock uint64
+
+	advBuf []uint64
 
 	// MinConfidence is how many consecutive identical page strides are
 	// required before prefetching.
@@ -33,7 +35,7 @@ type nextPageEntry struct {
 // NewNextPage returns a cold-page first-access predictor.
 func NewNextPage() *NextPage {
 	return &NextPage{
-		table:         make(map[uint64]*nextPageEntry),
+		table:         NewTable[nextPageEntry](256),
 		cap:           256,
 		MinConfidence: 2,
 		Lookahead:     1,
@@ -45,16 +47,18 @@ func (n *NextPage) Name() string { return "NextPage" }
 
 // Advise implements Prefetcher. Only first-touches of a new page (per PC)
 // produce learning or predictions; within-page accesses are ignored,
-// leaving them to within-page prefetchers.
+// leaving them to within-page prefetchers. The returned slice is reused
+// across calls and valid only until the next Advise.
 func (n *NextPage) Advise(a trace.Access, budget int) []uint64 {
 	n.clock++
 	page := a.Page()
-	e, ok := n.table[a.PC]
-	if !ok {
-		if len(n.table) >= n.cap {
+	e := n.table.Get(a.PC)
+	if e == nil {
+		if n.table.Len() >= n.cap {
 			n.evictLRU()
 		}
-		n.table[a.PC] = &nextPageEntry{lastPage: page, firstOffset: a.Offset(), lastUse: n.clock}
+		e, _ = n.table.Insert(a.PC)
+		*e = nextPageEntry{lastPage: page, firstOffset: a.Offset(), lastUse: n.clock}
 		return nil
 	}
 	e.lastUse = n.clock
@@ -75,7 +79,7 @@ func (n *NextPage) Advise(a trace.Access, budget int) []uint64 {
 	if e.conf < n.MinConfidence {
 		return nil
 	}
-	out := make([]uint64, 0, budget)
+	out := n.advBuf[:0]
 	for i := 1; i <= n.Lookahead && len(out) < budget; i++ {
 		p := int64(page) + int64(i)*stride
 		if p <= 0 {
@@ -84,17 +88,19 @@ func (n *NextPage) Advise(a trace.Access, budget int) []uint64 {
 		block := uint64(p)*trace.BlocksPerPage + uint64(e.firstOffset)
 		out = append(out, trace.BlockAddr(block))
 	}
+	n.advBuf = out
 	return out
 }
 
 func (n *NextPage) evictLRU() {
 	var victim uint64
 	var oldest uint64 = ^uint64(0)
-	for pc, e := range n.table {
+	n.table.Range(func(pc uint64, e *nextPageEntry) bool {
 		if e.lastUse < oldest {
 			oldest = e.lastUse
 			victim = pc
 		}
-	}
-	delete(n.table, victim)
+		return true
+	})
+	n.table.Delete(victim)
 }

@@ -123,20 +123,24 @@ type NextLine struct {
 	// Degree is how many sequential blocks to suggest (capped by the
 	// per-access budget). Zero means "use the full budget".
 	Degree int
+
+	advBuf []uint64
 }
 
 // Name implements Prefetcher.
 func (n *NextLine) Name() string { return "NextLine" }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (n *NextLine) Advise(a trace.Access, budget int) []uint64 {
 	deg := n.Degree
 	if deg <= 0 || deg > budget {
 		deg = budget
 	}
-	out := make([]uint64, 0, deg)
+	out := n.advBuf[:0]
 	for i := 1; i <= deg; i++ {
 		out = append(out, trace.BlockAddr(a.Block()+uint64(i)))
 	}
+	n.advBuf = out
 	return out
 }

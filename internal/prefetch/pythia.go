@@ -76,21 +76,33 @@ type Pythia struct {
 	// action is the sum across features.
 	q [][][]float64
 
-	eq      []pythiaEQEntry // evaluation queue (ring)
-	eqHead  int
-	eqLen   int
-	pending map[uint64][]int // target block -> eq indexes
+	eq     []pythiaEQEntry // evaluation queue (ring)
+	eqHead int
+	eqLen  int
+	// pending maps a target block to its chain of EQ entries, linked
+	// through pythiaEQEntry.next in FIFO (enqueue) order.
+	pending *Table[int32]
 
-	lastOffset map[uint64]int    // page -> last offset
-	deltaPath  map[uint64][3]int // page -> last three deltas
+	lastOffset *Table[int]    // page -> last offset
+	deltaPath  *Table[[3]int] // page -> last three deltas
 	rng        *rand.Rand
+
+	curStates []int        // scratch: feature states of the current access
+	cands     []pythiaCand // scratch: action candidates for selection
+	advBuf    []uint64
 }
 
 type pythiaEQEntry struct {
-	states []int
+	states []int // owned; copied from the current states on enqueue
 	action int
 	target uint64 // block; 0 target means no-prefetch action
+	next   int32  // next EQ index in this target's pending chain, -1 = end
 	live   bool
+}
+
+type pythiaCand struct {
+	action int
+	q      float64
 }
 
 // NewPythia returns a Pythia with the default configuration.
@@ -113,10 +125,15 @@ func NewPythiaWithConfig(cfg PythiaConfig) *Pythia {
 	p := &Pythia{
 		cfg:        cfg,
 		eq:         make([]pythiaEQEntry, cfg.EQSize),
-		pending:    make(map[uint64][]int),
-		lastOffset: make(map[uint64]int),
-		deltaPath:  make(map[uint64][3]int),
+		pending:    NewTable[int32](cfg.EQSize),
+		lastOffset: NewTable[int](4096),
+		deltaPath:  NewTable[[3]int](4096),
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		curStates:  make([]int, len(cfg.Features)),
+		cands:      make([]pythiaCand, len(cfg.Actions)),
+	}
+	for i := range p.eq {
+		p.eq[i].states = make([]int, len(cfg.Features))
 	}
 	p.q = make([][][]float64, len(cfg.Features))
 	for f := range p.q {
@@ -131,9 +148,10 @@ func NewPythiaWithConfig(cfg PythiaConfig) *Pythia {
 // Name implements Prefetcher.
 func (p *Pythia) Name() string { return "Pythia" }
 
-// states hashes the current program context through every feature.
+// states hashes the current program context through every feature into the
+// reused curStates scratch.
 func (p *Pythia) states(pc uint64, delta int, offset int, path [3]int) []int {
-	out := make([]int, len(p.cfg.Features))
+	out := p.curStates
 	for i, f := range p.cfg.Features {
 		var h uint64
 		switch f {
@@ -189,46 +207,49 @@ func (p *Pythia) resolve(idx int, reward float64, curStates []int) {
 	}
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (p *Pythia) Advise(a trace.Access, budget int) []uint64 {
 	block := a.Block()
 	page := a.Page()
 	off := a.Offset()
 
 	delta := 0
-	if prev, ok := p.lastOffset[page]; ok {
-		delta = off - prev
+	if prev := p.lastOffset.Get(page); prev != nil {
+		delta = off - *prev
 	}
-	path := p.deltaPath[page]
-	if len(p.lastOffset) > 1<<16 {
-		p.lastOffset = make(map[uint64]int) // cheap bound on the feature tables
-		p.deltaPath = make(map[uint64][3]int)
+	var path [3]int
+	if pp := p.deltaPath.Get(page); pp != nil {
+		path = *pp
 	}
-	p.lastOffset[page] = off
+	if p.lastOffset.Len() > 1<<16 {
+		p.lastOffset.Reset() // cheap bound on the feature tables
+		p.deltaPath.Reset()
+	}
+	lo, _ := p.lastOffset.Insert(page)
+	*lo = off
 	if delta != 0 {
 		path[0], path[1], path[2] = path[1], path[2], delta
-		p.deltaPath[page] = path
+		dp, _ := p.deltaPath.Insert(page)
+		*dp = path
 	}
 
 	s := p.states(a.PC, delta, off, path)
 
-	// Reward any outstanding prefetch that predicted this demand.
-	if idxs, ok := p.pending[block]; ok {
-		for _, idx := range idxs {
-			p.resolve(idx, p.cfg.RewardAccurate, s)
+	// Reward any outstanding prefetch that predicted this demand, in
+	// enqueue order.
+	if head := p.pending.Get(block); head != nil {
+		for idx := *head; idx >= 0; idx = p.eq[idx].next {
+			p.resolve(int(idx), p.cfg.RewardAccurate, s)
 		}
-		delete(p.pending, block)
+		p.pending.Delete(block)
 	}
 
 	// Choose up to budget actions: the top-Q actions, with epsilon-greedy
 	// exploration.
-	type cand struct {
-		action int
-		q      float64
-	}
-	cands := make([]cand, len(p.cfg.Actions))
+	cands := p.cands[:0]
 	for i := range p.cfg.Actions {
-		cands[i] = cand{i, p.qValue(s, i)}
+		cands = append(cands, pythiaCand{i, p.qValue(s, i)})
 	}
 	for i := 0; i < budget && i < len(cands); i++ {
 		best := i
@@ -240,7 +261,7 @@ func (p *Pythia) Advise(a trace.Access, budget int) []uint64 {
 		cands[i], cands[best] = cands[best], cands[i]
 	}
 
-	var out []uint64
+	out := p.advBuf[:0]
 	for i := 0; i < budget && i < len(cands); i++ {
 		actIdx := cands[i].action
 		if p.rng.Float64() < p.cfg.Epsilon {
@@ -259,6 +280,10 @@ func (p *Pythia) Advise(a trace.Access, budget int) []uint64 {
 			out = append(out, trace.BlockAddr(target))
 		}
 	}
+	p.advBuf = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -274,31 +299,59 @@ func (p *Pythia) enqueue(states []int, action int, target uint64) {
 			}
 			p.resolve(idx, reward, states)
 			if e.target != 0 {
-				p.removePending(e.target, idx)
+				p.removePending(e.target, int32(idx))
 			}
 		}
 		p.eqHead = (p.eqHead + 1) % len(p.eq)
 		p.eqLen--
 	}
 	idx := (p.eqHead + p.eqLen) % len(p.eq)
-	p.eq[idx] = pythiaEQEntry{states: states, action: action, target: target, live: true}
+	e := &p.eq[idx]
+	copy(e.states, states)
+	e.action = action
+	e.target = target
+	e.next = -1
+	e.live = true
 	p.eqLen++
 	if target != 0 {
-		p.pending[target] = append(p.pending[target], idx)
+		// Append at the chain tail so demand resolution sees entries in
+		// enqueue order. Chains are short (same block suggested more than
+		// once within the EQ window), so the walk is cheap.
+		head, existed := p.pending.Insert(target)
+		if !existed {
+			*head = int32(idx)
+			return
+		}
+		tail := *head
+		for p.eq[tail].next >= 0 {
+			tail = p.eq[tail].next
+		}
+		p.eq[tail].next = int32(idx)
 	}
 }
 
-func (p *Pythia) removePending(target uint64, idx int) {
-	idxs := p.pending[target]
-	for i, v := range idxs {
-		if v == idx {
-			idxs = append(idxs[:i], idxs[i+1:]...)
-			break
-		}
+// removePending unlinks an evicted EQ entry from its target's chain.
+func (p *Pythia) removePending(target uint64, idx int32) {
+	head := p.pending.Get(target)
+	if head == nil {
+		return
 	}
-	if len(idxs) == 0 {
-		delete(p.pending, target)
-	} else {
-		p.pending[target] = idxs
+	if *head == idx {
+		if next := p.eq[idx].next; next >= 0 {
+			*head = next
+		} else {
+			p.pending.Delete(target)
+		}
+		return
+	}
+	for cur := *head; ; cur = p.eq[cur].next {
+		next := p.eq[cur].next
+		if next < 0 {
+			return
+		}
+		if next == idx {
+			p.eq[cur].next = p.eq[idx].next
+			return
+		}
 	}
 }

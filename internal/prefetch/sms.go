@@ -10,13 +10,15 @@ import "pathfinder/internal/trace"
 type SMS struct {
 	// active tracks regions currently accumulating footprints
 	// (accumulation generation table).
-	active map[uint64]*smsGeneration
+	active *Table[smsGeneration]
 	// patterns is the pattern history table: trigger signature ->
 	// footprint bitmask.
-	patterns map[uint64]uint64
+	patterns *Table[uint64]
 	// ActiveCap and PatternCap bound the two tables.
 	ActiveCap, PatternCap int
 	clock                 uint64
+
+	advBuf []uint64
 }
 
 type smsGeneration struct {
@@ -29,8 +31,8 @@ type smsGeneration struct {
 // table.
 func NewSMS() *SMS {
 	return &SMS{
-		active:     make(map[uint64]*smsGeneration),
-		patterns:   make(map[uint64]uint64),
+		active:     NewTable[smsGeneration](64),
+		patterns:   NewTable[uint64](4096),
 		ActiveCap:  64,
 		PatternCap: 4096,
 	}
@@ -43,13 +45,14 @@ func smsSignature(pc uint64, offset int) uint64 {
 	return pc<<6 | uint64(offset)
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
 	s.clock++
 	page := a.Page()
 	off := a.Offset()
 
-	if gen, ok := s.active[page]; ok {
+	if gen := s.active.Get(page); gen != nil {
 		gen.footprint |= 1 << uint(off)
 		gen.lastUse = s.clock
 		return nil
@@ -57,11 +60,12 @@ func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
 
 	// Trigger access: end the oldest generation if the table is full,
 	// then start a new one.
-	if len(s.active) >= s.ActiveCap {
+	if s.active.Len() >= s.ActiveCap {
 		s.endOldestGeneration()
 	}
 	sig := smsSignature(a.PC, off)
-	s.active[page] = &smsGeneration{
+	gen, _ := s.active.Insert(page)
+	*gen = smsGeneration{
 		signature: sig,
 		footprint: 1 << uint(off),
 		lastUse:   s.clock,
@@ -69,11 +73,12 @@ func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
 
 	// Replay the learned footprint for this trigger, nearest blocks
 	// first.
-	mask, ok := s.patterns[sig]
-	if !ok {
+	pat := s.patterns.Get(sig)
+	if pat == nil {
 		return nil
 	}
-	var out []uint64
+	mask := *pat
+	out := s.advBuf[:0]
 	for dist := 1; dist < trace.BlocksPerPage && len(out) < budget; dist++ {
 		for _, t := range [2]int{off + dist, off - dist} {
 			if t < 0 || t >= trace.BlocksPerPage || len(out) == budget {
@@ -84,6 +89,7 @@ func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
 			}
 		}
 	}
+	s.advBuf = out
 	return out
 }
 
@@ -92,17 +98,19 @@ func (s *SMS) Advise(a trace.Access, budget int) []uint64 {
 func (s *SMS) endOldestGeneration() {
 	var victim uint64
 	var oldest uint64 = ^uint64(0)
-	for pg, g := range s.active {
+	s.active.Range(func(pg uint64, g *smsGeneration) bool {
 		if g.lastUse < oldest {
 			oldest = g.lastUse
 			victim = pg
 		}
-	}
-	g := s.active[victim]
-	delete(s.active, victim)
-	if len(s.patterns) >= s.PatternCap {
+		return true
+	})
+	g := *s.active.Get(victim)
+	s.active.Delete(victim)
+	if s.patterns.Len() >= s.PatternCap {
 		// Cheap bound: clear rather than track LRU across 4K entries.
-		s.patterns = make(map[uint64]uint64, s.PatternCap)
+		s.patterns.Reset()
 	}
-	s.patterns[g.signature] = g.footprint
+	pat, _ := s.patterns.Insert(g.signature)
+	*pat = g.footprint
 }

@@ -11,9 +11,14 @@ import "pathfinder/internal/trace"
 // threshold — the adaptive selectivity that gives it the highest accuracy
 // but lowest coverage in Figure 4/Table 6.
 type SPP struct {
-	sig     map[uint64]*sppPage  // page -> tracking entry
-	pattern map[uint16]*sppEntry // signature -> delta candidates
+	sig *Table[sppPage] // page -> tracking entry
+	// pattern is indexed directly by the 12-bit signature — the table is
+	// exactly the 4096-entry SRAM structure of the paper, and a zero entry
+	// (total == 0) behaves identically to an absent one.
+	pattern []sppEntry
 	sigCap  int
+
+	advBuf []uint64
 
 	// ConfidenceThreshold stops the lookahead walk: prefetches issue only
 	// while the multiplied path confidence stays above it. The high
@@ -42,8 +47,8 @@ type sppEntry struct {
 // NewSPP returns an SPP with the standard configuration.
 func NewSPP() *SPP {
 	return &SPP{
-		sig:                 make(map[uint64]*sppPage),
-		pattern:             make(map[uint16]*sppEntry),
+		sig:                 NewTable[sppPage](4096),
+		pattern:             make([]sppEntry, 1<<12),
 		sigCap:              4096,
 		ConfidenceThreshold: 0.5,
 		MaxLookahead:        8,
@@ -99,42 +104,39 @@ func (e *sppEntry) bestDelta() (int, float64) {
 	return e.deltas[best], float64(e.counts[best]) / float64(e.total)
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (s *SPP) Advise(a trace.Access, budget int) []uint64 {
 	s.clock++
 	page := a.Page()
 	off := a.Offset()
 
-	st, ok := s.sig[page]
-	if !ok {
-		if len(s.sig) >= s.sigCap {
+	st := s.sig.Get(page)
+	if st == nil {
+		if s.sig.Len() >= s.sigCap {
 			s.evictOldest()
 		}
-		s.sig[page] = &sppPage{lastOffset: off, lastUse: s.clock}
+		st, _ = s.sig.Insert(page)
+		*st = sppPage{lastOffset: off, lastUse: s.clock}
 		return nil
 	}
 	st.lastUse = s.clock
 	delta := off - st.lastOffset
 	if delta != 0 {
 		// Learn: the previous signature led to this delta.
-		e := s.pattern[st.signature]
-		if e == nil {
-			e = &sppEntry{}
-			s.pattern[st.signature] = e
-		}
-		e.update(delta)
+		s.pattern[st.signature].update(delta)
 		st.signature = sppSignature(st.signature, delta)
 		st.lastOffset = off
 	}
 
 	// Lookahead: walk the signature path while confidence holds.
-	var out []uint64
+	out := s.advBuf[:0]
 	conf := 1.0
 	sig := st.signature
 	curOff := off
 	for hop := 0; hop < s.MaxLookahead && len(out) < budget; hop++ {
-		e := s.pattern[sig]
-		if e == nil {
+		e := &s.pattern[sig]
+		if e.total == 0 {
 			break
 		}
 		d, c := e.bestDelta()
@@ -149,17 +151,22 @@ func (s *SPP) Advise(a trace.Access, budget int) []uint64 {
 		out = append(out, trace.BlockAddr(page*trace.BlocksPerPage+uint64(curOff)))
 		sig = sppSignature(sig, d)
 	}
+	s.advBuf = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 func (s *SPP) evictOldest() {
 	var oldestPage uint64
 	var oldest uint64 = ^uint64(0)
-	for p, st := range s.sig {
+	s.sig.Range(func(p uint64, st *sppPage) bool {
 		if st.lastUse < oldest {
 			oldest = st.lastUse
 			oldestPage = p
 		}
-	}
-	delete(s.sig, oldestPage)
+		return true
+	})
+	s.sig.Delete(oldestPage)
 }

@@ -8,9 +8,11 @@ import "pathfinder/internal/trace"
 // ahead once the same stride repeats. It complements NextLine (which is
 // PC-blind) and Best-Offset (which learns one global offset).
 type Stride struct {
-	table map[uint64]*strideEntry
+	table *Table[strideEntry]
 	cap   int
 	clock uint64
+
+	advBuf []uint64
 
 	// MinConfidence is how many consecutive identical strides are needed
 	// before prefetching (classic value: 2).
@@ -27,7 +29,7 @@ type strideEntry struct {
 // NewStride returns a stride prefetcher with a 256-entry table.
 func NewStride() *Stride {
 	return &Stride{
-		table:         make(map[uint64]*strideEntry),
+		table:         NewTable[strideEntry](256),
 		cap:           256,
 		MinConfidence: 2,
 	}
@@ -36,16 +38,18 @@ func NewStride() *Stride {
 // Name implements Prefetcher.
 func (s *Stride) Name() string { return "Stride" }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (s *Stride) Advise(a trace.Access, budget int) []uint64 {
 	s.clock++
 	block := a.Block()
-	e, ok := s.table[a.PC]
-	if !ok {
-		if len(s.table) >= s.cap {
+	e := s.table.Get(a.PC)
+	if e == nil {
+		if s.table.Len() >= s.cap {
 			s.evictLRU()
 		}
-		s.table[a.PC] = &strideEntry{lastBlock: block, lastUse: s.clock}
+		e, _ = s.table.Insert(a.PC)
+		*e = strideEntry{lastBlock: block, lastUse: s.clock}
 		return nil
 	}
 	e.lastUse = s.clock
@@ -65,7 +69,7 @@ func (s *Stride) Advise(a trace.Access, budget int) []uint64 {
 	if e.conf < s.MinConfidence {
 		return nil
 	}
-	out := make([]uint64, 0, budget)
+	out := s.advBuf[:0]
 	for i := 1; i <= budget; i++ {
 		t := int64(block) + int64(i)*stride
 		if t <= 0 {
@@ -73,17 +77,19 @@ func (s *Stride) Advise(a trace.Access, budget int) []uint64 {
 		}
 		out = append(out, trace.BlockAddr(uint64(t)))
 	}
+	s.advBuf = out
 	return out
 }
 
 func (s *Stride) evictLRU() {
 	var victim uint64
 	var oldest uint64 = ^uint64(0)
-	for pc, e := range s.table {
+	s.table.Range(func(pc uint64, e *strideEntry) bool {
 		if e.lastUse < oldest {
 			oldest = e.lastUse
 			victim = pc
 		}
-	}
-	delete(s.table, victim)
+		return true
+	})
+	s.table.Delete(victim)
 }

@@ -22,7 +22,7 @@ type Throttle struct {
 	// count as accurate.
 	Window int
 
-	pending  map[uint64]uint64 // suggested block -> access count when suggested
+	pending  *Table[uint64] // suggested block -> access count when suggested
 	n        uint64
 	hits     int
 	issued   int
@@ -38,7 +38,7 @@ func NewThrottle(inner Prefetcher) *Throttle {
 		HighWater: 0.40,
 		LowWater:  0.10,
 		Window:    256,
-		pending:   make(map[uint64]uint64),
+		pending:   NewTable[uint64](1024),
 	}
 }
 
@@ -55,9 +55,9 @@ func (t *Throttle) Advise(a trace.Access, budget int) []uint64 {
 	t.levelLog[t.level]++
 
 	// Score previous suggestions against this demand.
-	if at, ok := t.pending[a.Block()]; ok && t.n-at <= uint64(t.Window) {
+	if at := t.pending.Get(a.Block()); at != nil && t.n-*at <= uint64(t.Window) {
 		t.hits++
-		delete(t.pending, a.Block())
+		t.pending.Delete(a.Block())
 	}
 
 	// Re-evaluate the level each epoch.
@@ -76,12 +76,10 @@ func (t *Throttle) Advise(a trace.Access, budget int) []uint64 {
 			}
 		}
 		t.hits, t.issued = 0, 0
-		// Expire stale suggestions so the map stays bounded.
-		for b, at := range t.pending {
-			if t.n-at > uint64(t.Window) {
-				delete(t.pending, b)
-			}
-		}
+		// Expire stale suggestions so the table stays bounded.
+		t.pending.DeleteIf(func(_ uint64, at *uint64) bool {
+			return t.n-*at > uint64(t.Window)
+		})
 	}
 
 	sugg := t.Inner.Advise(a, budget) // always observe: learning continues
@@ -101,7 +99,8 @@ func (t *Throttle) Advise(a trace.Access, budget int) []uint64 {
 		sugg = sugg[:allowed]
 	}
 	for _, s := range sugg {
-		t.pending[s/trace.BlockBytes] = t.n
+		at, _ := t.pending.Insert(s / trace.BlockBytes)
+		*at = t.n
 		t.issued++
 	}
 	return sugg

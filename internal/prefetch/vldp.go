@@ -10,13 +10,15 @@ import "pathfinder/internal/trace"
 // TAGE-like structure the paper mentions). Predictions chain for
 // multi-degree prefetching.
 type VLDP struct {
-	dhb    map[uint64]*vldpPage // delta history buffer: page -> history
+	dhb    *Table[vldpPage] // delta history buffer: page -> history
 	dhbCap int
 	clock  uint64
 
+	advBuf []uint64
+
 	// dpt[k] maps a key of (k+1) recent deltas to the predicted next
 	// delta with a 2-bit confidence.
-	dpt [3]map[uint64]*vldpPred
+	dpt [3]*Table[vldpPred]
 }
 
 type vldpPage struct {
@@ -34,9 +36,9 @@ type vldpPred struct {
 // NewVLDP returns a VLDP with a 128-page history buffer and three
 // prediction tables.
 func NewVLDP() *VLDP {
-	v := &VLDP{dhb: make(map[uint64]*vldpPage), dhbCap: 128}
+	v := &VLDP{dhb: NewTable[vldpPage](128), dhbCap: 128}
 	for i := range v.dpt {
-		v.dpt[i] = make(map[uint64]*vldpPred)
+		v.dpt[i] = NewTable[vldpPred](1024)
 	}
 	return v
 }
@@ -54,17 +56,19 @@ func vldpKey(deltas [3]int, k int) uint64 {
 	return key
 }
 
-// Advise implements Prefetcher.
+// Advise implements Prefetcher. The returned slice is reused across calls
+// and valid only until the next Advise.
 func (v *VLDP) Advise(a trace.Access, budget int) []uint64 {
 	v.clock++
 	page := a.Page()
 	off := a.Offset()
-	p, ok := v.dhb[page]
-	if !ok {
-		if len(v.dhb) >= v.dhbCap {
+	p := v.dhb.Get(page)
+	if p == nil {
+		if v.dhb.Len() >= v.dhbCap {
 			v.evictLRU()
 		}
-		v.dhb[page] = &vldpPage{lastOffset: off, lastUse: v.clock}
+		p, _ = v.dhb.Insert(page)
+		*p = vldpPage{lastOffset: off, lastUse: v.clock}
 		return nil
 	}
 	p.lastUse = v.clock
@@ -77,9 +81,9 @@ func (v *VLDP) Advise(a trace.Access, budget int) []uint64 {
 	// Train: every table whose key was available predicts `delta`.
 	for k := 0; k < 3 && k < p.n; k++ {
 		key := vldpKey(p.deltas, k)
-		e := v.dpt[k][key]
-		if e == nil {
-			v.dpt[k][key] = &vldpPred{delta: delta, conf: 1}
+		e, existed := v.dpt[k].Insert(key)
+		if !existed {
+			*e = vldpPred{delta: delta, conf: 1}
 			continue
 		}
 		if e.delta == delta {
@@ -103,7 +107,7 @@ func (v *VLDP) Advise(a trace.Access, budget int) []uint64 {
 
 	// Predict by chaining: at each hop, the longest-history table with a
 	// confident entry wins.
-	var out []uint64
+	out := v.advBuf[:0]
 	hist := p.deltas
 	n := p.n
 	cur := off
@@ -122,6 +126,10 @@ func (v *VLDP) Advise(a trace.Access, budget int) []uint64 {
 			n++
 		}
 	}
+	v.advBuf = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
@@ -130,7 +138,7 @@ func (v *VLDP) Advise(a trace.Access, budget int) []uint64 {
 func (v *VLDP) lookup(deltas [3]int, n int) (int, bool) {
 	for k := min3(n, 3) - 1; k >= 0; k-- {
 		key := vldpKey(deltas, k)
-		if e, ok := v.dpt[k][key]; ok && e.conf >= 2 {
+		if e := v.dpt[k].Get(key); e != nil && e.conf >= 2 {
 			return e.delta, true
 		}
 	}
@@ -147,11 +155,12 @@ func min3(a, b int) int {
 func (v *VLDP) evictLRU() {
 	var victim uint64
 	var oldest uint64 = ^uint64(0)
-	for pg, e := range v.dhb {
+	v.dhb.Range(func(pg uint64, e *vldpPage) bool {
 		if e.lastUse < oldest {
 			oldest = e.lastUse
 			victim = pg
 		}
-	}
-	delete(v.dhb, victim)
+		return true
+	})
+	v.dhb.Delete(victim)
 }

@@ -1,0 +1,20 @@
+package runner
+
+import "pathfinder/internal/sim"
+
+// acquireEngine hands out reusable sim.Engines keyed by machine
+// configuration, so a grid evaluation builds each distinct machine's
+// caches, DRAM banks, and replay buffers once per worker instead of once
+// per cell. It delegates to sim.AcquireEngine's package-global pool —
+// callers routinely build a fresh Runner per sweep, and the arenas are
+// worth keeping across them (and across the package Run* functions, which
+// draw from the same pool).
+//
+// Safety relies on the Engine's reuse contract: all machine state is
+// re-initialized at the start of each run, never the end, so an engine
+// released by a panicked or cancelled job (safeEval unwinds through the
+// deferred release) is bit-identical to a fresh one on its next run. The
+// chaos suite pins this (TestEnginePoolReuseAfterPanic).
+func acquireEngine(cfg sim.Config) (*sim.Engine, func()) {
+	return sim.AcquireEngine(cfg)
+}

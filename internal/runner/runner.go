@@ -631,7 +631,9 @@ func (r *Runner) eval(ctx context.Context, job Job, c cell) (Result, error) {
 	if err := r.inject(ctx, fault.SiteSimulate, c.key, c.attempt); err != nil {
 		return Result{}, err
 	}
-	res, err := sim.RunCtx(ctx, cfg, accs, pfs)
+	eng, release := acquireEngine(cfg)
+	defer release()
+	res, err := eng.RunCtx(ctx, accs, pfs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -709,7 +711,9 @@ func (r *Runner) evalStream(ctx context.Context, job Job, c cell) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := sim.RunStreamCtx(ctx, cfg, timed, pfs)
+	eng, release := acquireEngine(cfg)
+	defer release()
+	res, err := eng.RunStreamCtx(ctx, timed, pfs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -751,7 +755,9 @@ func (r *Runner) baselineStream(ctx context.Context, job Job, cfg sim.Config, sr
 		if m := runnerTele.Load(); m != nil {
 			m.baselineSims.Inc()
 		}
-		res, err := sim.RunStreamCtx(ctx, cfg, src, nil)
+		eng, release := acquireEngine(cfg)
+		defer release()
+		res, err := eng.RunStreamCtx(ctx, src, nil)
 		if err != nil {
 			return baselineInfo{}, fmt.Errorf("baseline simulation: %w", err)
 		}
@@ -836,7 +842,9 @@ func (r *Runner) baseline(ctx context.Context, job Job, cfg sim.Config, accs []t
 		if m := runnerTele.Load(); m != nil {
 			m.baselineSims.Inc()
 		}
-		res, err := sim.RunCtx(ctx, cfg, accs, nil)
+		eng, release := acquireEngine(cfg)
+		defer release()
+		res, err := eng.RunCtx(ctx, accs, nil)
 		if err != nil {
 			return baselineInfo{}, fmt.Errorf("baseline simulation: %w", err)
 		}

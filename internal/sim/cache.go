@@ -39,26 +39,71 @@ type CacheStats struct {
 // selectable replacement policy (LRU by default). Lines filled by prefetch
 // carry a prefetch bit that is cleared (and reported) on their first demand
 // hit, which is how useful prefetches are counted.
+//
+// Line state lives in parallel arrays rather than a slice of structs: the
+// simulator's hottest loops are linear scans of one set's tags, and packing
+// the tags contiguously lets those scans touch one cache line per ~8 ways
+// instead of one per way.
+//
+// Recency is an intrusive doubly-linked list per set (prev/next/lists), so
+// both LRU promotion and victim selection are O(1) — no argmin scan on the
+// miss path. Three facts make the list exactly equivalent to the recency
+// stamps it replaced: stamps were unique (every operation draws a fresh
+// tick), lines never leave a set except by replacement (so occupancy only
+// grows and empty ways fill in ascending index order, tracked by a per-set
+// fill count), and the stamp argmin therefore always picked either way
+// `fill` (first empty) or the list tail (oldest valid line). The stamps
+// themselves are still written — the pfdebug build checks the strict
+// recency order against them — but the hot path never reads them.
 type Cache struct {
-	sets   int
-	ways   int
-	policy Policy
-	lines  []cacheLine // sets × ways, row-major
-	tick   uint64
+	sets    int
+	ways    int
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+	policy  Policy
+	tags    []uint64 // sets × ways, row-major
+	lru     []uint64 // recency stamps; write-only outside pfdebug checks
+	meta    []uint8  // lineValid | linePrefetched | rrpv<<lineRRPVShift
+	prev    []uint16 // intrusive recency list, way index towards MRU
+	next    []uint16 // way index towards LRU
+	lists   []setList
+	tick    uint64
+
+	// Miss memo: a missing Lookup records the block so the Fill that
+	// follows it — the simulator always fills the block whose lookup just
+	// missed — can skip re-proving the block absent. The memo is valid
+	// only while missTick still equals tick: any intervening operation on
+	// this cache advances tick and invalidates it.
+	missBlock uint64
+	missTick  uint64
 
 	CacheStats
 }
 
-type cacheLine struct {
-	tag        uint64
-	lru        uint64
-	rrpv       uint8
-	valid      bool
-	prefetched bool
+// setList is one set's recency-list anchors: the most- and least-recently
+// used valid ways plus the number of valid ways. head/tail are meaningful
+// only while fill > 0.
+type setList struct {
+	head, tail, fill uint16
 }
+
+// noWay terminates a set's recency list.
+const noWay = ^uint16(0)
+
+const (
+	lineValid      = 1 << 0
+	linePrefetched = 1 << 1
+	lineRRPVShift  = 2
+	lineRRPVMask   = 0x3 << lineRRPVShift
+)
 
 // srripMax is the "distant" re-reference value of the 2-bit SRRIP counters.
 const srripMax = 3
+
+// invalidTag occupies the tag slot of every invalid line, so the lookup
+// and residency scans are pure tag comparisons with no validity check in
+// the loop. Blocks are byte addresses divided by BlockBytes, so no real
+// block can reach 2^64-1.
+const invalidTag = ^uint64(0)
 
 // NewCache returns an LRU cache with the given geometry. Both sets and ways
 // must be positive; sets need not be a power of two.
@@ -72,7 +117,27 @@ func NewCacheWithPolicy(sets, ways int, policy Policy) *Cache {
 	if sets <= 0 || ways <= 0 {
 		panic("sim: cache sets and ways must be positive")
 	}
-	return &Cache{sets: sets, ways: ways, policy: policy, lines: make([]cacheLine, sets*ways)}
+	if ways >= int(noWay) {
+		panic("sim: cache ways must fit the recency list's uint16 links")
+	}
+	n := sets * ways
+	c := &Cache{
+		sets: sets, ways: ways, policy: policy,
+		tags:     make([]uint64, n),
+		lru:      make([]uint64, n),
+		meta:     make([]uint8, n),
+		prev:     make([]uint16, n),
+		next:     make([]uint16, n),
+		lists:    make([]setList, sets),
+		missTick: ^uint64(0), // no miss recorded yet
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Sets returns the number of sets.
@@ -81,9 +146,19 @@ func (c *Cache) Sets() int { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) set(block uint64) []cacheLine {
-	s := int(block % uint64(c.sets))
-	return c.lines[s*c.ways : (s+1)*c.ways]
+// setIndex returns the index of block's set. Every shipped geometry has
+// power-of-two sets, so the common path is a mask; the modulo fallback
+// keeps arbitrary set counts working.
+func (c *Cache) setIndex(block uint64) int {
+	if c.setMask != 0 {
+		return int(block & c.setMask)
+	}
+	return int(block % uint64(c.sets))
+}
+
+// setBase returns the first line index of block's set.
+func (c *Cache) setBase(block uint64) int {
+	return c.setIndex(block) * c.ways
 }
 
 // Lookup performs a demand access for block. It reports whether the access
@@ -102,22 +177,19 @@ func (c *Cache) Lookup(block uint64) (hit, prefetchedFirstTouch bool) {
 // express that.
 func (c *Cache) LookupGated(block uint64, count bool) (hit, prefetchedFirstTouch bool) {
 	c.tick++
-	set := c.set(block)
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].lru = c.tick
-			set[i].rrpv = 0
-			pf := set[i].prefetched
-			set[i].prefetched = false
-			if count {
-				c.Hits++
-			}
-			if pfdebugEnabled {
-				c.debugCheckSet(block)
-			}
-			return true, pf
+	set := c.setIndex(block)
+	base := set * c.ways
+	// The hit scan is a pure tag comparison: invalid ways hold invalidTag,
+	// which no real block can equal, so no per-way validity load is needed.
+	// Ranging over a sub-slice lets the compiler drop the bounds checks.
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == block {
+			return c.hitAt(set, base, uint16(w), block, count)
 		}
 	}
+	// Miss: memoize the block so the Fill that typically follows can skip
+	// re-proving it absent. Victim selection itself is O(1) at fill time.
+	c.missBlock, c.missTick = block, c.tick
 	if count {
 		c.Misses++
 	}
@@ -127,11 +199,49 @@ func (c *Cache) LookupGated(block uint64, count bool) (hit, prefetchedFirstTouch
 	return false, false
 }
 
+// hitAt applies a demand hit on way w of set — MRU promotion, prefetch-bit
+// clear and report, counters.
+func (c *Cache) hitAt(set, base int, w uint16, block uint64, count bool) (hit, prefetchedFirstTouch bool) {
+	i := base + int(w)
+	c.lru[i] = c.tick
+	c.moveToHead(&c.lists[set], base, w)
+	pf := c.meta[i]&linePrefetched != 0
+	c.meta[i] = lineValid // rrpv = 0, prefetch bit cleared
+	if count {
+		c.Hits++
+	}
+	if pfdebugEnabled {
+		c.debugCheckSet(block)
+	}
+	return true, pf
+}
+
+// moveToHead promotes valid way w of the set anchored by l to MRU.
+func (c *Cache) moveToHead(l *setList, base int, w uint16) {
+	if l.head == w {
+		return
+	}
+	i := base + int(w)
+	p, n := c.prev[i], c.next[i]
+	c.next[base+int(p)] = n // w != head, so p is a real way
+	if n != noWay {
+		c.prev[base+int(n)] = p
+	} else {
+		l.tail = p
+	}
+	h := l.head
+	c.prev[base+int(h)] = w
+	c.prev[i] = noWay
+	c.next[i] = h
+	l.head = w
+}
+
 // Contains reports whether block is resident, without touching LRU state or
 // hit/miss counters.
 func (c *Cache) Contains(block uint64) bool {
-	for _, l := range c.set(block) {
-		if l.valid && l.tag == block {
+	base := c.setBase(block)
+	for _, tag := range c.tags[base : base+c.ways] {
+		if tag == block {
 			return true
 		}
 	}
@@ -144,29 +254,70 @@ func (c *Cache) Contains(block uint64) bool {
 // (and leaves its prefetch bit untouched for demand fills). It returns the
 // evicted block and whether an eviction of a valid line occurred.
 func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction bool) {
+	// Fast path: this fill directly follows the lookup that missed this
+	// block (no intervening operation advanced tick), so the block is known
+	// absent and the residency scan can be skipped.
+	if c.missBlock == block && c.missTick == c.tick {
+		c.tick++
+		return c.insert(block, prefetched)
+	}
 	c.tick++
-	set := c.set(block)
-	victim := -1
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
-			set[i].lru = c.tick
-			set[i].rrpv = 0
-			if prefetched {
-				set[i].prefetched = true
+	set := c.setIndex(block)
+	base := set * c.ways
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == block { // already resident: refresh, no insert
+			i := base + w
+			c.lru[i] = c.tick
+			c.moveToHead(&c.lists[set], base, uint16(w))
+			m := uint8(lineValid) // rrpv = 0
+			if prefetched || c.meta[i]&linePrefetched != 0 {
+				m |= linePrefetched
 			}
+			c.meta[i] = m
 			if pfdebugEnabled {
 				c.debugCheckSet(block)
 			}
 			return 0, false
 		}
-		if victim < 0 && !set[i].valid {
-			victim = i
+	}
+	return c.insert(block, prefetched)
+}
+
+// insert installs block — known absent from its set — into a victim way
+// chosen in O(1) from the set's recency list: the next empty way while the
+// set is still filling, the list tail (or SRRIP's re-reference pick) once
+// it is full. Shared tail of Fill's memoized and scanning paths; tick has
+// already been advanced.
+func (c *Cache) insert(block uint64, prefetched bool) (evicted uint64, hadEviction bool) {
+	set := c.setIndex(block)
+	base := set * c.ways
+	l := &c.lists[set]
+	var victim int
+	if int(l.fill) < c.ways {
+		// Replacement never empties a way, so occupancy only grows and
+		// empty ways are claimed in ascending index order: the next one is
+		// way `fill`. Link it in at MRU.
+		w := l.fill
+		victim = base + int(w)
+		if l.fill == 0 {
+			l.tail = w
+			c.next[victim] = noWay
+		} else {
+			c.next[victim] = l.head
+			c.prev[base+int(l.head)] = w
 		}
+		c.prev[victim] = noWay
+		l.head = w
+		l.fill++
+	} else {
+		w := l.tail
+		if c.policy != PolicyLRU {
+			w = uint16(c.pickVictimSRRIP(base) - base)
+		}
+		victim = base + int(w)
+		c.moveToHead(l, base, w)
 	}
-	if victim < 0 {
-		victim = c.pickVictim(set)
-	}
-	evicted, hadEviction = set[victim].tag, set[victim].valid
+	evicted, hadEviction = c.tags[victim], c.meta[victim]&lineValid != 0
 	c.Fills++
 	if prefetched {
 		c.PrefetchFills++
@@ -175,47 +326,50 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 		c.Evictions++
 	}
 	rrpv := uint8(srripMax - 1)
+	m := uint8(lineValid)
 	if prefetched {
 		rrpv = srripMax // prefetch-aware insertion: distant re-reference
+		m |= linePrefetched
 	}
-	set[victim] = cacheLine{tag: block, lru: c.tick, rrpv: rrpv, valid: true, prefetched: prefetched}
+	c.tags[victim] = block
+	c.lru[victim] = c.tick
+	c.meta[victim] = m | rrpv<<lineRRPVShift
 	if pfdebugEnabled {
 		c.debugCheckSet(block)
 	}
 	return evicted, hadEviction
 }
 
-// pickVictim selects a replacement victim from a full set.
-func (c *Cache) pickVictim(set []cacheLine) int {
-	if c.policy == PolicyLRU {
-		victim := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lru < set[victim].lru {
-				victim = i
-			}
-		}
-		return victim
-	}
-	// SRRIP: evict the first line predicted "distant"; if none, age every
-	// line and retry (guaranteed to terminate within srripMax rounds).
+// pickVictimSRRIP selects a replacement victim from a full set: evict the
+// first line predicted "distant"; if none, age every line and retry
+// (guaranteed to terminate within srripMax rounds).
+func (c *Cache) pickVictimSRRIP(base int) int {
 	for {
-		for i := range set {
-			if set[i].rrpv >= srripMax {
+		for i := base; i < base+c.ways; i++ {
+			if c.meta[i]&lineRRPVMask >= srripMax<<lineRRPVShift {
 				return i
 			}
 		}
-		for i := range set {
-			set[i].rrpv++
+		for i := base; i < base+c.ways; i++ {
+			c.meta[i] += 1 << lineRRPVShift
 		}
 	}
 }
 
-// Reset invalidates every line and clears the statistics counters.
+// Reset invalidates every line and clears the statistics counters. The
+// backing arrays are retained, so a reset cache is reusable without
+// reallocation and behaves identically to a newly constructed one.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
+	clear(c.lru)
+	clear(c.meta)
+	// The recency lists rebuild as the ways refill, so only the per-set
+	// anchors need clearing, not the prev/next links.
+	clear(c.lists)
 	c.tick = 0
+	c.missTick = ^uint64(0)
 	c.ResetStats()
 }
 

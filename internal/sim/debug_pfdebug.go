@@ -15,29 +15,73 @@ const pfdebugEnabled = true
 // stamps induce a strict total recency order), and re-reference counters
 // stay within SRRIP's 2-bit range.
 func (c *Cache) debugCheckSet(block uint64) {
-	set := c.set(block)
+	base := c.setBase(block)
 	matches := 0
-	for i := range set {
-		if !set[i].valid {
+	for i := base; i < base+c.ways; i++ {
+		if c.meta[i]&lineValid == 0 {
 			continue
 		}
-		if set[i].tag == block {
+		if c.tags[i] == block {
 			matches++
 		}
-		if set[i].lru > c.tick {
-			panic(fmt.Sprintf("sim pfdebug: line lru stamp %d ahead of cache clock %d", set[i].lru, c.tick))
+		if c.lru[i] > c.tick {
+			panic(fmt.Sprintf("sim pfdebug: line lru stamp %d ahead of cache clock %d", c.lru[i], c.tick))
 		}
-		if set[i].rrpv > srripMax {
-			panic(fmt.Sprintf("sim pfdebug: rrpv %d exceeds %d", set[i].rrpv, srripMax))
+		if rrpv := c.meta[i] & lineRRPVMask >> lineRRPVShift; rrpv > srripMax {
+			panic(fmt.Sprintf("sim pfdebug: rrpv %d exceeds %d", rrpv, srripMax))
 		}
-		for k := i + 1; k < len(set); k++ {
-			if set[k].valid && set[k].lru == set[i].lru {
-				panic(fmt.Sprintf("sim pfdebug: duplicate lru stamp %d in set (ways %d and %d)", set[i].lru, i, k))
+		for k := i + 1; k < base+c.ways; k++ {
+			if c.meta[k]&lineValid != 0 && c.lru[k] == c.lru[i] {
+				panic(fmt.Sprintf("sim pfdebug: duplicate lru stamp %d in set (ways %d and %d)", c.lru[i], i-base, k-base))
 			}
 		}
 	}
 	if matches > 1 {
 		panic(fmt.Sprintf("sim pfdebug: block %d resident in %d ways of one set", block, matches))
+	}
+
+	// The recency list must agree with the stamps: walking head→tail visits
+	// exactly fill valid ways, each strictly older than the one before.
+	set := c.setIndex(block)
+	l := c.lists[set]
+	valid := 0
+	for i := base; i < base+c.ways; i++ {
+		if c.meta[i]&lineValid != 0 {
+			valid++
+		}
+	}
+	if int(l.fill) != valid {
+		panic(fmt.Sprintf("sim pfdebug: set fill count %d but %d valid ways", l.fill, valid))
+	}
+	if l.fill == 0 {
+		return
+	}
+	w, steps := l.head, 0
+	var last uint64
+	for {
+		i := base + int(w)
+		if c.meta[i]&lineValid == 0 {
+			panic(fmt.Sprintf("sim pfdebug: recency list visits invalid way %d", w))
+		}
+		if steps > 0 && c.lru[i] >= last {
+			panic(fmt.Sprintf("sim pfdebug: recency list out of order at way %d (stamp %d after %d)", w, c.lru[i], last))
+		}
+		last = c.lru[i]
+		steps++
+		if steps > int(l.fill) {
+			panic("sim pfdebug: recency list longer than fill count (cycle?)")
+		}
+		n := c.next[i]
+		if n == noWay {
+			break
+		}
+		w = n
+	}
+	if steps != int(l.fill) {
+		panic(fmt.Sprintf("sim pfdebug: recency list length %d, fill count %d", steps, l.fill))
+	}
+	if w != l.tail {
+		panic(fmt.Sprintf("sim pfdebug: recency list ends at way %d, tail anchor says %d", w, l.tail))
 	}
 }
 
@@ -86,13 +130,13 @@ func (s *sharedMemory) debugCheck() {
 	for _, f := range s.fills {
 		have[key{f.block, f.ready}] = true
 	}
-	for block, ready := range s.inflight {
+	s.inflight.forEach(func(block, ready uint64) {
 		if !have[key{block, ready}] {
 			panic(fmt.Sprintf("sim pfdebug: inflight block %d (ready %d) has no matching fill-heap entry", block, ready))
 		}
-	}
-	if len(s.inflight) > len(s.fills) {
-		panic(fmt.Sprintf("sim pfdebug: %d inflight entries exceed %d heap fills", len(s.inflight), len(s.fills)))
+	})
+	if s.inflight.len() > len(s.fills) {
+		panic(fmt.Sprintf("sim pfdebug: %d inflight entries exceed %d heap fills", s.inflight.len(), len(s.fills)))
 	}
 	for i := range s.fills {
 		for _, k := range [2]int{2*i + 1, 2*i + 2} {

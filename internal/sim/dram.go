@@ -53,27 +53,37 @@ type dramBank struct {
 // path and broke the streaming replay's constant-memory contract.
 type completionHeap []uint64
 
+// Both sifts are hole-style — entries shift into the hole and the moving
+// value lands once at the end — which halves the stores of the classic
+// swap formulation while performing the same comparisons, so the final
+// layout is identical.
 func (h *completionHeap) push(v uint64) {
 	s := append(*h, v)
 	*h = s
-	for i := len(s) - 1; i > 0; {
+	i := len(s) - 1
+	for i > 0 {
 		parent := (i - 1) / 2
-		if s[parent] <= s[i] {
+		if s[parent] <= v {
 			break
 		}
-		s[parent], s[i] = s[i], s[parent]
+		s[i] = s[parent]
 		i = parent
 	}
+	s[i] = v
 }
 
 func (h *completionHeap) pop() uint64 {
 	s := *h
 	min := s[0]
 	n := len(s) - 1
-	s[0] = s[n]
+	x := s[n]
 	s = s[:n]
 	*h = s
-	for i := 0; ; {
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
 		child := 2*i + 1
 		if child >= n {
 			break
@@ -81,12 +91,13 @@ func (h *completionHeap) pop() uint64 {
 		if r := child + 1; r < n && s[r] < s[child] {
 			child = r
 		}
-		if s[i] <= s[child] {
+		if x <= s[child] {
 			break
 		}
-		s[i], s[child] = s[child], s[i]
+		s[i] = s[child]
 		i = child
 	}
+	s[i] = x
 	return min
 }
 
@@ -124,8 +135,12 @@ func NewDRAM(cfg DRAMConfig) *DRAM {
 		panic("sim: DRAM read queue must be positive")
 	}
 	return &DRAM{
-		cfg:             cfg,
-		banks:           make([]dramBank, n),
+		cfg:   cfg,
+		banks: make([]dramBank, n),
+		// The queue-occupancy heap can never exceed ReadQueue entries
+		// (Access drains before pushing), so one allocation covers the
+		// model's lifetime.
+		outstanding:     make(completionHeap, 0, cfg.ReadQueue+1),
 		teleDepthCounts: make([]uint64, cfg.ReadQueue+1),
 	}
 }

@@ -1,0 +1,159 @@
+package sim
+
+// inflightMap maps block address -> fill-ready cycle for the shared
+// memory's in-flight prefetches. It replaces a Go map on the replay hot
+// path (every demand miss and every prefetch issue probes it): flat
+// power-of-two key/value slices probed linearly from a Fibonacci-hashed
+// home slot, with backward-shift deletion so probe chains never hold dead
+// slots, and a generation counter so reset is O(1) and the backing arrays
+// are reused across Engine runs. It mirrors the semantics of the prefetch
+// package's Table, specialized to uint64 values; sim deliberately does not
+// import prefetch (the simulator is the layer below the prefetchers).
+type inflightMap struct {
+	keys []uint64
+	vals []uint64
+	gens []uint32 // slot live iff gens[i] == gen
+	gen  uint32
+	mask uint64
+	n    int
+}
+
+func newInflightMap(capacity int) *inflightMap {
+	slots := 8
+	for slots*3 < capacity*4 { // slots >= capacity * 4/3 keeps load <= 3/4
+		slots <<= 1
+	}
+	m := &inflightMap{}
+	m.init(slots)
+	return m
+}
+
+func (m *inflightMap) init(slots int) {
+	m.keys = make([]uint64, slots)
+	m.vals = make([]uint64, slots)
+	m.gens = make([]uint32, slots)
+	m.gen = 1
+	m.mask = uint64(slots - 1)
+	m.n = 0
+}
+
+func (m *inflightMap) len() int { return m.n }
+
+// reset discards every entry in O(1), keeping the backing arrays.
+func (m *inflightMap) reset() {
+	m.gen++
+	if m.gen == 0 { // generation wrap: scrub and restart
+		clear(m.gens)
+		m.gen = 1
+	}
+	m.n = 0
+}
+
+func (m *inflightMap) home(key uint64) uint64 {
+	return (key * 0x9E3779B97F4A7C15) >> 32 & m.mask
+}
+
+// get returns (ready, true) if block is in flight.
+func (m *inflightMap) get(key uint64) (uint64, bool) {
+	if m.n == 0 {
+		return 0, false
+	}
+	for i := m.home(key); ; i = (i + 1) & m.mask {
+		if m.gens[i] != m.gen {
+			return 0, false
+		}
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+	}
+}
+
+// put inserts or overwrites key's ready cycle.
+func (m *inflightMap) put(key, val uint64) {
+	if (m.n+1)*4 > len(m.keys)*3 {
+		m.grow()
+	}
+	i := m.home(key)
+	for ; m.gens[i] == m.gen; i = (i + 1) & m.mask {
+		if m.keys[i] == key {
+			m.vals[i] = val
+			return
+		}
+	}
+	m.keys[i] = key
+	m.vals[i] = val
+	m.gens[i] = m.gen
+	m.n++
+}
+
+// del removes key, reporting whether it was present. Compaction is by
+// backward shift, so no tombstones accumulate.
+func (m *inflightMap) del(key uint64) bool {
+	if m.n == 0 {
+		return false
+	}
+	i := uint64(0)
+	for i = m.home(key); ; i = (i + 1) & m.mask {
+		if m.gens[i] != m.gen {
+			return false
+		}
+		if m.keys[i] == key {
+			break
+		}
+	}
+	m.n--
+	j := i
+	for {
+		m.gens[j] = 0
+		k := j
+		for {
+			k = (k + 1) & m.mask
+			if m.gens[k] != m.gen {
+				return true
+			}
+			home := m.home(m.keys[k])
+			// The entry at k may fill the hole at j only if j lies within
+			// its probe path [home, k].
+			if (k-home)&m.mask >= (k-j)&m.mask {
+				break
+			}
+		}
+		m.keys[j] = m.keys[k]
+		m.vals[j] = m.vals[k]
+		m.gens[j] = m.gen
+		j = k
+	}
+}
+
+// forEach visits every live entry in slot order (pfdebug checks only).
+func (m *inflightMap) forEach(fn func(key, val uint64)) {
+	if m.n == 0 {
+		return
+	}
+	for i := range m.keys {
+		if m.gens[i] == m.gen {
+			fn(m.keys[i], m.vals[i])
+		}
+	}
+}
+
+// grow doubles the slot count and rehashes the live entries.
+func (m *inflightMap) grow() {
+	oldKeys, oldVals, oldGens, oldGen := m.keys, m.vals, m.gens, m.gen
+	m.init(len(oldKeys) * 2)
+	n := 0
+	for i := range oldKeys {
+		if oldGens[i] != oldGen {
+			continue
+		}
+		j := m.home(oldKeys[i])
+		for m.gens[j] == m.gen {
+			j = (j + 1) & m.mask
+		}
+		m.keys[j] = oldKeys[i]
+		m.vals[j] = oldVals[i]
+		m.gens[j] = m.gen
+		n++
+	}
+	m.n = n
+}

@@ -14,7 +14,7 @@ import (
 type sharedMemory struct {
 	llc      *Cache
 	dram     *DRAM
-	inflight map[uint64]uint64 // block -> fill-ready cycle
+	inflight *inflightMap // block -> fill-ready cycle
 	fills    inflightHeap
 	fillSeq  uint64 // issue counter for FCFS tie-breaking of fills
 
@@ -23,17 +23,41 @@ type sharedMemory struct {
 	fillsPeak int
 }
 
+func newSharedMemory(cfg Config) *sharedMemory {
+	return &sharedMemory{
+		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
+		dram:     NewDRAM(cfg.DRAM),
+		inflight: newInflightMap(cfg.DRAM.ReadQueue),
+		fills:    make(inflightHeap, 0, cfg.DRAM.ReadQueue+1),
+	}
+}
+
+// reset returns the shared memory to its freshly constructed state, keeping
+// every backing allocation.
+func (s *sharedMemory) reset() {
+	s.llc.Reset()
+	s.dram.Reset()
+	s.inflight.reset()
+	s.fills = s.fills[:0]
+	s.fillSeq = 0
+	s.fillsPeak = 0
+}
+
 func (s *sharedMemory) drainFills(now uint64) {
 	for len(s.fills) > 0 && s.fills[0].ready <= now {
 		f := s.fills.pop()
 		// The map entry may have been superseded (a demand consumed the
 		// in-flight fill); only fill if it still matches.
-		if r, ok := s.inflight[f.block]; ok && r == f.ready {
+		if r, ok := s.inflight.get(f.block); ok && r == f.ready {
 			s.llc.Fill(f.block, true)
-			delete(s.inflight, f.block)
+			s.inflight.del(f.block)
 		}
 	}
 }
+
+// ringSize is the capacity of each core's retire-point ring. It must stay a
+// power of two: dispatchTime indexes the ring with a mask.
+const ringSize = 512
 
 // corePipeline is one core's private state: L1/L2, the retire/dispatch
 // model, its dependence chains, and its share of the prefetch file. It
@@ -48,7 +72,7 @@ type corePipeline struct {
 
 	consumed int // accesses replayed so far
 	retire   float64
-	ring     [512]retirePoint
+	ring     [ringSize]retirePoint
 	ringLen  int
 	ringPos  int
 	chains   map[uint32]float64
@@ -64,14 +88,34 @@ type corePipeline struct {
 
 func newCorePipeline(cfg Config, win *replayWindow, pfs []trace.Prefetch) *corePipeline {
 	c := &corePipeline{
-		cfg:       cfg,
-		l1:        NewCache(cfg.L1Sets, cfg.L1Ways),
-		l2:        NewCache(cfg.L2Sets, cfg.L2Ways),
-		win:       win,
-		pfs:       pfs,
-		chains:    make(map[uint32]float64),
-		measuring: cfg.Warmup == 0,
+		cfg:    cfg,
+		l1:     NewCache(cfg.L1Sets, cfg.L1Ways),
+		l2:     NewCache(cfg.L2Sets, cfg.L2Ways),
+		chains: make(map[uint32]float64),
 	}
+	c.rearm(win, pfs)
+	return c
+}
+
+// rearm points the pipeline at a new trace window and prefetch file and
+// clears all replay state, reusing the caches' and chain map's backing.
+// After rearm the pipeline behaves identically to a newly constructed one.
+func (c *corePipeline) rearm(win *replayWindow, pfs []trace.Prefetch) {
+	c.l1.Reset()
+	c.l2.Reset()
+	c.win = win
+	c.pfs = pfs
+	c.consumed = 0
+	c.retire = 0
+	c.ringLen = 0
+	c.ringPos = 0
+	clear(c.chains)
+	c.pfIdx = 0
+	c.measuring = c.cfg.Warmup == 0
+	c.warmCycles = 0
+	c.warmInstr = 0
+	c.res = Result{}
+	c.prevID = 0
 	if first, ok := win.peek(); ok {
 		c.prevID = first.ID
 		if c.prevID > 0 {
@@ -79,14 +123,15 @@ func newCorePipeline(cfg Config, win *replayWindow, pfs []trace.Prefetch) *coreP
 		}
 	}
 	c.firstID = c.prevID
-	return c
 }
 
 // dispatchTime returns the retire time of instruction targetID using the
 // recorded retire points, interpolating between them at the retire width.
 func (c *corePipeline) dispatchTime(targetID uint64) float64 {
+	// ringPos counts total steps, so ringPos-1-i >= ringLen-1-i >= 0 for
+	// every probed i; the power-of-two mask replaces a signed modulo.
 	for i := 0; i < c.ringLen; i++ {
-		p := c.ring[(c.ringPos-1-i+len(c.ring)*2)%len(c.ring)]
+		p := c.ring[(c.ringPos-1-i)&(ringSize-1)]
 		if p.id <= targetID {
 			return p.retire + float64(targetID-p.id)/float64(c.cfg.Width)
 		}
@@ -102,7 +147,7 @@ func (c *corePipeline) done() bool { return c.win.drained() }
 
 // step processes the core's next access against the shared memory system.
 func (c *corePipeline) step(mem *sharedMemory) error {
-	cfg := c.cfg
+	cfg := &c.cfg
 	acc, ok := c.win.peek()
 	if !ok {
 		return fmt.Errorf("sim: step on a drained trace")
@@ -133,13 +178,12 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 
 	block := acc.Block()
 	var lat uint64
-	switch {
-	case func() bool { h, _ := c.l1.Lookup(block); return h }():
+	if hit, _ := c.l1.Lookup(block); hit {
 		lat = uint64(cfg.L1Lat)
-	case func() bool { h, _ := c.l2.Lookup(block); return h }():
+	} else if hit, _ := c.l2.Lookup(block); hit {
 		lat = uint64(cfg.L1Lat + cfg.L2Lat)
 		c.l1.Fill(block, false)
-	default:
+	} else {
 		// The shared LLC's own counters are gated on this core's
 		// measurement window (private L1/L2 instead reset at the boundary;
 		// the LLC cannot, because cores cross their boundaries at
@@ -156,7 +200,7 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 					c.res.PrefUseful++
 				}
 			}
-		} else if ready, ok := mem.inflight[block]; ok {
+		} else if ready, ok := mem.inflight.get(block); ok {
 			// Late prefetch: the line is on its way; the demand waits for
 			// the fill instead of issuing its own DRAM read.
 			tagLat := uint64(cfg.L1Lat + cfg.L2Lat + cfg.LLCLat)
@@ -165,7 +209,7 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 			} else {
 				lat = tagLat
 			}
-			delete(mem.inflight, block)
+			mem.inflight.del(block)
 			mem.llc.Fill(block, false)
 			if c.measuring {
 				c.res.LLCLoadHits++
@@ -192,9 +236,9 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 	if complete > c.retire {
 		c.retire = complete
 	}
-	c.ring[c.ringPos%len(c.ring)] = retirePoint{id: acc.ID, retire: c.retire}
+	c.ring[c.ringPos&(ringSize-1)] = retirePoint{id: acc.ID, retire: c.retire}
 	c.ringPos++
-	if c.ringLen < len(c.ring) {
+	if c.ringLen < ringSize {
 		c.ringLen++
 	}
 
@@ -215,7 +259,7 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 		if mem.llc.Contains(pb) {
 			continue
 		}
-		if _, ok := mem.inflight[pb]; ok {
+		if _, ok := mem.inflight.get(pb); ok {
 			continue
 		}
 		if mem.dram.QueueDepth(now) >= dropDepth {
@@ -225,7 +269,7 @@ func (c *corePipeline) step(mem *sharedMemory) error {
 			continue
 		}
 		done := mem.dram.Access(pb, now+uint64(cfg.L1Lat+cfg.L2Lat+cfg.LLCLat))
-		mem.inflight[pb] = done
+		mem.inflight.put(pb, done)
 		mem.fills.push(inflightFill{ready: done, block: pb, seq: mem.fillSeq})
 		if len(mem.fills) > mem.fillsPeak {
 			mem.fillsPeak = len(mem.fills)

@@ -147,11 +147,7 @@ func TestRunMultiWarmupExcludesLLCStats(t *testing.T) {
 	accs := seqTrace(2000, 10)
 	cfg := DefaultConfig()
 	cfg.Warmup = 1000
-	mem := &sharedMemory{
-		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
-		dram:     NewDRAM(cfg.DRAM),
-		inflight: make(map[uint64]uint64),
-	}
+	mem := newSharedMemory(cfg)
 	p := newCorePipeline(cfg, newReplayWindow(trace.NewSliceSource(accs)), nil)
 	for !p.done() {
 		if err := p.step(mem); err != nil {

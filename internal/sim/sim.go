@@ -139,27 +139,37 @@ func (f inflightFill) before(g inflightFill) bool {
 	return f.seq < g.seq
 }
 
+// The sifts are hole-style — shift entries into the hole and place the
+// moving element once at the end — rather than swap-style, halving the
+// stores per level. The comparison sequence (and so the final layout) is
+// identical to the classic swap formulation.
 func (h *inflightHeap) push(f inflightFill) {
 	s := append(*h, f)
 	*h = s
-	for i := len(s) - 1; i > 0; {
+	i := len(s) - 1
+	for i > 0 {
 		parent := (i - 1) / 2
-		if !s[i].before(s[parent]) {
+		if !f.before(s[parent]) {
 			break
 		}
-		s[parent], s[i] = s[i], s[parent]
+		s[i] = s[parent]
 		i = parent
 	}
+	s[i] = f
 }
 
 func (h *inflightHeap) pop() inflightFill {
 	s := *h
 	min := s[0]
 	n := len(s) - 1
-	s[0] = s[n]
+	x := s[n]
 	s = s[:n]
 	*h = s
-	for i := 0; ; {
+	if n == 0 {
+		return min
+	}
+	i := 0
+	for {
 		child := 2*i + 1
 		if child >= n {
 			break
@@ -167,12 +177,13 @@ func (h *inflightHeap) pop() inflightFill {
 		if r := child + 1; r < n && s[r].before(s[child]) {
 			child = r
 		}
-		if !s[child].before(s[i]) {
+		if !s[child].before(x) {
 			break
 		}
-		s[i], s[child] = s[child], s[i]
+		s[i] = s[child]
 		i = child
 	}
+	s[i] = x
 	return min
 }
 

@@ -2,8 +2,6 @@ package sim
 
 import (
 	"context"
-	"fmt"
-	"io"
 
 	"pathfinder/internal/trace"
 )
@@ -32,6 +30,16 @@ type replayWindow struct {
 
 func newReplayWindow(src trace.Source) *replayWindow {
 	return &replayWindow{src: src}
+}
+
+// rearm points the window at a new source and clears all buffered state, so
+// an Engine can reuse the window (and its buffer) across runs.
+func (w *replayWindow) rearm(src trace.Source) {
+	w.src = src
+	w.head = 0
+	w.n = 0
+	w.err = nil
+	w.peak = 0
 }
 
 // refill tops the window up from the source until it is full or the source
@@ -112,108 +120,14 @@ func RunMultiStream(cfg Config, srcs []trace.Source, pfs [][]trace.Prefetch) ([]
 // RunMultiStreamCtx is RunMultiStream with cancellation: the scheduling
 // loop polls ctx every few thousand steps and returns ctx.Err() when
 // cancelled.
+//
+// It runs on a pooled Engine (AcquireEngine), so repeated calls with the
+// same configuration reuse the machine's memory instead of rebuilding the
+// hierarchy; results are bit-identical to a fresh Engine either way.
+// Long-lived callers that want explicit ownership can hold an Engine (or a
+// pool of them) and call its methods directly.
 func RunMultiStreamCtx(ctx context.Context, cfg Config, srcs []trace.Source, pfs [][]trace.Prefetch) ([]Result, error) {
-	if cfg.Width <= 0 || cfg.ROB <= 0 {
-		return nil, fmt.Errorf("sim: invalid core config (width %d, ROB %d)", cfg.Width, cfg.ROB)
-	}
-	if len(srcs) == 0 {
-		return nil, fmt.Errorf("sim: no cores")
-	}
-	if pfs != nil && len(pfs) != len(srcs) {
-		return nil, fmt.Errorf("sim: %d prefetch files for %d cores", len(pfs), len(srcs))
-	}
-	// Sources with a known length keep the slice path's up-front rejection
-	// of a warmup that swallows the whole trace; unbounded sources are
-	// checked at end of run instead (corePipeline.finish).
-	for i, src := range srcs {
-		if s, ok := src.(interface{ Remaining() (uint64, bool) }); ok {
-			if n, known := s.Remaining(); known && n > 0 && cfg.Warmup >= 0 && uint64(cfg.Warmup) >= n {
-				return nil, fmt.Errorf("sim: warmup %d >= core %d trace length %d", cfg.Warmup, i, n)
-			}
-		}
-	}
-
-	mem := &sharedMemory{
-		llc:      NewCacheWithPolicy(cfg.LLCSets, cfg.LLCWays, cfg.LLCPolicy),
-		dram:     NewDRAM(cfg.DRAM),
-		inflight: make(map[uint64]uint64),
-	}
-	pipes := make([]*corePipeline, len(srcs))
-	for i, src := range srcs {
-		var p []trace.Prefetch
-		if pfs != nil {
-			p = pfs[i]
-		}
-		pipes[i] = newCorePipeline(cfg, newReplayWindow(src), p)
-	}
-
-	// Advance the core with the smallest local retire time; this keeps
-	// the shared-resource access order consistent with wall-clock time.
-	steps := 0
-	for {
-		if steps&4095 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if pfdebugEnabled && steps&1023 == 0 {
-			mem.debugCheck()
-		}
-		steps++
-		best := -1
-		for i, p := range pipes {
-			if p.done() {
-				continue
-			}
-			if best < 0 || p.retire < pipes[best].retire {
-				best = i
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if err := pipes[best].step(mem); err != nil {
-			return nil, fmt.Errorf("sim: core %d: %w", best, err)
-		}
-	}
-
-	// Every window is drained; a terminal state other than io.EOF is a
-	// decode error in that core's trace stream.
-	for i, p := range pipes {
-		if err := p.win.srcErr(); err != nil && err != io.EOF {
-			return nil, fmt.Errorf("sim: core %d trace: %w", i, err)
-		}
-	}
-
-	out := make([]Result, len(pipes))
-	for i, p := range pipes {
-		res, err := p.finish()
-		if err != nil {
-			return nil, fmt.Errorf("sim: core %d: %w", i, err)
-		}
-		out[i] = res
-		out[i].DRAMReads = mem.dram.Reads
-		out[i].DRAMRowHits = mem.dram.RowHits
-	}
-	if m := simTele.Load(); m != nil {
-		// One flush per run: the per-level cache statistics come straight
-		// from the caches' own (warmup-gated) counters.
-		m.runs.Inc()
-		m.cores.Add(uint64(len(pipes)))
-		for _, p := range pipes {
-			m.demands.Add(uint64(p.consumed))
-			m.l1Hits.Add(p.l1.Hits)
-			m.l1Misses.Add(p.l1.Misses)
-			m.l2Hits.Add(p.l2.Hits)
-			m.l2Misses.Add(p.l2.Misses)
-			m.replayWindowPeak.SetMax(int64(p.win.peak))
-		}
-		m.llcHits.Add(mem.llc.Hits)
-		m.llcMisses.Add(mem.llc.Misses)
-		m.llcPrefetchFills.Add(mem.llc.PrefetchFills)
-		m.llcEvictions.Add(mem.llc.Evictions)
-		m.inflightPeak.SetMax(int64(mem.fillsPeak))
-		mem.dram.flushTelemetry(m)
-	}
-	return out, nil
+	eng, release := AcquireEngine(cfg)
+	defer release()
+	return eng.RunMultiStreamCtx(ctx, srcs, pfs)
 }
