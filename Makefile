@@ -1,6 +1,10 @@
 # Verify flow. `make verify` is the tier-1 gate (see ROADMAP.md); `make race`
 # runs the race detector over the parallel evaluation engine, the experiment
-# harness that drives it, and (in short mode) the two hot engines. `make
+# harness that drives it, the serving daemon, and (in short mode) the two
+# hot engines. `make serve-harness` runs the prefetch-as-a-service
+# concurrency harness — N concurrent sessions over real sockets, bit-exact
+# against the single-process path, clean and under fault injection — with
+# the race detector on (see docs/serving.md). `make
 # pfdebug` re-runs the suite with the invariant assertions compiled in (see
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
 # brief budget. `make chaos` runs the fault-injection suite under the race
@@ -16,7 +20,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet race pfdebug chaos fuzz-short bench bench-micro bench-check verify
+.PHONY: build test vet race pfdebug chaos fuzz-short serve-harness bench bench-micro bench-check verify
 
 build:
 	$(GO) build ./...
@@ -29,7 +33,7 @@ vet:
 
 race:
 	$(GO) test -race ./internal/runner/... ./internal/experiments/...
-	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/... ./internal/trace/...
+	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/... ./internal/trace/... ./internal/serve/...
 
 # Run the tests with the pfdebug invariant assertions enabled (LRU stack
 # property, DRAM bank legality, membrane/trace ranges, weight normalization).
@@ -49,6 +53,14 @@ fuzz-short:
 	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzPresent -fuzztime $(FUZZTIME)
 	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME)
 	$(GO) test -tags pfdebug ./internal/trace/ -run '^$$' -fuzz FuzzStreamRead -fuzztime $(FUZZTIME)
+	$(GO) test -tags pfdebug ./internal/serve/ -run '^$$' -fuzz FuzzServeFrame -fuzztime $(FUZZTIME)
+
+# The serving-daemon integration harness: concurrent client sessions over
+# real sockets, per-session prediction streams bit-identical to the
+# single-process path, clean and under seeded fault injection, all with
+# the race detector on.
+serve-harness:
+	$(GO) test -race -count=1 -run 'TestHarness' ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a writer the daemon goroutine and the test can share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForLine polls the daemon's stdout for a line containing substr and
+// returns that line.
+func waitForLine(t *testing.T, out *syncBuffer, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, substr) {
+				return line
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed %q; output so far:\n%s", substr, out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRunServesAndDrainsCleanly boots the daemon on an ephemeral port with
+// cheap NextLine sessions, round-trips a ping and one event over the
+// binary protocol, then cancels the context (the signal path) and requires
+// a clean drain.
+func TestRunServesAndDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-session-prefetcher", "nextline",
+			"-drain-timeout", "5s",
+		}, out)
+	}()
+
+	line := waitForLine(t, out, "listening on")
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		t.Fatalf("unparseable listen line %q", line)
+	}
+	addr := fields[3]
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("PFS1")); err != nil {
+		t.Fatalf("write magic: %v", err)
+	}
+	br := bufio.NewReader(nc)
+	writeFrame := func(payload []byte) {
+		t.Helper()
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		if _, err := nc.Write(append(hdr[:], payload...)); err != nil {
+			t.Fatalf("write frame: %v", err)
+		}
+	}
+	readFrame := func() []byte {
+		t.Helper()
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			t.Fatalf("read frame header: %v", err)
+		}
+		payload := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.Fatalf("read frame payload: %v", err)
+		}
+		return payload
+	}
+
+	// Ping (0x06) -> pong (0x07).
+	writeFrame([]byte{0x06})
+	if p := readFrame(); len(p) != 1 || p[0] != 0x07 {
+		t.Fatalf("want pong, got %x", p)
+	}
+	// One event (session 1, id 1, pc 4096, addr 8192) -> a predict (0x02)
+	// carrying the next two blocks from the NextLine session.
+	ev := []byte{0x01}
+	for _, v := range []uint64{1, 1, 4096, 8192, 0} {
+		ev = binary.AppendUvarint(ev, v)
+	}
+	writeFrame(ev)
+	p := readFrame()
+	if len(p) == 0 || p[0] != 0x02 {
+		t.Fatalf("want predict frame, got %x", p)
+	}
+	rest := p[1:]
+	var got []uint64
+	for len(rest) > 0 {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			t.Fatalf("bad predict payload %x", p)
+		}
+		got = append(got, v)
+		rest = rest[n:]
+	}
+	// session, id, count, then count addrs
+	if len(got) != 5 || got[0] != 1 || got[1] != 1 || got[2] != 2 || got[3] != 8192+64 || got[4] != 8192+128 {
+		t.Fatalf("predict fields = %v, want [1 1 2 8256 8320]", got)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v; output:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after cancel; output:\n%s", out.String())
+	}
+	waitForLine(t, out, "drained cleanly")
+}
+
+// TestRunRejectsBadFlags exercises the startup failure paths without
+// binding anything.
+func TestRunRejectsBadFlags(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), []string{"-session-prefetcher", "no-such-technique"}, out); err == nil {
+		t.Fatal("unknown session prefetcher accepted")
+	}
+	if err := run(context.Background(), []string{"-no-such-flag"}, out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, out); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

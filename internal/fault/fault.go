@@ -42,6 +42,11 @@ const (
 	// latency are injected here (per cell, after the shared builds, so
 	// they cannot make fault placement schedule-dependent).
 	SiteSimulate
+	// SiteServe fires in the serving daemon's session workers, once per
+	// accepted event (keyed "session/id"). Hangs and latency injected
+	// here delay predictions — exercising backpressure and drain — but
+	// never change them.
+	SiteServe
 )
 
 // String names the site for error messages and logs.
@@ -57,6 +62,8 @@ func (s Site) String() string {
 		return "prefetch-gen"
 	case SiteSimulate:
 		return "simulate"
+	case SiteServe:
+		return "serve"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -160,7 +167,7 @@ func (s *Seeded) Inject(ctx context.Context, site Site, key string, attempt int)
 		if attempt < s.FlakyFailures(key) {
 			return Transient(fmt.Errorf("fault: injected transient failure in job %s (attempt %d)", key, attempt))
 		}
-	case SiteSimulate:
+	case SiteSimulate, SiteServe:
 		if s.WillHang(key) {
 			return sleep(ctx, s.c.HangFor)
 		}
@@ -189,6 +196,13 @@ func (s *Seeded) FlakyFailures(key string) int {
 	}
 	return 0
 }
+
+// Draw exposes the injector's deterministic [0, 1) draw for an arbitrary
+// (kind, key) pair. Test harnesses use it to derive their *own* seeded
+// misbehaviour — which client drops a frame, corrupts one, disconnects or
+// runs slow — from the same Chaos seed that drives the server-side
+// injection, keeping a whole chaos scenario reproducible from one number.
+func (s *Seeded) Draw(kind, key string) float64 { return s.draw(kind, key) }
 
 // draw returns a uniform [0, 1) value deterministic in (seed, kind, key).
 func (s *Seeded) draw(kind, key string) float64 {

@@ -1,0 +1,366 @@
+package serve
+
+// Test-side client machinery shared by the protocol, backpressure and
+// integration-harness suites: a minimal binary-protocol connection, the
+// single-process replay that served streams must match bit-for-bit, and a
+// go-back-N session driver that implements the client retry protocol of
+// docs/serving.md (optionally misbehaving under seeded fault draws).
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+// testConn is a minimal binary-protocol client connection.
+type testConn struct {
+	t    testing.TB
+	nc   net.Conn
+	fr   *FrameReader
+	wbuf []byte
+}
+
+// dialBinary connects and sends the protocol magic.
+func dialBinary(t testing.TB, addr string) *testConn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	if _, err := nc.Write([]byte(Magic)); err != nil {
+		t.Fatalf("write magic: %v", err)
+	}
+	return &testConn{t: t, nc: nc, fr: NewFrameReader(nc)}
+}
+
+func (c *testConn) close() { c.nc.Close() }
+
+// writeEvent sends one event frame.
+func (c *testConn) writeEvent(session uint64, a trace.Access) error {
+	c.wbuf = AppendEventFrame(c.wbuf[:0], session, a)
+	return WriteFrame(c.nc, c.wbuf)
+}
+
+// read decodes the next frame, copying the reusable fields.
+func (c *testConn) read() (Frame, error) {
+	payload, err := c.fr.Next()
+	if err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	if err := ParseFrame(payload, &f); err != nil {
+		return Frame{}, err
+	}
+	f.Addrs = append([]uint64(nil), f.Addrs...)
+	if f.Body != nil {
+		f.Body = append([]byte(nil), f.Body...)
+	}
+	return f, nil
+}
+
+// mustRead fails the test on any read error.
+func (c *testConn) mustRead() Frame {
+	c.t.Helper()
+	f, err := c.read()
+	if err != nil {
+		c.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+// nextLineFactory serves NextLine sessions — instant, deterministic, and
+// cheap, for tests that stress the serving machinery rather than the SNN.
+func nextLineFactory(uint64) (prefetch.Prefetcher, error) { return &prefetch.NextLine{}, nil }
+
+// genTrace materializes a deterministic workload trace.
+func genTrace(t testing.TB, name string, n int, seed int64) []trace.Access {
+	t.Helper()
+	accs, err := workload.Generate(name, n, seed)
+	if err != nil {
+		t.Fatalf("generate %s: %v", name, err)
+	}
+	return accs
+}
+
+// expectedPredictions replays accs through a fresh prefetcher from the
+// same factory the server uses — the single-process path the served
+// prediction stream must match bit-for-bit.
+func expectedPredictions(t testing.TB, factory func(uint64) (prefetch.Prefetcher, error), session uint64, accs []trace.Access, budget int) [][]uint64 {
+	t.Helper()
+	pf, err := factory(session)
+	if err != nil {
+		t.Fatalf("factory(%d): %v", session, err)
+	}
+	out := make([][]uint64, len(accs))
+	for i, a := range accs {
+		addrs := pf.Advise(a, budget)
+		if len(addrs) > budget {
+			addrs = addrs[:budget]
+		}
+		cp := make([]uint64, len(addrs))
+		for j, x := range addrs {
+			cp[j] = x &^ (trace.BlockBytes - 1)
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// chaosOpts configures the go-back-N session driver. Probabilities are
+// evaluated once per (session, event) from the injector's deterministic
+// draws; the zero value is a well-behaved client.
+type chaosOpts struct {
+	inj      *fault.Seeded
+	window   int           // max unacknowledged events in flight
+	slowP    float64       // sleep slowFor before sending this event
+	slowFor  time.Duration // default 200us
+	corruptP float64       // send a corrupt frame first (server closes the conn)
+	dropP    float64       // "lose" the frame before sending, forcing a resend
+	discP    float64       // disconnect mid-stream before this event
+	timeout  time.Duration // per-read deadline (default 5s)
+}
+
+// sessionResult is what the driver observed for one session.
+type sessionResult struct {
+	// preds[i] is access i's prediction, nil when the reply was lost to a
+	// disconnect and the acceptance was confirmed by a stale reject
+	// instead (lostPreds counts those).
+	preds      [][]uint64
+	lostPreds  int
+	reconnects int
+	sheds      int
+}
+
+// runSession drives one session's access stream through the server with
+// the go-back-N client protocol: a bounded window, resend-from-shed on
+// queue-full rejects, resend-from-first-unconfirmed on reconnect, and
+// stale rejects treated as acceptance confirmations. It returns only when
+// every access has been accepted by the server exactly once.
+func runSession(t testing.TB, addr string, sid uint64, accs []trace.Access, o chaosOpts) sessionResult {
+	t.Helper()
+	if o.window <= 0 {
+		o.window = 16
+	}
+	if o.timeout <= 0 {
+		o.timeout = 5 * time.Second
+	}
+	if o.slowFor <= 0 {
+		o.slowFor = 200 * time.Microsecond
+	}
+	idx := make(map[uint64]int, len(accs))
+	for i, a := range accs {
+		idx[a.ID] = i
+	}
+	res := sessionResult{preds: make([][]uint64, len(accs))}
+	known := make([]bool, len(accs)) // accepted (prediction seen or stale-confirmed)
+	gotPred := make([]bool, len(accs))
+	sentOnce := make(map[string]bool) // one-shot fault draws already spent
+	draw := func(kind string, i int) bool {
+		if o.inj == nil {
+			return false
+		}
+		key := strconv.FormatUint(sid, 10) + "/" + strconv.FormatUint(accs[i].ID, 10)
+		var p float64
+		switch kind {
+		case "client-slow":
+			p = o.slowP
+		case "client-corrupt":
+			p = o.corruptP
+		case "client-drop":
+			p = o.dropP
+		case "client-disc":
+			p = o.discP
+		}
+		if o.inj.Draw(kind, key) >= p {
+			return false
+		}
+		once := kind + "/" + key
+		if sentOnce[once] {
+			return false // each one-shot misbehaviour fires once per event
+		}
+		sentOnce[once] = true
+		return true
+	}
+
+	var c *testConn
+	base, next, acked := 0, 0, 0
+	// outstanding counts sent-but-unanswered frames on the current conn:
+	// every event frame draws exactly one reply, and capping how many are
+	// unread keeps this driver from becoming its own slow client (unread
+	// replies otherwise pile up until both TCP buffers fill and the
+	// send/read loop deadlocks against the server's bounded queues).
+	outstanding := 0
+	reconnect := func() {
+		if c != nil {
+			c.close()
+			res.reconnects++
+		}
+		c = dialBinary(t, addr)
+		next = base
+		outstanding = 0
+	}
+	reconnect()
+	defer c.close()
+
+	for iters, maxIters := 0, 500*len(accs)+10_000; acked < len(accs); iters++ {
+		if iters > maxIters {
+			t.Fatalf("session %d: no progress after %d iterations (acked %d/%d)", sid, iters, acked, len(accs))
+		}
+		for base < len(accs) && known[base] {
+			base++
+		}
+		// Send while the window has room, both in unacked events and in
+		// unread replies.
+		for next < len(accs) && next-base < o.window && outstanding < o.window {
+			i := next
+			if known[i] {
+				next++
+				continue
+			}
+			if draw("client-disc", i) {
+				reconnect()
+				continue
+			}
+			if draw("client-slow", i) {
+				time.Sleep(o.slowFor)
+			}
+			if draw("client-corrupt", i) {
+				// A frame the decoder must reject: unknown kind, garbage.
+				_ = WriteFrame(c.nc, []byte{0xEE, 0xDE, 0xAD})
+				// The server rejects and closes; resynchronise.
+				reconnect()
+				continue
+			}
+			if draw("client-drop", i) {
+				continue // "lost in transit": resend on the next pass
+			}
+			if err := c.writeEvent(sid, accs[i]); err != nil {
+				reconnect()
+				continue
+			}
+			next++
+			outstanding++
+		}
+		// Read one reply.
+		c.nc.SetReadDeadline(time.Now().Add(o.timeout))
+		f, err := c.read()
+		if err != nil {
+			if acked < len(accs) {
+				reconnect()
+				continue
+			}
+			break
+		}
+		if outstanding > 0 {
+			outstanding--
+		}
+		switch f.Kind {
+		case FramePredict:
+			i, ok := idx[f.ID]
+			if !ok {
+				t.Fatalf("session %d: prediction for unknown id %d", sid, f.ID)
+			}
+			if gotPred[i] {
+				t.Fatalf("session %d: duplicate prediction for id %d", sid, f.ID)
+			}
+			gotPred[i] = true
+			res.preds[i] = f.Addrs
+			if !known[i] {
+				known[i] = true
+				acked++
+			}
+		case FrameReject:
+			switch f.Code {
+			case RejectStale:
+				// The id was accepted earlier. Its prediction may still be
+				// in flight (the reject path can overtake the worker), so
+				// this confirms acceptance without writing off the reply —
+				// lostPreds is recounted once the stream completes.
+				i, ok := idx[f.ID]
+				if !ok {
+					t.Fatalf("session %d: stale reject for unknown id %d", sid, f.ID)
+				}
+				if !known[i] {
+					known[i] = true
+					acked++
+				}
+			case RejectQueueFull, RejectOverloaded:
+				// The retry hint paces real clients; the harness retries
+				// immediately — the read loop already serializes on the
+				// server's replies, and sleeping here would turn shed-heavy
+				// runs into multi-second waits.
+				res.sheds++
+				if i, ok := idx[f.ID]; ok && i < next && !known[i] {
+					next = i // go back to the shed event
+				}
+			case RejectBadRequest:
+				// Follows a corrupt frame; the server closes the conn and
+				// the next read error triggers the reconnect.
+			default:
+				t.Fatalf("session %d: unexpected reject code %s", sid, RejectCodeName(f.Code))
+			}
+		default:
+			t.Fatalf("session %d: unexpected frame kind %#x", sid, f.Kind)
+		}
+	}
+	// Drain stragglers: predictions whose stale confirmation overtook them
+	// are still on the wire; give them a moment to land before declaring
+	// them lost.
+	for drained := false; !drained && acked == len(accs); {
+		c.nc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		f, err := c.read()
+		if err != nil {
+			drained = true
+			break
+		}
+		if f.Kind == FramePredict {
+			if i, ok := idx[f.ID]; ok && !gotPred[i] {
+				gotPred[i] = true
+				res.preds[i] = f.Addrs
+			}
+		}
+	}
+	for i := range known {
+		if !known[i] {
+			t.Fatalf("session %d: access %d never confirmed", sid, i)
+		}
+		if !gotPred[i] {
+			res.lostPreds++
+			res.preds[i] = nil
+		}
+	}
+	return res
+}
+
+// assertPredictionsMatch compares a served stream against the
+// single-process expectation, skipping entries whose replies were lost.
+func assertPredictionsMatch(t testing.TB, sid uint64, got, want [][]uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("session %d: %d predictions, want %d", sid, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] == nil {
+			continue // reply lost to a disconnect; acceptance was confirmed stale
+		}
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("session %d access %d: got %d addrs %v, want %d %v", sid, i, len(got[i]), got[i], len(want[i]), want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("session %d access %d addr %d: got %#x, want %#x", sid, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// fmtAddr is a tiny helper for building distinct per-test addresses in
+// error messages (kept for symmetry; tests bind 127.0.0.1:0).
+var _ = fmt.Sprintf

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"pathfinder/internal/core"
+	"pathfinder/internal/lstm"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/runner"
+	"pathfinder/internal/trace"
+)
+
+// EvalRequest is the JSON body of a FrameEval: one evaluation cell to run
+// on the shared engine pool. Req correlates the asynchronous reply.
+type EvalRequest struct {
+	// Req is an opaque client-chosen correlation id echoed in the reply.
+	Req uint64 `json:"req"`
+	// Trace names the workload to evaluate on (see pathfinder.Workloads).
+	Trace string `json:"trace"`
+	// Prefetcher names the technique (see NewPrefetcherByName).
+	Prefetcher string `json:"prefetcher"`
+	// Loads / Seed / Budget override the runner defaults when non-zero.
+	Loads  int   `json:"loads,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	Budget int   `json:"budget,omitempty"`
+}
+
+// EvalResponse is the JSON body of a FrameEvalResult.
+type EvalResponse struct {
+	Req         uint64         `json:"req"`
+	Error       string         `json:"error,omitempty"`
+	Metrics     runner.Metrics `json:"metrics"`
+	BaselineIPC float64        `json:"baseline_ipc,omitempty"`
+	Cycles      uint64         `json:"cycles,omitempty"`
+	WallNanos   int64          `json:"wall_nanos,omitempty"`
+}
+
+// NewPrefetcherByName builds the named online prefetching technique — the
+// wire-facing registry of every baseline the facade exposes plus
+// PATHFINDER itself and the paper's ensembles. Names are case-insensitive.
+func NewPrefetcherByName(name string, seed int64) (prefetch.Prefetcher, error) {
+	mkPF := func() (prefetch.Prefetcher, error) {
+		cfg := core.DefaultConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		return core.New(cfg)
+	}
+	ensemble := func(label string, members ...prefetch.Prefetcher) prefetch.Prefetcher {
+		e := prefetch.NewEnsemble(members...)
+		e.Label = label
+		return e
+	}
+	switch strings.ToLower(name) {
+	case "", "nopf", "none":
+		return prefetch.NoPrefetch{}, nil
+	case "nextline", "nl":
+		return &prefetch.NextLine{}, nil
+	case "bo", "bestoffset", "best-offset":
+		return prefetch.NewBestOffset(), nil
+	case "spp":
+		return prefetch.NewSPP(), nil
+	case "sisb":
+		return prefetch.NewSISB(), nil
+	case "isb":
+		return prefetch.NewISB(), nil
+	case "pythia":
+		return prefetch.NewPythia(seed), nil
+	case "stride":
+		return prefetch.NewStride(), nil
+	case "vldp":
+		return prefetch.NewVLDP(), nil
+	case "sms":
+		return prefetch.NewSMS(), nil
+	case "nextpage":
+		return prefetch.NewNextPage(), nil
+	case "pathfinder", "pf":
+		return mkPF()
+	case "pf+nl":
+		pf, err := mkPF()
+		if err != nil {
+			return nil, err
+		}
+		return ensemble("PF+NL", pf, &prefetch.NextLine{}), nil
+	case "pf+nl+sisb":
+		pf, err := mkPF()
+		if err != nil {
+			return nil, err
+		}
+		return ensemble("PF+NL+SISB", pf, prefetch.NewSISB(), &prefetch.NextLine{}), nil
+	}
+	return nil, fmt.Errorf("serve: unknown prefetcher %q", name)
+}
+
+// jobFor translates an EvalRequest into a runner job. The offline
+// generators (Delta-LSTM / Voyager) are reachable too, via the runner's
+// GenFile path.
+func jobFor(req EvalRequest) (runner.Job, error) {
+	job := runner.Job{
+		Trace: req.Trace,
+		Loads: req.Loads,
+		Seed:  req.Seed,
+	}
+	if req.Budget > 0 {
+		job.Budget = req.Budget
+	}
+	name, seed := req.Prefetcher, req.Seed
+	switch strings.ToLower(name) {
+	case "deltalstm", "delta-lstm":
+		job.Label = "DeltaLSTM"
+		job.GenFile = func(ctx context.Context, accs []trace.Access) ([]trace.Prefetch, error) {
+			cfg := lstm.DefaultDeltaLSTMConfig()
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			return lstm.GenerateDeltaLSTM(cfg, accs, prefetch.Budget)
+		}
+	case "voyager":
+		job.Label = "Voyager"
+		job.GenFile = func(ctx context.Context, accs []trace.Access) ([]trace.Prefetch, error) {
+			cfg := lstm.DefaultVoyagerConfig()
+			if seed != 0 {
+				cfg.Seed = seed
+			}
+			return lstm.GenerateVoyager(cfg, accs, prefetch.Budget)
+		}
+	default:
+		job.New = func() (prefetch.Prefetcher, error) { return NewPrefetcherByName(name, seed) }
+	}
+	return job, nil
+}
+
+// handleEval parses and launches one evaluation job; the reply is
+// asynchronous (jobs can take seconds) and bounded by the eval semaphore.
+func (s *Server) handleEval(c *conn, body []byte) {
+	var req EvalRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.replyEval(c, EvalResponse{Error: fmt.Sprintf("bad eval request: %v", err)})
+		return
+	}
+	if s.draining.Load() {
+		s.replyEval(c, EvalResponse{Req: req.Req, Error: "draining"})
+		return
+	}
+	bodyCopy := req // the frame buffer is reused; req is already a copy
+	s.evals.Add(1)
+	go func() {
+		defer s.evals.Done()
+		select {
+		case s.evalSem <- struct{}{}:
+			defer func() { <-s.evalSem }()
+		case <-s.baseCtx.Done():
+			s.replyEval(c, EvalResponse{Req: bodyCopy.Req, Error: "shutting down"})
+			return
+		}
+		s.replyEval(c, s.runEval(bodyCopy))
+	}()
+}
+
+// runEval executes one evaluation cell on the shared runner.
+func (s *Server) runEval(req EvalRequest) EvalResponse {
+	m := serveTele.Load()
+	if m != nil {
+		m.evals.Inc()
+	}
+	resp := EvalResponse{Req: req.Req}
+	job, err := jobFor(req)
+	if err != nil {
+		resp.Error = err.Error()
+		if m != nil {
+			m.evalErrors.Inc()
+		}
+		return resp
+	}
+	start := time.Now()
+	res, err := s.cfg.Runner.Eval(s.baseCtx, job)
+	if err != nil {
+		resp.Error = err.Error()
+		if m != nil {
+			m.evalErrors.Inc()
+		}
+		return resp
+	}
+	resp.Metrics = res.Metrics
+	resp.BaselineIPC = res.BaselineIPC
+	resp.Cycles = res.Cycles
+	resp.WallNanos = int64(time.Since(start))
+	return resp
+}
+
+// replyEval marshals and queues one eval reply.
+func (s *Server) replyEval(c *conn, resp EvalResponse) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"req":%d,"error":"marshal failure"}`, resp.Req))
+	}
+	c.send(response{kind: FrameEvalResult, body: b})
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+// FuzzServeFrame fuzzes the wire-protocol decoder: ParseFrame over raw
+// payloads and the length-prefixed FrameReader over raw streams. The
+// decoder must never panic or over-allocate, any accepted frame must
+// re-encode to a payload that parses back to the same frame, and every
+// validation rule (length-prefix bounds, truncated and oversized frames,
+// corrupt session/address fields) must hold on adversarial input.
+func FuzzServeFrame(f *testing.F) {
+	// Seed corpus: one well-formed payload per frame kind...
+	f.Add(AppendEventFrame(nil, 7, trace.Access{ID: 3, PC: 0x401000, Addr: 0x7fff0040, Chain: 2}))
+	f.Add(AppendPredictFrame(nil, 7, 3, []uint64{0x1000, 0x1040}))
+	f.Add(AppendPredictFrame(nil, 7, 4, nil))
+	f.Add(AppendRejectFrame(nil, 7, 3, RejectQueueFull, 5, "queue full"))
+	f.Add(AppendEvalFrame(nil, []byte(`{"req":1,"trace":"t","prefetcher":"nextline"}`)))
+	f.Add(AppendEvalResultFrame(nil, []byte(`{"req":1,"metrics":{}}`)))
+	f.Add(AppendPingFrame(nil))
+	f.Add(AppendPongFrame(nil))
+	// ... and known-bad shapes the validator must reject cleanly.
+	f.Add([]byte{})
+	f.Add([]byte{0xEE, 0xDE, 0xAD})
+	f.Add(AppendEventFrame(nil, 1, trace.Access{ID: 1, PC: 4096, Addr: 8192})[:3])
+	f.Add(append(AppendPingFrame(nil), 0x01))
+	f.Add(bytes.Repeat([]byte{0x80}, 16))
+	f.Add(AppendEventFrame(nil, 1<<63, trace.Access{ID: 1<<64 - 1, PC: trace.MaxAddr, Addr: trace.MaxAddr, Chain: 1<<32 - 1}))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var fr Frame
+		if err := ParseFrame(payload, &fr); err == nil {
+			checkParsedInvariants(t, payload, &fr)
+			reencodeRoundTrip(t, payload, &fr)
+		}
+
+		// The same bytes as a raw stream: the frame reader must handle
+		// arbitrary length prefixes without panicking or allocating past
+		// the cap, and terminate (every iteration consumes input).
+		r := NewFrameReader(bytes.NewReader(payload))
+		for {
+			p, err := r.Next()
+			if err != nil {
+				break
+			}
+			if len(p) == 0 || len(p) > MaxFrameBytes {
+				t.Fatalf("FrameReader returned a %d-byte payload", len(p))
+			}
+		}
+
+		// And as a framed stream: anything ParseFrame accepts must survive
+		// the length-prefixed transport byte-identically.
+		if len(payload) > 0 && len(payload) <= MaxFrameBytes {
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, payload); err != nil {
+				t.Fatalf("WriteFrame refused a legal payload size %d: %v", len(payload), err)
+			}
+			got, err := NewFrameReader(&buf).Next()
+			if err != nil {
+				t.Fatalf("framed payload did not read back: %v", err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("framing altered the payload")
+			}
+		}
+	})
+}
+
+// checkParsedInvariants asserts the validation promises ParseFrame makes
+// for any payload it accepts.
+func checkParsedInvariants(t *testing.T, payload []byte, fr *Frame) {
+	t.Helper()
+	switch fr.Kind {
+	case FrameEvent:
+		if fr.Event.ID == 0 {
+			t.Fatalf("accepted event with id 0")
+		}
+		if fr.Event.PC > trace.MaxAddr || fr.Event.Addr > trace.MaxAddr {
+			t.Fatalf("accepted event beyond the canonical address space: %+v", fr.Event)
+		}
+	case FramePredict:
+		if len(fr.Addrs) > maxPredictAddrs {
+			t.Fatalf("accepted %d predict addrs", len(fr.Addrs))
+		}
+		for _, a := range fr.Addrs {
+			if a > trace.MaxAddr {
+				t.Fatalf("accepted predict addr %#x", a)
+			}
+		}
+	case FrameReject:
+		if fr.Code == 0 || fr.Code > RejectBadRequest {
+			t.Fatalf("accepted reject code %d", fr.Code)
+		}
+		if len(fr.Msg) > maxRejectMsg {
+			t.Fatalf("accepted %d-byte reject message", len(fr.Msg))
+		}
+	case FrameEval, FrameEvalResult:
+		if len(fr.Body) == 0 {
+			t.Fatalf("accepted eval frame with empty body")
+		}
+	case FramePing, FramePong:
+	default:
+		t.Fatalf("accepted unknown frame kind %#x", fr.Kind)
+	}
+}
+
+// reencodeRoundTrip re-encodes a parsed frame with the Append* builders
+// and verifies the result parses back to the same frame. (The encoding
+// itself may differ from the input only for non-minimal uvarints, which
+// the builders never produce; the decoded values must match exactly.)
+func reencodeRoundTrip(t *testing.T, payload []byte, fr *Frame) {
+	t.Helper()
+	var enc []byte
+	switch fr.Kind {
+	case FrameEvent:
+		enc = AppendEventFrame(nil, fr.Session, fr.Event)
+	case FramePredict:
+		enc = AppendPredictFrame(nil, fr.Session, fr.ID, fr.Addrs)
+	case FrameReject:
+		enc = AppendRejectFrame(nil, fr.Session, fr.ID, fr.Code, fr.RetryMillis, fr.Msg)
+	case FrameEval:
+		enc = AppendEvalFrame(nil, fr.Body)
+	case FrameEvalResult:
+		enc = AppendEvalResultFrame(nil, fr.Body)
+	case FramePing:
+		enc = AppendPingFrame(nil)
+	case FramePong:
+		enc = AppendPongFrame(nil)
+	default:
+		return
+	}
+	if len(enc) > MaxFrameBytes {
+		t.Fatalf("re-encoding grew past the frame cap: %d bytes", len(enc))
+	}
+	var re Frame
+	if err := ParseFrame(enc, &re); err != nil {
+		t.Fatalf("re-encoded frame does not parse: %v (original %x)", err, payload)
+	}
+	if re.Kind != fr.Kind || re.Session != fr.Session || re.ID != fr.ID ||
+		re.Event != fr.Event || re.Code != fr.Code || re.RetryMillis != fr.RetryMillis || re.Msg != fr.Msg {
+		t.Fatalf("re-encode changed the frame:\n  was %+v\n  now %+v", fr, re)
+	}
+	if len(re.Addrs) != len(fr.Addrs) {
+		t.Fatalf("re-encode changed the addr count: %d -> %d", len(fr.Addrs), len(re.Addrs))
+	}
+	for i := range re.Addrs {
+		if re.Addrs[i] != fr.Addrs[i] {
+			t.Fatalf("re-encode changed addr %d: %#x -> %#x", i, fr.Addrs[i], re.Addrs[i])
+		}
+	}
+	if !bytes.Equal(re.Body, fr.Body) {
+		t.Fatalf("re-encode changed the body")
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+// The concurrency harness: N concurrent client sessions drive real
+// sockets against a live server, and every per-session prediction stream
+// must be bit-identical to replaying the same accesses through the same
+// prefetcher in process. Run clean and under seeded fault injection —
+// server-side latency/hangs at fault.SiteServe plus client-side dropped
+// frames, corrupt frames, slow sends and mid-stream disconnects, all
+// derived from one Chaos seed — the streams must still match wherever a
+// reply was delivered, and telemetry must show every event accepted
+// exactly once.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/trace"
+	"pathfinder/internal/workload"
+)
+
+// harnessSessions is the concurrent-session count the harness proves
+// determinism for (the acceptance floor is 8).
+const harnessSessions = 12
+
+// harnessTraces builds one deterministic workload trace per session,
+// cycling through the suite so different access patterns run side by side.
+func harnessTraces(t testing.TB, sessions, events int) [][]trace.Access {
+	t.Helper()
+	names := workload.Names()
+	traces := make([][]trace.Access, sessions)
+	for i := range traces {
+		traces[i] = genTrace(t, names[i%len(names)], events, int64(i+1))
+	}
+	return traces
+}
+
+// runHarness drives every session concurrently and checks each stream
+// against its in-process replay. factory must be the server's own
+// NewPrefetcher so the comparison is apples to apples.
+func runHarness(t *testing.T, srv *Server, factory func(uint64) (prefetch.Prefetcher, error), traces [][]trace.Access, o chaosOpts) []sessionResult {
+	t.Helper()
+	results := make([]sessionResult, len(traces))
+	var wg sync.WaitGroup
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runSession(t, srv.Addr(), uint64(i+1), traces[i], o)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := range traces {
+		sid := uint64(i + 1)
+		want := expectedPredictions(t, factory, sid, traces[i], srv.cfg.Budget)
+		assertPredictionsMatch(t, sid, results[i].preds, want)
+	}
+	return results
+}
+
+// TestHarnessConcurrentSessionsBitIdentical is the core determinism proof:
+// 12 concurrent PATHFINDER sessions over real sockets, full prediction
+// streams, compared bit-for-bit against the single-process path. The
+// client windows stay within the queue depth, so no event is ever shed
+// and every prediction is delivered.
+func TestHarnessConcurrentSessionsBitIdentical(t *testing.T) {
+	events := 1200
+	if testing.Short() {
+		events = 400
+	}
+	reg := withRegistry(t)
+	srv := newTestServer(t, Config{
+		QueueDepth:    64,
+		OutboundDepth: 64,
+	})
+	traces := harnessTraces(t, harnessSessions, events)
+	results := runHarness(t, srv, srv.cfg.NewPrefetcher, traces, chaosOpts{window: 32})
+
+	for i, r := range results {
+		if r.lostPreds != 0 || r.reconnects != 0 {
+			t.Errorf("session %d: clean run lost %d predictions across %d reconnects", i+1, r.lostPreds, r.reconnects)
+		}
+	}
+	snap := reg.Snapshot()
+	total := uint64(harnessSessions * events)
+	if got := snap.Counters["serve.events_accepted"]; got != total {
+		t.Fatalf("accepted %d events, want %d (exactly once)", got, total)
+	}
+	if got := snap.Counters["serve.shed"]; got != 0 {
+		t.Fatalf("windowed clients were shed %d times", got)
+	}
+	if got := snap.Gauges["serve.sessions_peak"]; got != harnessSessions {
+		t.Fatalf("sessions_peak = %d, want %d", got, harnessSessions)
+	}
+}
+
+// TestHarnessBitIdenticalUnderFaultInjection repeats the proof under
+// seeded chaos on both sides of the wire. Sheds, retries, reconnects and
+// injected delays may reorder and redo the *transport*; the accepted
+// stream — and therefore every delivered prediction — must not change.
+func TestHarnessBitIdenticalUnderFaultInjection(t *testing.T) {
+	events := 500
+	if testing.Short() {
+		events = 150
+	}
+	inj := fault.NewSeeded(fault.Chaos{
+		Seed:       7,
+		Latency:    0.02,
+		LatencyFor: 300 * time.Microsecond,
+		Hang:       0.004,
+		HangFor:    25 * time.Millisecond, // a stall, not a 30s wedge: drains must still finish
+	})
+	reg := withRegistry(t)
+	srv := newTestServer(t, Config{
+		QueueDepth:    16,
+		OutboundDepth: 16,
+		Fault:         inj,
+	})
+	traces := harnessTraces(t, harnessSessions, events)
+	results := runHarness(t, srv, srv.cfg.NewPrefetcher, traces, chaosOpts{
+		inj:      inj,
+		window:   12,
+		slowP:    0.01,
+		slowFor:  300 * time.Microsecond,
+		corruptP: 0.004,
+		dropP:    0.01,
+		discP:    0.004,
+		timeout:  10 * time.Second,
+	})
+
+	// Exactly-once acceptance is the invariant chaos cannot bend: however
+	// many times an event was retried, the server admitted it once.
+	snap := reg.Snapshot()
+	total := uint64(harnessSessions * events)
+	if got := snap.Counters["serve.events_accepted"]; got != total {
+		t.Fatalf("accepted %d events, want exactly %d", got, total)
+	}
+	var chaosHappened, lost, reconnects, sheds int
+	for _, r := range results {
+		lost += r.lostPreds
+		reconnects += r.reconnects
+		sheds += r.sheds
+	}
+	chaosHappened = reconnects + sheds
+	if chaosHappened == 0 {
+		t.Logf("warning: chaos probabilities injected nothing (%d events)", total)
+	}
+	if lost > int(total)/10 {
+		t.Fatalf("%d of %d predictions lost; the reconnect protocol is leaking replies", lost, total)
+	}
+	t.Logf("chaos run: %d events, %d reconnects, %d sheds, %d replies lost to dead conns, %d stale-confirmed",
+		total, reconnects, sheds, snap.Counters["serve.shed_stale"], lost)
+}
+
+// TestHarnessWedgeRecoveryUnderFirehose hammers tiny queues with windows
+// far beyond the queue depth, forcing constant sheds and go-back-N
+// recovery, and still requires complete, bit-identical streams. NextLine
+// sessions keep the workers instant so the shed/retry machinery itself is
+// what's under test.
+func TestHarnessWedgeRecoveryUnderFirehose(t *testing.T) {
+	events := 800
+	if testing.Short() {
+		events = 250
+	}
+	reg := withRegistry(t)
+	srv := newTestServer(t, Config{
+		NewPrefetcher: nextLineFactory,
+		QueueDepth:    4,
+		OutboundDepth: 8,
+	})
+	traces := harnessTraces(t, harnessSessions, events)
+	results := runHarness(t, srv, nextLineFactory, traces, chaosOpts{window: 32})
+
+	snap := reg.Snapshot()
+	total := uint64(harnessSessions * events)
+	if got := snap.Counters["serve.events_accepted"]; got != total {
+		t.Fatalf("accepted %d events, want exactly %d", got, total)
+	}
+	var sheds int
+	for _, r := range results {
+		if r.lostPreds != 0 {
+			t.Fatalf("no disconnects were injected, yet %d predictions were lost", r.lostPreds)
+		}
+		sheds += r.sheds
+	}
+	if sheds == 0 {
+		t.Fatalf("windows of 32 over depth-4 queues never shed; backpressure is not engaging")
+	}
+	if peak := snap.Gauges["serve.queue_depth_peak"]; peak > 4 {
+		t.Fatalf("queue depth peaked at %d, past its 4 cap", peak)
+	}
+}

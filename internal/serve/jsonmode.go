@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pathfinder/internal/trace"
+)
+
+// jsonFrame is the newline-JSON debug form of a Frame: one JSON object per
+// line, field names matching the binary protocol. It exists so a session
+// can be driven with a terminal and `nc`; the binary protocol is the
+// production surface.
+type jsonFrame struct {
+	Type        string          `json:"type"`
+	Session     uint64          `json:"session,omitempty"`
+	ID          uint64          `json:"id,omitempty"`
+	PC          uint64          `json:"pc,omitempty"`
+	Addr        uint64          `json:"addr,omitempty"`
+	Chain       uint32          `json:"chain,omitempty"`
+	Addrs       []uint64        `json:"addrs,omitempty"`
+	Code        string          `json:"code,omitempty"`
+	RetryMillis uint64          `json:"retry_ms,omitempty"`
+	Msg         string          `json:"msg,omitempty"`
+	Body        json.RawMessage `json:"body,omitempty"`
+}
+
+// kindNames maps frame kinds to their JSON "type" values.
+var kindNames = map[byte]string{
+	FrameEvent:      "event",
+	FramePredict:    "predict",
+	FrameReject:     "reject",
+	FrameEval:       "eval",
+	FrameEvalResult: "eval_result",
+	FramePing:       "ping",
+	FramePong:       "pong",
+}
+
+// parseJSONFrame decodes one JSON line into f, applying the same
+// validation as ParseFrame.
+func parseJSONFrame(line []byte, f *Frame) error {
+	var j jsonFrame
+	if err := json.Unmarshal(line, &j); err != nil {
+		return fmt.Errorf("serve: bad json frame: %w", err)
+	}
+	*f = Frame{Addrs: f.Addrs[:0]}
+	switch j.Type {
+	case "event":
+		f.Kind = FrameEvent
+		f.Session = j.Session
+		f.Event = trace.Access{ID: j.ID, PC: j.PC, Addr: j.Addr, Chain: j.Chain}
+		if f.Event.ID == 0 {
+			return fmt.Errorf("serve: json event: id must be >= 1")
+		}
+		if f.Event.PC > trace.MaxAddr || f.Event.Addr > trace.MaxAddr {
+			return fmt.Errorf("serve: json event: address beyond the canonical address space")
+		}
+	case "eval":
+		f.Kind = FrameEval
+		if len(j.Body) == 0 {
+			return fmt.Errorf("serve: json eval: empty body")
+		}
+		f.Body = j.Body
+	case "ping":
+		f.Kind = FramePing
+	default:
+		return fmt.Errorf("serve: unknown json frame type %q", j.Type)
+	}
+	return nil
+}
+
+// jsonResponse renders a server response as its JSON-mode object.
+func jsonResponse(r response) jsonFrame {
+	j := jsonFrame{Type: kindNames[r.kind], Session: r.session, ID: r.id}
+	switch r.kind {
+	case FramePredict:
+		j.Addrs = r.addrs
+		if j.Addrs == nil {
+			j.Addrs = []uint64{} // explicit empty list beats a missing field in a debug stream
+		}
+	case FrameReject:
+		j.Code = RejectCodeName(r.code)
+		j.RetryMillis = r.retryMillis
+		j.Msg = r.msg
+	case FrameEvalResult:
+		j.Body = json.RawMessage(r.body)
+	}
+	return j
+}

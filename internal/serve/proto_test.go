@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/trace"
+)
+
+func TestFrameRoundTrips(t *testing.T) {
+	acc := trace.Access{ID: 42, PC: 0x401000, Addr: 0x7fff_0000, Chain: 7}
+	cases := []struct {
+		name    string
+		payload []byte
+		check   func(t *testing.T, f Frame)
+	}{
+		{
+			name:    "event",
+			payload: AppendEventFrame(nil, 9, acc),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FrameEvent || f.Session != 9 || f.Event != acc {
+					t.Fatalf("event round trip: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "predict",
+			payload: AppendPredictFrame(nil, 9, 42, []uint64{0x1000, 0x1040}),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FramePredict || f.Session != 9 || f.ID != 42 {
+					t.Fatalf("predict round trip: %+v", f)
+				}
+				if len(f.Addrs) != 2 || f.Addrs[0] != 0x1000 || f.Addrs[1] != 0x1040 {
+					t.Fatalf("predict addrs: %v", f.Addrs)
+				}
+			},
+		},
+		{
+			name:    "predict empty",
+			payload: AppendPredictFrame(nil, 9, 43, nil),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FramePredict || len(f.Addrs) != 0 {
+					t.Fatalf("empty predict: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "reject",
+			payload: AppendRejectFrame(nil, 9, 42, RejectQueueFull, 5, "queue full"),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FrameReject || f.Code != RejectQueueFull || f.RetryMillis != 5 || f.Msg != "queue full" {
+					t.Fatalf("reject round trip: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "reject no message",
+			payload: AppendRejectFrame(nil, 9, 42, RejectStale, 0, ""),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FrameReject || f.Code != RejectStale || f.Msg != "" {
+					t.Fatalf("bare reject: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "eval",
+			payload: AppendEvalFrame(nil, []byte(`{"req":1}`)),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FrameEval || string(f.Body) != `{"req":1}` {
+					t.Fatalf("eval round trip: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "eval result",
+			payload: AppendEvalResultFrame(nil, []byte(`{"req":1,"metrics":{}}`)),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FrameEvalResult || string(f.Body) != `{"req":1,"metrics":{}}` {
+					t.Fatalf("eval result round trip: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "ping",
+			payload: AppendPingFrame(nil),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FramePing {
+					t.Fatalf("ping: %+v", f)
+				}
+			},
+		},
+		{
+			name:    "pong",
+			payload: AppendPongFrame(nil),
+			check: func(t *testing.T, f Frame) {
+				if f.Kind != FramePong {
+					t.Fatalf("pong: %+v", f)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f Frame
+			if err := ParseFrame(tc.payload, &f); err != nil {
+				t.Fatalf("ParseFrame: %v", err)
+			}
+			tc.check(t, f)
+
+			// And through the stream framing.
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, tc.payload); err != nil {
+				t.Fatalf("WriteFrame: %v", err)
+			}
+			fr := NewFrameReader(&buf)
+			payload, err := fr.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if !bytes.Equal(payload, tc.payload) {
+				t.Fatalf("framing altered the payload")
+			}
+			if _, err := fr.Next(); err != io.EOF {
+				t.Fatalf("want clean EOF after the frame, got %v", err)
+			}
+		})
+	}
+}
+
+func TestParseFrameRejectsMalformedPayloads(t *testing.T) {
+	acc := trace.Access{ID: 42, PC: 0x1000, Addr: 0x2000}
+	hugeAddrs := make([]uint64, maxPredictAddrs+1)
+	cases := []struct {
+		name    string
+		payload []byte
+		errPart string
+	}{
+		{"empty", nil, "empty frame"},
+		{"unknown kind", []byte{0xEE}, "unknown frame kind"},
+		{"event zero id", AppendEventFrame(nil, 1, trace.Access{ID: 0}), "id must be >= 1"},
+		{"event truncated", AppendEventFrame(nil, 1, acc)[:3], "truncated"},
+		{"event pc out of range", AppendEventFrame(nil, 1, trace.Access{ID: 1, PC: trace.MaxAddr + 1}), "beyond the canonical"},
+		{"event addr out of range", AppendEventFrame(nil, 1, trace.Access{ID: 1, Addr: trace.MaxAddr + 1}), "beyond the canonical"},
+		{"event trailing bytes", append(AppendEventFrame(nil, 1, acc), 0x00), "trailing"},
+		{"event chain overflow", func() []byte {
+			p := []byte{FrameEvent}
+			p = binary.AppendUvarint(p, 1) // session
+			p = binary.AppendUvarint(p, 1) // id
+			p = binary.AppendUvarint(p, 1) // pc
+			p = binary.AppendUvarint(p, 1) // addr
+			return binary.AppendUvarint(p, 1<<33)
+		}(), "overflows uint32"},
+		{"predict too many addrs", AppendPredictFrame(nil, 1, 1, hugeAddrs), "exceeds the 256 cap"},
+		{"predict truncated addr list", AppendPredictFrame(nil, 1, 1, []uint64{1, 2})[:4], "truncated"},
+		{"predict addr out of range", AppendPredictFrame(nil, 1, 1, []uint64{trace.MaxAddr + 1}), "beyond the canonical"},
+		{"reject missing code", AppendRejectFrame(nil, 1, 1, RejectStale, 0, "")[:2], "truncated"},
+		{"reject unknown code", func() []byte {
+			p := []byte{FrameReject}
+			p = binary.AppendUvarint(p, 1)
+			p = binary.AppendUvarint(p, 1)
+			p = append(p, 0xFF)
+			return binary.AppendUvarint(p, 0)
+		}(), "unknown code"},
+		{"reject zero code", func() []byte {
+			p := []byte{FrameReject}
+			p = binary.AppendUvarint(p, 1)
+			p = binary.AppendUvarint(p, 1)
+			p = append(p, 0)
+			return binary.AppendUvarint(p, 0)
+		}(), "unknown code"},
+		{"reject oversized message", AppendRejectFrame(nil, 1, 1, RejectBadRequest, 0, strings.Repeat("x", maxRejectMsg)+"y"), ""},
+		{"eval empty body", []byte{FrameEval}, "empty body"},
+		{"ping trailing bytes", append(AppendPingFrame(nil), 0x01), "trailing"},
+		{"bad uvarint", append([]byte{FrameEvent}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80), ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f Frame
+			err := ParseFrame(tc.payload, &f)
+			if tc.name == "reject oversized message" {
+				// AppendRejectFrame truncates at the cap, so the built frame
+				// parses; an over-cap message must be hand-built to fail.
+				long := append(AppendRejectFrame(nil, 1, 1, RejectBadRequest, 0, ""), bytes.Repeat([]byte{'x'}, maxRejectMsg+1)...)
+				if err2 := ParseFrame(long, &f); err2 == nil {
+					t.Fatalf("over-cap reject message parsed")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed payload parsed: %x", tc.payload)
+			}
+			if tc.errPart != "" && !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+func TestWriteFrameRefusesBadSizes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err == nil {
+		t.Fatal("empty frame written")
+	}
+	if err := WriteFrame(&buf, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Fatal("oversize frame written")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("refused writes still emitted %d bytes", buf.Len())
+	}
+}
+
+func TestFrameReaderStreamErrors(t *testing.T) {
+	t.Run("oversize length", func(t *testing.T) {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+		fr := NewFrameReader(bytes.NewReader(hdr[:]))
+		if _, err := fr.Next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+			t.Fatalf("oversize length: %v", err)
+		}
+	})
+	t.Run("zero length", func(t *testing.T) {
+		fr := NewFrameReader(bytes.NewReader([]byte{0, 0, 0, 0}))
+		if _, err := fr.Next(); err == nil || !strings.Contains(err.Error(), "zero-length") {
+			t.Fatalf("zero length: %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		fr := NewFrameReader(bytes.NewReader([]byte{0, 0}))
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncated header: %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		var buf bytes.Buffer
+		binary.Write(&buf, binary.BigEndian, uint32(10))
+		buf.Write([]byte{1, 2, 3})
+		fr := NewFrameReader(&buf)
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncated payload: %v", err)
+		}
+	})
+	t.Run("clean eof", func(t *testing.T) {
+		fr := NewFrameReader(bytes.NewReader(nil))
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("clean EOF: %v", err)
+		}
+	})
+	t.Run("back to back frames reuse the buffer", func(t *testing.T) {
+		var buf bytes.Buffer
+		p1 := AppendEventFrame(nil, 1, trace.Access{ID: 1, PC: 2, Addr: 3})
+		p2 := AppendPingFrame(nil)
+		WriteFrame(&buf, p1)
+		WriteFrame(&buf, p2)
+		fr := NewFrameReader(&buf)
+		got1, err := fr.Next()
+		if err != nil || !bytes.Equal(got1, p1) {
+			t.Fatalf("frame 1: %v %x", err, got1)
+		}
+		got2, err := fr.Next()
+		if err != nil || !bytes.Equal(got2, p2) {
+			t.Fatalf("frame 2: %v %x", err, got2)
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("tail: %v", err)
+		}
+	})
+}
+
+func TestRejectCodeName(t *testing.T) {
+	for code, want := range map[byte]string{
+		RejectQueueFull:   "queue-full",
+		RejectMaxSessions: "max-sessions",
+		RejectOverloaded:  "overloaded",
+		RejectDraining:    "draining",
+		RejectStale:       "stale",
+		RejectBadRequest:  "bad-request",
+	} {
+		if got := RejectCodeName(code); got != want {
+			t.Errorf("RejectCodeName(%d) = %q, want %q", code, got, want)
+		}
+	}
+	if got := RejectCodeName(99); got != "code(99)" {
+		t.Errorf("unknown code name: %q", got)
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/prefetch"
+	"pathfinder/internal/trace"
+)
+
+// queuedEvent is one accepted event waiting in a session's bounded queue:
+// the access, the connection its prediction goes back to, and the accept
+// timestamp for the latency histogram.
+type queuedEvent struct {
+	acc   trace.Access
+	c     *conn
+	start int64
+}
+
+// session is one client session: a private online prefetcher plus a
+// bounded event queue drained by a dedicated worker goroutine. All fields
+// below the queue are guarded by the owning shard's mutex; pending is
+// atomic because the worker decrements it without the lock.
+type session struct {
+	id uint64
+	pf prefetch.Prefetcher
+
+	// q is the bounded event queue. Capacity equals the configured
+	// QueueDepth; the pending counter gates sends, so a send under the
+	// shard lock never blocks. Closed (by closeAll) to drain the session.
+	q chan queuedEvent
+	// stop makes the worker exit immediately; only ever closed while the
+	// session is idle (pending == 0), so no accepted event is abandoned.
+	stop chan struct{}
+	// pending counts accepted-but-not-yet-fully-processed events. The
+	// worker decrements it only after the event's reply has been handed to
+	// the connection, so pending == 0 means the session is quiescent and
+	// safe to evict.
+	pending atomic.Int32
+
+	// lastID is the largest accepted event id (shard mutex). Events with
+	// id <= lastID are duplicates of already-accepted work and are
+	// rejected RejectStale, which makes client retries idempotent.
+	lastID uint64
+	// shedID, when non-zero, is the id of the first event shed since the
+	// last acceptance: the session is "wedged" and accepts only that exact
+	// id next (go-back-N), so a shed in the middle of a pipelined burst
+	// cannot silently skip an event. Cleared on the next acceptance.
+	shedID uint64
+
+	// LRU links within the shard (head = most recently used).
+	prev, next *session
+}
+
+// faultKey names one event for the SiteServe injector: "session/id".
+func (s *session) faultKey(id uint64) string {
+	return strconv.FormatUint(s.id, 10) + "/" + strconv.FormatUint(id, 10)
+}
+
+// run is the session worker: it drains the queue in order, computing and
+// sending one prediction per accepted event. It exits when the queue is
+// closed (graceful drain, after delivering everything) or stop is closed
+// (idle eviction).
+func (s *session) run(srv *Server) {
+	defer func() {
+		if m := serveTele.Load(); m != nil {
+			m.sessions.Add(-1)
+		}
+		srv.workers.Done()
+	}()
+	for {
+		select {
+		case ev, ok := <-s.q:
+			if !ok {
+				return
+			}
+			s.process(srv, ev)
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// process computes and delivers the prediction for one accepted event.
+// Fault injection (SiteServe) may only delay it — the prediction itself is
+// a pure function of the session's accepted event sequence, so injected
+// latency and hangs never change what is served.
+func (s *session) process(srv *Server, ev queuedEvent) {
+	if inj := srv.cfg.Fault; inj != nil {
+		// The injected sleep honours the server's base context, so a
+		// forced shutdown interrupts a hung worker.
+		_ = inj.Inject(srv.baseCtx, fault.SiteServe, s.faultKey(ev.acc.ID), 0)
+	}
+	addrs := s.pf.Advise(ev.acc, srv.cfg.Budget)
+	if len(addrs) > srv.cfg.Budget {
+		addrs = addrs[:srv.cfg.Budget]
+	}
+	// Advise may return a buffer it reuses; copy and block-align exactly
+	// like the single-process prefetch-file driver does.
+	out := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		out[i] = a &^ (trace.BlockBytes - 1)
+	}
+	delivered := ev.c.send(response{
+		kind:    FramePredict,
+		session: s.id,
+		id:      ev.acc.ID,
+		addrs:   out,
+		start:   ev.start,
+	})
+	if m := serveTele.Load(); m != nil && !delivered {
+		m.dropped.Inc()
+	}
+	s.pending.Add(-1)
+	srv.inflight.Add(-1)
+}
+
+// shard is one power-of-two slice of the session table: a map plus an
+// intrusive LRU list, under one mutex.
+type shard struct {
+	mu     sync.Mutex
+	m      map[uint64]*session
+	head   *session // most recently used
+	tail   *session // least recently used
+	cap    int
+	closed bool
+}
+
+// pushFront inserts s at the MRU end (shard mutex held).
+func (sh *shard) pushFront(s *session) {
+	s.prev = nil
+	s.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = s
+	}
+	sh.head = s
+	if sh.tail == nil {
+		sh.tail = s
+	}
+}
+
+// remove unlinks s (shard mutex held).
+func (sh *shard) remove(s *session) {
+	if s.prev != nil {
+		s.prev.next = s.next
+	} else {
+		sh.head = s.next
+	}
+	if s.next != nil {
+		s.next.prev = s.prev
+	} else {
+		sh.tail = s.prev
+	}
+	s.prev, s.next = nil, nil
+}
+
+// moveFront marks s most recently used (shard mutex held).
+func (sh *shard) moveFront(s *session) {
+	if sh.head == s {
+		return
+	}
+	sh.remove(s)
+	sh.pushFront(s)
+}
+
+// evictIdle evicts the least-recently-used quiescent session, returning
+// false when every resident session still has events in flight (shard
+// mutex held). The evicted worker exits via its stop channel; its learned
+// state is discarded, so a returning session starts fresh (including its
+// duplicate-detection watermark — see docs/serving.md).
+func (sh *shard) evictIdle() bool {
+	for s := sh.tail; s != nil; s = s.prev {
+		if s.pending.Load() == 0 {
+			close(s.stop)
+			sh.remove(s)
+			delete(sh.m, s.id)
+			if m := serveTele.Load(); m != nil {
+				m.evicted.Inc()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// table is the sharded session table.
+type table struct {
+	srv    *Server
+	shards []shard
+	mask   uint64
+}
+
+// newTable builds a table with the configured (power-of-two) shard count.
+func newTable(srv *Server, shards, perShardCap int) *table {
+	t := &table{srv: srv, shards: make([]shard, shards), mask: uint64(shards - 1)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*session)
+		t.shards[i].cap = perShardCap
+	}
+	return t
+}
+
+// splitmix64 spreads session ids across shards even when clients pick
+// adjacent or adversarial ids.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// enqueue admits one event into its session's queue, creating (or
+// evicting into room for) the session as needed. It returns 0 on
+// acceptance or the reject code, and never blocks: the pending counter
+// gates the buffered channel send.
+func (t *table) enqueue(c *conn, sid uint64, acc trace.Access, start int64) byte {
+	sh := &t.shards[splitmix64(sid)&t.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed || t.srv.draining.Load() {
+		return RejectDraining
+	}
+	m := serveTele.Load()
+	s := sh.m[sid]
+	if s == nil {
+		if len(sh.m) >= sh.cap && !sh.evictIdle() {
+			return RejectMaxSessions
+		}
+		pf, err := t.srv.cfg.NewPrefetcher(sid)
+		if err != nil {
+			return RejectBadRequest
+		}
+		s = &session{
+			id:   sid,
+			pf:   pf,
+			q:    make(chan queuedEvent, t.srv.cfg.QueueDepth),
+			stop: make(chan struct{}),
+		}
+		sh.m[sid] = s
+		sh.pushFront(s)
+		if m != nil {
+			m.sessions.Add(1)
+			m.sessionsPeak.SetMax(m.sessions.Value())
+			m.sessionsTotal.Inc()
+		}
+		t.srv.workers.Add(1)
+		go s.run(t.srv)
+	} else {
+		sh.moveFront(s)
+	}
+	if acc.ID <= s.lastID {
+		return RejectStale
+	}
+	if s.shedID != 0 && acc.ID != s.shedID {
+		// Wedged: an earlier event was shed and must be resent first, or
+		// the session's accepted stream would skip it.
+		return RejectQueueFull
+	}
+	if int(s.pending.Load()) >= t.srv.cfg.QueueDepth {
+		if s.shedID == 0 {
+			s.shedID = acc.ID
+		}
+		return RejectQueueFull
+	}
+	if max := t.srv.cfg.MaxInFlight; max > 0 && t.srv.inflight.Load() >= int64(max) {
+		if s.shedID == 0 {
+			s.shedID = acc.ID
+		}
+		return RejectOverloaded
+	}
+	s.shedID = 0
+	s.lastID = acc.ID
+	depth := s.pending.Add(1)
+	t.srv.inflight.Add(1)
+	s.q <- queuedEvent{acc: acc, c: c, start: start}
+	if m != nil {
+		m.accepted.Inc()
+		m.queueDepth.Observe(uint64(depth))
+		m.queueDepthPeak.SetMax(int64(depth))
+	}
+	return 0
+}
+
+// closeAll marks every shard closed and closes every resident session's
+// queue: the workers drain what was accepted — exactly once — and exit.
+// Called only from the server's shutdown path, after draining is set.
+func (t *table) closeAll() {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if !sh.closed {
+			sh.closed = true
+			for _, s := range sh.m {
+				close(s.q)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// sessionCount returns the number of resident sessions (for tests and the
+// admission gauge cross-check).
+func (t *table) sessionCount() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"pathfinder/internal/telemetry"
+)
+
+// serveMetrics is the package's bound telemetry handles: the serving-path
+// catalogue of docs/observability.md. Everything is recorded off the
+// simulation hot paths (admission, workers, connection writers), so the
+// determinism suites are untouched by enabling it.
+type serveMetrics struct {
+	sessions      *telemetry.Gauge   // resident sessions
+	sessionsPeak  *telemetry.Gauge   // high-water mark of resident sessions
+	sessionsTotal *telemetry.Counter // sessions ever created
+	evicted       *telemetry.Counter // idle sessions evicted by LRU pressure
+	conns         *telemetry.Gauge   // open client connections
+	connsTotal    *telemetry.Counter // connections ever accepted
+
+	accepted       *telemetry.Counter   // events admitted into session queues
+	shed           *telemetry.Counter   // events rejected, any code
+	shedQueueFull  *telemetry.Counter   // ... because the session queue was full (or wedged)
+	shedMaxSess    *telemetry.Counter   // ... because the session table was full
+	shedOverload   *telemetry.Counter   // ... because the global in-flight cap was hit
+	shedDraining   *telemetry.Counter   // ... because the server was draining
+	shedStale      *telemetry.Counter   // ... duplicate of an already-accepted id
+	shedBad        *telemetry.Counter   // ... malformed request
+	queueDepth     *telemetry.Histogram // session queue depth at each acceptance
+	queueDepthPeak *telemetry.Gauge     // high-water mark of any session queue
+	outDepthPeak   *telemetry.Gauge     // high-water mark of any outbound queue
+	latency        *telemetry.Histogram // accept-to-reply-written latency (ns)
+	dropped        *telemetry.Counter   // predictions dropped on a dead connection
+
+	frames      *telemetry.Counter // frames parsed
+	frameErrors *telemetry.Counter // malformed frames / protocol violations
+	evals       *telemetry.Counter // evaluation jobs started
+	evalErrors  *telemetry.Counter // evaluation jobs failed
+}
+
+// shedFor maps a reject code to its dedicated counter.
+func (m *serveMetrics) shedFor(code byte) *telemetry.Counter {
+	switch code {
+	case RejectQueueFull:
+		return m.shedQueueFull
+	case RejectMaxSessions:
+		return m.shedMaxSess
+	case RejectOverloaded:
+		return m.shedOverload
+	case RejectDraining:
+		return m.shedDraining
+	case RejectStale:
+		return m.shedStale
+	}
+	return m.shedBad
+}
+
+var serveTele atomic.Pointer[serveMetrics]
+
+// EnableTelemetry binds the package's metrics to r (pass nil to unbind).
+func EnableTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		serveTele.Store(nil)
+		return
+	}
+	serveTele.Store(&serveMetrics{
+		sessions:       r.Gauge("serve.sessions"),
+		sessionsPeak:   r.Gauge("serve.sessions_peak"),
+		sessionsTotal:  r.Counter("serve.sessions_total"),
+		evicted:        r.Counter("serve.sessions_evicted"),
+		conns:          r.Gauge("serve.conns"),
+		connsTotal:     r.Counter("serve.conns_total"),
+		accepted:       r.Counter("serve.events_accepted"),
+		shed:           r.Counter("serve.shed"),
+		shedQueueFull:  r.Counter("serve.shed_queue_full"),
+		shedMaxSess:    r.Counter("serve.shed_max_sessions"),
+		shedOverload:   r.Counter("serve.shed_overloaded"),
+		shedDraining:   r.Counter("serve.shed_draining"),
+		shedStale:      r.Counter("serve.shed_stale"),
+		shedBad:        r.Counter("serve.shed_bad_request"),
+		queueDepth:     r.Histogram("serve.queue_depth"),
+		queueDepthPeak: r.Gauge("serve.queue_depth_peak"),
+		outDepthPeak:   r.Gauge("serve.out_depth_peak"),
+		latency:        r.Histogram("serve.latency_ns"),
+		dropped:        r.Counter("serve.replies_dropped"),
+		frames:         r.Counter("serve.frames"),
+		frameErrors:    r.Counter("serve.frame_errors"),
+		evals:          r.Counter("serve.evals"),
+		evalErrors:     r.Counter("serve.eval_errors"),
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"pathfinder/internal/prefetch"
 	"pathfinder/internal/runner"
+	"pathfinder/internal/serve"
 	"pathfinder/internal/sim"
 	"pathfinder/internal/snn"
 	"pathfinder/internal/telemetry"
@@ -40,6 +41,7 @@ func EnableTelemetry() *TelemetryRegistry {
 	runner.EnableTelemetry(r)
 	prefetch.EnableTelemetry(r)
 	trace.EnableTelemetry(r)
+	serve.EnableTelemetry(r)
 	return r
 }
 
@@ -51,6 +53,7 @@ func DisableTelemetry() {
 	runner.EnableTelemetry(nil)
 	prefetch.EnableTelemetry(nil)
 	trace.EnableTelemetry(nil)
+	serve.EnableTelemetry(nil)
 	telemetry.Disable()
 }
 
