@@ -4,8 +4,11 @@
 # hot engines. `make serve-harness` runs the prefetch-as-a-service
 # concurrency harness — N concurrent sessions over real sockets, bit-exact
 # against the single-process path, clean and under fault injection — with
-# the race detector on (see docs/serving.md). `make
-# pfdebug` re-runs the suite with the invariant assertions compiled in (see
+# the race detector on (see docs/serving.md). `make sweep-harness` runs the
+# distributed-sweep chaos harness — coordinator/worker fleets under seeded
+# kills, disconnects and coordinator resume, bit-identical to the clean
+# single-process run — with the race detector on (see docs/distributed.md).
+# `make pfdebug` re-runs the suite with the invariant assertions compiled in (see
 # docs/testing.md), and `make fuzz-short` gives each native fuzz target a
 # brief budget. `make chaos` runs the fault-injection suite under the race
 # detector (see docs/resilience.md). `make bench-micro` records the SNN,
@@ -20,7 +23,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build test vet race pfdebug chaos fuzz-short serve-harness bench bench-micro bench-check verify
+.PHONY: build test vet race pfdebug chaos fuzz-short serve-harness sweep-harness bench bench-micro bench-check verify
 
 build:
 	$(GO) build ./...
@@ -32,7 +35,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/runner/... ./internal/experiments/... ./internal/dist/...
 	$(GO) test -race -short ./internal/snn/... ./internal/sim/... ./internal/refmodel/... ./internal/trace/... ./internal/serve/...
 
 # Run the tests with the pfdebug invariant assertions enabled (LRU stack
@@ -54,6 +57,7 @@ fuzz-short:
 	$(GO) test -tags pfdebug ./internal/refmodel/ -run '^$$' -fuzz FuzzCacheAccess -fuzztime $(FUZZTIME)
 	$(GO) test -tags pfdebug ./internal/trace/ -run '^$$' -fuzz FuzzStreamRead -fuzztime $(FUZZTIME)
 	$(GO) test -tags pfdebug ./internal/serve/ -run '^$$' -fuzz FuzzServeFrame -fuzztime $(FUZZTIME)
+	$(GO) test -tags pfdebug ./ -run '^$$' -fuzz FuzzLoadPrefetcher -fuzztime $(FUZZTIME)
 
 # The serving-daemon integration harness: concurrent client sessions over
 # real sockets, per-session prediction streams bit-identical to the
@@ -61,6 +65,13 @@ fuzz-short:
 # the race detector on.
 serve-harness:
 	$(GO) test -race -count=1 -run 'TestHarness' ./internal/serve/
+
+# The distributed-sweep chaos harness: coordinator/worker fleets over real
+# sockets under seeded worker kills, disconnects and coordinator
+# kill-and-resume, with survivor results required bit-identical to a clean
+# single-process sweep, all with the race detector on.
+sweep-harness:
+	$(GO) test -race -count=1 -run 'TestSweepHarness' ./internal/dist/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

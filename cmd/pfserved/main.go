@@ -12,12 +12,15 @@
 //	pfserved -session-prefetcher bo           # serve Best-Offset sessions
 //
 // Stop with SIGINT/SIGTERM: the daemon stops accepting work, flushes every
-// accepted event exactly once, and exits within -drain-timeout. See
-// docs/serving.md for the protocol and lifecycle guarantees.
+// accepted event exactly once, and exits within -drain-timeout. A second
+// SIGINT/SIGTERM during the drain forces immediate exit with a nonzero
+// status instead of waiting the drain out. See docs/serving.md for the
+// protocol and lifecycle guarantees.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,18 +33,23 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(context.Background(), sigs, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pfserved:", err)
 		os.Exit(1)
 	}
 }
 
+// errForced reports a shutdown that was forced by a second signal before
+// the graceful drain finished.
+var errForced = errors.New("forced-shutdown before drain completed")
+
 // run is the whole daemon behind a flag.NewFlagSet, so tests can drive it
-// end to end with an argv, a capturable stdout, and a cancelable context
-// standing in for the signal handler.
-func run(ctx context.Context, args []string, stdout io.Writer) error {
+// end to end with an argv, a capturable stdout, a cancelable context, and
+// a signal channel standing in for the process signal handler (nil: only
+// the context stops the daemon).
+func run(ctx context.Context, sigs <-chan os.Signal, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pfserved", flag.ContinueOnError)
 	var (
 		addr         = fs.String("addr", "127.0.0.1:9177", "listen address (port 0 picks a free port)")
@@ -105,11 +113,27 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "pfserved listening on %s (sessions: %s)\n", srv.Addr(), *sessionPF)
 
-	<-ctx.Done()
-	fmt.Fprintf(stdout, "pfserved draining (timeout %s)\n", *drainTimeout)
-	if err := srv.Close(); err != nil {
-		return err
+	select {
+	case <-ctx.Done():
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "pfserved caught %s\n", sig)
 	}
-	fmt.Fprintln(stdout, "pfserved drained cleanly")
-	return nil
+	fmt.Fprintf(stdout, "pfserved draining (timeout %s)\n", *drainTimeout)
+
+	// Drain in the background so a second signal can preempt a drain that
+	// is waiting out slow sessions: operators hitting ^C twice want the
+	// process gone now, not in -drain-timeout.
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Close() }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "pfserved drained cleanly")
+		return nil
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "pfserved forced-shutdown on second %s\n", sig)
+		return errForced
+	}
 }

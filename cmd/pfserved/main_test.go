@@ -7,8 +7,10 @@ import (
 	"encoding/binary"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -59,7 +61,7 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 	out := &syncBuffer{}
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{
+		done <- run(ctx, nil, []string{
 			"-addr", "127.0.0.1:0",
 			"-session-prefetcher", "nextline",
 			"-drain-timeout", "5s",
@@ -151,13 +153,71 @@ func TestRunServesAndDrainsCleanly(t *testing.T) {
 // binding anything.
 func TestRunRejectsBadFlags(t *testing.T) {
 	out := &syncBuffer{}
-	if err := run(context.Background(), []string{"-session-prefetcher", "no-such-technique"}, out); err == nil {
+	if err := run(context.Background(), nil, []string{"-session-prefetcher", "no-such-technique"}, out); err == nil {
 		t.Fatal("unknown session prefetcher accepted")
 	}
-	if err := run(context.Background(), []string{"-no-such-flag"}, out); err == nil {
+	if err := run(context.Background(), nil, []string{"-no-such-flag"}, out); err == nil {
 		t.Fatal("unknown flag accepted")
 	}
-	if err := run(context.Background(), []string{"-addr", "999.999.999.999:1"}, out); err == nil {
+	if err := run(context.Background(), nil, []string{"-addr", "999.999.999.999:1"}, out); err == nil {
 		t.Fatal("unbindable address accepted")
 	}
+}
+
+// TestSecondSignalForcesShutdown delivers one signal to start the
+// graceful drain and a second one mid-drain: the daemon must exit
+// immediately with a nonzero status (a non-nil error from run) and log a
+// forced-shutdown line, instead of waiting out -drain-timeout.
+func TestSecondSignalForcesShutdown(t *testing.T) {
+	out := &syncBuffer{}
+	sigs := make(chan os.Signal, 2)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), sigs, []string{
+			"-addr", "127.0.0.1:0",
+			"-session-prefetcher", "nextline",
+			// A drain timeout far beyond the test deadline: only the
+			// second signal can end the drain in time.
+			"-drain-timeout", "5m",
+		}, out)
+	}()
+	line := waitForLine(t, out, "listening on")
+	addr := strings.Fields(line)[3]
+
+	// Submit a slow in-flight eval so the graceful drain has real work to
+	// wait on and cannot finish before the second signal lands.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("PFS1")); err != nil {
+		t.Fatalf("write magic: %v", err)
+	}
+	eval := []byte(`{"req":1,"trace":"cc-5","prefetcher":"pathfinder","loads":400000}`)
+	payload := append([]byte{0x04}, eval...)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := nc.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatalf("write eval frame: %v", err)
+	}
+	// Give the server a moment to accept the eval before draining starts
+	// rejecting new work.
+	time.Sleep(100 * time.Millisecond)
+
+	sigs <- syscall.SIGINT
+	waitForLine(t, out, "draining")
+	sigs <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("run returned nil after forced shutdown; output:\n%s", out.String())
+		}
+		if !strings.Contains(err.Error(), "forced-shutdown") {
+			t.Fatalf("run error = %v, want forced-shutdown", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not force-exit on second signal; output:\n%s", out.String())
+	}
+	waitForLine(t, out, "forced-shutdown")
 }

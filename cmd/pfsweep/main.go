@@ -1,0 +1,346 @@
+// Command pfsweep runs a distributed evaluation sweep: a coordinator
+// that owns the grid, the append-only result ledger, and the lease
+// table, plus any number of workers — separate processes, possibly on
+// separate machines — that evaluate granted cells on their local engine.
+//
+// Usage:
+//
+//	pfsweep coord -grid grid.json -ledger sweep.journal -listen :9178
+//	pfsweep worker -grid grid.json -connect host:9178
+//
+// Both sides expand the same grid file into the same cell list; grants
+// carry only a grid index and the cell's identity key, and a worker
+// refuses a grant whose key its own grid does not reproduce. The grid
+// file is a JSON GridSpec (see docs/distributed.md):
+//
+//	{"traces": ["cc-5", "bfs-10"], "prefetchers": ["pathfinder", "bo"],
+//	 "seeds": [1, 2], "loads": 50000}
+//
+// The ledger makes the sweep restartable: kill the coordinator, start a
+// new one on the same file, and every recorded cell is resumed without
+// re-execution. Stop either side with SIGINT/SIGTERM: the first signal
+// drains gracefully (the coordinator stops granting and reports what
+// finished; a worker finishes its current cell first), and a second
+// signal during the drain forces immediate exit with a nonzero status.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"pathfinder"
+	"pathfinder/internal/dist"
+	"pathfinder/internal/runner"
+)
+
+func main() {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(context.Background(), sigs, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pfsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// errForced reports a shutdown that was forced by a second signal before
+// the graceful drain finished.
+var errForced = errors.New("forced-shutdown before drain completed")
+
+// run dispatches the subcommand. Tests drive it with an argv, a
+// capturable stdout, and a signal channel standing in for the process
+// signal handler (nil: only the context stops the sweep).
+func run(ctx context.Context, sigs <-chan os.Signal, args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: pfsweep coord|worker [flags] (-h for flags)")
+	}
+	switch args[0] {
+	case "coord":
+		return runCoord(ctx, sigs, args[1:], stdout)
+	case "worker":
+		return runWorker(ctx, sigs, args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want coord or worker)", args[0])
+	}
+}
+
+// runnerDefaults builds the runner configuration both subcommands derive
+// cell keys from; coordinator and workers must agree on these flags.
+func runnerDefaults(loads int, seed int64) runner.Config {
+	return runner.Config{Loads: loads, Seed: seed}
+}
+
+func startMetrics(addr string, stdout io.Writer) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	pathfinder.EnableTelemetry()
+	bound, stop, err := pathfinder.ServeTelemetry(addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	fmt.Fprintf(stdout, "pfsweep metrics on http://%s/metrics\n", bound)
+	return stop, nil
+}
+
+// runCoord owns the sweep: grid + ledger + leases. The first signal
+// starts a graceful drain (stop granting, keep already-leased cells
+// until they finish or their leases expire, then report); a second
+// signal force-stops the sweep — every recorded cell is already in the
+// ledger, so a fresh coordinator resumes where this one died.
+func runCoord(ctx context.Context, sigs <-chan os.Signal, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pfsweep coord", flag.ContinueOnError)
+	var (
+		gridPath     = fs.String("grid", "", "grid JSON file (required)")
+		ledgerPath   = fs.String("ledger", "", "append-only result ledger; restart on the same file to resume (empty: no resume)")
+		listen       = fs.String("listen", "127.0.0.1:9178", "listen address for workers (port 0 picks a free port)")
+		lease        = fs.Duration("lease", 10*time.Second, "grant lifetime; an unrenewed lease is reassigned")
+		maxGrants    = fs.Int("max-grants", 3, "grants per cell before quarantine")
+		grantBackoff = fs.Duration("grant-backoff", 50*time.Millisecond, "regrant delay after an expiry (doubles per expiry)")
+		loads        = fs.Int("loads", 0, "default trace length; must match the workers' (0: 50000)")
+		seed         = fs.Int64("seed", 0, "default trace seed; must match the workers' (0: 1)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof here (empty: off)")
+		verbose      = fs.Bool("v", false, "log coordinator lifecycle lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gridPath == "" {
+		return errors.New("coord: -grid is required")
+	}
+	specs, err := dist.LoadGrid(*gridPath)
+	if err != nil {
+		return err
+	}
+	jobs, err := dist.Jobs(specs)
+	if err != nil {
+		return err
+	}
+
+	stopMetrics, err := startMetrics(*metricsAddr, stdout)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+
+	var ledger *runner.Journal
+	if *ledgerPath != "" {
+		ledger, err = runner.OpenJournal(*ledgerPath)
+		if err != nil {
+			return err
+		}
+		defer ledger.Close()
+	}
+
+	cfg := dist.CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runnerDefaults(*loads, *seed),
+		Ledger:       ledger,
+		Lease:        *lease,
+		MaxGrants:    *maxGrants,
+		GrantBackoff: *grantBackoff,
+		Progress: func(p runner.Progress) {
+			switch {
+			case p.Err != nil:
+				fmt.Fprintf(stdout, "[%d/%d] %s / %s FAILED: %v\n", p.Done, p.Total, p.Trace, p.Prefetcher, p.Err)
+			case p.Resumed:
+				fmt.Fprintf(stdout, "[%d/%d] %s / %s resumed from ledger\n", p.Done, p.Total, p.Trace, p.Prefetcher)
+			default:
+				fmt.Fprintf(stdout, "[%d/%d] %s / %s done in %s\n", p.Done, p.Total, p.Trace, p.Prefetcher, p.Wall.Round(time.Millisecond))
+			}
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+	coord, err := dist.NewCoordinator(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	coord.Serve(ln)
+	fmt.Fprintf(stdout, "pfsweep coordinator listening on %s (%d cells)\n", ln.Addr(), len(jobs))
+
+	forced := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "pfsweep coordinator draining on %s\n", sig)
+			coord.Drain()
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "pfsweep coordinator forced-shutdown on second %s\n", sig)
+			close(forced)
+			coord.Stop()
+		case <-ctx.Done():
+		}
+	}()
+
+	results, report, err := coord.Run(ctx)
+	select {
+	case <-forced:
+		return errForced
+	default:
+	}
+	if err != nil {
+		return err
+	}
+	printSummary(stdout, results, report)
+	return report.Err()
+}
+
+// printSummary renders the per-cell results and the sweep accounting.
+func printSummary(stdout io.Writer, results []runner.Result, report *runner.RunReport) {
+	failed := make(map[int]bool, len(report.Failed))
+	for _, fe := range report.Failed {
+		failed[fe.Index] = true
+	}
+	fmt.Fprintf(stdout, "\n%-12s %-14s %8s %8s %8s %8s\n", "trace", "prefetcher", "ipc", "accuracy", "coverage", "speedup")
+	for i, res := range results {
+		// A drained sweep leaves never-granted cells zero-valued; only
+		// evaluated (or resumed) cells carry metrics worth printing.
+		if failed[i] || res.Trace == "" {
+			continue
+		}
+		speedup := 0.0
+		if res.BaselineIPC > 0 {
+			speedup = res.IPC / res.BaselineIPC
+		}
+		fmt.Fprintf(stdout, "%-12s %-14s %8.3f %8.3f %8.3f %8.3f\n",
+			res.Trace, res.Prefetcher, res.IPC, res.Accuracy, res.Coverage, speedup)
+	}
+	fmt.Fprintf(stdout, "\nsweep: %d cells, %d completed, %d resumed, %d reassigned, %d quarantined, %d failed, wall %s\n",
+		report.Total, report.Completed, report.Resumed, report.Retries,
+		report.Quarantined, len(report.Failed), report.Wall.Round(time.Millisecond))
+	for _, fe := range report.Failed {
+		fmt.Fprintf(stdout, "  failed cell %d (%s / %s): %v\n", fe.Index, fe.Trace, fe.Label, fe.Err)
+	}
+}
+
+// runWorker evaluates granted cells against a coordinator. Workers in
+// one process share a single engine (one set of trace/baseline caches).
+// The first signal drains gracefully — each worker finishes its current
+// cell, then exits — and a second signal forces immediate exit; the
+// abandoned lease expires on the coordinator and is reassigned.
+func runWorker(ctx context.Context, sigs <-chan os.Signal, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pfsweep worker", flag.ContinueOnError)
+	var (
+		gridPath    = fs.String("grid", "", "grid JSON file; must match the coordinator's (required)")
+		connect     = fs.String("connect", "127.0.0.1:9178", "coordinator address")
+		name        = fs.String("name", "", "worker name in coordinator logs (default host-pid)")
+		workers     = fs.Int("workers", 0, "concurrent workers in this process (0: GOMAXPROCS)")
+		loads       = fs.Int("loads", 0, "default trace length; must match the coordinator's (0: 50000)")
+		seed        = fs.Int64("seed", 0, "default trace seed; must match the coordinator's (0: 1)")
+		dialRetry   = fs.Duration("dial-retry", 10*time.Second, "how long to retry the initial dial")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof here (empty: off)")
+		verbose     = fs.Bool("v", false, "log worker lifecycle lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gridPath == "" {
+		return errors.New("worker: -grid is required")
+	}
+	specs, err := dist.LoadGrid(*gridPath)
+	if err != nil {
+		return err
+	}
+	jobs, err := dist.Jobs(specs)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	stopMetrics, err := startMetrics(*metricsAddr, stdout)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+	wcfg := runnerDefaults(*loads, *seed)
+	shared := runner.New(wcfg)
+	n := *workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fleet := make([]*dist.Worker, n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Name:         fmt.Sprintf("%s-%d", *name, i),
+			Jobs:         jobs,
+			Runner:       shared,
+			RunnerConfig: wcfg,
+			DialRetry:    *dialRetry,
+			Logf:         logf,
+		})
+		fleet[i] = w
+		go func() { errs <- w.Run(wctx, *connect) }()
+	}
+	fmt.Fprintf(stdout, "pfsweep worker %s: %d workers against %s (%d cells)\n", *name, n, *connect, len(jobs))
+
+	forced := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "pfsweep worker draining on %s (finishing current cells)\n", sig)
+			for _, w := range fleet {
+				w.Drain()
+			}
+		case <-wctx.Done():
+			return
+		}
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "pfsweep worker forced-shutdown on second %s\n", sig)
+			close(forced)
+			cancel()
+		case <-wctx.Done():
+		}
+	}()
+
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	select {
+	case <-forced:
+		return errForced
+	default:
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fmt.Fprintf(stdout, "pfsweep worker %s done\n", *name)
+	return nil
+}

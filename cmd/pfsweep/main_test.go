@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pathfinder/internal/dist"
+	"pathfinder/internal/serve"
+)
+
+// syncBuffer is a writer the sweep goroutines and the test can share.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitForLine polls out for a line containing substr and returns it.
+func waitForLine(t *testing.T, out *syncBuffer, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, substr) {
+				return line
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never printed %q; output so far:\n%s", substr, out.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// writeGrid writes a small 4-cell grid file and returns its path.
+func writeGrid(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.json")
+	grid := `{"traces": ["cc-5", "bfs-10"], "prefetchers": ["nextline", "stride"], "loads": 2000}`
+	if err := os.WriteFile(path, []byte(grid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// listenAddr extracts the bound address from the coordinator's listen line.
+func listenAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	line := waitForLine(t, out, "listening on")
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		t.Fatalf("unparseable listen line %q", line)
+	}
+	return fields[4]
+}
+
+// TestSweepEndToEnd runs a coordinator and a two-worker process over real
+// loopback sockets through the CLI entry points, and requires the sweep
+// to complete every cell and print the summary.
+func TestSweepEndToEnd(t *testing.T) {
+	grid := writeGrid(t)
+	ledger := filepath.Join(t.TempDir(), "sweep.journal")
+	coordOut, workerOut := &syncBuffer{}, &syncBuffer{}
+
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- run(context.Background(), nil, []string{
+			"coord", "-grid", grid, "-ledger", ledger, "-listen", "127.0.0.1:0",
+		}, coordOut)
+	}()
+	addr := listenAddr(t, coordOut)
+
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- run(context.Background(), nil, []string{
+			"worker", "-grid", grid, "-connect", addr, "-name", "w", "-workers", "2",
+		}, workerOut)
+	}()
+
+	for name, ch := range map[string]chan error{"coord": coordDone, "worker": workerDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s: %v\ncoord out:\n%s\nworker out:\n%s", name, err, coordOut.String(), workerOut.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s did not finish\ncoord out:\n%s\nworker out:\n%s", name, coordOut.String(), workerOut.String())
+		}
+	}
+	waitForLine(t, coordOut, "4 cells, 4 completed")
+	waitForLine(t, workerOut, "worker w done")
+
+	// A rerun on the same ledger resumes every cell without workers.
+	resumeOut := &syncBuffer{}
+	resumeDone := make(chan error, 1)
+	go func() {
+		resumeDone <- run(context.Background(), nil, []string{
+			"coord", "-grid", grid, "-ledger", ledger, "-listen", "127.0.0.1:0",
+		}, resumeOut)
+	}()
+	select {
+	case err := <-resumeDone:
+		if err != nil {
+			t.Fatalf("resume run: %v\n%s", err, resumeOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("resume run did not finish\n%s", resumeOut.String())
+	}
+	waitForLine(t, resumeOut, "4 resumed")
+}
+
+// fakeWorker speaks just enough of the protocol to take one lease and
+// heartbeat it forever without ever finishing — the stuck-worker shape
+// that keeps a graceful drain open.
+func fakeWorker(t *testing.T, addr string, cells int, stop <-chan struct{}) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Errorf("fake worker dial: %v", err)
+		return
+	}
+	defer conn.Close()
+	send := func(kind byte, body any) error {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		return serve.WriteFrame(conn, append([]byte{kind}, b...))
+	}
+	if _, err := conn.Write([]byte(dist.Magic)); err != nil {
+		t.Errorf("fake worker magic: %v", err)
+		return
+	}
+	if err := send(dist.MsgHello, dist.Hello{Worker: "fake", Cells: cells}); err != nil {
+		t.Errorf("fake worker hello: %v", err)
+		return
+	}
+	if err := send(dist.MsgRequest, struct{}{}); err != nil {
+		t.Errorf("fake worker request: %v", err)
+		return
+	}
+	fr := serve.NewFrameReader(conn)
+	payload, err := fr.Next()
+	if err != nil || len(payload) < 1 || payload[0] != dist.MsgGrant {
+		t.Errorf("fake worker: want grant, got %v / %v", payload, err)
+		return
+	}
+	var g dist.Grant
+	if err := json.Unmarshal(payload[1:], &g); err != nil {
+		t.Errorf("fake worker: bad grant: %v", err)
+		return
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if err := send(dist.MsgHeartbeat, dist.Heartbeat{Key: g.Key}); err != nil {
+				return // coordinator closed the conn: shutdown
+			}
+		}
+	}
+}
+
+// TestCoordSecondSignalForcesShutdown holds a lease open with a worker
+// that never finishes, starts a graceful drain with one signal, and
+// requires the second signal to force immediate nonzero exit with a
+// forced-shutdown line — every already-recorded cell stays in the ledger
+// for the next coordinator.
+func TestCoordSecondSignalForcesShutdown(t *testing.T) {
+	grid := writeGrid(t)
+	out := &syncBuffer{}
+	sigs := make(chan os.Signal, 2)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), sigs, []string{
+			"coord", "-grid", grid, "-listen", "127.0.0.1:0", "-lease", "30s",
+		}, out)
+	}()
+	addr := listenAddr(t, out)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go fakeWorker(t, addr, 4, stop)
+	// Wait until the lease is out: the fake worker heartbeats only after
+	// it holds a grant, so the first heartbeat implies the grant landed.
+	time.Sleep(300 * time.Millisecond)
+
+	sigs <- syscall.SIGINT
+	waitForLine(t, out, "draining")
+	sigs <- syscall.SIGINT
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "forced-shutdown") {
+			t.Fatalf("coord error = %v, want forced-shutdown\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("coordinator did not force-exit\n%s", out.String())
+	}
+	waitForLine(t, out, "forced-shutdown")
+}
+
+// TestRunRejectsBadArgs exercises the CLI failure paths.
+func TestRunRejectsBadArgs(t *testing.T) {
+	out := &syncBuffer{}
+	cases := [][]string{
+		nil,            // no subcommand
+		{"frobnicate"}, // unknown subcommand
+		{"coord"},      // missing -grid
+		{"worker"},     // missing -grid
+		{"coord", "-grid", "/no/such/grid.json"},
+		{"coord", "-no-such-flag"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), nil, args, out); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+	// A grid with an unknown prefetcher is refused before any cell runs.
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"traces":["cc-5"],"prefetchers":["no-such"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), nil, []string{"coord", "-grid", path}, out); err == nil {
+		t.Error("unknown prefetcher in grid accepted")
+	}
+}

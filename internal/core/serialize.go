@@ -19,6 +19,25 @@ import (
 
 var pfMagic = [4]byte{'P', 'F', 'S', '1'}
 
+// Sanity caps on a decoded configuration, checked before any allocation:
+// a corrupt or hostile file must fail with an error, never an OOM. They
+// sit far above every configuration the paper sweeps (delta range ±63,
+// 50-400 neurons, 1-4 labels per neuron).
+const (
+	maxLoadDeltaRange = 1 << 12
+	maxLoadHistory    = 64
+	maxLoadNeurons    = 1 << 14
+	maxLoadLabels     = 1 << 10
+	maxLoadLabelCells = 1 << 20
+	maxLoadTableSize  = 1 << 20
+	maxLoadDegree     = 1 << 8
+	maxLoadTicks      = 1 << 12
+	// The SNN's weight matrix is (DeltaRange × History) × Neurons; the
+	// individual caps above still admit a multi-gigabyte product, so the
+	// derived synapse count is capped too (mirroring snn.maxLoadSynapses).
+	maxLoadSynapses = 1 << 24
+)
+
 // Save writes the prefetcher's learned state to w.
 func (p *Pathfinder) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -87,6 +106,19 @@ func Load(r io.Reader) (*Pathfinder, error) {
 		if err := binary.Read(br, binary.LittleEndian, &floats[i]); err != nil {
 			return nil, fmt.Errorf("core: reading config: %w", err)
 		}
+	}
+	switch {
+	case ints[0] < 0 || ints[0] > maxLoadDeltaRange,
+		ints[1] < 0 || ints[1] > maxLoadHistory,
+		ints[2] < 0 || ints[2] > maxLoadNeurons,
+		ints[3] < 1 || ints[3] > maxLoadLabels,
+		ints[2]*ints[3] > maxLoadLabelCells,
+		ints[4] < 1 || ints[4] > maxLoadDegree,
+		ints[5] < 0 || ints[5] > maxLoadTicks,
+		ints[8] < 0 || ints[8] > maxLoadTableSize,
+		ints[0]*ints[1]*ints[2] > maxLoadSynapses:
+		return nil, fmt.Errorf("core: implausible configuration in file (delta range %d, history %d, neurons %d, labels %d, degree %d, ticks %d, table %d)",
+			ints[0], ints[1], ints[2], ints[3], ints[4], ints[5], ints[8])
 	}
 	cfg := Config{
 		DeltaRange: int(ints[0]), History: int(ints[1]), Neurons: int(ints[2]),

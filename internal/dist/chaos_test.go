@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/runner"
+)
+
+// harnessGrid is the chaos sweep: 16 cells of cheap online prefetchers,
+// two workloads × four techniques × two seeds.
+func harnessGrid(t *testing.T) []runner.Job {
+	t.Helper()
+	specs := GridSpec{
+		Traces:      []string{"cc-5", "bfs-10"},
+		Prefetchers: []string{"nextline", "stride", "bo", "sisb"},
+		Seeds:       []int64{1, 2},
+		Loads:       2000,
+	}.Expand()
+	jobs, err := Jobs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+const (
+	harnessLease     = 250 * time.Millisecond
+	harnessMaxGrants = 4
+)
+
+// pickChaosSeed deterministically searches for a chaos seed whose kill
+// draws poison between one and three cells — killed on every one of
+// their MaxGrants grant attempts — so the quarantine path is exercised
+// without hand-pinning a seed that silently stops matching when the
+// grid changes.
+func pickChaosSeed(t *testing.T, keys []string) (int64, map[int]bool) {
+	t.Helper()
+	for seed := int64(1); seed < 2000; seed++ {
+		inj := fault.NewSeeded(fault.Chaos{Seed: seed, DistKill: 0.3})
+		poisoned := make(map[int]bool)
+		for i, key := range keys {
+			all := true
+			for a := 0; a < harnessMaxGrants; a++ {
+				if !inj.WorkerKills(key, a) {
+					all = false
+					break
+				}
+			}
+			if all {
+				poisoned[i] = true
+			}
+		}
+		if len(poisoned) >= 1 && len(poisoned) <= 3 {
+			return seed, poisoned
+		}
+	}
+	t.Fatal("no chaos seed in 1..2000 poisons 1-3 cells")
+	return 0, nil
+}
+
+// fleet keeps n worker slots alive against addr until the sweep ends:
+// every injected kill consumes a worker and the slot respawns a
+// replacement, exactly as a production supervisor would.
+func fleet(ctx context.Context, jobs []runner.Job, addr string, inj fault.Injector, n int, prefix string) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for slot := 0; slot < n; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for gen := 0; ; gen++ {
+				w := NewWorker(WorkerConfig{
+					Name:         fmt.Sprintf("%s-w%d-%d", prefix, slot, gen),
+					Jobs:         jobs,
+					RunnerConfig: runner.Config{Loads: 2000},
+					Fault:        inj,
+				})
+				err := w.Run(ctx, addr)
+				if err == nil || ctx.Err() != nil {
+					return
+				}
+			}
+		}(slot)
+	}
+	return &wg
+}
+
+// TestSweepHarness is the headline chaos proof (make sweep-harness): a
+// distributed sweep over real loopback sockets, under seeded worker
+// kills (abrupt connection deaths and silent heartbeat losses),
+// connection drops, benign wire latency, and one coordinator
+// kill-and-resume from the ledger, must terminate every cell — poisoned
+// cells quarantined into the report, never hung — with every surviving
+// result bit-identical (payload equality) to a clean single-process
+// RunWithReport of the same grid.
+func TestSweepHarness(t *testing.T) {
+	jobs := harnessGrid(t)
+	keyRunner := runner.New(runner.Config{Loads: 2000})
+	keys := make([]string, len(jobs))
+	for i, job := range jobs {
+		keys[i] = keyRunner.CellKey(i, job)
+	}
+	seed, poisoned := pickChaosSeed(t, keys)
+	t.Logf("chaos seed %d poisons cells %v", seed, poisoned)
+	inj := fault.NewSeeded(fault.Chaos{
+		Seed:        seed,
+		DistKill:    0.3,
+		DistDrop:    0.05,
+		DistLatency: 0.3,
+		LatencyFor:  time.Millisecond,
+	})
+
+	// The clean single-process reference.
+	ref, refReport, err := runner.New(runner.Config{Loads: 2000}).RunWithReport(context.Background(), jobs)
+	if err != nil || len(refReport.Failed) != 0 {
+		t.Fatalf("reference run: %v (failed %v)", err, refReport.Failed)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	ledgerPath := filepath.Join(t.TempDir(), "sweep.journal")
+
+	// Phase 1: run under chaos until five cells are terminal, then kill
+	// the coordinator mid-sweep.
+	ledger1, err := runner.OpenJournal(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coord1 *Coordinator
+	var terminals atomic.Int32
+	c1, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+		Ledger:       ledger1,
+		Lease:        harnessLease,
+		MaxGrants:    harnessMaxGrants,
+		GrantBackoff: 5 * time.Millisecond,
+		Fault:        inj,
+		Logf:         t.Logf,
+		Progress: func(p runner.Progress) {
+			if terminals.Add(1) == 5 {
+				coord1.Stop()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1 = c1
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1.Serve(ln1)
+	fctx1, fcancel1 := context.WithCancel(ctx)
+	wg1 := fleet(fctx1, jobs, ln1.Addr().String(), inj, 4, "p1")
+	_, _, err = coord1.Run(ctx)
+	fcancel1()
+	wg1.Wait()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("killed coordinator: err = %v, want ErrStopped", err)
+	}
+	if err := ledger1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh coordinator resumes from the ledger file — the
+	// replay exercises torn-tail repair and duplicate resolution — and a
+	// fresh fleet under the same chaos finishes the sweep.
+	ledger2, err := runner.OpenJournal(ledgerPath)
+	if err != nil {
+		t.Fatalf("ledger replay after coordinator kill: %v", err)
+	}
+	defer ledger2.Close()
+	resumedAtStart := ledger2.Completed()
+	coord2, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+		Ledger:       ledger2,
+		Lease:        harnessLease,
+		MaxGrants:    harnessMaxGrants,
+		GrantBackoff: 5 * time.Millisecond,
+		Fault:        inj,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2.Serve(ln2)
+	fctx2, fcancel2 := context.WithCancel(ctx)
+	wg2 := fleet(fctx2, jobs, ln2.Addr().String(), inj, 4, "p2")
+	results, report, err := coord2.Run(ctx)
+	fcancel2()
+	wg2.Wait()
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+
+	// Every cell terminal: the sweep finished rather than wedging.
+	if got := report.Completed + report.Resumed + len(report.Failed); got != report.Total {
+		t.Fatalf("cells accounted = %d, want %d (report %+v)", got, report.Total, report)
+	}
+	if report.Resumed != resumedAtStart {
+		t.Errorf("resumed = %d, want the ledger's %d cells", report.Resumed, resumedAtStart)
+	}
+	if report.Resumed == 0 {
+		t.Error("coordinator kill-and-resume resumed nothing — phase 1 recorded no cells")
+	}
+
+	// Poisoned cells are quarantined into the report, never hung.
+	failedBy := make(map[int]*runner.JobError)
+	for _, fe := range report.Failed {
+		failedBy[fe.Index] = fe
+	}
+	for idx := range poisoned {
+		fe := failedBy[idx]
+		if fe == nil || !strings.Contains(fe.Err.Error(), "quarantined") {
+			t.Errorf("poisoned cell %d not quarantined (got %v)", idx, fe)
+		}
+	}
+	if report.Quarantined < len(poisoned) {
+		t.Errorf("report.Quarantined = %d, want >= %d", report.Quarantined, len(poisoned))
+	}
+	quarantineEntries := 0
+	for _, fe := range report.Failed {
+		if strings.Contains(fe.Err.Error(), "quarantined") {
+			quarantineEntries++
+		}
+	}
+	if quarantineEntries != report.Quarantined {
+		t.Errorf("quarantine entries in Failed = %d, report.Quarantined = %d", quarantineEntries, report.Quarantined)
+	}
+
+	// The chaos actually bit: leases were reassigned.
+	if report.Retries == 0 {
+		t.Error("no lease reassignments under 30% kill probability")
+	}
+
+	// The headline: every surviving cell is bit-identical to the clean
+	// single-process run.
+	survivors := 0
+	for i := range jobs {
+		if failedBy[i] != nil {
+			continue
+		}
+		survivors++
+		if !runner.PayloadEqual(results[i], ref[i]) {
+			t.Errorf("survivor cell %d diverged: sweep %+v != single-process %+v", i, results[i], ref[i])
+		}
+	}
+	if survivors == 0 {
+		t.Fatal("no survivors — the chaos configuration destroyed the whole grid")
+	}
+	t.Logf("sweep: %d survivors, %d quarantined, %d reassignments, resumed %d after kill",
+		survivors, report.Quarantined, report.Retries, report.Resumed)
+}

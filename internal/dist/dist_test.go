@@ -1,0 +1,422 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/runner"
+)
+
+// testGrid is the small sweep the functional tests share: cheap online
+// prefetchers over two synthetic workloads, short traces.
+func testGrid(t *testing.T) []runner.Job {
+	t.Helper()
+	specs := GridSpec{
+		Traces:      []string{"cc-5", "bfs-10"},
+		Prefetchers: []string{"nextline", "stride"},
+		Loads:       2000,
+	}.Expand()
+	jobs, err := Jobs(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// runSingle is the single-process reference the sweep must match.
+func runSingle(t *testing.T, jobs []runner.Job) []runner.Result {
+	t.Helper()
+	ref, err := runner.New(runner.Config{Loads: 2000, Parallelism: 2}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+// TestGridSpecExpand pins the deterministic expansion order both sides
+// of a sweep rely on for identical cell keys.
+func TestGridSpecExpand(t *testing.T) {
+	g := GridSpec{
+		Traces:      []string{"a", "b"},
+		Prefetchers: []string{"p", "q"},
+		Seeds:       []int64{1, 2},
+		Loads:       100,
+		Cells:       []CellSpec{{Trace: "c", Prefetcher: "r"}},
+	}
+	specs := g.Expand()
+	want := []CellSpec{
+		{Trace: "a", Prefetcher: "p", Loads: 100, Seed: 1},
+		{Trace: "a", Prefetcher: "p", Loads: 100, Seed: 2},
+		{Trace: "a", Prefetcher: "q", Loads: 100, Seed: 1},
+		{Trace: "a", Prefetcher: "q", Loads: 100, Seed: 2},
+		{Trace: "b", Prefetcher: "p", Loads: 100, Seed: 1},
+		{Trace: "b", Prefetcher: "p", Loads: 100, Seed: 2},
+		{Trace: "b", Prefetcher: "q", Loads: 100, Seed: 1},
+		{Trace: "b", Prefetcher: "q", Loads: 100, Seed: 2},
+		{Trace: "c", Prefetcher: "r"},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("Expand: %d cells, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("cell %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if _, err := Jobs([]CellSpec{{Trace: "cc-5", Prefetcher: "no-such-technique"}}); err == nil {
+		t.Error("Jobs accepted an unknown prefetcher")
+	}
+}
+
+// TestLoadGrid checks the on-disk grid format and its error paths.
+func TestLoadGrid(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(path, []byte(`{"traces":["cc-5"],"prefetchers":["nextline","bo"],"loads":1000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].Trace != "cc-5" || specs[1].Prefetcher != "bo" {
+		t.Fatalf("LoadGrid = %+v", specs)
+	}
+	if _, err := LoadGrid(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadGrid on a missing file succeeded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{}`), 0o644)
+	if _, err := LoadGrid(empty); err == nil || !strings.Contains(err.Error(), "no cells") {
+		t.Errorf("LoadGrid on an empty grid: err = %v", err)
+	}
+}
+
+// TestLocalSweepMatchesSingleProcess is the clean-path half of the
+// headline invariant: an in-process fleet over loopback TCP produces
+// results bit-identical (payload equality) to the single-process engine.
+func TestLocalSweepMatchesSingleProcess(t *testing.T) {
+	jobs := testGrid(t)
+	ref := runSingle(t, jobs)
+
+	var mu sync.Mutex
+	events := 0
+	cfg := runner.Config{Loads: 2000, Progress: func(p runner.Progress) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	}}
+	results, report, err := RunLocal(context.Background(), cfg, jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != len(jobs) || len(report.Failed) != 0 {
+		t.Fatalf("report: %+v", report)
+	}
+	for i := range jobs {
+		if !runner.PayloadEqual(results[i], ref[i]) {
+			t.Errorf("cell %d: sweep %+v != single-process %+v", i, results[i], ref[i])
+		}
+	}
+	mu.Lock()
+	if events != len(jobs) {
+		t.Errorf("progress events = %d, want %d", events, len(jobs))
+	}
+	mu.Unlock()
+}
+
+// TestSweepResumesLedger checks ledger interchange in both directions: a
+// journal written by a single-process run resumes a distributed sweep
+// without regranting anything, and vice versa.
+func TestSweepResumesLedger(t *testing.T) {
+	jobs := testGrid(t)
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	// Single-process run writes the ledger...
+	j, err := runner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := runner.New(runner.Config{Loads: 2000, Journal: j})
+	ref, err := single.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and the distributed sweep resumes every cell from it.
+	j2, err := runner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	results, report, err := RunLocal(context.Background(), runner.Config{Loads: 2000, Journal: j2}, jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Resumed != len(jobs) || report.Completed != 0 {
+		t.Fatalf("resumed sweep report: %+v", report)
+	}
+	for i := range jobs {
+		if results[i] != ref[i] {
+			t.Errorf("cell %d: resumed %+v != journaled %+v", i, results[i], ref[i])
+		}
+	}
+
+	// And back: a fresh single-process run over the sweep's ledger
+	// resumes too (the ledger a sweep leaves is a valid runner journal).
+	j3, err := runner.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	_, rep3, err := runner.New(runner.Config{Loads: 2000, Journal: j3}).RunWithReport(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Resumed != len(jobs) {
+		t.Fatalf("single-process resume of the sweep ledger: %+v", rep3)
+	}
+}
+
+// killInjector kills specific cells on every grant: the poisoned-cell
+// shape that must end in quarantine, not a wedged sweep.
+type killInjector struct{ kill map[int]bool }
+
+func (k *killInjector) Inject(ctx context.Context, site fault.Site, key string, attempt int) error {
+	if site == fault.SiteDistWorker {
+		var idx int
+		fmt.Sscanf(key, "%d|", &idx)
+		if k.kill[idx] {
+			return fault.ErrWorkerKill
+		}
+	}
+	return nil
+}
+
+// TestPoisonedCellQuarantined checks the grant budget: a cell that kills
+// every worker it lands on is quarantined into the report while the rest
+// of the grid completes and stays bit-identical.
+func TestPoisonedCellQuarantined(t *testing.T) {
+	jobs := testGrid(t)
+	ref := runSingle(t, jobs)
+	inj := &killInjector{kill: map[int]bool{2: true}}
+
+	coord, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+		Lease:        200 * time.Millisecond,
+		MaxGrants:    3,
+		GrantBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// A spawner keeps two worker slots alive: every kill consumes a
+	// worker, and the replacement keeps the sweep moving. The spawner
+	// context dies with the coordinator so respawns stop at sweep end.
+	sctx, scancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for slot := 0; slot < 2; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for gen := 0; ; gen++ {
+				w := NewWorker(WorkerConfig{
+					Name:         fmt.Sprintf("w%d-%d", slot, gen),
+					Jobs:         jobs,
+					RunnerConfig: runner.Config{Loads: 2000},
+					Fault:        inj,
+				})
+				err := w.Run(sctx, ln.Addr().String())
+				if err == nil || sctx.Err() != nil {
+					return
+				}
+			}
+		}(slot)
+	}
+	results, report, err := coord.Run(ctx)
+	scancel()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Quarantined != 1 || len(report.Failed) != 1 {
+		t.Fatalf("report: %+v (failed: %v)", report, report.Failed)
+	}
+	fe := report.Failed[0]
+	if fe.Index != 2 || fe.Attempts != 3 || !strings.Contains(fe.Err.Error(), "quarantined") {
+		t.Fatalf("quarantine verdict: %+v", fe)
+	}
+	if report.Completed != len(jobs)-1 {
+		t.Fatalf("completed = %d, want %d", report.Completed, len(jobs)-1)
+	}
+	for i := range jobs {
+		if i == 2 {
+			continue
+		}
+		if !runner.PayloadEqual(results[i], ref[i]) {
+			t.Errorf("survivor cell %d diverged from the single-process run", i)
+		}
+	}
+}
+
+// TestWorkerRefusesDivergentGrid checks the identity guard: a worker
+// whose grid expands to different cell keys refuses the grant and the
+// coordinator fails the cell instead of recording a wrong result.
+func TestWorkerRefusesDivergentGrid(t *testing.T) {
+	jobs := testGrid(t)
+	coord, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+		Lease:        time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Same grid size, different default seed: every cell key differs
+	// (the specs pin Loads but leave Seed to the runner default).
+	w := NewWorker(WorkerConfig{
+		Name:         "divergent",
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000, Seed: 7},
+	})
+	if err := w.Run(ctx, ln.Addr().String()); err == nil || !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("divergent worker: err = %v, want divergence refusal", err)
+	}
+	coord.Drain()
+	_, report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 1 || !strings.Contains(report.Failed[0].Err.Error(), "divergence") {
+		t.Fatalf("report.Failed = %v, want one divergence failure", report.Failed)
+	}
+}
+
+// TestDrainReturnsPartialReport checks the drain path: granting stops,
+// in-flight cells finish, and Run returns without error with the
+// remaining cells unevaluated.
+func TestDrainReturnsPartialReport(t *testing.T) {
+	jobs := testGrid(t)
+	var once sync.Once
+	var coord *Coordinator
+	cfg := runner.Config{Loads: 2000, Progress: func(p runner.Progress) {
+		once.Do(func() { coord.Drain() })
+	}}
+	c, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+		Ledger:       cfg.Journal,
+		Progress:     cfg.Progress,
+		Lease:        time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord = c
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		NewWorker(WorkerConfig{
+			Name: "w0", Jobs: jobs, RunnerConfig: runner.Config{Loads: 2000},
+		}).Run(ctx, ln.Addr().String())
+	}()
+	_, report, err := coord.Run(ctx)
+	<-done
+	if err != nil {
+		t.Fatalf("drained sweep errored: %v", err)
+	}
+	terminal := report.Completed + report.Resumed + len(report.Failed)
+	if terminal == 0 || terminal >= report.Total {
+		t.Fatalf("drained report: %+v (want a strict subset evaluated)", report)
+	}
+}
+
+// TestStopReturnsErrStopped checks the kill half of kill-and-resume: a
+// stopped coordinator reports ErrStopped and leaves the ledger behind as
+// the resume point.
+func TestStopReturnsErrStopped(t *testing.T) {
+	jobs := testGrid(t)
+	coord, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+	coord.Stop()
+	_, _, err = coord.Run(context.Background())
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped coordinator: err = %v, want ErrStopped", err)
+	}
+}
+
+// TestCoordinatorRejectsGridSizeMismatch checks the hello guard.
+func TestCoordinatorRejectsGridSizeMismatch(t *testing.T) {
+	jobs := testGrid(t)
+	coord, err := NewCoordinator(CoordConfig{
+		Jobs:         jobs,
+		RunnerConfig: runner.Config{Loads: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(ln)
+	defer func() {
+		coord.Stop()
+		coord.Run(context.Background())
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	w := NewWorker(WorkerConfig{
+		Name: "short-grid", Jobs: jobs[:1], RunnerConfig: runner.Config{Loads: 2000},
+	})
+	if err := w.Run(ctx, ln.Addr().String()); err == nil {
+		t.Fatal("worker with a mismatched grid size was admitted")
+	}
+}

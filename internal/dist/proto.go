@@ -1,0 +1,201 @@
+// Package dist is the fault-tolerant distributed sweep engine: a
+// coordinator/worker split that promotes the single-process evaluation
+// grid of internal/runner to a fleet (ROADMAP item 2). The coordinator
+// owns the grid and the authoritative result ledger — the runner's JSONL
+// journal, reused verbatim, torn-tail repair and all — and hands out
+// cells under leases; workers evaluate granted cells on their own local
+// runner (engine pools, single-flight trace/baseline caches) and stream
+// results back.
+//
+// Robustness contract: every grant carries a deadline, workers heartbeat
+// while evaluating, and a missed heartbeat or a closed connection expires
+// the lease — the cell is reassigned with a capped grant budget and
+// exponential backoff, and a poisoned cell that kills every worker it
+// lands on is quarantined into the RunReport instead of wedging the
+// sweep. Because evaluation is deterministic and the ledger resolves
+// duplicate results idempotently (conflicts are a whole-sweep failure,
+// never silently dropped), a sweep run at any parallelism, under worker
+// crashes, connection drops, and a coordinator kill-and-resume from the
+// ledger, produces survivor results bit-identical to a clean
+// single-process run. See docs/distributed.md for the protocol and the
+// lease state machine.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"pathfinder/internal/fault"
+	"pathfinder/internal/runner"
+	"pathfinder/internal/serve"
+)
+
+// Magic opens every sweep connection: the worker writes these four bytes
+// before its first frame, and the coordinator refuses anything else —
+// catching a pfserved client (PFS1) or stray scanner before any state is
+// touched.
+const Magic = "PFD1"
+
+// Message kinds. Each frame payload is one kind byte followed by a JSON
+// body; framing (4-byte big-endian length prefix, 64 KiB cap) is
+// internal/serve's, reused wholesale.
+const (
+	// MsgHello is the worker's first frame: its name and grid size, so
+	// the coordinator can refuse a worker holding a different grid.
+	MsgHello byte = 0x01
+	// MsgRequest asks for a cell; the coordinator answers MsgGrant,
+	// MsgWait, or MsgDone.
+	MsgRequest byte = 0x02
+	// MsgGrant leases one cell to the worker until a deadline.
+	MsgGrant byte = 0x03
+	// MsgWait tells the worker nothing is grantable right now (cells are
+	// leased out or backing off); re-request after the hint.
+	MsgWait byte = 0x04
+	// MsgDone tells the worker the sweep is finished (or draining): no
+	// more grants, disconnect.
+	MsgDone byte = 0x05
+	// MsgHeartbeat renews the worker's lease on a cell mid-evaluation.
+	MsgHeartbeat byte = 0x06
+	// MsgResult delivers one completed cell.
+	MsgResult byte = 0x07
+	// MsgError reports a cell's permanent evaluation failure — the
+	// worker is alive and the verdict is deterministic, so the
+	// coordinator fails the cell rather than reassigning it.
+	MsgError byte = 0x08
+)
+
+// msgName names a message kind for logs and fault-site keys.
+func msgName(kind byte) string {
+	switch kind {
+	case MsgHello:
+		return "hello"
+	case MsgRequest:
+		return "request"
+	case MsgGrant:
+		return "grant"
+	case MsgWait:
+		return "wait"
+	case MsgDone:
+		return "done"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgResult:
+		return "result"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("kind(%#x)", kind)
+}
+
+// Hello is the MsgHello body.
+type Hello struct {
+	// Worker is the worker's self-chosen name, used in logs and lease
+	// bookkeeping.
+	Worker string `json:"worker"`
+	// Cells is the worker's grid size. It must match the coordinator's:
+	// grants carry grid indices, so a size mismatch means the two sides
+	// were started from different sweeps.
+	Cells int `json:"cells"`
+}
+
+// Grant is the MsgGrant body: one leased cell.
+type Grant struct {
+	// Index is the cell's position in the grid.
+	Index int `json:"index"`
+	// Key is the coordinator's cell key. The worker recomputes the key
+	// from its own grid and refuses a mismatch — the divergence guard
+	// that keeps a mis-started fleet from journaling results under wrong
+	// identities.
+	Key string `json:"key"`
+	// Attempt is the grant ordinal for this cell (0 on the first grant),
+	// mixed into fault-injection draws so a reassigned cell re-rolls.
+	Attempt int `json:"attempt"`
+	// LeaseMillis is the lease duration; the worker heartbeats at a
+	// third of it.
+	LeaseMillis int64 `json:"lease_ms"`
+}
+
+// Wait is the MsgWait body.
+type Wait struct {
+	// RetryMillis hints when to re-request.
+	RetryMillis int64 `json:"retry_ms"`
+}
+
+// Heartbeat is the MsgHeartbeat body.
+type Heartbeat struct {
+	// Key is the leased cell being renewed.
+	Key string `json:"key"`
+}
+
+// ResultMsg is the MsgResult body.
+type ResultMsg struct {
+	Index  int           `json:"index"`
+	Key    string        `json:"key"`
+	Result runner.Result `json:"result"`
+}
+
+// ErrorMsg is the MsgError body.
+type ErrorMsg struct {
+	Index int    `json:"index"`
+	Key   string `json:"key"`
+	// Error is the rendered permanent failure.
+	Error string `json:"error"`
+	// Attempts is how many local evaluation attempts the worker made.
+	Attempts int `json:"attempts"`
+}
+
+// msgWriter serialises frame writes onto one connection — a worker's
+// heartbeat goroutine and its main loop share the conn — and fires the
+// SiteDistConn fault site per write, so a seeded chaos run can sever,
+// stall, or delay the wire deterministically.
+type msgWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	inj fault.Injector
+	buf []byte
+}
+
+// write sends one kind+JSON frame. The fault-site key is
+// "peer/msgname/detail" with the grant attempt mixed in by the caller via
+// detail, so a draw that drops (say) a result write re-rolls after the
+// reassignment it causes.
+func (mw *msgWriter) write(ctx context.Context, kind byte, siteKey string, body any) error {
+	if mw.inj != nil {
+		if err := mw.inj.Inject(ctx, fault.SiteDistConn, siteKey+"/"+msgName(kind), 0); err != nil {
+			return err
+		}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s: %w", msgName(kind), err)
+	}
+	mw.mu.Lock()
+	defer mw.mu.Unlock()
+	mw.buf = append(append(mw.buf[:0], kind), b...)
+	return serve.WriteFrame(mw.w, mw.buf)
+}
+
+// readMsg reads one frame and splits the kind byte from the JSON body.
+// The body aliases the reader's buffer; decode before the next read.
+func readMsg(fr *serve.FrameReader) (byte, []byte, error) {
+	payload, err := fr.Next()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) < 1 {
+		return 0, nil, errors.New("dist: empty frame")
+	}
+	return payload[0], payload[1:], nil
+}
+
+// decode unmarshals a message body with a positioned error.
+func decode(kind byte, body []byte, v any) error {
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("dist: bad %s body: %w", msgName(kind), err)
+	}
+	return nil
+}

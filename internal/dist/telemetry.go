@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"sync/atomic"
+
+	"pathfinder/internal/telemetry"
+)
+
+// distMetrics is the sweep engine's bound telemetry handles (the dist.*
+// catalogue in docs/observability.md). The coordinator's RunReport stays
+// authoritative for one sweep; these aggregate across every sweep the
+// process runs, which is what a live scrape sees.
+type distMetrics struct {
+	leasesGranted    *telemetry.Counter   // grants issued (first grants + reassignments)
+	leasesExpired    *telemetry.Counter   // leases expired (missed heartbeat or dead conn)
+	leasesReassigned *telemetry.Counter   // expired cells put back in the pending pool
+	quarantined      *telemetry.Counter   // cells abandoned after the grant budget
+	results          *telemetry.Counter   // results accepted into the ledger
+	duplicateResults *telemetry.Counter   // late results for already-terminal cells
+	heartbeats       *telemetry.Counter   // heartbeats accepted
+	heartbeatGapNs   *telemetry.Histogram // gap between a lease's consecutive beats
+	workers          *telemetry.Gauge     // currently connected workers
+	connDrops        *telemetry.Counter   // worker connections that died mid-sweep
+}
+
+var distTele atomic.Pointer[distMetrics]
+
+// EnableTelemetry binds the package's metrics to r (pass nil to unbind).
+func EnableTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		distTele.Store(nil)
+		return
+	}
+	distTele.Store(&distMetrics{
+		leasesGranted:    r.Counter("dist.leases_granted"),
+		leasesExpired:    r.Counter("dist.leases_expired"),
+		leasesReassigned: r.Counter("dist.leases_reassigned"),
+		quarantined:      r.Counter("dist.quarantined"),
+		results:          r.Counter("dist.results"),
+		duplicateResults: r.Counter("dist.duplicate_results"),
+		heartbeats:       r.Counter("dist.heartbeats"),
+		heartbeatGapNs:   r.Histogram("dist.heartbeat_gap_ns"),
+		workers:          r.Gauge("dist.workers"),
+		connDrops:        r.Counter("dist.conn_drops"),
+	})
+}

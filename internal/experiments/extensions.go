@@ -65,7 +65,7 @@ func Extended(w io.Writer, opts ...Option) (SweepResult, error) {
 			})
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("experiments: extended lineup: %w", err)
 	}
@@ -134,7 +134,7 @@ func NoiseTolerance(w io.Writer, opts ...Option) ([]NoiseRow, error) {
 			})
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: noise tolerance: %w", err)
 	}
@@ -310,7 +310,7 @@ func Degree(w io.Writer, opts ...Option) (SweepResult, error) {
 			})
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("experiments: degree sweep: %w", err)
 	}
@@ -367,7 +367,7 @@ func SNNSensitivity(w io.Writer, opts ...Option) (SweepResult, error) {
 		res.Configs = append(res.Configs, label)
 		jobs = append(jobs, mkJob(label, func(c *snn.Config) { c.InputGain = g }))
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("experiments: SNN sensitivity: %w", err)
 	}

@@ -58,7 +58,7 @@ func Fig4(w io.Writer, opts ...Option) (Fig4Result, error) {
 			jobs = append(jobs, job)
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return Fig4Result{}, fmt.Errorf("experiments: Figure 4: %w", err)
 	}

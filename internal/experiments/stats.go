@@ -75,7 +75,7 @@ func SeedStudy(w io.Writer, seeds int, opts ...Option) ([]SeedStudyRow, error) {
 			})
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: seed study: %w", err)
 	}

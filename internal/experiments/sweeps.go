@@ -54,7 +54,7 @@ func runSweep(w io.Writer, title string, o options, configs []NamedConfig) (Swee
 			})
 		}
 	}
-	results, err := o.newRunner().Run(o.ctx, jobs)
+	results, err := o.run(jobs)
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("experiments: %s: %w", title, err)
 	}

@@ -47,6 +47,18 @@ const (
 	// here delay predictions — exercising backpressure and drain — but
 	// never change them.
 	SiteServe
+	// SiteDistConn fires on the distributed sweep's wire, once per frame
+	// write (keyed by the peer/stream identity). Drops sever the
+	// connection (ErrConnDrop), hangs stall the write, latency delays it
+	// — exercising lease expiry and reassignment without touching any
+	// cell's result.
+	SiteDistConn
+	// SiteDistWorker fires in a sweep worker mid-cell, keyed
+	// "cellkey#attempt", and kills the worker (ErrWorkerKill): the
+	// coordinator must expire the lease and reassign. Keying by attempt
+	// lets a reassigned cell survive its next grant, so the expected
+	// quarantine set stays predicate-computable.
+	SiteDistWorker
 )
 
 // String names the site for error messages and logs.
@@ -64,6 +76,10 @@ func (s Site) String() string {
 		return "simulate"
 	case SiteServe:
 		return "serve"
+	case SiteDistConn:
+		return "dist-conn"
+	case SiteDistWorker:
+		return "dist-worker"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -76,6 +92,17 @@ func (s Site) String() string {
 type Injector interface {
 	Inject(ctx context.Context, site Site, key string, attempt int) error
 }
+
+// ErrConnDrop is the cause returned from SiteDistConn when the injector
+// severs a distributed-sweep connection. The framing layer surfaces it as
+// a closed stream; the coordinator treats it like any peer death.
+var ErrConnDrop = errors.New("fault: injected connection drop")
+
+// ErrWorkerKill is the cause returned from SiteDistWorker when the
+// injector kills a sweep worker mid-cell. Workers translate it into an
+// abrupt exit (connection close or silent abandonment) rather than an
+// error reply, so the coordinator only learns via lease expiry.
+var ErrWorkerKill = errors.New("fault: injected worker kill")
 
 // transientError marks an error as retryable.
 type transientError struct{ err error }
@@ -132,6 +159,18 @@ type Chaos struct {
 	Latency float64
 	// LatencyFor is the benign sleep duration (default 1ms).
 	LatencyFor time.Duration
+	// DistDrop is the probability that a distributed-sweep frame write
+	// severs its connection (SiteDistConn → ErrConnDrop).
+	DistDrop float64
+	// DistHang is the probability that a frame write stalls for HangFor.
+	DistHang float64
+	// DistLatency is the probability of a benign LatencyFor delay on a
+	// frame write.
+	DistLatency float64
+	// DistKill is the probability that a sweep worker dies mid-cell
+	// (SiteDistWorker → ErrWorkerKill), evaluated per (cell key, attempt)
+	// so reassigned grants re-roll.
+	DistKill float64
 }
 
 // Seeded is the deterministic reference Injector: every decision is a pure
@@ -174,6 +213,20 @@ func (s *Seeded) Inject(ctx context.Context, site Site, key string, attempt int)
 		if s.draw("latency", key) < s.c.Latency {
 			return sleep(ctx, s.c.LatencyFor)
 		}
+	case SiteDistConn:
+		if s.ConnDrops(key) {
+			return ErrConnDrop
+		}
+		if s.draw("dist-hang", key) < s.c.DistHang {
+			return sleep(ctx, s.c.HangFor)
+		}
+		if s.draw("dist-latency", key) < s.c.DistLatency {
+			return sleep(ctx, s.c.LatencyFor)
+		}
+	case SiteDistWorker:
+		if s.WorkerKills(key, attempt) {
+			return ErrWorkerKill
+		}
 	}
 	return nil
 }
@@ -195,6 +248,19 @@ func (s *Seeded) FlakyFailures(key string) int {
 		return s.c.FlakyAttempts
 	}
 	return 0
+}
+
+// ConnDrops reports whether a frame write on this stream key severs the
+// connection.
+func (s *Seeded) ConnDrops(key string) bool { return s.draw("dist-drop", key) < s.c.DistDrop }
+
+// WorkerKills reports whether a worker evaluating this cell key dies on
+// this grant attempt. The draw mixes the attempt number into the key, so
+// a cell that kills its first worker may survive reassignment — which is
+// exactly what lets chaos tests compute the quarantine set (cells killed
+// on every attempt up to the grant cap) without running anything.
+func (s *Seeded) WorkerKills(key string, attempt int) bool {
+	return s.draw("dist-kill", fmt.Sprintf("%s#%d", key, attempt)) < s.c.DistKill
 }
 
 // Draw exposes the injector's deterministic [0, 1) draw for an arbitrary

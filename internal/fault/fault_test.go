@@ -121,6 +121,56 @@ func TestInjectHangHonoursContext(t *testing.T) {
 	}
 }
 
+// TestInjectDistConn checks the wire site: drops sever with ErrConnDrop,
+// benign latency delays but succeeds, and a clean injector passes.
+func TestInjectDistConn(t *testing.T) {
+	ctx := context.Background()
+	drop := NewSeeded(Chaos{Seed: 1, DistDrop: 1})
+	if err := drop.Inject(ctx, SiteDistConn, "worker-1", 0); !errors.Is(err, ErrConnDrop) {
+		t.Fatalf("DistDrop: 1: err = %v, want ErrConnDrop", err)
+	}
+	if !drop.ConnDrops("worker-1") {
+		t.Error("ConnDrops predicate disagrees with Inject")
+	}
+	slow := NewSeeded(Chaos{Seed: 1, DistLatency: 1, LatencyFor: time.Millisecond})
+	if err := slow.Inject(ctx, SiteDistConn, "worker-1", 0); err != nil {
+		t.Fatalf("benign latency: err = %v, want nil", err)
+	}
+	clean := NewSeeded(Chaos{Seed: 1})
+	if err := clean.Inject(ctx, SiteDistConn, "worker-1", 0); err != nil {
+		t.Fatalf("clean injector: err = %v", err)
+	}
+}
+
+// TestInjectDistWorkerKill checks the mid-cell kill site and that the
+// attempt number re-rolls the draw: with a fractional probability some
+// cell must die on attempt 0 and survive attempt 1, which is what lets a
+// reassigned lease complete.
+func TestInjectDistWorkerKill(t *testing.T) {
+	ctx := context.Background()
+	always := NewSeeded(Chaos{Seed: 1, DistKill: 1})
+	if err := always.Inject(ctx, SiteDistWorker, "0|cc-5|BO|1000|1", 0); !errors.Is(err, ErrWorkerKill) {
+		t.Fatalf("DistKill: 1: err = %v, want ErrWorkerKill", err)
+	}
+	s := NewSeeded(Chaos{Seed: 7, DistKill: 0.5})
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		key := fmt.Sprintf("%d|trace|pf|1000|1", i)
+		if s.WorkerKills(key, 0) && !s.WorkerKills(key, 1) {
+			recovered = true
+			if err := s.Inject(ctx, SiteDistWorker, key, 1); err != nil {
+				t.Fatalf("surviving attempt injected %v", err)
+			}
+			if err := s.Inject(ctx, SiteDistWorker, key, 0); !errors.Is(err, ErrWorkerKill) {
+				t.Fatalf("killed attempt: err = %v, want ErrWorkerKill", err)
+			}
+		}
+	}
+	if !recovered {
+		t.Error("no cell out of 200 died on attempt 0 and survived attempt 1 at p=0.5")
+	}
+}
+
 // TestSiteStrings pins the site names used in error messages.
 func TestSiteStrings(t *testing.T) {
 	for site, want := range map[Site]string{
@@ -129,6 +179,8 @@ func TestSiteStrings(t *testing.T) {
 		SiteBaseline:    "baseline",
 		SitePrefetchGen: "prefetch-gen",
 		SiteSimulate:    "simulate",
+		SiteDistConn:    "dist-conn",
+		SiteDistWorker:  "dist-worker",
 		Site(99):        "site(99)",
 	} {
 		if got := site.String(); got != want {

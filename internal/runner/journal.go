@@ -41,6 +41,15 @@ type journalEntry struct {
 // Crash safety: entries are written as whole lines and the loader ignores
 // (and truncates away) a torn final line, so a run killed mid-write
 // resumes from the last fully recorded cell.
+//
+// Ledger semantics: a journal doubles as the authoritative result ledger
+// of a distributed sweep (internal/dist). Duplicate entries for the same
+// cell key are legal when their payloads agree — a reassigned lease whose
+// original worker also finished records the same deterministic result
+// twice — and Record resolves them idempotently. Entries whose payloads
+// conflict are corruption: Record refuses to append them and load surfaces
+// a positioned error instead of silently resolving last-wins. Payload
+// comparison ignores the host wall-clock time (see PayloadEqual).
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -65,17 +74,23 @@ func OpenJournal(path string) (*Journal, error) {
 }
 
 // load parses the existing file, records complete entries, and truncates
-// any torn tail so appends continue from a clean line boundary.
+// any torn tail so appends continue from a clean line boundary. Replay
+// validates duplicates: a key recorded twice with the same payload is the
+// legal idempotent-duplicate case, but a key recorded twice with
+// conflicting payloads is corruption and fails with the offending line
+// number rather than silently keeping the last entry.
 func (j *Journal) load() error {
 	br := bufio.NewReader(j.f)
 	var good int64 // offset just past the last fully parsed line
 	first := true
+	lineNo := 0
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil && err != io.EOF {
 			return fmt.Errorf("journal %s: %w", j.path, err)
 		}
 		complete := err == nil && len(line) > 0
+		lineNo++
 		if first {
 			if len(line) == 0 && err == io.EOF {
 				// Fresh file: stamp the header.
@@ -107,6 +122,9 @@ func (j *Journal) load() error {
 		if !complete || json.Unmarshal(line, &e) != nil || e.Key == "" {
 			// Torn or corrupt tail: resume from the last good entry.
 			break
+		}
+		if prev, ok := j.seen[e.Key]; ok && !PayloadEqual(prev, e.Result) {
+			return fmt.Errorf("journal %s: line %d: conflicting duplicate entry for cell %q", j.path, lineNo, e.Key)
 		}
 		j.seen[e.Key] = e.Result
 		good += int64(len(line))
@@ -159,23 +177,36 @@ func (j *Journal) Close() error {
 	return err
 }
 
-// lookup returns the journaled result for a cell key, if present.
-func (j *Journal) lookup(key string) (Result, bool) {
+// Lookup returns the journaled result for a cell key, if present.
+func (j *Journal) Lookup(key string) (Result, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	res, ok := j.seen[key]
 	return res, ok
 }
 
-// record appends one completed cell. Lines are written whole under the
+// Record appends one completed cell. Lines are written whole under the
 // journal lock, so concurrent workers cannot interleave entries.
-func (j *Journal) record(key string, res Result) error {
+//
+// Recording a key the journal already holds is idempotent when the
+// payloads agree (the duplicate is dropped, not re-appended) and an error
+// when they conflict: two workers of a distributed sweep may legally race
+// the same reassigned cell, but only because evaluation is deterministic —
+// a payload mismatch means that guarantee broke and must not be papered
+// over.
+func (j *Journal) Record(key string, res Result) error {
 	data, err := json.Marshal(journalEntry{Key: key, Result: res})
 	if err != nil {
 		return fmt.Errorf("journal: encoding %s: %w", key, err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if prev, ok := j.seen[key]; ok {
+		if !PayloadEqual(prev, res) {
+			return fmt.Errorf("journal %s: conflicting duplicate result for cell %q", j.path, key)
+		}
+		return nil
+	}
 	if j.f == nil {
 		return fmt.Errorf("journal %s: closed", j.path)
 	}
@@ -185,3 +216,18 @@ func (j *Journal) record(key string, res Result) error {
 	j.seen[key] = res
 	return nil
 }
+
+// payloadJSON renders the deterministic part of a Result — everything but
+// the host wall-clock time — in canonical JSON for duplicate resolution.
+func payloadJSON(res Result) string {
+	res.Wall = 0
+	b, _ := json.Marshal(res)
+	return string(b)
+}
+
+// PayloadEqual reports whether two results carry the same evaluation
+// payload: bit-identical metrics, baseline figures and cycle counts. The
+// host wall-clock time is excluded — it measures the machine the cell ran
+// on, not the evaluation, and legitimately differs between two runs of the
+// same deterministic cell.
+func PayloadEqual(a, b Result) bool { return payloadJSON(a) == payloadJSON(b) }

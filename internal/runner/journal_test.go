@@ -36,7 +36,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		"2|bfs-10|BO|1000|1": testResult("bfs-10", "BO"),
 	}
 	for k, res := range want {
-		if err := j.record(k, res); err != nil {
+		if err := j.Record(k, res); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -56,7 +56,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		t.Fatalf("reloaded Completed = %d, want %d", j2.Completed(), len(want))
 	}
 	for k, res := range want {
-		got, ok := j2.lookup(k)
+		got, ok := j2.Lookup(k)
 		if !ok {
 			t.Fatalf("key %q missing after reload", k)
 		}
@@ -64,7 +64,7 @@ func TestJournalRoundTrip(t *testing.T) {
 			t.Errorf("key %q: reloaded %+v != recorded %+v", k, got, res)
 		}
 	}
-	if _, ok := j2.lookup("9|zz|zz|1|1"); ok {
+	if _, ok := j2.Lookup("9|zz|zz|1|1"); ok {
 		t.Error("lookup of unknown key succeeded")
 	}
 }
@@ -77,7 +77,7 @@ func TestJournalTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
+	if err := j.Record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -99,11 +99,11 @@ func TestJournalTornTail(t *testing.T) {
 	if j2.Completed() != 1 {
 		t.Fatalf("Completed = %d, want 1 (torn entry dropped)", j2.Completed())
 	}
-	if _, ok := j2.lookup("0|cc-5|BO|1000|1"); !ok {
+	if _, ok := j2.Lookup("0|cc-5|BO|1000|1"); !ok {
 		t.Fatal("intact entry lost with the torn tail")
 	}
 	// The file must be clean again: record and reload.
-	if err := j2.record("1|cc-5|PF|1000|1", testResult("cc-5", "PF")); err != nil {
+	if err := j2.Record("1|cc-5|PF|1000|1", testResult("cc-5", "PF")); err != nil {
 		t.Fatal(err)
 	}
 	j2.Close()
@@ -137,7 +137,7 @@ func TestJournalHeaderFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
+	if err := j.Record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -160,6 +160,122 @@ func TestJournalHeaderFormat(t *testing.T) {
 	}
 }
 
+// TestJournalDuplicateResolution pins the ledger semantics distributed
+// reassignment depends on: recording an identical payload twice is an
+// idempotent no-op (the wall clock may differ — it is not payload), while
+// a conflicting payload is refused.
+func TestJournalDuplicateResolution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	key := "0|cc-5|BO|1000|1"
+	res := testResult("cc-5", "BO")
+	if err := j.Record(key, res); err != nil {
+		t.Fatal(err)
+	}
+	dup := res
+	dup.Wall = res.Wall * 7 // a slower worker finishing the same cell
+	if err := j.Record(key, dup); err != nil {
+		t.Fatalf("idempotent duplicate refused: %v", err)
+	}
+	if j.Completed() != 1 {
+		t.Fatalf("Completed = %d after idempotent duplicate, want 1", j.Completed())
+	}
+	conflict := res
+	conflict.Cycles++
+	if err := j.Record(key, conflict); err == nil || !strings.Contains(err.Error(), "conflicting duplicate") {
+		t.Fatalf("conflicting duplicate: err = %v, want conflict error", err)
+	}
+	// The duplicate was dropped on disk too: the file holds one entry.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Fatalf("journal has %d lines, want 2 (header + single entry)", n)
+	}
+}
+
+// TestJournalReplayConflict pins the replay half: a ledger whose file holds
+// two conflicting entries for one key fails to load with the offending
+// line position, instead of silently resolving last-wins.
+func TestJournalReplayConflict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("0|cc-5|BO|1000|1", testResult("cc-5", "BO")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Forge a conflicting entry for the same key, as a buggy writer would.
+	conflict := testResult("cc-5", "BO")
+	conflict.IPC = 9.99
+	line, err := json.Marshal(journalEntry{Key: "0|cc-5|BO|1000|1", Result: conflict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(append(line, '\n'))
+	f.Close()
+
+	_, err = OpenJournal(path)
+	if err == nil || !strings.Contains(err.Error(), "conflicting duplicate") || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("replay of conflicting ledger: err = %v, want positioned conflict error", err)
+	}
+
+	// The identical-duplicate case stays legal on replay too.
+	same, err := json.Marshal(journalEntry{Key: "1|cc-5|PF|1000|1", Result: testResult("cc-5", "PF")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "dup.journal")
+	j2, err := OpenJournal(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Record("1|cc-5|PF|1000|1", testResult("cc-5", "PF")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	f2, err := os.OpenFile(path2, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Write(append(same, '\n'))
+	f2.Close()
+	j3, err := OpenJournal(path2)
+	if err != nil {
+		t.Fatalf("replay with identical duplicate: %v", err)
+	}
+	defer j3.Close()
+	if j3.Completed() != 1 {
+		t.Fatalf("Completed = %d, want 1", j3.Completed())
+	}
+}
+
+// TestPayloadEqual pins what "payload" means: everything but Wall.
+func TestPayloadEqual(t *testing.T) {
+	a := testResult("cc-5", "BO")
+	b := a
+	b.Wall = a.Wall + time.Second
+	if !PayloadEqual(a, b) {
+		t.Error("results differing only in Wall compare unequal")
+	}
+	b.Useful++
+	if PayloadEqual(a, b) {
+		t.Error("results differing in Useful compare equal")
+	}
+}
+
 // TestJournalRecordAfterClose checks the error path rather than a crash.
 func TestJournalRecordAfterClose(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.journal")
@@ -168,7 +284,7 @@ func TestJournalRecordAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	if err := j.record("k", Result{}); err == nil {
+	if err := j.Record("k", Result{}); err == nil {
 		t.Error("record on a closed journal succeeded")
 	}
 }

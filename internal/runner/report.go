@@ -69,8 +69,15 @@ type RunReport struct {
 	// Resumed counts cells satisfied from the journal without
 	// re-execution.
 	Resumed int
-	// Retries counts extra evaluation attempts beyond each cell's first.
+	// Retries counts extra evaluation attempts beyond each cell's first —
+	// in a distributed sweep, lease reassignments after a worker crash or
+	// missed heartbeat.
 	Retries int
+	// Quarantined counts the cells a distributed sweep gave up on after
+	// they exhausted their grant budget (a poisoned cell that crashes
+	// every worker it lands on). Each one also appears in Failed; the
+	// single-process engine leaves this zero.
+	Quarantined int
 	// Wall is the whole run's wall-clock time.
 	Wall time.Duration
 	// Failed holds one JobError per permanently failed cell, sorted by

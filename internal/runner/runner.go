@@ -261,6 +261,13 @@ func (r *Runner) cellKey(i int, job Job) string {
 	return key
 }
 
+// CellKey exposes the stable cell identity for external schedulers: the
+// distributed sweep coordinator (internal/dist) keys its lease table and
+// shared ledger with exactly the keys a single-process run journals under,
+// which is what lets a sweep move between the two worlds and resume
+// bit-identically.
+func (r *Runner) CellKey(i int, job Job) string { return r.cellKey(i, job) }
+
 // Run evaluates the jobs across the worker pool and returns one Result
 // per job, in job order. It is all-or-nothing: the first permanent job
 // failure (or cancellation) aborts the grid, waits for in-flight workers
@@ -345,7 +352,7 @@ func (r *Runner) run(ctx context.Context, jobs []Job, failFast bool) ([]Result, 
 				job := jobs[i]
 				key := r.cellKey(i, job)
 				if r.cfg.Journal != nil {
-					if res, ok := r.cfg.Journal.lookup(key); ok {
+					if res, ok := r.cfg.Journal.Lookup(key); ok {
 						results[i] = res
 						finish(Progress{
 							Trace: res.Trace, Prefetcher: res.Prefetcher,
@@ -373,7 +380,7 @@ func (r *Runner) run(ctx context.Context, jobs []Job, failFast bool) ([]Result, 
 					continue
 				}
 				if r.cfg.Journal != nil {
-					if jerr := r.cfg.Journal.record(key, res); jerr != nil {
+					if jerr := r.cfg.Journal.Record(key, res); jerr != nil {
 						// Losing checkpoints is a whole-run failure: a
 						// resume would silently repeat finished work.
 						fail(jerr)
@@ -514,7 +521,16 @@ func (r *Runner) inject(ctx context.Context, site fault.Site, key string, attemp
 // sharing the runner's caches, retry policy, and journal, and emitting a
 // 1/1 progress event.
 func (r *Runner) Eval(ctx context.Context, job Job) (Result, error) {
-	key := r.cellKey(0, job)
+	return r.EvalCell(ctx, 0, job)
+}
+
+// EvalCell is Eval with an explicit grid position: the cell key (journal
+// identity, fault-injection key) and error attribution carry index rather
+// than 0. Distributed sweep workers evaluate coordinator-granted cells
+// through this entry point so a cell behaves identically to the same cell
+// of a single-process grid run.
+func (r *Runner) EvalCell(ctx context.Context, index int, job Job) (Result, error) {
+	key := r.cellKey(index, job)
 	progress := func(res Result, resumed bool) {
 		observeTerminal(int64(res.Wall), 0, false, resumed)
 		if r.cfg.Progress != nil {
@@ -526,20 +542,20 @@ func (r *Runner) Eval(ctx context.Context, job Job) (Result, error) {
 		}
 	}
 	if r.cfg.Journal != nil {
-		if res, ok := r.cfg.Journal.lookup(key); ok {
+		if res, ok := r.cfg.Journal.Lookup(key); ok {
 			progress(res, true)
 			return res, nil
 		}
 	}
-	res, attempts, err := r.runCell(ctx, 0, job, key)
+	res, attempts, err := r.runCell(ctx, index, job, key)
 	if err != nil {
 		if ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
-		return Result{}, newJobError(0, job, attempts, err)
+		return Result{}, newJobError(index, job, attempts, err)
 	}
 	if r.cfg.Journal != nil {
-		if jerr := r.cfg.Journal.record(key, res); jerr != nil {
+		if jerr := r.cfg.Journal.Record(key, res); jerr != nil {
 			return Result{}, jerr
 		}
 	}

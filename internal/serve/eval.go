@@ -96,10 +96,13 @@ func NewPrefetcherByName(name string, seed int64) (prefetch.Prefetcher, error) {
 	return nil, fmt.Errorf("serve: unknown prefetcher %q", name)
 }
 
-// jobFor translates an EvalRequest into a runner job. The offline
+// JobFor translates an EvalRequest into a runner job — the wire-facing
+// registry shared by the serving daemon and the distributed sweep
+// (internal/dist), whose workers rebuild coordinator-granted cells from
+// serializable specs through it. The offline
 // generators (Delta-LSTM / Voyager) are reachable too, via the runner's
 // GenFile path.
-func jobFor(req EvalRequest) (runner.Job, error) {
+func JobFor(req EvalRequest) (runner.Job, error) {
 	job := runner.Job{
 		Trace: req.Trace,
 		Loads: req.Loads,
@@ -168,7 +171,7 @@ func (s *Server) runEval(req EvalRequest) EvalResponse {
 		m.evals.Inc()
 	}
 	resp := EvalResponse{Req: req.Req}
-	job, err := jobFor(req)
+	job, err := JobFor(req)
 	if err != nil {
 		resp.Error = err.Error()
 		if m != nil {

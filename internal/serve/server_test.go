@@ -464,7 +464,7 @@ func TestEvalJobMatchesDirectRunnerBitForBit(t *testing.T) {
 
 	// The served result must be bit-identical to running the same job on a
 	// runner directly: serving adds transport, never simulation noise.
-	job, err := jobFor(req)
+	job, err := JobFor(req)
 	if err != nil {
 		t.Fatal(err)
 	}

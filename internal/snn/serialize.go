@@ -21,6 +21,16 @@ import (
 
 var snnMagic = [4]byte{'S', 'N', 'N', '1'}
 
+// Sanity caps on a decoded configuration, checked before any allocation:
+// a corrupt or hostile file must fail with an error, never an OOM. They
+// sit far above every configuration the paper sweeps (Table 4 uses 50
+// neurons over a few-hundred-row input).
+const (
+	maxLoadNeurons   = 1 << 14
+	maxLoadInputSize = 1 << 18
+	maxLoadSynapses  = 1 << 24
+)
+
 // Save writes the network's configuration and learned state to w.
 func (n *Network) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -95,6 +105,15 @@ func LoadNetwork(r io.Reader) (*Network, error) {
 		if err := binary.Read(br, binary.LittleEndian, &fbits[i]); err != nil {
 			return nil, fmt.Errorf("snn: reading config: %w", err)
 		}
+	}
+	if ints[0] <= 0 || ints[0] > maxLoadInputSize || ints[1] <= 0 || ints[1] > maxLoadNeurons {
+		return nil, fmt.Errorf("snn: implausible dimensions in file (input %d, neurons %d)", ints[0], ints[1])
+	}
+	if ints[0]*ints[1] > maxLoadSynapses {
+		return nil, fmt.Errorf("snn: implausible weight matrix in file (%d x %d)", ints[0], ints[1])
+	}
+	if ints[3] <= 0 || ints[3] > 1<<12 {
+		return nil, fmt.Errorf("snn: implausible tick count %d in file", ints[3])
 	}
 	f := func(i int) float64 { return math.Float64frombits(fbits[i]) }
 	cfg := Config{

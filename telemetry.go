@@ -4,6 +4,7 @@ import (
 	"io"
 	"time"
 
+	"pathfinder/internal/dist"
 	"pathfinder/internal/prefetch"
 	"pathfinder/internal/runner"
 	"pathfinder/internal/serve"
@@ -42,6 +43,7 @@ func EnableTelemetry() *TelemetryRegistry {
 	prefetch.EnableTelemetry(r)
 	trace.EnableTelemetry(r)
 	serve.EnableTelemetry(r)
+	dist.EnableTelemetry(r)
 	return r
 }
 
@@ -54,6 +56,7 @@ func DisableTelemetry() {
 	prefetch.EnableTelemetry(nil)
 	trace.EnableTelemetry(nil)
 	serve.EnableTelemetry(nil)
+	dist.EnableTelemetry(nil)
 	telemetry.Disable()
 }
 
