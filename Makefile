@@ -16,9 +16,11 @@
 # BENCH_snn.json, BENCH_sim.json, BENCH_runner.json, BENCH_prefetch.json
 # and BENCH_trace.json (see docs/performance.md; the streaming-replay
 # benchmark lands in BENCH_sim.json, the decoder/encoder ones in
-# BENCH_trace.json). `make bench-check` re-runs the simulator, runner and
-# prefetcher benchmarks and compares them against the committed records,
-# failing on >25% ns/op or allocs/op regressions (cmd/benchdiff).
+# BENCH_trace.json). `make bench-check` re-runs the simulator, runner,
+# prefetcher and SNN-kernel benchmarks and compares them against the
+# committed records, failing on >25% ns/op or allocs/op regressions
+# (cmd/benchdiff; the SNN gate passes -allow-missing because
+# BENCH_snn.json also records the root package's BenchmarkSimulate).
 
 GO ?= go
 FUZZTIME ?= 15s
@@ -102,5 +104,7 @@ bench-check:
 	  $(GO) run ./cmd/benchdiff -pkg internal/sim=BENCH_sim.json -pkg internal/runner=BENCH_runner.json
 	$(GO) test ./internal/prefetch -run '^$$' -bench 'BenchmarkAdvise' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
 	  $(GO) run ./cmd/benchdiff -pkg internal/prefetch=BENCH_prefetch.json
+	$(GO) test ./internal/snn -run '^$$' -bench 'BenchmarkPresent' -benchmem -count=$(BENCHCOUNT) -timeout 30m | \
+	  $(GO) run ./cmd/benchdiff -allow-missing -pkg internal/snn=BENCH_snn.json
 
 verify: build test vet race pfdebug

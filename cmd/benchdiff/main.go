@@ -18,15 +18,20 @@
 // only loosens the high-count parallel benchmarks (worker pools make their
 // counts wobble by a few allocations run to run).
 //
-// Benchmarks present on only one side are reported but are not failures:
-// new benchmarks have no baseline yet, and retired ones are the records'
-// concern, not the code's. Improvements beyond the threshold are flagged
-// as a reminder to re-record via `make bench-micro`.
+// A benchmark on stdin with no baseline entry is reported but not a
+// failure: new benchmarks have no baseline yet. The reverse — a baseline
+// entry missing from the run — IS a failure, because a renamed or deleted
+// benchmark would otherwise drop out of the gate silently; pass
+// -allow-missing while intentionally retiring one (and re-record with
+// `make bench-micro`), or when gating a baseline file that also records
+// benchmarks from packages outside this run. Improvements beyond the
+// threshold are flagged as a reminder to re-record.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -50,6 +55,7 @@ func (p *pkgBaselines) Set(v string) error {
 func main() {
 	var baselines pkgBaselines
 	threshold := flag.Float64("threshold", 0.25, "max tolerated ns/op regression as a fraction of the baseline min")
+	allowMissing := flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from this run (renames/retirements)")
 	flag.Var(&baselines, "pkg", "package=baseline.json mapping (repeatable); package matches pkg: headers by path suffix")
 	flag.Parse()
 	if len(baselines) == 0 {
@@ -67,12 +73,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	failures := 0
+	failures, err := compare(os.Stderr, baselines, set, *threshold, *allowMissing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchdiff: no regressions")
+}
+
+// compare diffs the parsed run against every baseline file and returns the
+// number of regressions (including baseline benchmarks the run no longer
+// produces, unless allowMissing). Split from main so the gate's policy is
+// testable.
+func compare(out io.Writer, baselines pkgBaselines, set *benchfmt.Set, threshold float64, allowMissing bool) (failures int, err error) {
 	for _, b := range baselines {
 		base, err := benchfmt.ReadFile(b.file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchdiff:", err)
-			os.Exit(2)
+			return failures, err
 		}
 		baseByName := map[string]benchfmt.Entry{}
 		for _, e := range base {
@@ -88,7 +109,7 @@ func main() {
 			}
 		}
 		if fresh == nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s: no benchmarks for this package on stdin\n", b.pkg)
+			fmt.Fprintf(out, "benchdiff: FAIL %s: no benchmarks for this package on stdin\n", b.pkg)
 			failures++
 			continue
 		}
@@ -98,38 +119,41 @@ func main() {
 			seen[e.Name] = true
 			want, ok := baseByName[e.Name]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: no baseline in %s (new benchmark? re-record with make bench-micro)\n",
+				fmt.Fprintf(out, "benchdiff: note %s/%s: no baseline in %s (new benchmark? re-record with make bench-micro)\n",
 					b.pkg, e.Name, b.file)
 				continue
 			}
 			ratio := e.NsPerOpMin / want.NsPerOpMin
 			switch {
-			case ratio > 1+*threshold:
-				fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)\n",
-					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin, (ratio-1)*100, *threshold*100)
+			case ratio > 1+threshold:
+				fmt.Fprintf(out, "benchdiff: FAIL %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% slower, threshold %.0f%%)\n",
+					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin, (ratio-1)*100, threshold*100)
 				failures++
-			case ratio < 1-*threshold:
-				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% faster — re-record with make bench-micro)\n",
+			case ratio < 1-threshold:
+				fmt.Fprintf(out, "benchdiff: note %s/%s: %.0f ns/op vs baseline %.0f (%.0f%% faster — re-record with make bench-micro)\n",
 					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin, (1-ratio)*100)
 			default:
-				fmt.Fprintf(os.Stderr, "benchdiff: ok %s/%s: %.0f ns/op vs baseline %.0f\n",
+				fmt.Fprintf(out, "benchdiff: ok %s/%s: %.0f ns/op vs baseline %.0f\n",
 					b.pkg, e.Name, e.NsPerOpMin, want.NsPerOpMin)
 			}
 			if e.AllocsPerOp > want.AllocsPerOp+want.AllocsPerOp/50 {
-				fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s/%s: %d allocs/op vs baseline %d — allocation regression\n",
+				fmt.Fprintf(out, "benchdiff: FAIL %s/%s: %d allocs/op vs baseline %d — allocation regression\n",
 					b.pkg, e.Name, e.AllocsPerOp, want.AllocsPerOp)
 				failures++
 			}
 		}
 		for _, want := range base {
-			if !seen[want.Name] {
-				fmt.Fprintf(os.Stderr, "benchdiff: note %s/%s: in %s but not in this run\n", b.pkg, want.Name, b.file)
+			if seen[want.Name] {
+				continue
 			}
+			if allowMissing {
+				fmt.Fprintf(out, "benchdiff: note %s/%s: in %s but not in this run (allowed)\n", b.pkg, want.Name, b.file)
+				continue
+			}
+			fmt.Fprintf(out, "benchdiff: FAIL %s/%s: in %s but not in this run — renamed or dropped benchmark? (pass -allow-missing to tolerate)\n",
+				b.pkg, want.Name, b.file)
+			failures++
 		}
 	}
-	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s)\n", failures)
-		os.Exit(1)
-	}
-	fmt.Fprintln(os.Stderr, "benchdiff: no regressions")
+	return failures, nil
 }

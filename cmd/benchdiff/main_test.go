@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathfinder/internal/benchfmt"
+)
 
 func TestPkgBaselinesFlag(t *testing.T) {
 	var p pkgBaselines
@@ -18,5 +26,93 @@ func TestPkgBaselinesFlag(t *testing.T) {
 		if err := p.Set(bad); err == nil {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+// compareFixture writes a baseline file with the given entries and parses a
+// fresh run stream, returning the pkgBaselines mapping and parsed set for
+// compare().
+func compareFixture(t *testing.T, baseline []benchfmt.Entry, stream string) (pkgBaselines, *benchfmt.Set) {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	set, err := benchfmt.Parse(strings.NewReader(stream), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgBaselines{{pkg: "internal/sim", file: file}}, set
+}
+
+const freshRun = "pkg: pathfinder/internal/sim\n" +
+	"BenchmarkKept-8   100   1000 ns/op   0 B/op   0 allocs/op\n"
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	baseline := []benchfmt.Entry{
+		{Name: "BenchmarkKept", Runs: 1, NsPerOpMin: 1000, NsPerOpMean: 1000},
+		{Name: "BenchmarkDropped", Runs: 1, NsPerOpMin: 500, NsPerOpMean: 500},
+	}
+	baselines, set := compareFixture(t, baseline, freshRun)
+
+	var out strings.Builder
+	failures, err := compare(&out, baselines, set, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (baseline benchmark missing from run)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL internal/sim/BenchmarkDropped") {
+		t.Errorf("output does not name the dropped benchmark:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "-allow-missing") {
+		t.Errorf("output does not mention the escape hatch:\n%s", out.String())
+	}
+}
+
+func TestCompareAllowMissingTolerates(t *testing.T) {
+	baseline := []benchfmt.Entry{
+		{Name: "BenchmarkKept", Runs: 1, NsPerOpMin: 1000, NsPerOpMean: 1000},
+		{Name: "BenchmarkDropped", Runs: 1, NsPerOpMin: 500, NsPerOpMean: 500},
+	}
+	baselines, set := compareFixture(t, baseline, freshRun)
+
+	var out strings.Builder
+	failures, err := compare(&out, baselines, set, 0.25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("failures = %d, want 0 with -allow-missing\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkDropped") {
+		t.Errorf("tolerated benchmark should still be noted:\n%s", out.String())
+	}
+}
+
+func TestCompareStillCatchesRegressionAndNewBenchmark(t *testing.T) {
+	baseline := []benchfmt.Entry{
+		{Name: "BenchmarkKept", Runs: 1, NsPerOpMin: 100, NsPerOpMean: 100},
+	}
+	stream := "pkg: pathfinder/internal/sim\n" +
+		"BenchmarkKept-8   100   1000 ns/op   0 B/op   0 allocs/op\n" +
+		"BenchmarkNew-8    100   1000 ns/op   0 B/op   0 allocs/op\n"
+	baselines, set := compareFixture(t, baseline, stream)
+
+	var out strings.Builder
+	failures, err := compare(&out, baselines, set, 0.25, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (ns/op regression)\n%s", failures, out.String())
+	}
+	if !strings.Contains(out.String(), "note internal/sim/BenchmarkNew") {
+		t.Errorf("new benchmark without a baseline should be a note, not a failure:\n%s", out.String())
 	}
 }

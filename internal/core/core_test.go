@@ -830,3 +830,107 @@ func TestEncoderReorderWithMiddleShift(t *testing.T) {
 		}
 	}
 }
+
+// driveDeterministic pushes a synthetic two-stream access sequence through
+// p and records every suggestion list, so two prefetchers can be compared
+// advise-for-advise. Accesses are a pure function of the step index:
+// identical calls on identical state must produce identical output.
+func driveDeterministic(t *testing.T, p *Pathfinder, start, n int) [][]uint64 {
+	t.Helper()
+	out := make([][]uint64, 0, n)
+	for i := start; i < start+n; i++ {
+		pc := uint64(0x400 + 8*(i%2))
+		page := uint64(1000 + i%2*77 + i/97)
+		off := (i * 3 / 2) % trace.BlocksPerPage
+		addr := page*trace.PageBytes + uint64(off)*trace.BlockBytes
+		got := p.Advise(trace.Access{ID: uint64(i + 1), PC: pc, Addr: addr}, 2)
+		out = append(out, append([]uint64(nil), got...))
+	}
+	return out
+}
+
+// TestSaveSessionExactContinuation pins SaveSession's contract: unlike
+// Save (which drops the training table and RNG position, re-warming after
+// restore), a LoadSession'd prefetcher must continue bit-identically —
+// every subsequent Advise equal to the never-serialized original's.
+func TestSaveSessionExactContinuation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveDeterministic(t, p, 0, 400)
+
+	var buf bytes.Buffer
+	if err := p.SaveSession(&buf); err != nil {
+		t.Fatalf("SaveSession: %v", err)
+	}
+	q, err := LoadSession(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("LoadSession: %v", err)
+	}
+
+	want := driveDeterministic(t, p, 400, 300)
+	got := driveDeterministic(t, q, 400, 300)
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("advise %d: %v vs %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("advise %d addr %d: %#x vs %#x", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestLoadSessionAcceptsPlainSave keeps the formats interchangeable: a
+// blob written by Save (no extension section) must load via LoadSession,
+// with transients simply starting fresh.
+func TestLoadSessionAcceptsPlainSave(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, p, []int{1, 2}, 100)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSession(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("LoadSession on a plain Save blob: %v", err)
+	}
+}
+
+// TestLoadSessionRejectsCorruptExtension checks the extension's sanity
+// caps: a truncated or field-corrupted PFX1 section fails loudly.
+func TestLoadSessionRejectsCorruptExtension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 8
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveDeterministic(t, p, 0, 200)
+	var buf bytes.Buffer
+	if err := p.SaveSession(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := LoadSession(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Error("LoadSession accepted a truncated extension")
+	}
+	// Flip a bit in the extension magic.
+	var plain bytes.Buffer
+	if err := p.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[plain.Len()] ^= 0xFF
+	if _, err := LoadSession(bytes.NewReader(bad)); err == nil {
+		t.Error("LoadSession accepted a corrupt extension magic")
+	}
+}

@@ -76,6 +76,15 @@ func TestSNNPathGolden(t *testing.T) {
 	shortTicks := DefaultConfig()
 	shortTicks.Ticks = 8
 
+	// 65 neurons straddle the batched kernels' 64-lane bitset word, so this
+	// case drives the word-split threshold scans, partial-word mask
+	// bookkeeping, and the batched quiescence-settlement replay through the
+	// full Advise path. Captured after the kernel rewrite (bit-identity to
+	// the reference loop is separately pinned by the refmodel oracle); it
+	// guards the batched-settlement path from here on.
+	wide := DefaultConfig()
+	wide.Neurons = 65
+
 	cases := []struct {
 		name  string
 		cfg   Config
@@ -90,6 +99,7 @@ func TestSNNPathGolden(t *testing.T) {
 		{"onetick-cc5", oneTick, "cc-5", 12000, 0x92dfc892250f358e},
 		{"weightdep-cc5", wd, "cc-5", 12000, 0x24feddd2e77667b5},
 		{"ticks8-omnetpp", shortTicks, "471-omnetpp-s1", 12000, 0xaa22f16fd3cea057},
+		{"wide65-cc5", wide, "cc-5", 12000, 0xa523be24b800f645},
 	}
 	for _, tc := range cases {
 		tc := tc

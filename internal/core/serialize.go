@@ -87,7 +87,10 @@ func (p *Pathfinder) Save(w io.Writer) error {
 
 // Load restores a prefetcher previously written by Save.
 func Load(r io.Reader) (*Pathfinder, error) {
-	br := bufio.NewReader(r)
+	return load(bufio.NewReader(r))
+}
+
+func load(br *bufio.Reader) (*Pathfinder, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
@@ -163,4 +166,65 @@ func boolInt(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// Session snapshots extend Save with the transient state Save's portable
+// format deliberately drops: the SNN RNG stream position and the live
+// Training Table (per-(PC, page) delta histories, their LRU order, and
+// the table clock). Save's contract is a pre-warmed prefetcher that
+// re-warms transients; SaveSession's contract is exact continuation — a
+// prefetcher restored by LoadSession advises bit-identically to one that
+// was never serialized, which is what lets a serving daemon evict an idle
+// session and bring it back without forking its prediction stream.
+
+var sessMagic = [4]byte{'P', 'F', 'X', '1'}
+
+// SaveSession writes Save's learned state followed by the continuation
+// extension.
+func (p *Pathfinder) SaveSession(w io.Writer) error {
+	if err := p.Save(w); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(sessMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.net.RNGState()); err != nil {
+		return err
+	}
+	if err := p.tt.save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSession restores a prefetcher written by SaveSession. A blob
+// written by plain Save (no extension section) loads too, with its
+// transients starting fresh, so the two formats stay interchangeable for
+// callers that only need Save's weaker contract.
+func LoadSession(r io.Reader) (*Pathfinder, error) {
+	br := bufio.NewReader(r)
+	p, err := load(br)
+	if err != nil {
+		return nil, err
+	}
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF {
+			return p, nil
+		}
+		return nil, fmt.Errorf("core: reading session extension: %w", err)
+	}
+	if m != sessMagic {
+		return nil, errors.New("core: bad session extension magic; not a PFX1 section")
+	}
+	var rngState uint64
+	if err := binary.Read(br, binary.LittleEndian, &rngState); err != nil {
+		return nil, fmt.Errorf("core: reading session extension: %w", err)
+	}
+	p.net.SetRNGState(rngState)
+	if err := p.tt.load(br); err != nil {
+		return nil, err
+	}
+	return p, nil
 }

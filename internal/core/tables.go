@@ -12,6 +12,13 @@ package core
 // label whose confidence reaches zero is erased, restarting label discovery
 // for that neuron (§3.4 "Confidence Estimations").
 
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
 // TrainingEntry is one (PC, page) stream tracked by the Training Table.
 type TrainingEntry struct {
 	pc, page uint64
@@ -144,6 +151,106 @@ func (e *TrainingEntry) Ready(h int) bool {
 // Deltas exposes the current history (oldest first). The returned slice is
 // owned by the entry; callers must not modify it.
 func (e *TrainingEntry) Deltas() []int { return e.deltas }
+
+// save writes the table's live entries in LRU order (lastUse stamps are
+// unique — the clock advances on every touch — so the order, and with it
+// the byte stream, is deterministic). Part of the SaveSession extension;
+// see serialize.go.
+func (t *TrainingTable) save(w io.Writer) error {
+	ents := make([]*TrainingEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		ents = append(ents, e)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].lastUse < ents[j].lastUse })
+	if err := binary.Write(w, binary.LittleEndian, t.clock); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(ents))); err != nil {
+		return err
+	}
+	for _, e := range ents {
+		hdr := []uint64{e.pc, e.page, e.footprint, e.lastUse}
+		for _, v := range hdr {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		ints := []int64{int64(e.lastOffset), int64(e.broken), int64(e.lastNeuron), int64(len(e.deltas))}
+		for _, v := range ints {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		for _, d := range e.deltas {
+			if err := binary.Write(w, binary.LittleEndian, int64(d)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// load replaces the table's contents with a stream written by save,
+// validating every field against the table's own geometry before any
+// allocation (a corrupt snapshot must fail loudly, never OOM or corrupt
+// the restored stream state).
+func (t *TrainingTable) load(r io.Reader) error {
+	var clock uint64
+	if err := binary.Read(r, binary.LittleEndian, &clock); err != nil {
+		return fmt.Errorf("core: reading training table: %w", err)
+	}
+	var count int64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("core: reading training table: %w", err)
+	}
+	if count < 0 || count > int64(t.cap) {
+		return fmt.Errorf("core: training table holds %d entries, capacity %d", count, t.cap)
+	}
+	entries := make(map[trainingKey]*TrainingEntry, count)
+	for i := int64(0); i < count; i++ {
+		var hdr [4]uint64
+		for j := range hdr {
+			if err := binary.Read(r, binary.LittleEndian, &hdr[j]); err != nil {
+				return fmt.Errorf("core: reading training table: %w", err)
+			}
+		}
+		var ints [4]int64
+		for j := range ints {
+			if err := binary.Read(r, binary.LittleEndian, &ints[j]); err != nil {
+				return fmt.Errorf("core: reading training table: %w", err)
+			}
+		}
+		lastOffset, broken, lastNeuron, nd := ints[0], ints[1], ints[2], ints[3]
+		switch {
+		case lastOffset < 0 || lastOffset > 63,
+			broken < 0 || broken > int64(t.h),
+			lastNeuron < -1 || lastNeuron >= maxLoadNeurons,
+			nd < 0 || nd > int64(t.h),
+			hdr[3] > clock:
+			return fmt.Errorf("core: implausible training table entry (offset %d, broken %d, neuron %d, %d deltas, lastUse %d)",
+				lastOffset, broken, lastNeuron, nd, hdr[3])
+		}
+		e := &TrainingEntry{
+			pc: hdr[0], page: hdr[1], footprint: hdr[2], lastUse: hdr[3],
+			lastOffset: int(lastOffset), broken: int(broken), lastNeuron: int(lastNeuron),
+			deltas: make([]int, nd, t.h),
+		}
+		for j := range e.deltas {
+			var d int64
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return fmt.Errorf("core: reading training table: %w", err)
+			}
+			e.deltas[j] = int(d)
+		}
+		k := trainingKey{e.pc, e.page}
+		if _, dup := entries[k]; dup {
+			return fmt.Errorf("core: duplicate training table entry (pc %#x, page %#x)", e.pc, e.page)
+		}
+		entries[k] = e
+	}
+	t.entries, t.clock = entries, clock
+	return nil
+}
 
 // LastOffset returns the last block offset touched in the page.
 func (e *TrainingEntry) LastOffset() int { return e.lastOffset }

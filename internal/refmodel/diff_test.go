@@ -1,6 +1,7 @@
 package refmodel
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -428,6 +429,84 @@ func TestDiffSNNRealConfig(t *testing.T) {
 	if err := DiffSNN(cfg, seq); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDiffSNNBitsetWordBoundary pins the regimes the random generator
+// rarely reaches but the batched kernels special-case: neuron counts
+// straddling the 64-lane bitset word (63/64/65, exercising the word-split
+// threshold scans and partial final words), refractory periods outlasting
+// the interval (whole mask words live, ticks with no eligible candidate),
+// and dense WTA ties (uniform state, every neuron crossing threshold on
+// the same tick — the first-candidate tie-break must survive reordering).
+func TestDiffSNNBitsetWordBoundary(t *testing.T) {
+	presents := 8
+	if testing.Short() {
+		presents = 4
+	}
+	for _, n := range []int{63, 64, 65} {
+		n := n
+		t.Run(fmt.Sprintf("neurons-%d", n), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(9000 + n)))
+			cfg := snn.DefaultConfig(32)
+			cfg.Neurons = n
+			cfg.Ticks = 12
+			cfg.RefracE = 3
+			cfg.InhHold = 2
+			cfg.Seed = int64(n)
+			seq := make([]SNNPresent, presents)
+			for k := range seq {
+				seq[k] = SNNPresent{Pixels: randomPixels(r, cfg.InputSize), Learn: true}
+			}
+			if err := DiffSNN(cfg, seq); err != nil {
+				t.Fatalf("neurons=%d: %v", n, err)
+			}
+		})
+	}
+	t.Run("all-refractory", func(t *testing.T) {
+		t.Parallel()
+		cfg := snn.DefaultConfig(16)
+		cfg.Neurons = 65
+		cfg.Ticks = 10
+		cfg.RefracE = cfg.Ticks + 4 // one fire silences a neuron for the interval
+		cfg.FireProb = 1
+		cfg.InputGain = 40
+		cfg.Seed = 3
+		lit := make([]float64, cfg.InputSize)
+		for i := range lit {
+			lit[i] = 1
+		}
+		seq := make([]SNNPresent, presents)
+		for k := range seq {
+			seq[k] = SNNPresent{Pixels: lit, Learn: true}
+		}
+		if err := DiffSNN(cfg, seq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("dense-ties", func(t *testing.T) {
+		t.Parallel()
+		cfg := snn.DefaultConfig(24)
+		cfg.Neurons = 64
+		cfg.Ticks = 8
+		cfg.Temporal = true // deterministic spike times: every neuron aligned
+		cfg.Exc = 0
+		cfg.Inh = 0
+		cfg.ThetaPlus = 0
+		cfg.InputGain = 30
+		cfg.Seed = 5
+		lit := make([]float64, cfg.InputSize)
+		for i := range lit {
+			lit[i] = 1
+		}
+		seq := make([]SNNPresent, presents)
+		for k := range seq {
+			seq[k] = SNNPresent{Pixels: lit, Learn: true}
+		}
+		if err := DiffSNN(cfg, seq); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func caseName(i int) string {

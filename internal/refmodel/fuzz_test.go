@@ -37,10 +37,26 @@ func FuzzPresent(f *testing.F) {
 	f.Add(int64(1), []byte{})
 	f.Add(int64(42), []byte{8, 3, 16, 50, 8, 20, 18, 4, 30, 5, 1, 2, 5, 10, 1, 0, 2, 1, 0, 200, 100, 0, 50, 255, 1})
 	f.Add(int64(7), []byte{24, 7, 31, 99, 39, 29, 39, 5, 39, 19, 2, 15, 29, 11, 0, 1, 4, 3, 11, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// 64 neurons (one full bitset word) with RefracE = Ticks+3: every
+	// firing neuron stays refractory for the rest of the interval.
+	f.Add(int64(11), []byte{16, 136, 10, 90, 20, 10, 4, 2, 20, 5, 1, 3, 7, 12, 0, 1, 131, 1, 5,
+		255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1, 0})
+	// 65 neurons (straddling the word), temporal coding, zero excitation
+	// and inhibition, uniformly lit input: dense WTA ties every tick.
+	f.Add(int64(13), []byte{24, 137, 8, 100, 40, 0, 0, 0, 10, 0, 0, 0, 0, 10, 1, 0, 0, 0, 0,
+		255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255,
+		255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 255, 1, 0})
 	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
 		s := &byteStream{b: data}
 		cfg := snn.DefaultConfig(1 + int(s.next())%24)
-		cfg.Neurons = 1 + int(s.next())%8
+		nb := int(s.next())
+		cfg.Neurons = 1 + nb%8
+		if nb >= 128 {
+			// High-bit regime: neuron counts straddling the 64-lane bitset
+			// word of the batched kernels (fired/refractory masks, the
+			// word-split threshold scans).
+			cfg.Neurons = 58 + nb%13
+		}
 		cfg.Ticks = 1 + int(s.next())%16
 		cfg.FireProb = float64(1+int(s.next())%100) / 100
 		cfg.InputGain = 0.25 * float64(1+int(s.next())%40)
@@ -55,7 +71,15 @@ func FuzzPresent(f *testing.F) {
 		cfg.TraceTC = float64(1 + int(s.next())%30)
 		cfg.Temporal = s.next()&1 == 1
 		cfg.WeightDependent = s.next()&1 == 1
-		cfg.RefracE = int(s.next()) % 5
+		re := int(s.next())
+		cfg.RefracE = re % 5
+		if re >= 128 {
+			// All-refractory regime: periods outlasting the interval pile
+			// every firing neuron into the refractory mask at once, so
+			// whole mask words go live and ticks run with no eligible
+			// candidates.
+			cfg.RefracE = cfg.Ticks + re%8
+		}
 		cfg.RefracI = int(s.next()) % 4
 		// ResetE in [-60, -49) straddles ThreshE (-52), reaching the
 		// fastOK-breaking reset-above-threshold regime.
@@ -88,9 +112,19 @@ func FuzzCacheAccess(f *testing.F) {
 	f.Add(uint64(0x0101), []byte{})
 	f.Add(uint64(0x0402), []byte{0, 1, 1, 2, 0, 1, 2, 3, 1, 1, 3, 2, 0, 9, 5, 1})
 	f.Add(uint64(0x0803|1<<16), []byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 0, 1, 0, 2, 0, 3, 2, 1, 4, 0, 0, 5})
+	// Big-associativity seeds around the packed-recency boundary: 16 ways
+	// (the last packed geometry) and 18 ways (the linked-list fallback).
+	f.Add(uint64(0x0104|1<<17), []byte{0, 1, 1, 2, 0, 3, 2, 4, 1, 5, 3, 6, 0, 7, 5, 8, 0, 9, 1, 10})
+	f.Add(uint64(0x0304|1<<17), []byte{1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 0, 1, 0, 2, 2, 3, 4, 4})
 	f.Fuzz(func(t *testing.T, geom uint64, data []byte) {
 		sets := 1 + int(geom)%8
 		ways := 1 + int(geom>>8)%8
+		if geom>>17&1 == 1 {
+			// Straddle the 16-way packed-recency boundary: ways 15..22
+			// cover the last SWAR-packed geometries and the linked-list
+			// fallback on either side.
+			ways = 15 + int(geom>>8)%8
+		}
 		policy := sim.PolicyLRU
 		if geom>>16&1 == 1 {
 			policy = sim.PolicySRRIP

@@ -150,8 +150,11 @@ type Job struct {
 	// fresh Source positioned at the first record with identical records.
 	// Source supersedes Accs and Trace-generation; Trace remains the
 	// result label. When the stream's length is unknown (no Remaining),
-	// the default 10%-of-trace warmup is unavailable — warmup falls back
-	// to Job.Warmup, then Sim.Warmup, then zero.
+	// the default 10%-of-trace warmup is resolved from a length the
+	// runner memoized for this SourceKey during an earlier full replay;
+	// with no memo either, the job fails loudly unless Job.Warmup or
+	// Sim.Warmup pins warmup explicitly (negative Job.Warmup disables
+	// it). Warmup never silently resolves to zero on the stream path.
 	Source func(ctx context.Context) (trace.Source, error)
 	// SourceKey is the cache identity of Source's records — a content
 	// digest (trace.HashSource), a file digest, or a generator spec
@@ -201,6 +204,12 @@ type Runner struct {
 	cfg       Config
 	traces    flight[[]trace.Access]
 	baselines flight[baselineInfo]
+
+	// srcLens memoizes SourceKey → record count for streams that cannot
+	// report their own length, learned from a completed full replay. It
+	// is what lets an unknown-length stream resolve the same 10% warmup
+	// default as the slice path instead of silently warming up nothing.
+	srcLens sync.Map
 
 	baselineSims atomic.Int64
 }
@@ -578,6 +587,21 @@ func (r *Runner) effective(job Job) (loads int, seed int64, cfg sim.Config) {
 	return loads, seed, cfg
 }
 
+// countingSource counts records pulled through it, so a full replay of an
+// unknown-length stream records the trace length for the srcLens memo.
+type countingSource struct {
+	src trace.Source
+	n   int
+}
+
+func (c *countingSource) Next(a *trace.Access) error {
+	err := c.src.Next(a)
+	if err == nil {
+		c.n++
+	}
+	return err
+}
+
 // resolveWarmup applies the warmup precedence: job override, then the sim
 // config, then the conventional 10% of the trace.
 func resolveWarmup(jobWarmup, simWarmup, n int) int {
@@ -685,9 +709,12 @@ func (r *Runner) evalStream(ctx context.Context, job Job, c cell) (Result, error
 	_, _, cfg := r.effective(job)
 
 	// First resolution: probe the length (when the source knows it) for
-	// the warmup default, then feed the baseline replay. Sources with an
-	// unknown length default to zero warmup — there is no trace length to
-	// take 10% of.
+	// the warmup default, then feed the baseline replay. When the source
+	// cannot report a length, fall back to a length memoized from an
+	// earlier full replay under the same SourceKey; with neither, a
+	// defaulted warmup would silently resolve to zero — diverging from
+	// the slice path's 10% convention — so that case is a loud error
+	// unless the job (or sim config) pins warmup explicitly.
 	if err := r.inject(ctx, fault.SiteTraceDecode, c.key, c.attempt); err != nil {
 		return Result{}, err
 	}
@@ -695,14 +722,25 @@ func (r *Runner) evalStream(ctx context.Context, job Job, c cell) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
-	n := 0
+	n, lenKnown := 0, false
 	if s, ok := src.(interface{ Remaining() (uint64, bool) }); ok {
 		if rem, known := s.Remaining(); known {
 			if rem == 0 {
 				return Result{}, fmt.Errorf("empty trace")
 			}
-			n = int(rem)
+			n, lenKnown = int(rem), true
+			if job.SourceKey != "" {
+				r.srcLens.Store(job.SourceKey, n)
+			}
 		}
+	}
+	if !lenKnown && job.SourceKey != "" {
+		if v, ok := r.srcLens.Load(job.SourceKey); ok {
+			n, lenKnown = v.(int), true
+		}
+	}
+	if !lenKnown && job.Warmup == 0 && cfg.Warmup == 0 {
+		return Result{}, fmt.Errorf("job %q (trace %q): stream length unknown, so the default 10%%-of-trace warmup cannot be resolved and would silently become zero, diverging from the slice path; set Job.Warmup explicitly (negative disables warmup) or replay a length-known source under the same SourceKey first", c.key, job.Trace)
 	}
 	cfg.Warmup = resolveWarmup(job.Warmup, cfg.Warmup, n)
 
@@ -727,11 +765,23 @@ func (r *Runner) evalStream(ctx context.Context, job Job, c cell) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	// When the length had to come from neither the source nor the memo,
+	// learn it here: the timed replay consumes the stream to EOF, so its
+	// record count is the trace length, and the next job under this
+	// SourceKey resolves the standard warmup default.
+	var counter *countingSource
+	if !lenKnown && job.SourceKey != "" {
+		counter = &countingSource{src: timed}
+		timed = counter
+	}
 	eng, release := acquireEngine(cfg)
 	defer release()
 	res, err := eng.RunStreamCtx(ctx, timed, pfs)
 	if err != nil {
 		return Result{}, err
+	}
+	if counter != nil {
+		r.srcLens.Store(job.SourceKey, counter.n)
 	}
 	return Result{
 		Metrics: Metrics{

@@ -90,10 +90,12 @@ func TestSourceJobBaselineShared(t *testing.T) {
 	}
 }
 
-// TestSourceJobUnknownLengthWarmup pins the warmup fallback for
-// length-unknown streams: with no trace length to take 10% of, an
-// unconfigured warmup is zero — identical to a slice job with warmup
-// explicitly disabled.
+// TestSourceJobUnknownLengthWarmup pins the length-unknown stream
+// contract: with no trace length to take 10% of and no explicit warmup,
+// the job fails loudly instead of silently measuring from record 0; with
+// warmup pinned it matches the equivalent slice job bit for bit; and a
+// completed full replay memoizes the length under the SourceKey, after
+// which an unconfigured job resolves the same 10% default as a slice job.
 func TestSourceJobUnknownLengthWarmup(t *testing.T) {
 	accs, err := workload.Generate("cc-5", 2000, 5)
 	if err != nil {
@@ -105,27 +107,58 @@ func TestSourceJobUnknownLengthWarmup(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
+	source := func(context.Context) (trace.Source, error) {
+		return trace.NewReader(bytes.NewReader(data))
+	}
+	newPF := func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil }
 
-	stream, err := New(Config{}).Eval(context.Background(), Job{
-		Trace: "cc-5", SourceKey: "cc-5#5",
-		Source: func(context.Context) (trace.Source, error) {
-			return trace.NewReader(bytes.NewReader(data))
-		},
-		New: func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil },
+	// No length, no explicit warmup, no memo: loud positioned error, not
+	// a silent zero-warmup run.
+	r := New(Config{})
+	_, err = r.Eval(context.Background(), Job{
+		Trace: "cc-5", SourceKey: "cc-5#5", Source: source, New: newPF,
+	})
+	if err == nil {
+		t.Fatal("unknown-length stream with defaulted warmup should fail loudly")
+	}
+	if !strings.Contains(err.Error(), "warmup") || !strings.Contains(err.Error(), "Job.Warmup") {
+		t.Fatalf("error should explain the warmup divergence and the remedy, got: %v", err)
+	}
+
+	// Explicit warmup-off runs, and matches the warmup-off slice job.
+	stream, err := r.Eval(context.Background(), Job{
+		Trace: "cc-5", SourceKey: "cc-5#5", Source: source, Warmup: -1, New: newPF,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	slice, err := New(Config{}).Eval(context.Background(), Job{
-		Trace: "cc-5", Accs: accs, Warmup: -1,
-		New: func() (prefetch.Prefetcher, error) { return prefetch.NewBestOffset(), nil },
+		Trace: "cc-5", Accs: accs, Warmup: -1, New: newPF,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stream.Metrics != slice.Metrics {
-		t.Fatalf("unknown-length stream should measure from record 0:\n  stream: %+v\n  warmup-off slice: %+v",
-			stream.Metrics, slice.Metrics)
+		t.Fatalf("warmup-off parity broken:\n  stream: %+v\n  slice:  %+v", stream.Metrics, slice.Metrics)
+	}
+
+	// That replay taught the runner the trace length: the previously
+	// failing unconfigured job now resolves the standard 10% default and
+	// lands bit-identical to the unconfigured slice job.
+	stream, err = r.Eval(context.Background(), Job{
+		Trace: "cc-5", SourceKey: "cc-5#5", Source: source, New: newPF,
+	})
+	if err != nil {
+		t.Fatalf("memoized length should resolve the warmup default: %v", err)
+	}
+	slice, err = New(Config{}).Eval(context.Background(), Job{
+		Trace: "cc-5", Accs: accs, New: newPF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Metrics != slice.Metrics {
+		t.Fatalf("memoized-warmup parity broken:\n  stream: %+v\n  slice:  %+v", stream.Metrics, slice.Metrics)
 	}
 }
 

@@ -51,6 +51,22 @@ type Config struct {
 	// MaxInFlight caps queued events across all sessions (0: no extra
 	// cap; the table is already bounded by MaxSessions x QueueDepth).
 	MaxInFlight int
+	// SpillSessions caps the server-wide ring of evicted-session
+	// snapshots (default 64; negative disables spilling). When LRU
+	// pressure evicts an idle session whose prefetcher can serialize
+	// itself (exposes Save(io.Writer) error, as PATHFINDER does), its
+	// learned weights and duplicate-detection watermark are spilled into
+	// the ring; if the same session id returns while the snapshot is
+	// still resident, RestorePrefetcher rebuilds it and the session
+	// resumes exactly where it left off instead of relearning from
+	// scratch. When the ring overflows, the oldest snapshot is dropped.
+	SpillSessions int
+	// RestorePrefetcher rebuilds a session prefetcher from a snapshot
+	// written by its Save method. Defaults to the PATHFINDER loader when
+	// NewPrefetcher is defaulted; with a custom NewPrefetcher it must be
+	// supplied, or spilling stays disabled (the server cannot know the
+	// snapshot's concrete type).
+	RestorePrefetcher func(session uint64, r io.Reader) (prefetch.Prefetcher, error)
 	// RetryHintMillis is the retry-after hint attached to queue-full and
 	// overloaded rejects (default 5).
 	RetryHintMillis int
@@ -75,6 +91,14 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.NewPrefetcher == nil {
 		cfg.NewPrefetcher = DefaultSessionPrefetcher
+		if cfg.RestorePrefetcher == nil {
+			cfg.RestorePrefetcher = func(_ uint64, r io.Reader) (prefetch.Prefetcher, error) {
+				return core.LoadSession(r)
+			}
+		}
+	}
+	if cfg.SpillSessions == 0 {
+		cfg.SpillSessions = 64
 	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = prefetch.Budget
@@ -145,6 +169,7 @@ type Server struct {
 	cancel  context.CancelFunc
 
 	table    *table
+	spill    *spillStore // nil: eviction spilling disabled
 	draining atomic.Bool
 	inflight atomic.Int64
 
@@ -184,6 +209,9 @@ func New(cfg Config) (*Server, error) {
 		perShard = 1
 	}
 	s.table = newTable(s, cfg.Shards, perShard)
+	if cfg.SpillSessions > 0 && cfg.RestorePrefetcher != nil {
+		s.spill = newSpillStore(cfg.SpillSessions)
+	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return s, nil

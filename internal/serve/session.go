@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -167,17 +168,30 @@ func (sh *shard) moveFront(s *session) {
 
 // evictIdle evicts the least-recently-used quiescent session, returning
 // false when every resident session still has events in flight (shard
-// mutex held). The evicted worker exits via its stop channel; its learned
-// state is discarded, so a returning session starts fresh (including its
-// duplicate-detection watermark — see docs/serving.md).
-func (sh *shard) evictIdle() bool {
+// mutex held). The evicted worker exits via its stop channel. With a
+// spill store, the session's learned state and protocol watermarks are
+// snapshotted first, so a returning session resumes instead of starting
+// fresh (see docs/serving.md); without one (or when the prefetcher cannot
+// serialize itself) the state is discarded. Quiescence (pending == 0)
+// makes the snapshot safe: the worker only touches the prefetcher while
+// an accepted event is pending.
+func (sh *shard) evictIdle(spill *spillStore) bool {
 	for s := sh.tail; s != nil; s = s.prev {
 		if s.pending.Load() == 0 {
 			close(s.stop)
 			sh.remove(s)
 			delete(sh.m, s.id)
-			if m := serveTele.Load(); m != nil {
+			m := serveTele.Load()
+			if m != nil {
 				m.evicted.Inc()
+			}
+			if spill != nil {
+				if e := snapshot(s); e != nil {
+					spill.put(e)
+					if m != nil {
+						m.spilled.Inc()
+					}
+				}
 			}
 			return true
 		}
@@ -225,18 +239,42 @@ func (t *table) enqueue(c *conn, sid uint64, acc trace.Access, start int64) byte
 	m := serveTele.Load()
 	s := sh.m[sid]
 	if s == nil {
-		if len(sh.m) >= sh.cap && !sh.evictIdle() {
+		if len(sh.m) >= sh.cap && !sh.evictIdle(t.srv.spill) {
 			return RejectMaxSessions
 		}
-		pf, err := t.srv.cfg.NewPrefetcher(sid)
-		if err != nil {
-			return RejectBadRequest
+		var (
+			pf       prefetch.Prefetcher
+			restored *spillEntry
+		)
+		if t.srv.spill != nil {
+			if e, ok := t.srv.spill.take(sid); ok {
+				if rpf, err := t.srv.cfg.RestorePrefetcher(sid, bytes.NewReader(e.blob)); err == nil {
+					pf, restored = rpf, e
+					if m != nil {
+						m.restored.Inc()
+					}
+				} else if m != nil {
+					// A corrupt snapshot falls back to a fresh session —
+					// exactly what the id would have gotten without a spill
+					// store — but the failure is counted, not swallowed.
+					m.restoreErrors.Inc()
+				}
+			}
+		}
+		if pf == nil {
+			var err error
+			if pf, err = t.srv.cfg.NewPrefetcher(sid); err != nil {
+				return RejectBadRequest
+			}
 		}
 		s = &session{
 			id:   sid,
 			pf:   pf,
 			q:    make(chan queuedEvent, t.srv.cfg.QueueDepth),
 			stop: make(chan struct{}),
+		}
+		if restored != nil {
+			s.lastID, s.shedID = restored.lastID, restored.shedID
 		}
 		sh.m[sid] = s
 		sh.pushFront(s)

@@ -15,6 +15,9 @@ type serveMetrics struct {
 	sessionsPeak  *telemetry.Gauge   // high-water mark of resident sessions
 	sessionsTotal *telemetry.Counter // sessions ever created
 	evicted       *telemetry.Counter // idle sessions evicted by LRU pressure
+	spilled       *telemetry.Counter // evicted sessions snapshotted into the spill ring
+	restored      *telemetry.Counter // sessions rebuilt from a spilled snapshot
+	restoreErrors *telemetry.Counter // snapshots that failed to restore (fresh fallback)
 	conns         *telemetry.Gauge   // open client connections
 	connsTotal    *telemetry.Counter // connections ever accepted
 
@@ -68,6 +71,9 @@ func EnableTelemetry(r *telemetry.Registry) {
 		sessionsPeak:   r.Gauge("serve.sessions_peak"),
 		sessionsTotal:  r.Counter("serve.sessions_total"),
 		evicted:        r.Counter("serve.sessions_evicted"),
+		spilled:        r.Counter("serve.sessions_spilled"),
+		restored:       r.Counter("serve.sessions_restored"),
+		restoreErrors:  r.Counter("serve.session_restore_errors"),
 		conns:          r.Gauge("serve.conns"),
 		connsTotal:     r.Counter("serve.conns_total"),
 		accepted:       r.Counter("serve.events_accepted"),

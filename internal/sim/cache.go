@@ -6,6 +6,8 @@
 // metrics of §4.5.
 package sim
 
+import "math/bits"
+
 // Policy selects a cache replacement policy.
 type Policy int
 
@@ -45,24 +47,31 @@ type CacheStats struct {
 // the tags contiguously lets those scans touch one cache line per ~8 ways
 // instead of one per way.
 //
-// Recency is an intrusive doubly-linked list per set (prev/next/lists), so
-// both LRU promotion and victim selection are O(1) — no argmin scan on the
-// miss path. Three facts make the list exactly equivalent to the recency
-// stamps it replaced: stamps were unique (every operation draws a fresh
-// tick), lines never leave a set except by replacement (so occupancy only
-// grows and empty ways fill in ascending index order, tracked by a per-set
-// fill count), and the stamp argmin therefore always picked either way
-// `fill` (first empty) or the list tail (oldest valid line). The stamps
-// themselves are still written — the pfdebug build checks the strict
-// recency order against them — but the hot path never reads them.
+// Recency is O(1) for both LRU promotion and victim selection — no argmin
+// scan on the miss path. For geometries with at most 16 ways (every
+// shipped level qualifies) a whole set's recency order is packed into one
+// uint64: sixteen 4-bit way indices, MRU in the lowest nibble, LRU in
+// nibble fill-1, so a hit promotion is a single load, a handful of SWAR
+// bit operations and a single store. Wider geometries fall back to the
+// intrusive doubly-linked list per set (prev/next/lists). Three facts make
+// both forms exactly equivalent to the recency stamps they replaced:
+// stamps were unique (every operation draws a fresh tick), lines never
+// leave a set except by replacement (so occupancy only grows and empty
+// ways fill in ascending index order, tracked by a per-set fill count),
+// and the stamp argmin therefore always picked either way `fill` (first
+// empty) or the recency order's tail (oldest valid line). The stamps are
+// maintained only by the pfdebug build, which checks the strict recency
+// order against them — release builds never touch them.
 type Cache struct {
 	sets    int
 	ways    int
 	setMask uint64 // sets-1 when sets is a power of two, else 0
 	policy  Policy
+	packed  bool     // ways <= 16: recency lives in rec, not prev/next
 	tags    []uint64 // sets × ways, row-major
-	lru     []uint64 // recency stamps; write-only outside pfdebug checks
+	lru     []uint64 // recency stamps; maintained only under pfdebug
 	meta    []uint8  // lineValid | linePrefetched | rrpv<<lineRRPVShift
+	rec     []uint64 // packed per-set recency order, 4 bits per way
 	prev    []uint16 // intrusive recency list, way index towards MRU
 	next    []uint16 // way index towards LRU
 	lists   []setList
@@ -123,13 +132,22 @@ func NewCacheWithPolicy(sets, ways int, policy Policy) *Cache {
 	n := sets * ways
 	c := &Cache{
 		sets: sets, ways: ways, policy: policy,
+		packed:   ways <= 16,
 		tags:     make([]uint64, n),
-		lru:      make([]uint64, n),
 		meta:     make([]uint8, n),
-		prev:     make([]uint16, n),
-		next:     make([]uint16, n),
 		lists:    make([]setList, sets),
 		missTick: ^uint64(0), // no miss recorded yet
+	}
+	if pfdebugEnabled {
+		// Recency stamps back the pfdebug order checks only; release
+		// builds neither write nor allocate them.
+		c.lru = make([]uint64, n)
+	}
+	if c.packed {
+		c.rec = make([]uint64, sets)
+	} else {
+		c.prev = make([]uint16, n)
+		c.next = make([]uint16, n)
 	}
 	if sets&(sets-1) == 0 {
 		c.setMask = uint64(sets - 1)
@@ -199,12 +217,51 @@ func (c *Cache) LookupGated(block uint64, count bool) (hit, prefetchedFirstTouch
 	return false, false
 }
 
+// Per-nibble SWAR constants for the packed recency word: ones replicates a
+// value into every nibble, highs masks each nibble's top bit (the borrow
+// bit of the zero-nibble detect below).
+const (
+	recOnes  = 0x1111111111111111
+	recHighs = 0x8888888888888888
+)
+
+// promoteRec moves way w's nibble to the MRU (lowest) position of the
+// packed recency word r, shifting the nibbles that were more recent than w
+// up by one and leaving the older ones in place. w must be present among
+// the valid (lowest fill) nibbles; garbage nibbles above the valid region
+// stay above it and are never consulted. The position of w is found
+// branch-free: XOR against w replicated into every nibble zeroes exactly
+// the matching nibbles, and the classic zero-nibble detect
+// (x - 0x11…1) & ^x & 0x88…8 raises each zero nibble's top bit — borrow
+// propagation can raise spurious bits only above the first zero nibble,
+// and TrailingZeros finds the first, which is w's true (lowest) position.
+func promoteRec(r uint64, w uint16) uint64 {
+	x := r ^ uint64(w)*recOnes
+	z := (x - recOnes) & ^x & recHighs
+	p := uint(bits.TrailingZeros64(z)) &^ 3 // bit offset of w's nibble
+	low := r & (1<<p - 1)
+	high := r &^ (1<<(p+4) - 1) // p+4 = 64 shifts to 0, masking nothing out
+	return high | low<<4 | uint64(w)
+}
+
+// promote marks way w of the set most recently used, in whichever recency
+// representation the geometry selected.
+func (c *Cache) promote(set, base int, w uint16) {
+	if c.packed {
+		c.rec[set] = promoteRec(c.rec[set], w)
+	} else {
+		c.moveToHead(&c.lists[set], base, w)
+	}
+}
+
 // hitAt applies a demand hit on way w of set — MRU promotion, prefetch-bit
 // clear and report, counters.
 func (c *Cache) hitAt(set, base int, w uint16, block uint64, count bool) (hit, prefetchedFirstTouch bool) {
 	i := base + int(w)
-	c.lru[i] = c.tick
-	c.moveToHead(&c.lists[set], base, w)
+	if pfdebugEnabled {
+		c.lru[i] = c.tick
+	}
+	c.promote(set, base, w)
 	pf := c.meta[i]&linePrefetched != 0
 	c.meta[i] = lineValid // rrpv = 0, prefetch bit cleared
 	if count {
@@ -267,8 +324,10 @@ func (c *Cache) Fill(block uint64, prefetched bool) (evicted uint64, hadEviction
 	for w, tag := range c.tags[base : base+c.ways] {
 		if tag == block { // already resident: refresh, no insert
 			i := base + w
-			c.lru[i] = c.tick
-			c.moveToHead(&c.lists[set], base, uint16(w))
+			if pfdebugEnabled {
+				c.lru[i] = c.tick
+			}
+			c.promote(set, base, uint16(w))
 			m := uint8(lineValid) // rrpv = 0
 			if prefetched || c.meta[i]&linePrefetched != 0 {
 				m |= linePrefetched
@@ -299,23 +358,40 @@ func (c *Cache) insert(block uint64, prefetched bool) (evicted uint64, hadEvicti
 		// way `fill`. Link it in at MRU.
 		w := l.fill
 		victim = base + int(w)
-		if l.fill == 0 {
-			l.tail = w
-			c.next[victim] = noWay
+		if c.packed {
+			// Shifting the word up pushes any garbage nibbles further
+			// above the valid region; with a full 16-way set the oldest
+			// nibble simply falls off the top.
+			c.rec[set] = c.rec[set]<<4 | uint64(w)
 		} else {
-			c.next[victim] = l.head
-			c.prev[base+int(l.head)] = w
+			if l.fill == 0 {
+				l.tail = w
+				c.next[victim] = noWay
+			} else {
+				c.next[victim] = l.head
+				c.prev[base+int(l.head)] = w
+			}
+			c.prev[victim] = noWay
+			l.head = w
 		}
-		c.prev[victim] = noWay
-		l.head = w
 		l.fill++
 	} else {
-		w := l.tail
-		if c.policy != PolicyLRU {
+		var w uint16
+		switch {
+		case c.policy != PolicyLRU:
 			w = uint16(c.pickVictimSRRIP(base) - base)
+			c.promote(set, base, w)
+		case c.packed:
+			// The LRU victim is the oldest valid nibble; promoting it is
+			// the same shift-and-append as claiming an empty way.
+			r := c.rec[set]
+			w = uint16(r >> (4 * uint(c.ways-1)) & 0xF)
+			c.rec[set] = r<<4 | uint64(w)
+		default:
+			w = l.tail
+			c.moveToHead(l, base, w)
 		}
 		victim = base + int(w)
-		c.moveToHead(l, base, w)
 	}
 	evicted, hadEviction = c.tags[victim], c.meta[victim]&lineValid != 0
 	c.Fills++
@@ -332,7 +408,9 @@ func (c *Cache) insert(block uint64, prefetched bool) (evicted uint64, hadEvicti
 		m |= linePrefetched
 	}
 	c.tags[victim] = block
-	c.lru[victim] = c.tick
+	if pfdebugEnabled {
+		c.lru[victim] = c.tick
+	}
 	c.meta[victim] = m | rrpv<<lineRRPVShift
 	if pfdebugEnabled {
 		c.debugCheckSet(block)
@@ -365,9 +443,11 @@ func (c *Cache) Reset() {
 	}
 	clear(c.lru)
 	clear(c.meta)
-	// The recency lists rebuild as the ways refill, so only the per-set
-	// anchors need clearing, not the prev/next links.
+	// The recency order rebuilds as the ways refill, so only the per-set
+	// anchors (and the packed words) need clearing, not the prev/next
+	// links.
 	clear(c.lists)
+	clear(c.rec)
 	c.tick = 0
 	c.missTick = ^uint64(0)
 	c.ResetStats()

@@ -40,8 +40,9 @@ func (c *Cache) debugCheckSet(block uint64) {
 		panic(fmt.Sprintf("sim pfdebug: block %d resident in %d ways of one set", block, matches))
 	}
 
-	// The recency list must agree with the stamps: walking head→tail visits
-	// exactly fill valid ways, each strictly older than the one before.
+	// The recency order must agree with the stamps: walking MRU→LRU visits
+	// exactly fill distinct valid ways, each strictly older than the one
+	// before.
 	set := c.setIndex(block)
 	l := c.lists[set]
 	valid := 0
@@ -54,6 +55,33 @@ func (c *Cache) debugCheckSet(block uint64) {
 		panic(fmt.Sprintf("sim pfdebug: set fill count %d but %d valid ways", l.fill, valid))
 	}
 	if l.fill == 0 {
+		return
+	}
+	if c.packed {
+		// Packed representation: nibble s of the set's recency word is the
+		// s-th most recently used way. Garbage above nibble fill-1 is
+		// never consulted and stays unchecked.
+		r := c.rec[set]
+		var last uint64
+		var seen uint32
+		for s := 0; s < int(l.fill); s++ {
+			w := uint16(r >> (4 * uint(s)) & 0xF)
+			if int(w) >= c.ways {
+				panic(fmt.Sprintf("sim pfdebug: packed recency nibble %d names way %d of %d", s, w, c.ways))
+			}
+			if seen&(1<<w) != 0 {
+				panic(fmt.Sprintf("sim pfdebug: packed recency repeats way %d", w))
+			}
+			seen |= 1 << w
+			i := base + int(w)
+			if c.meta[i]&lineValid == 0 {
+				panic(fmt.Sprintf("sim pfdebug: packed recency visits invalid way %d", w))
+			}
+			if s > 0 && c.lru[i] >= last {
+				panic(fmt.Sprintf("sim pfdebug: packed recency out of order at way %d (stamp %d after %d)", w, c.lru[i], last))
+			}
+			last = c.lru[i]
+		}
 		return
 	}
 	w, steps := l.head, 0

@@ -20,6 +20,7 @@ package snn
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Config holds the network hyper-parameters. Defaults follow Table 4 of the
@@ -179,12 +180,22 @@ type Network struct {
 	scrSched    []int     // concatenated per-tick input spike schedule
 	scrSchedOff []int     // scrSched offsets; tick t spans [off[t-1], off[t])
 	scrInhHold  []int     // remaining suppression ticks per inhibitory neuron
-	scrSpiked   []bool    // excitatory neurons that fired this tick
+	scrSpiked   []bool    // fired-this-tick flags, maintained only for monitors
 	scrFired    []int     // distinct neurons fired this interval, in fire order
 	scrTickFire []int     // neurons fired within the current tick, in fire order
 	scrCand     []int     // above-threshold candidates within a tick
 	scrThr      []float64 // cached ThreshE + theta[j], refreshed on fire
 	scrPot      []float64
+
+	// Structure-of-arrays kernel scratch (see kernels.go): bitset masks
+	// over the neuron index space and gather buffers for the batched
+	// passes. The masks shadow the scalar state exactly — a set bit in
+	// refracWE/refracWI means the matching counter is non-zero, and
+	// scrSpikedW is the authoritative fired-this-tick set.
+	scrSpikedW bitset // excitatory neurons that fired this tick
+	refracWE   bitset // neurons with a live excitatory refractory countdown
+	refracWI   bitset // neurons with a live inhibitory refractory countdown
+	scrLanes   []int  // dirty-lane gather buffer for fast-forward replay
 
 	// lastReset is the tick at which resetState last ran. Pre-synaptic
 	// traces are zeroed lazily against it: any xPreTick at or before it
@@ -239,6 +250,10 @@ func New(cfg Config) (*Network, error) {
 		scrCand:     make([]int, 0, 8),
 		scrThr:      make([]float64, cfg.Neurons),
 		scrPot:      make([]float64, cfg.Neurons),
+		scrSpikedW:  newBitset(cfg.Neurons),
+		refracWE:    newBitset(cfg.Neurons),
+		refracWI:    newBitset(cfg.Neurons),
+		scrLanes:    make([]int, 0, cfg.Neurons),
 	}
 	if cfg.TCTheta > 0 {
 		n.decayTheta = math.Exp(-float64(cfg.Ticks) / cfg.TCTheta)
@@ -337,9 +352,7 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		return fmt.Errorf("snn: input length %d, want %d", len(pixels), n.cfg.InputSize)
 	}
 	n.resetState()
-	for j := range n.theta {
-		n.theta[j] *= n.decayTheta
-	}
+	decayScale(n.theta, n.decayTheta)
 	res.Winner = -1
 	res.FirstFireTick = 0
 
@@ -393,6 +406,16 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		inhHold[j] = 0
 		excSpiked[j] = false
 	}
+	// Bitset masks over the neuron index space (kernels.go). The fired and
+	// refractory masks were zeroed by resetState; spikedW is re-cleared per
+	// tick at word granularity.
+	spikedW := n.scrSpikedW
+	refracWE, refracWI := n.refracWE, n.refracWI
+	// Liveness of the vI and xPost vectors: until the first inhibitory-layer
+	// write (resp. the first fire), every element sits at its reset fixed
+	// point — restI everywhere, all-zero traces — where the per-tick decay
+	// maps each element to itself exactly, so the whole pass can be skipped.
+	viLive, postLive := false, false
 	// firedList accumulates the distinct neurons that fired this interval;
 	// only their input weights (and post traces) can be non-zero, which
 	// lets STDP depression and re-normalisation touch only those columns.
@@ -433,33 +456,28 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// 1. This tick's input spikes, cut from the prebuilt schedule.
 		preSpikes := n.scrSched[n.scrSchedOff[t-1]:n.scrSchedOff[t]]
 
-		// 2. Excitatory layer: leak, integrate, inhibit, fire. The three
-		// per-neuron decay/housekeeping passes of the reference loop
-		// (vE leak, xPost trace decay, vI leak, spike-flag clear) are
-		// fused into one; the per-element operations and their order
-		// are unchanged, so the arithmetic is bit-identical.
-		for j := 0; j < nn; j++ {
-			vE[j] = restE + (vE[j]-restE)*dE
-			xPost[j] *= dX
-			vI[j] = restI + (vI[j]-restI)*dI
-			excSpiked[j] = false
+		// 2. Excitatory layer: leak, integrate, inhibit, fire. The decay/
+		// housekeeping section runs as per-array vector kernels
+		// (kernels.go): each array is walked linearly with the reference
+		// loop's per-element operation, so splitting the fused per-neuron
+		// pass into per-array passes only reorders operations on
+		// independent elements — bit-identical. The vI and xPost passes
+		// are elided entirely while those arrays still sit at their reset
+		// fixed points, and the fired mask clears at word granularity.
+		decayToward(vE, restE, dE)
+		if postLive {
+			decayScale(xPost, dX)
 		}
-		for _, i := range preSpikes {
-			row := n.w[i*nn : i*nn+nn]
-			// 4-way unrolled integrate over the row-major weight matrix.
-			// Each vE[j] still receives exactly one add per spike, in
-			// spike order, so the FP sum order per element is unchanged.
-			j := 0
-			for ; j+4 <= nn; j += 4 {
-				vE[j] += gain * row[j]
-				vE[j+1] += gain * row[j+1]
-				vE[j+2] += gain * row[j+2]
-				vE[j+3] += gain * row[j+3]
-			}
-			for ; j < nn; j++ {
-				vE[j] += gain * row[j]
+		if viLive {
+			decayToward(vI, restI, dI)
+		}
+		spikedW.zero()
+		if n.monitor != nil {
+			for j := 0; j < nn; j++ {
+				excSpiked[j] = false
 			}
 		}
+		integrate(vE, n.w, nn, gain, preSpikes)
 		// Sustained lateral inhibition (from inhibitory neurons that
 		// fired within the last InhHold ticks; a neuron is not inhibited
 		// by its own partner), refractory handling, and the
@@ -469,52 +487,80 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// the cheapest variant of the pass.
 		cand := n.scrCand[:0]
 		if holdCnt > 0 {
+			// Fused variant: the reference loop's separate hold-decrement
+			// pass runs inside the main scan. `others` uses the pre-tick
+			// holdCnt snapshot and each neuron's own pre-decrement hold
+			// value, and the decrements never feed back into this tick's
+			// arithmetic, so the fusion is bit-identical.
+			hc := holdCnt
 			for j := 0; j < nn; j++ {
-				others := holdCnt
-				if inhHold[j] > 0 {
+				others := hc
+				h := inhHold[j]
+				if h > 0 {
 					others--
 				}
-				v := vE[j] - inh*float64(others)
 				if refracE[j] > 0 {
 					if refracE[j]--; refracE[j] == 0 {
 						refracCntE--
+						refracWE.clear(j)
+						// A neuron leaving refractory joins this tick's
+						// scan at its reset potential (the reference loop
+						// decrements before the threshold scan); only
+						// exotic configs with ResetE above threshold can
+						// actually fire from here.
+						if resetE >= thr[j] {
+							cand = append(cand, j)
+						}
 					}
 					vE[j] = resetE
-					// A neuron leaving refractory joins this tick's scan
-					// at its reset potential (the reference loop decrements
-					// before the threshold scan); only exotic configs with
-					// ResetE above threshold can actually fire from here.
-					if refracE[j] == 0 && resetE >= thr[j] {
+				} else {
+					v := vE[j] - inh*float64(others)
+					vE[j] = v
+					if v >= thr[j] {
 						cand = append(cand, j)
 					}
-					continue
 				}
-				vE[j] = v
-				if v >= thr[j] {
-					cand = append(cand, j)
-				}
-			}
-			for k := 0; k < nn; k++ {
-				if inhHold[k] > 0 {
-					if inhHold[k]--; inhHold[k] == 0 {
+				if h > 0 {
+					if inhHold[j] = h - 1; h == 1 {
 						holdCnt--
 					}
 				}
 			}
 		} else if refracCntE > 0 {
-			for j := 0; j < nn; j++ {
-				if refracE[j] > 0 {
-					if refracE[j]--; refracE[j] == 0 {
-						refracCntE--
-					}
-					vE[j] = resetE
-					if refracE[j] == 0 && resetE >= thr[j] {
-						cand = append(cand, j)
+			// Word-split variant: 64-neuron spans whose refractory mask
+			// word is zero take the pure threshold scan; only spans with a
+			// live countdown pay the per-neuron bookkeeping. Candidates
+			// still append in ascending neuron order across spans, which
+			// preserves the winner-take-all tie-breaking order.
+			for wi := range refracWE {
+				base := wi << 6
+				end := base + 64
+				if end > nn {
+					end = nn
+				}
+				if refracWE[wi] == 0 {
+					for j := base; j < end; j++ {
+						if vE[j] >= thr[j] {
+							cand = append(cand, j)
+						}
 					}
 					continue
 				}
-				if vE[j] >= thr[j] {
-					cand = append(cand, j)
+				for j := base; j < end; j++ {
+					if refracE[j] > 0 {
+						if refracE[j]--; refracE[j] == 0 {
+							refracCntE--
+							refracWE.clear(j)
+							if resetE >= thr[j] {
+								cand = append(cand, j)
+							}
+						}
+						vE[j] = resetE
+						continue
+					}
+					if vE[j] >= thr[j] {
+						cand = append(cand, j)
+					}
 				}
 			}
 		} else {
@@ -540,11 +586,13 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 					best = j
 				}
 			}
+			spikedW.set(best)
 			excSpiked[best] = true
 			vE[best] = resetE
 			refracE[best] = n.cfg.RefracE
 			if n.cfg.RefracE > 0 {
 				refracCntE++
+				refracWE.set(best)
 			}
 			n.theta[best] += n.cfg.ThetaPlus
 			thr[best] = threshE + n.theta[best]
@@ -553,19 +601,20 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 			}
 			n.spikeCounts[best]++
 			xPost[best] = 1
+			postLive = true
 			tickFired = append(tickFired, best)
 			if res.FirstFireTick == 0 {
 				res.FirstFireTick = t
 			}
 			for j := 0; j < nn; j++ {
-				if j != best && !excSpiked[j] {
+				if j != best && !spikedW.get(j) {
 					vE[j] -= inh
 				}
 			}
 			if n.monoInh {
 				kept := cand[:0]
 				for _, j := range cand {
-					if j != best && !excSpiked[j] && refracE[j] == 0 && vE[j] >= thr[j] {
+					if j != best && !spikedW.get(j) && refracE[j] == 0 && vE[j] >= thr[j] {
 						kept = append(kept, j)
 					}
 				}
@@ -575,7 +624,7 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 				// threshold mid-tick; rescan like the reference loop.
 				cand = cand[:0]
 				for j := 0; j < nn; j++ {
-					if !excSpiked[j] && refracE[j] == 0 && vE[j] >= thr[j] {
+					if !spikedW.get(j) && refracE[j] == 0 && vE[j] >= thr[j] {
 						cand = append(cand, j)
 					}
 				}
@@ -610,25 +659,33 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 			n.decayPreTrace(i)
 			n.xPre[i] = 1
 		}
-		// Potentiate only this tick's firing neurons. Their weight columns
-		// are disjoint and decayPreTrace is idempotent after its first
-		// call in a tick, so visiting them in fire order instead of the
-		// reference loop's index order yields bit-identical weights.
+		// Potentiate only this tick's firing neurons. Batched settlement:
+		// decayPreTrace is idempotent after its first call in a tick, so
+		// every active pre-trace settles once up front instead of once per
+		// (pre, post) pair; the weight walk then goes row-major (i outer
+		// over active pixels, j inner over this tick's firing neurons) so
+		// each touched synapse slab is scanned linearly. Every (i, j)
+		// weight is updated exactly once with the same operands as the
+		// reference loop's column-major order — bit-identical.
 		if learn && len(tickFired) > 0 {
 			mPot += uint64(len(tickFired)) * uint64(len(active))
-			for _, j := range tickFired {
-				for _, i := range active {
-					n.decayPreTrace(i)
-					idx := i*nn + j
-					pot := n.cfg.NuPost * n.xPre[i]
+			for _, i := range active {
+				n.decayPreTrace(i)
+			}
+			nuPost, wmax := n.cfg.NuPost, n.cfg.WMax
+			for _, i := range active {
+				row := n.w[i*nn : i*nn+nn]
+				nx := nuPost * n.xPre[i]
+				for _, j := range tickFired {
+					pot := nx
 					if n.cfg.WeightDependent {
-						pot *= (n.cfg.WMax - n.w[idx]) / n.cfg.WMax
+						pot = nx * ((wmax - row[j]) / wmax)
 					}
-					w := n.w[idx] + pot
-					if w > n.cfg.WMax {
-						w = n.cfg.WMax
+					w := row[j] + pot
+					if w > wmax {
+						w = wmax
 					}
-					n.w[idx] = w
+					row[j] = w
 				}
 			}
 		}
@@ -640,28 +697,51 @@ func (n *Network) PresentInto(res *Result, pixels []float64, learn bool) error {
 		// counter live, no inhibitory potential can reach threshold
 		// (fastOK invariant), so the whole pass is skipped.
 		if len(tickFired) > 0 || refracCntI > 0 || !n.fastOK {
-			for j := 0; j < nn; j++ {
-				if excSpiked[j] {
-					vI[j] += n.cfg.Exc
-				}
-				if refracI[j] > 0 {
-					if refracI[j]--; refracI[j] == 0 {
-						refracCntI--
-					}
-					vI[j] = resetI
-					continue
-				}
-				if vI[j] >= threshI {
-					vI[j] = resetI
-					refracI[j] = n.cfg.RefracI
-					if n.cfg.RefracI > 0 {
-						refracCntI++
-					}
-					if n.cfg.InhHold > inhHold[j] {
-						if inhHold[j] == 0 {
-							holdCnt++
+			viLive = true
+			if n.fastOK && len(tickFired) == 0 {
+				// Only refractory countdowns are live this tick: no
+				// excitatory spike arrived and under fastOK no decaying
+				// inhibitory potential can reach threshold (the same
+				// invariant that lets the whole pass be skipped when the
+				// mask is empty too). Walk just the masked neurons.
+				for wi, wd := range refracWI {
+					base := wi << 6
+					for wd != 0 {
+						j := base + bits.TrailingZeros64(wd)
+						wd &= wd - 1
+						if refracI[j]--; refracI[j] == 0 {
+							refracCntI--
+							refracWI.clear(j)
 						}
-						inhHold[j] = n.cfg.InhHold
+						vI[j] = resetI
+					}
+				}
+			} else {
+				for j := 0; j < nn; j++ {
+					if spikedW.get(j) {
+						vI[j] += n.cfg.Exc
+					}
+					if refracI[j] > 0 {
+						if refracI[j]--; refracI[j] == 0 {
+							refracCntI--
+							refracWI.clear(j)
+						}
+						vI[j] = resetI
+						continue
+					}
+					if vI[j] >= threshI {
+						vI[j] = resetI
+						refracI[j] = n.cfg.RefracI
+						if n.cfg.RefracI > 0 {
+							refracCntI++
+							refracWI.set(j)
+						}
+						if n.cfg.InhHold > inhHold[j] {
+							if inhHold[j] == 0 {
+								holdCnt++
+							}
+							inhHold[j] = n.cfg.InhHold
+						}
 					}
 				}
 			}
@@ -769,36 +849,17 @@ func (n *Network) nextSpikeTick(t int) int {
 }
 
 // fastForward advances the network through k quiescent ticks: only the
-// three exponential decays act, so each neuron's trajectory is replayed
-// with the exact per-tick floating-point operations (no closed-form pow,
-// which would round differently). Values already at their fixed point
-// (rest potential, zero trace) are skipped — the per-tick update maps them
-// to themselves exactly.
+// three exponential decays act, so each dirty element's trajectory is
+// replayed with the exact per-tick floating-point operations (no
+// closed-form pow, which would round differently). Values already at their
+// fixed point (rest potential, zero trace) are skipped — the per-tick
+// update maps them to themselves exactly. The replay kernels (kernels.go)
+// gather the dirty lanes per array and advance four independent decay
+// chains at a time, hiding the serial per-chain FP latency.
 func (n *Network) fastForward(k int) {
-	restE, dE := n.cfg.RestE, n.decayE
-	restI, dI := n.cfg.RestI, n.decayI
-	dX := n.decayTrace
-	vE, vI, xPost := n.vE, n.vI, n.xPost
-	for j := range vE {
-		if v := vE[j]; v != restE {
-			for s := 0; s < k; s++ {
-				v = restE + (v-restE)*dE
-			}
-			vE[j] = v
-		}
-		if v := vI[j]; v != restI {
-			for s := 0; s < k; s++ {
-				v = restI + (v-restI)*dI
-			}
-			vI[j] = v
-		}
-		if x := xPost[j]; x != 0 {
-			for s := 0; s < k; s++ {
-				x *= dX
-			}
-			xPost[j] = x
-		}
-	}
+	n.scrLanes = replayDecay(n.vE, n.cfg.RestE, n.decayE, k, n.scrLanes)
+	n.scrLanes = replayDecay(n.vI, n.cfg.RestI, n.decayI, k, n.scrLanes)
+	n.scrLanes = replayScale(n.xPost, n.decayTrace, k, n.scrLanes)
 	n.tick += k
 }
 
@@ -968,6 +1029,9 @@ func (n *Network) resetState() {
 		n.xPost[j] = 0
 		n.spikeCounts[j] = 0
 	}
+	n.scrSpikedW.zero()
+	n.refracWE.zero()
+	n.refracWI.zero()
 	n.lastReset = n.tick
 }
 
@@ -983,28 +1047,76 @@ func (n *Network) normalize() {
 
 // normalizeNeurons rescales only the given neurons' input-weight columns.
 // Within an interval only firing neurons' weights change, so per-sample
-// normalisation needs to touch only those.
+// normalisation needs to touch only those. A single column's sum is a
+// serial float64 add chain (each add waits on the previous rounding), so
+// the summation pass ladders four, then two, then one column at a time —
+// independent accumulators that cover the chain latency. Each column still
+// sums in ascending input order (the reference accumulation order) and
+// each weight sees the same multiply-and-clamp, so the laddered form is
+// bit-identical to normalising column by column.
 func (n *Network) normalizeNeurons(neurons []int) {
 	nn := n.cfg.Neurons
-	for _, j := range neurons {
+	in := n.cfg.InputSize
+	w := n.w
+	k := 0
+	for ; k+4 <= len(neurons); k += 4 {
+		j0, j1, j2, j3 := neurons[k], neurons[k+1], neurons[k+2], neurons[k+3]
+		s0, s1, s2, s3 := 0.0, 0.0, 0.0, 0.0
+		for i := 0; i < in; i++ {
+			base := i * nn
+			s0 += w[base+j0]
+			s1 += w[base+j1]
+			s2 += w[base+j2]
+			s3 += w[base+j3]
+		}
+		n.scaleColumn(j0, s0)
+		n.scaleColumn(j1, s1)
+		n.scaleColumn(j2, s2)
+		n.scaleColumn(j3, s3)
+	}
+	for ; k+2 <= len(neurons); k += 2 {
+		j0, j1 := neurons[k], neurons[k+1]
+		s0, s1 := 0.0, 0.0
+		for i := 0; i < in; i++ {
+			base := i * nn
+			s0 += w[base+j0]
+			s1 += w[base+j1]
+		}
+		n.scaleColumn(j0, s0)
+		n.scaleColumn(j1, s1)
+	}
+	for ; k < len(neurons); k++ {
+		j := neurons[k]
 		sum := 0.0
-		for i := 0; i < n.cfg.InputSize; i++ {
-			sum += n.w[i*nn+j]
+		for i := 0; i < in; i++ {
+			sum += w[i*nn+j]
 		}
-		if sum <= 0 {
-			continue
-		}
-		scale := n.cfg.Norm / sum
-		for i := 0; i < n.cfg.InputSize; i++ {
-			w := n.w[i*nn+j] * scale
-			if w > n.cfg.WMax {
-				w = n.cfg.WMax
-			}
-			n.w[i*nn+j] = w
-		}
+		n.scaleColumn(j, sum)
 	}
 	if pfdebugEnabled {
 		n.debugCheckNormalized(neurons)
+	}
+}
+
+// scaleColumn rescales one input-weight column to make it sum to cfg.Norm,
+// clamping to WMax — the apply half of normalizeNeurons. Columns without a
+// positive sum are left untouched, exactly as the reference loop skips
+// them (a NaN sum fails the comparison and still applies, as it must).
+func (n *Network) scaleColumn(j int, sum float64) {
+	if sum <= 0 {
+		return
+	}
+	nn := n.cfg.Neurons
+	in := n.cfg.InputSize
+	scale := n.cfg.Norm / sum
+	wmax := n.cfg.WMax
+	w := n.w
+	for i := 0; i < in; i++ {
+		v := w[i*nn+j] * scale
+		if v > wmax {
+			v = wmax
+		}
+		w[i*nn+j] = v
 	}
 }
 

@@ -26,3 +26,18 @@ func (r *rng) next() uint64 {
 func (r *rng) float64() float64 {
 	return float64(r.next()>>11) / (1 << 53)
 }
+
+// RNGState exposes the generator's position in its stream. Together with
+// the learned state (weights, thresholds) it is all the cross-sample
+// state a network carries — per-interval dynamics reset at every Present
+// — so saving it alongside Save and restoring it with SetRNGState makes a
+// reloaded network continue bit-identically where the original stopped.
+func (n *Network) RNGState() uint64 { return n.rand.state }
+
+// SetRNGState repositions the generator. A zero state (the xorshift fixed
+// point, never produced by a live generator) is ignored.
+func (n *Network) SetRNGState(s uint64) {
+	if s != 0 {
+		n.rand.state = s
+	}
+}

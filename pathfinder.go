@@ -134,6 +134,14 @@ func New(cfg Config) (*Prefetcher, error) { return core.New(cfg) }
 // its own within a few accesses per page.
 func LoadPrefetcher(r io.Reader) (*Prefetcher, error) { return core.Load(r) }
 
+// LoadSessionPrefetcher restores a PATHFINDER saved with
+// (*Prefetcher).SaveSession — the exact-continuation snapshot that also
+// carries the Training Table and RNG position, so the restored prefetcher
+// advises bit-identically to one that was never serialized. It accepts
+// plain Save blobs too (their transients start fresh). The serving
+// daemon's eviction spill (internal/serve) uses this pair.
+func LoadSessionPrefetcher(r io.Reader) (*Prefetcher, error) { return core.LoadSession(r) }
+
 // NewSNN builds a standalone spiking network (for demos of the §3.6
 // behaviour; use DefaultSNNConfig for the Table 4 parameters).
 func NewSNN(cfg SNNConfig) (*SNN, error) { return snn.New(cfg) }
